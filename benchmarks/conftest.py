@@ -1,0 +1,38 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one table/figure of the paper, prints it in
+the paper's format (run pytest with ``-s`` to see the tables), saves it
+under ``benchmarks/_results/``, and asserts the *shape* of the result —
+who wins, by roughly what factor — rather than absolute numbers (the
+substrate is a calibrated simulator, not the authors' testbed).
+
+Benchmarks run a full discrete-event simulation once per measurement,
+so they use ``benchmark.pedantic(rounds=1)``.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+@pytest.fixture
+def save_table():
+    """Print a result table and persist it for EXPERIMENTS.md."""
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _save
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a zero-argument experiment exactly once under
+    pytest-benchmark timing."""
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,27 @@
+"""Replica-placement ablation (paper §VI).
+
+"Replicas should be positioned on neighboring nodes to avoid network
+contention but at the same time, they should be placed in such a way
+that the probability of correlated failures is low."  On a
+distance-sensitive topology, pushing replicas apart degrades intra
+efficiency — quantifying one side of that trade-off.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import placement_sweep
+
+
+def test_placement_spread(run_once, save_table):
+    rows = run_once(lambda: placement_sweep(spreads=(1, 4, 16)))
+    table = format_table(
+        ["replica spread (nodes)", "ddot time (ms)",
+         "intra efficiency"],
+        [[r.value, r.time * 1e3, r.efficiency] for r in rows],
+        title="Replica placement ablation (linear topology, 2 us/hop)")
+    save_table("ablation_placement", table)
+
+    eff = {r.value: r.efficiency for r in rows}
+    # neighbouring replicas (the paper's choice) are the best placement
+    assert eff[1] > eff[4] > eff[16]
+    # distant replicas lose a substantial share of the intra gain
+    assert eff[1] - eff[16] > 0.1

@@ -1,0 +1,45 @@
+"""Figure 6d: MiniGhost.
+
+Paper: SDR 0.49, intra 0.51 — the stencil's full-grid output defeats
+intra-parallelization, leaving only the grid summation (~10% of
+runtime), so the gain over plain replication is marginal.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import fig6d, minighost_stencil_ablation
+
+
+def test_fig6d_minighost(run_once, save_table):
+    rows = run_once(fig6d)
+    table = format_table(
+        ["app", "mode", "procs", "time (ms)", "efficiency",
+         "sections frac"],
+        [[r.app, r.mode, r.physical_processes, r.time * 1e3,
+          r.efficiency, r.sections_fraction] for r in rows],
+        title="Figure 6d — MiniGhost (paper: SDR 0.49, intra 0.51, "
+              "sections ~10%)")
+    save_table("fig6d", table)
+
+    by = {r.mode: r for r in rows}
+    assert abs(by["SDR-MPI"].efficiency - 0.5) < 0.04
+    # marginal gain only (paper: 0.51)
+    assert 0.50 <= by["intra"].efficiency < 0.60
+    # only the grid summation is in sections — a small share
+    assert by["Open MPI"].sections_fraction < 0.25
+
+
+def test_fig6d_stencil_in_section_does_not_pay(run_once, save_table):
+    """§V-D's negative result: forcing the 27-pt stencil into sections
+    gives 'around the same' or worse performance, because the output is
+    a full new 3D grid."""
+    rows = run_once(minighost_stencil_ablation)
+    table = format_table(
+        ["stencil in section", "time (ms)", "efficiency"],
+        [[r.value, r.time * 1e3, r.efficiency] for r in rows],
+        title="MiniGhost stencil ablation (paper: not applied — "
+              "'performance around the same as without')")
+    save_table("fig6d_stencil_ablation", table)
+
+    without, with_stencil = rows[0], rows[1]
+    # no meaningful gain from intra-parallelizing the stencil
+    assert with_stencil.efficiency < without.efficiency + 0.02

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The paper's motivation, quantified (§II): when does replication beat
+checkpoint-restart — and what does breaking the 50% wall buy?
+
+Sweeps machine size with the analytic models of
+:mod:`repro.analysis.ccr_model`:
+
+* plain coordinated checkpoint-restart (Daly-optimal interval),
+* replication (degree 2) + rare checkpoints, whose MTTI survives
+  ~sqrt(N) failures [16] — capped at 50% efficiency,
+* the same replication with intra-parallelization's measured
+  application efficiencies layered on top (HPCCG 0.8, GTC 0.7),
+  showing the head-room the paper's technique unlocks.
+
+Run:  python examples/exascale_model.py
+"""
+
+from repro.analysis import (format_table, mnfti_degree2,
+                            plain_ccr_efficiency,
+                            replicated_ccr_efficiency)
+
+NODE_MTBF_YEARS = 5.0
+CHECKPOINT_MIN = 15.0
+RESTART_MIN = 15.0
+#: application efficiency of intra-parallelization relative to the 0.5
+#: replication cap (from our Figure 5b / 6c reproductions)
+INTRA_GAIN = {"HPCCG (Fig 5b)": 0.80 / 0.50, "GTC (Fig 6c)": 0.71 / 0.50}
+
+
+def main():
+    node_mtbf = NODE_MTBF_YEARS * 365 * 24 * 3600
+    delta, restart = CHECKPOINT_MIN * 60, RESTART_MIN * 60
+    rows = []
+    for n in (1_000, 10_000, 100_000, 1_000_000):
+        e_ccr = plain_ccr_efficiency(n, node_mtbf, delta, restart)
+        e_rep = replicated_ccr_efficiency(n // 2, node_mtbf, delta,
+                                          restart)
+        rows.append([
+            f"{n:,}", node_mtbf / n / 3600.0, e_ccr, e_rep,
+            e_rep * INTRA_GAIN["HPCCG (Fig 5b)"],
+            e_rep * INTRA_GAIN["GTC (Fig 6c)"],
+        ])
+    print(format_table(
+        ["processes", "system MTBF (h)", "cCR", "replication",
+         "+intra (HPCCG)", "+intra (GTC)"],
+        rows,
+        title=f"Workload efficiency vs machine size "
+              f"({NODE_MTBF_YEARS:.0f}y node MTBF, "
+              f"{CHECKPOINT_MIN:.0f}min checkpoints)"))
+    print(f"\nMean failures to interruption at 500k logical ranks "
+          f"(degree 2): {mnfti_degree2(500_000):,.0f} "
+          f"(grows ~sqrt(N), per [16])")
+    print("At exascale-like failure rates plain cCR collapses; "
+          "replication holds ~50%;\nintra-parallelization is what "
+          "pushes the replicated system beyond the wall.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Fault tolerance demo: crash a replica mid-section and watch the
+survivor finish the job (paper §III-B2, Figure 2).
+
+Scenario: one logical process runs a GTC-style ``inout`` section
+(pos += vel, so the new value depends on the old one).  We crash the
+executing replica at the nastiest possible moment — after its update
+for the *positions* array hit the wire but before the *velocities*
+update — the true-dependence hazard of Figure 2.  The survivor restores
+its protection copy and re-executes, landing on the correct state.
+
+We then run the identical scenario with protection disabled
+(CopyStrategy.NONE) to reproduce the *incorrect* execution of
+Figure 2b.
+
+Run:  python examples/failure_injection.py
+"""
+
+import numpy as np
+
+from repro.intra import (CopyStrategy, Intra_Section_begin,
+                         Intra_Section_end, Intra_Task_launch,
+                         Intra_Task_register, Tag, launch_intra_job)
+from repro.mpi import MpiWorld
+from repro.netmodel import GRID5000_MACHINE, GRID5000_NETWORK, Cluster
+from repro.replication import FailureInjector
+
+N = 8
+
+
+def program(ctx, comm):
+    """One section with a single inout task: pos += vel; vel *= 2."""
+    pos = np.arange(N, dtype=np.float64)
+    vel = np.ones(N, dtype=np.float64)
+
+    def push(p, v):
+        p += v          # reads and writes p: INOUT
+        v *= 2.0        # reads and writes v: INOUT
+
+    Intra_Section_begin(ctx)
+    tid = Intra_Task_register(ctx, push, [Tag.INOUT, Tag.INOUT],
+                              cost=lambda p, v: (100.0, 1e6))
+    Intra_Task_launch(ctx, tid, [pos, vel])
+    yield from Intra_Section_end(ctx)
+    return pos.copy(), vel.copy()
+
+
+def run(copy_strategy):
+    world = MpiWorld(Cluster(4, GRID5000_MACHINE), GRID5000_NETWORK)
+    job = launch_intra_job(world, program, 1, fd_delay=10e-6,
+                           copy_strategy=copy_strategy)
+    injector = FailureInjector(job.manager)
+    # kill the executing replica (replica 0 owns the single task) right
+    # after the `pos` update is injected, before the `vel` update
+    plan = injector.kill_on_hook(
+        0, 0, "update_injected", when=lambda task, arg, **kw: arg == 0)
+    world.run()
+    assert plan.fired, "the crash was injected"
+    survivor = job.manager.alive_replicas(0)[0]
+    pos, vel = survivor.app_process.value
+    stats = survivor.ctx.intra.stats
+    return pos, vel, stats
+
+
+def main():
+    expect_pos = np.arange(N) + 1.0
+    expect_vel = np.full(N, 2.0)
+
+    print("Crash scenario: executor dies after sending pos, before vel "
+          "(Figure 2's partial update)\n")
+
+    pos, vel, stats = run(CopyStrategy.LAZY)
+    ok = np.allclose(pos, expect_pos) and np.allclose(vel, expect_vel)
+    print("with inout protection (Algorithm 1, LAZY copies):")
+    print(f"  survivor re-executed {stats.tasks_reexecuted} task(s), "
+          f"recoveries={stats.recoveries}")
+    print(f"  pos = {pos[:4]} ...  vel = {vel[:4]} ...  "
+          f"-> {'CORRECT' if ok else 'WRONG'}")
+    assert ok
+
+    pos, vel, _stats = run(CopyStrategy.NONE)
+    wrong = not np.allclose(pos, expect_pos)
+    print("\nwithout protection (Figure 2b's broken run):")
+    print(f"  pos = {pos[:4]} ...  (expected {expect_pos[:4]})")
+    print(f"  -> {'INCORRECT, as the paper predicts' if wrong else '??'}")
+    assert wrong, "the unprotected run must corrupt pos"
+    print("\nThe extra copy of inout variables is exactly what makes "
+          "task re-execution safe.")
+
+
+if __name__ == "__main__":
+    main()

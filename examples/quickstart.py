@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: intra-parallelize the paper's waxpby kernel (Figure 3/4).
+
+Runs ``w = alpha*x + beta*y`` three ways on a simulated 4-node cluster —
+plain MPI, classic state-machine replication (every replica recomputes
+everything), and intra-parallelization (replicas split the work and
+exchange results) — and prints the virtual execution times.
+
+The point the paper makes with this exact kernel: waxpby's *output is
+as large as its input*, so shipping updates costs more than recomputing
+— intra-parallelization is slower than plain replication here (compare
+with examples/hpccg_modes.py where ddot/sparsemv win big).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.intra import (Intra_Section_begin, Intra_Section_end,
+                         Intra_Task_launch, Intra_Task_register, Tag,
+                         launch_mode)
+from repro.kernels import split_range, waxpby, waxpby_cost
+from repro.mpi import MpiWorld
+from repro.netmodel import GRID5000_MACHINE, GRID5000_NETWORK, Cluster
+
+N = 2_000_000          # vector length per logical process
+N_TASKS = 8            # paper §V-B: 8 tasks per section
+
+
+def program(ctx, comm):
+    """One MPI rank: a single intra-parallel waxpby section.
+
+    This is the paper's Figure 4, in this library's API.  The same
+    source runs in all three modes; only the launcher changes.
+    """
+    x = np.arange(N, dtype=np.float64)
+    y = np.ones(N, dtype=np.float64)
+    w = np.zeros(N, dtype=np.float64)
+
+    Intra_Section_begin(ctx)
+    task_id = Intra_Task_register(
+        ctx, waxpby, [Tag.IN, Tag.IN, Tag.IN, Tag.IN, Tag.OUT],
+        cost=waxpby_cost)
+    for sl in split_range(N, N_TASKS):
+        Intra_Task_launch(ctx, task_id,
+                          [2.0, x[sl], 0.5, y[sl], w[sl]])
+    yield from Intra_Section_end(ctx)
+
+    # replicas are consistent here: w == 2x + 0.5y on every copy
+    assert np.allclose(w, 2.0 * x + 0.5 * y)
+    return ctx.now
+
+
+def main():
+    print(f"waxpby, n = {N:,} per logical process, {N_TASKS} tasks/section")
+    print(f"machine: {GRID5000_MACHINE.name} "
+          f"(paper's Grid'5000 testbed model)\n")
+    times = {}
+    for mode in ("native", "sdr", "intra"):
+        world = MpiWorld(Cluster(4, GRID5000_MACHINE), GRID5000_NETWORK)
+        job = launch_mode(mode, world, program, 4)
+        world.run()
+        if mode == "native":
+            t = max(job.results())
+        else:
+            t = max(max(row) for row in job.results())
+        times[mode] = t
+        # constant problem, doubled resources (Figure 6 convention):
+        # replicated modes use 2x the hardware, so equal time = 50%.
+        factor = 1.0 if mode == "native" else 0.5
+        label = {"native": "Open MPI (no replication)",
+                 "sdr": "SDR-MPI  (classic replication)",
+                 "intra": "intra    (work sharing)"}[mode]
+        print(f"  {label:34s} {t * 1e3:8.2f} ms "
+              f"(efficiency {factor * times['native'] / t:.2f})")
+    print("\nAs in Figure 5a: for waxpby the update transfer outweighs "
+          "the saved computation,\nso intra-parallelization loses to "
+          "plain replication on this kernel.")
+
+
+if __name__ == "__main__":
+    main()

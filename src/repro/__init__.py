@@ -1,0 +1,48 @@
+"""repro — reproduction of *Efficient Process Replication for MPI
+Applications: Sharing Work Between Replicas* (Ropars, Lefray, Kim,
+Schiper — IPDPS 2015).
+
+The package implements the paper's contribution, **intra-
+parallelization** (work sharing between the replicas of a logical MPI
+process), together with every substrate it needs, on a deterministic
+discrete-event simulation of the paper's testbed:
+
+========================  ====================================================
+``repro.simulate``        deterministic discrete-event kernel (S1)
+``repro.netmodel``        machine roofline, LogGP network, topology (S2-S4)
+``repro.mpi``             simulated MPI: p2p, collectives, launcher (S5)
+``repro.replication``     SDR-MPI-style active replication + failures (S6)
+``repro.intra``           the paper's contribution: sections/tasks (S7)
+``repro.kernels``         waxpby/ddot/spmv/stencil/PIC + cost models (S8)
+``repro.apps``            HPCCG, MiniGhost, GTC, AMG2013-like (S9-S12)
+``repro.analysis``        efficiency metric, cCR & MNFTI models (S13)
+``repro.experiments``     per-figure reproduction harness (S14)
+========================  ====================================================
+
+Quick taste (see ``examples/quickstart.py`` for the full version)::
+
+    from repro.intra import (Intra_Section_begin, Intra_Section_end,
+                             Intra_Task_register, Intra_Task_launch,
+                             Tag, launch_mode)
+    from repro.mpi import MpiWorld
+    from repro.netmodel import Cluster, GRID5000_MACHINE, GRID5000_NETWORK
+
+    def program(ctx, comm):
+        Intra_Section_begin(ctx)
+        tid = Intra_Task_register(ctx, my_kernel, [Tag.IN, Tag.OUT],
+                                  cost=my_cost)
+        Intra_Task_launch(ctx, tid, [x, w])
+        yield from Intra_Section_end(ctx)
+
+    world = MpiWorld(Cluster(4, GRID5000_MACHINE), GRID5000_NETWORK)
+    job = launch_mode("intra", world, program, n_logical=4)
+    world.run()
+"""
+
+__version__ = "1.0.0"
+
+from . import (analysis, apps, experiments, intra, kernels, mpi, netmodel,
+               replication, simulate)
+
+__all__ = ["analysis", "apps", "experiments", "intra", "kernels", "mpi",
+           "netmodel", "replication", "simulate", "__version__"]

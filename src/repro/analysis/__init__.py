@@ -1,0 +1,24 @@
+"""Efficiency metrics and analytic fault-tolerance models (system S13)."""
+
+from .ccr_model import (ccr_efficiency, daly_interval,
+                        expected_segment_time, mnfti_degree2,
+                        plain_ccr_efficiency, replicated_ccr_efficiency,
+                        replication_mtti, young_interval)
+from .partial_replication import (mnfti_partial,
+                                  partial_replication_efficiency,
+                                  partial_replication_sweep)
+from .efficiency import (doubled_resource_efficiency,
+                         fixed_resource_efficiency, mean, normalized_time,
+                         workload_efficiency)
+from .reporting import efficiency_label, format_table
+
+__all__ = [
+    "ccr_efficiency", "daly_interval", "doubled_resource_efficiency",
+    "efficiency_label", "expected_segment_time",
+    "fixed_resource_efficiency", "format_table", "mean", "mnfti_degree2",
+    "normalized_time", "plain_ccr_efficiency",
+    "mnfti_partial", "partial_replication_efficiency",
+    "partial_replication_sweep",
+    "replicated_ccr_efficiency", "replication_mtti",
+    "workload_efficiency", "young_interval",
+]

@@ -1,0 +1,135 @@
+"""Analytic checkpoint-restart efficiency model (paper §II background).
+
+The paper motivates replication by the observation [1], [8] that global
+coordinated checkpoint-restart (cCR) to a parallel file system can drop
+below 50% efficiency at exascale MTBFs, at which point replication —
+capped at 50% — becomes competitive.  This module reproduces that
+motivating comparison:
+
+* Young's and Daly's optimal checkpoint intervals,
+* the exact expected-completion-time model for exponential failures
+  (renewal argument), from which cCR efficiency follows,
+* the replication-side model: mean number of failures to interruption
+  (MNFTI) for replication degree 2 [16], giving the application MTTI
+  under replication, and the combined replication+cCR efficiency (the
+  checkpoint frequency can then be very low).
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+
+def young_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Young's first-order optimum: ``τ = sqrt(2 δ M)``."""
+    _check(checkpoint_cost, mtbf)
+    return math.sqrt(2.0 * checkpoint_cost * mtbf)
+
+
+def daly_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Daly's higher-order optimum (valid for δ < 2M)."""
+    _check(checkpoint_cost, mtbf)
+    delta, M = checkpoint_cost, mtbf
+    if delta >= 2.0 * M:
+        return M
+    x = delta / (2.0 * M)
+    return math.sqrt(2.0 * delta * M) * (1.0 + math.sqrt(x) / 3.0
+                                         + x / 9.0) - delta
+
+
+def expected_segment_time(work: float, mtbf: float,
+                          restart_cost: float) -> float:
+    """Expected wall time to complete ``work`` seconds of uninterruptible
+    progress under Poisson failures (rate 1/M) with per-failure restart
+    cost R (exact renewal result):
+
+        E[T] = (M + R) · (e^{work/M} − 1)
+    """
+    if work < 0 or mtbf <= 0 or restart_cost < 0:
+        raise ValueError("invalid model parameters")
+    return (mtbf + restart_cost) * math.expm1(work / mtbf)
+
+
+def ccr_efficiency(mtbf: float, checkpoint_cost: float,
+                   restart_cost: float,
+                   interval: _t.Optional[float] = None) -> float:
+    """Efficiency of coordinated checkpoint-restart.
+
+    Per period the application makes ``τ`` seconds of progress at an
+    expected wall cost of ``expected_segment_time(τ + δ)``; the interval
+    defaults to Daly's optimum.
+    """
+    _check(checkpoint_cost, mtbf)
+    if interval is None:
+        interval = daly_interval(checkpoint_cost, mtbf)
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    wall = expected_segment_time(interval + checkpoint_cost, mtbf,
+                                 restart_cost)
+    return interval / wall
+
+
+def mnfti_degree2(n_logical: int) -> float:
+    """Mean number of (non-repaired, uniformly targeted) process failures
+    until some logical rank loses *both* replicas, for replication
+    degree 2 over ``n_logical`` ranks [16].
+
+    Exact recurrence on j = number of ranks with one dead replica:
+    a failure hits one of the ``2N − j`` live replicas uniformly; with
+    probability ``j / (2N − j)`` it kills a previously-hit rank's
+    survivor (interruption), otherwise j grows by one.
+    """
+    if n_logical < 1:
+        raise ValueError("n_logical must be >= 1")
+    n = n_logical
+    # E_j = 1 + (1 - j/(2n - j)) * E_{j+1}, E_n terminates (j = n means
+    # every rank has one dead replica; the next failure always kills).
+    expect = 1.0  # E_n
+    for j in range(n - 1, -1, -1):
+        p_kill = j / (2.0 * n - j)
+        expect = 1.0 + (1.0 - p_kill) * expect
+    return expect
+
+
+def replication_mtti(n_logical: int, node_mtbf: float,
+                     degree: int = 2) -> float:
+    """Application mean time to interruption under replication.
+
+    Failures arrive at aggregate rate ``(degree · N) / node_mtbf``; the
+    application survives ``mnfti`` of them on average.
+    """
+    if degree != 2:
+        raise NotImplementedError("MNFTI recurrence implemented for "
+                                  "degree 2 (the paper's setting)")
+    if node_mtbf <= 0:
+        raise ValueError("node_mtbf must be positive")
+    failure_rate = (degree * n_logical) / node_mtbf
+    return mnfti_degree2(n_logical) / failure_rate
+
+
+def replicated_ccr_efficiency(n_logical: int, node_mtbf: float,
+                              checkpoint_cost: float,
+                              restart_cost: float) -> float:
+    """Efficiency of replication (degree 2) combined with rare
+    checkpoints: the effective MTBF becomes the replication MTTI, so the
+    checkpoint frequency can be very low [16]; the resource doubling
+    caps the result at 50%."""
+    mtti = replication_mtti(n_logical, node_mtbf)
+    return 0.5 * ccr_efficiency(mtti, checkpoint_cost, restart_cost)
+
+
+def plain_ccr_efficiency(n_procs: int, node_mtbf: float,
+                         checkpoint_cost: float,
+                         restart_cost: float) -> float:
+    """Efficiency of cCR without replication: system MTBF scales as
+    ``node_mtbf / n_procs``."""
+    if n_procs < 1 or node_mtbf <= 0:
+        raise ValueError("invalid parameters")
+    return ccr_efficiency(node_mtbf / n_procs, checkpoint_cost,
+                          restart_cost)
+
+
+def _check(checkpoint_cost: float, mtbf: float) -> None:
+    if checkpoint_cost <= 0 or mtbf <= 0:
+        raise ValueError("checkpoint_cost and mtbf must be positive")

@@ -1,0 +1,57 @@
+"""Workload-efficiency metric (paper §II).
+
+``E = T_solve / T_wallclock`` where ``T_solve`` is the time to solution
+in a fault-free system and ``T_wallclock`` the actual execution time for
+a given amount of computing resources.  The paper uses two experimental
+conventions, both provided here:
+
+* **fixed resources** (Figure 5a/5b): the replicated run keeps the same
+  physical process count and doubles the per-logical-process problem;
+  ``E = T_native / T_mode``.
+* **doubled resources** (Figure 6): the replicated run keeps the problem
+  and doubles the physical processes; ``E = 0.5 · T_native / T_mode``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+def workload_efficiency(t_solve: float, t_wallclock: float,
+                        resource_factor: float = 1.0) -> float:
+    """General form: ``E = t_solve / (t_wallclock * resource_factor)``.
+
+    ``resource_factor`` is the ratio of resources used relative to the
+    fault-free baseline (2.0 for replication with doubled resources).
+    """
+    if t_solve < 0 or t_wallclock <= 0 or resource_factor <= 0:
+        raise ValueError("times must be positive")
+    return t_solve / (t_wallclock * resource_factor)
+
+
+def fixed_resource_efficiency(t_native: float, t_mode: float) -> float:
+    """Figure 5a/5b convention (same physical processes, doubled
+    per-logical problem under replication)."""
+    return workload_efficiency(t_native, t_mode)
+
+
+def doubled_resource_efficiency(t_native: float, t_mode: float) -> float:
+    """Figure 6 convention (same problem, doubled physical processes):
+    equal run times mean 50% efficiency."""
+    return workload_efficiency(t_native, t_mode, resource_factor=2.0)
+
+
+def normalized_time(t_native: float, t_mode: float) -> float:
+    """Figure 5a's y-axis: execution time normalized to Open MPI."""
+    if t_native <= 0:
+        raise ValueError("t_native must be positive")
+    return t_mode / t_native
+
+
+def mean(values: _t.Sequence[float]) -> float:
+    """Average over ranks/replicas (the paper reports per-process
+    averages; standard deviation in its runs is < 1%)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("no values to average")
+    return sum(vals) / len(vals)

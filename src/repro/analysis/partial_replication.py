@@ -1,0 +1,87 @@
+"""Partial-replication model (§II background, refs [18], [19]).
+
+The paper motivates intra-parallelization over *partial redundancy*:
+"It has been shown that if the replicated processes are chosen
+randomly, partial replication does not pay off [18]", while
+predictor-guided selection can beat 50% [19].  This module reproduces
+the random-selection result analytically:
+
+With ``N`` logical ranks of which a fraction ``p`` is duplicated,
+failures hit live physical processes uniformly at random (no repair).
+The run is interrupted by the first failure on an *unreplicated* rank
+or by the second failure on the same replicated rank.  We compute the
+mean number of failures to interruption (MNFTI) exactly by dynamic
+programming, convert it to an application MTTI, and combine it with the
+Daly checkpoint model — exposing the bathtub: for random selection,
+every intermediate ``p`` is dominated by either ``p = 0`` (cheap, cCR
+carries the load) or ``p = 1`` (full replication).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .ccr_model import ccr_efficiency
+
+
+def mnfti_partial(n_replicated: int, n_unreplicated: int) -> float:
+    """Mean failures to interruption with ``n_replicated`` duplicated
+    ranks and ``n_unreplicated`` singleton ranks (uniform targeting, no
+    repair).
+
+    State: j = replicated ranks that already lost one replica.  Live
+    process count is ``2·r + u − j``; the next failure interrupts with
+    probability ``(u + j) / (2r + u − j)`` (a singleton, or the
+    survivor of a damaged pair), else j grows.
+    """
+    r, u = n_replicated, n_unreplicated
+    if r < 0 or u < 0 or r + u == 0:
+        raise ValueError("need at least one rank")
+
+    expect = 0.0
+    # E_j computed backwards from j = r (all pairs damaged: next failure
+    # always interrupts).
+    for j in range(r, -1, -1):
+        live = 2 * r + u - j
+        p_kill = (u + j) / live
+        if j == r:
+            expect = 1.0 / p_kill if p_kill > 0 else float("inf")
+        else:
+            expect = 1.0 + (1.0 - p_kill) * expect
+    return expect
+
+
+def partial_replication_efficiency(n_logical: int, fraction: float,
+                                   node_mtbf: float,
+                                   checkpoint_cost: float,
+                                   restart_cost: float) -> float:
+    """Workload efficiency of randomly-selected partial replication.
+
+    ``fraction`` of the ``n_logical`` ranks are duplicated; resources
+    grow by the same factor, so the efficiency cap is
+    ``1 / (1 + fraction)``.  The effective MTBF is the partial-MNFTI
+    times the per-failure interval.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if n_logical < 1:
+        raise ValueError("need at least one rank")
+    r = round(n_logical * fraction)
+    u = n_logical - r
+    n_phys = 2 * r + u
+    failure_interval = node_mtbf / n_phys
+    mtti = mnfti_partial(r, u) * failure_interval
+    cap = n_logical / n_phys
+    return cap * ccr_efficiency(mtti, checkpoint_cost, restart_cost)
+
+
+def partial_replication_sweep(n_logical: int, node_mtbf: float,
+                              checkpoint_cost: float, restart_cost: float,
+                              fractions: _t.Sequence[float] = (
+                                  0.0, 0.25, 0.5, 0.75, 1.0),
+                              ) -> _t.List[_t.Tuple[float, float]]:
+    """Efficiency at each replication fraction; the [18] shape is that
+    no interior point beats both endpoints."""
+    return [(f, partial_replication_efficiency(
+        n_logical, f, node_mtbf, checkpoint_cost, restart_cost))
+        for f in fractions]

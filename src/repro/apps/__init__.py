@@ -1,0 +1,10 @@
+"""Mini-applications (systems S9–S12): HPCCG, MiniGhost, GTC, AMG."""
+
+from .common import (DEFAULT_TASKS_PER_SECTION, AppResult, finish,
+                     halo_exchange_z, kernel_ddot, kernel_grid_sum,
+                     kernel_spmv, kernel_waxpby)
+
+__all__ = [
+    "AppResult", "DEFAULT_TASKS_PER_SECTION", "finish", "halo_exchange_z",
+    "kernel_ddot", "kernel_grid_sum", "kernel_spmv", "kernel_waxpby",
+]

@@ -1,0 +1,9 @@
+"""AMG2013-like solver application (system S12)."""
+
+from .mg import (MgHierarchy, MgLevel, build_hierarchy, extract_diagonal,
+                 prolong_injection, restrict_full_weighting, v_cycle)
+from .solvers import AmgConfig, amg_gmres_program, amg_pcg_program
+
+__all__ = ["AmgConfig", "MgHierarchy", "MgLevel", "amg_gmres_program",
+           "amg_pcg_program", "build_hierarchy", "extract_diagonal",
+           "prolong_injection", "restrict_full_weighting", "v_cycle"]

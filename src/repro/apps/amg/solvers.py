@@ -1,0 +1,211 @@
+"""AMG2013-like Krylov solvers — system S12.
+
+Two problems, matching Figure 6a/6b:
+
+* :func:`amg_pcg_program` — preconditioned conjugate gradient on a
+  Laplace-type problem with a **27-point** operator (Figure 6a);
+* :func:`amg_gmres_program` — restarted GMRES on a Laplace-type problem
+  with a **7-point** operator (Figure 6b).
+
+Both use the local geometric-MG V-cycle of :mod:`.mg` as a block-Jacobi
+preconditioner (the AMG-hierarchy substitution; see DESIGN.md).  The
+intra-parallelized kernels are the CSR spmv (outer operator and
+smoother) and the dot products; vector updates stay replicated, as in
+the paper's selective application ("we focused on the main kernels where
+intra-parallelization could be applied efficiently").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ...kernels import OFFSETS_27, OFFSETS_7, build_27pt, build_7pt
+from ..common import (DEFAULT_TASKS_PER_SECTION, finish, halo_exchange_z,
+                      kernel_ddot, kernel_spmv, kernel_waxpby)
+from .mg import MgHierarchy, build_hierarchy, v_cycle
+
+
+@dataclasses.dataclass(frozen=True)
+class AmgConfig:
+    """Per-logical-process grid (the paper runs 100³) and solver knobs."""
+
+    nx: int = 8
+    ny: int = 8
+    nz: int = 8
+    max_iter: int = 6
+    restart: int = 5           # GMRES restart length
+    tasks_per_section: int = DEFAULT_TASKS_PER_SECTION
+    use_preconditioner: bool = True
+    #: kernels run as intra sections ("spmv" covers outer + smoother)
+    intra_kernels: _t.FrozenSet[str] = frozenset({"spmv", "ddot"})
+    #: hierarchy levels (from finest) whose smoother spmv joins sections
+    smoother_intra_levels: int = 99
+
+    def with_doubled_z(self) -> "AmgConfig":
+        return dataclasses.replace(self, nz=2 * self.nz)
+
+
+def _setup(ctx, comm, config: AmgConfig, stencil: str):
+    """Common setup: distributed operator + local MG hierarchy + rhs."""
+    rank, size = comm.rank, comm.size
+    if stencil == "27pt":
+        A = build_27pt(config.nx, config.ny, config.nz,
+                       has_lower=rank > 0, has_upper=rank < size - 1)
+        offsets, diag, off = OFFSETS_27, 27.0, -1.0
+    else:
+        A = build_7pt(config.nx, config.ny, config.nz,
+                      has_lower=rank > 0, has_upper=rank < size - 1)
+        offsets, diag, off = OFFSETS_7, 6.0, -1.0
+    hier = None
+    if config.use_preconditioner:
+        hier = build_hierarchy(config.nx, config.ny, config.nz, offsets,
+                               diag, off)
+    n = A.n_rows
+    # deterministic rhs with low-frequency content
+    idx = np.arange(n, dtype=np.float64)
+    b = 1.0 + 0.5 * np.sin(2.0 * np.pi * idx / n + 0.7 * rank)
+    return A, hier, b
+
+
+def _apply_operator(ctx, comm, A, plane, v, v_padded, out, sec, nt):
+    """Distributed matvec: halo exchange + local CSR spmv."""
+    rank, size = comm.rank, comm.size
+    n = A.n_rows
+    v_padded[A.halo_lo:A.halo_lo + n] = v
+    yield from halo_exchange_z(
+        ctx, comm,
+        send_lower=v[:plane] if rank > 0 else None,
+        send_upper=v[n - plane:] if rank < size - 1 else None,
+        recv_lower=v_padded[:A.halo_lo] if rank > 0 else None,
+        recv_upper=v_padded[A.halo_lo + n:] if rank < size - 1 else None)
+    yield from kernel_spmv(ctx, A, v_padded, out, in_section="spmv" in sec,
+                           n_tasks=nt)
+
+
+def _precondition(ctx, hier: _t.Optional[MgHierarchy], r, sec, nt,
+                  config: "AmgConfig"):
+    """z = M⁻¹ r: one local V-cycle (or identity).
+
+    The smoother's spmv runs in sections only on the levels selected by
+    ``config.smoother_intra_levels`` — sharing tiny coarse-level sweeps
+    is latency-bound and not worth it, mirroring the paper's selective
+    application of intra-parallelization."""
+    if hier is None:
+        return r.copy()
+    with ctx.region("precond"):
+        z = yield from v_cycle(ctx, hier, r, in_section="spmv" in sec,
+                               n_tasks=nt,
+                               intra_levels=config.smoother_intra_levels)
+    return z
+
+
+def amg_pcg_program(ctx, comm, config: AmgConfig):
+    """MG-preconditioned CG on the 27-point problem (Figure 6a).  The
+    value is ``(residual_norm, iterations)``."""
+    sec = config.intra_kernels
+    nt = config.tasks_per_section
+    A, hier, b = _setup(ctx, comm, config, "27pt")
+    n = A.n_rows
+    plane = config.nx * config.ny
+    x = np.zeros(n)
+    r = b.copy()  # x0 = 0
+    solve_region = ctx.region("solve")
+    solve_region.__enter__()
+    z = yield from _precondition(ctx, hier, r, sec, nt, config)
+    p = z.copy()
+    Ap = np.zeros(n)
+    p_padded = np.zeros(A.padded_len)
+    rz = yield from kernel_ddot(ctx, comm, r, z,
+                                in_section="ddot" in sec, n_tasks=nt)
+    for _ in range(config.max_iter):
+        yield from _apply_operator(ctx, comm, A, plane, p, p_padded, Ap,
+                                   sec, nt)
+        pAp = yield from kernel_ddot(ctx, comm, p, Ap,
+                                     in_section="ddot" in sec, n_tasks=nt)
+        alpha = rz / pAp
+        yield from kernel_waxpby(ctx, 1.0, x, alpha, p, x,
+                                 in_section=False)
+        yield from kernel_waxpby(ctx, 1.0, r, -alpha, Ap, r,
+                                 in_section=False)
+        z = yield from _precondition(ctx, hier, r, sec, nt, config)
+        rz_new = yield from kernel_ddot(ctx, comm, r, z,
+                                        in_section="ddot" in sec,
+                                        n_tasks=nt)
+        beta = rz_new / rz
+        rz = rz_new
+        yield from kernel_waxpby(ctx, 1.0, z, beta, p, p,
+                                 in_section=False)
+    rr = yield from kernel_ddot(ctx, comm, r, r, in_section=False)
+    solve_region.__exit__(None, None, None)
+    return finish(ctx, (float(np.sqrt(rr)), config.max_iter))
+
+
+def amg_gmres_program(ctx, comm, config: AmgConfig):
+    """MG-preconditioned restarted GMRES on the 7-point problem
+    (Figure 6b).  The value is ``(residual_norm, iterations)``."""
+    sec = config.intra_kernels
+    nt = config.tasks_per_section
+    A, hier, b = _setup(ctx, comm, config, "7pt")
+    n = A.n_rows
+    plane = config.nx * config.ny
+    x = np.zeros(n)
+    v_padded = np.zeros(A.padded_len)
+    m = config.restart
+    total_iters = 0
+    res_norm = 0.0
+    solve_region = ctx.region("solve")
+    solve_region.__enter__()
+    while total_iters < config.max_iter:
+        # r = b - A x, preconditioned
+        Ax = np.zeros(n)
+        yield from _apply_operator(ctx, comm, A, plane, x, v_padded, Ax,
+                                   sec, nt)
+        r = b - Ax
+        z = yield from _precondition(ctx, hier, r, sec, nt, config)
+        rr = yield from kernel_ddot(ctx, comm, z, z,
+                                    in_section="ddot" in sec, n_tasks=nt)
+        beta = float(np.sqrt(rr))
+        res_norm = beta
+        if beta == 0.0:
+            break
+        V = [z / beta]
+        H = np.zeros((m + 1, m))
+        j = 0
+        while j < m and total_iters < config.max_iter:
+            w = np.zeros(n)
+            yield from _apply_operator(ctx, comm, A, plane, V[j],
+                                       v_padded, w, sec, nt)
+            wz = yield from _precondition(ctx, hier, w, sec, nt, config)
+            w = wz
+            # modified Gram-Schmidt, distributed dots in sections
+            for i in range(j + 1):
+                h = yield from kernel_ddot(ctx, comm, w, V[i],
+                                           in_section="ddot" in sec,
+                                           n_tasks=nt)
+                H[i, j] = h
+                yield from kernel_waxpby(ctx, 1.0, w, -h, V[i], w,
+                                         in_section=False)
+            hh = yield from kernel_ddot(ctx, comm, w, w,
+                                        in_section="ddot" in sec,
+                                        n_tasks=nt)
+            H[j + 1, j] = float(np.sqrt(hh))
+            if H[j + 1, j] < 1e-14:
+                j += 1
+                total_iters += 1
+                break
+            V.append(w / H[j + 1, j])
+            j += 1
+            total_iters += 1
+        # solve the small least-squares problem redundantly
+        e1 = np.zeros(j + 1)
+        e1[0] = beta
+        ym, _res, _rk, _sv = np.linalg.lstsq(H[:j + 1, :j], e1,
+                                             rcond=None)
+        for i in range(j):
+            yield from kernel_waxpby(ctx, 1.0, x, float(ym[i]), V[i], x,
+                                     in_section=False)
+        res_norm = float(np.linalg.norm(e1 - H[:j + 1, :j] @ ym))
+    return finish(ctx, (res_norm, total_iters))

@@ -1,0 +1,189 @@
+"""Shared building blocks for the mini-applications (S9–S12).
+
+Every app is written once against the intra API and runs in the paper's
+three configurations (native / sdr / intra).  The helpers here wrap the
+kernels of :mod:`repro.kernels` into intra-parallel sections — or into
+plain local execution when a kernel is not selected for
+intra-parallelization (e.g. waxpby in Figure 5b, MiniGhost's stencil).
+
+Conventions:
+
+* Sections are opened/closed per kernel call (the paper's Figure 4
+  shape) with the configured number of tasks per section — 8 by default
+  ("all experiments with intra-parallelization use a granularity of 8
+  tasks per section", §V-B).
+* Each kernel call is wrapped in a wall-clock region named after the
+  kernel, so Figure 5a's per-kernel bars and Figure 6's sections/others
+  split come straight out of ``ctx.timers``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..intra import Tag
+from ..kernels import (ddot_cost, ddot_partial, grid_sum_cost,
+                       grid_sum_partial, make_spmv_task, split_range,
+                       waxpby, waxpby_cost)
+from ..kernels.spmv import CsrMatrix
+
+#: paper §V-B: 8 tasks per section (4 per replica at degree 2)
+DEFAULT_TASKS_PER_SECTION = 8
+
+
+@dataclasses.dataclass
+class AppResult:
+    """What every app program returns from each rank."""
+
+    value: _t.Any                 #: app-specific correctness payload
+    end_time: float               #: virtual time when the rank finished
+    timers: _t.Dict[str, float]   #: per-region wall-clock accumulators
+    intra: _t.Dict[str, _t.Any]   #: intra-runtime statistics (asdict)
+
+
+def finish(ctx, value: _t.Any) -> AppResult:
+    """Package a rank's result (call as the last statement)."""
+    return AppResult(value=value, end_time=ctx.now,
+                     timers=dict(ctx.timers),
+                     intra=dataclasses.asdict(ctx.intra.stats))
+
+
+# ----------------------------------------------------- kernel wrappers
+def kernel_waxpby(ctx, alpha: float, x: np.ndarray, beta: float,
+                  y: np.ndarray, w: np.ndarray, *, in_section: bool,
+                  n_tasks: int = DEFAULT_TASKS_PER_SECTION):
+    """``w = alpha x + beta y`` — as an intra section or locally."""
+    with ctx.region("waxpby"):
+        if not in_section:
+            yield from ctx.intra.run_local(waxpby, [alpha, x, beta, y, w],
+                                           waxpby_cost)
+            return
+        rt = ctx.intra
+        rt.section_begin()
+        tid = rt.task_register(waxpby, [Tag.IN, Tag.IN, Tag.IN, Tag.IN,
+                                        Tag.OUT], cost=waxpby_cost)
+        for sl in split_range(x.size, n_tasks):
+            if sl.stop > sl.start:
+                rt.task_launch(tid, [alpha, x[sl], beta, y[sl], w[sl]])
+        yield from rt.section_end()
+
+
+def kernel_ddot(ctx, comm, x: np.ndarray, y: np.ndarray, *,
+                in_section: bool,
+                n_tasks: int = DEFAULT_TASKS_PER_SECTION,
+                reduce_over: _t.Optional[_t.Any] = None):
+    """Distributed dot product.
+
+    The per-slice partial products form the intra section; the local
+    combination and the cross-rank allreduce are *outside* the section
+    (paper footnote 6).  ``reduce_over`` overrides the communicator used
+    for the reduction (defaults to ``comm``); pass ``None`` as ``comm``
+    for a purely local dot product.
+    """
+    partials = np.zeros(n_tasks)
+    with ctx.region("ddot"):
+        if not in_section:
+            out = np.zeros(1)
+            yield from ctx.intra.run_local(ddot_partial, [x, y, out],
+                                           ddot_cost)
+            local = float(out[0])
+        else:
+            rt = ctx.intra
+            rt.section_begin()
+            tid = rt.task_register(ddot_partial, [Tag.IN, Tag.IN, Tag.OUT],
+                                   cost=ddot_cost)
+            for i, sl in enumerate(split_range(x.size, n_tasks)):
+                if sl.stop > sl.start:
+                    rt.task_launch(tid, [x[sl], y[sl], partials[i:i + 1]])
+            yield from rt.section_end()
+            local = float(partials.sum())
+    target = reduce_over if reduce_over is not None else comm
+    if target is None:
+        return local
+    total = yield from target.allreduce(local, op="sum")
+    return float(total)
+
+
+def kernel_spmv(ctx, matrix: CsrMatrix, x_padded: np.ndarray,
+                y: np.ndarray, *, in_section: bool,
+                n_tasks: int = DEFAULT_TASKS_PER_SECTION,
+                region: str = "spmv"):
+    """Local CSR matvec ``y = A @ x_padded`` over row-block tasks."""
+    fn, cost = make_spmv_task(matrix)
+    with ctx.region(region):
+        if not in_section:
+            bounds = np.array([0, matrix.n_rows], dtype=np.int64)
+            yield from ctx.intra.run_local(fn, [x_padded, bounds, y], cost)
+            return
+        rt = ctx.intra
+        rt.section_begin()
+        tid = rt.task_register(fn, [Tag.IN, Tag.IN, Tag.OUT], cost=cost)
+        for sl in split_range(matrix.n_rows, n_tasks):
+            if sl.stop > sl.start:
+                bounds = np.array([sl.start, sl.stop], dtype=np.int64)
+                rt.task_launch(tid, [x_padded, bounds, y[sl]])
+        yield from rt.section_end()
+
+
+def kernel_grid_sum(ctx, comm, values: np.ndarray, *, in_section: bool,
+                    n_tasks: int = DEFAULT_TASKS_PER_SECTION):
+    """Global sum of grid elements (MiniGhost's intra-parallelizable
+    kernel): per-slice partial sums in a section, allreduce outside."""
+    flat = values.reshape(-1)
+    partials = np.zeros(n_tasks)
+    with ctx.region("grid_sum"):
+        if not in_section:
+            out = np.zeros(1)
+            yield from ctx.intra.run_local(grid_sum_partial, [flat, out],
+                                           grid_sum_cost)
+            local = float(out[0])
+        else:
+            rt = ctx.intra
+            rt.section_begin()
+            tid = rt.task_register(grid_sum_partial, [Tag.IN, Tag.OUT],
+                                   cost=grid_sum_cost)
+            for i, sl in enumerate(split_range(flat.size, n_tasks)):
+                if sl.stop > sl.start:
+                    rt.task_launch(tid, [flat[sl], partials[i:i + 1]])
+            yield from rt.section_end()
+            local = float(partials.sum())
+    if comm is None:
+        return local
+    total = yield from comm.allreduce(local, op="sum")
+    return float(total)
+
+
+# ------------------------------------------------------- halo exchange
+def halo_exchange_z(ctx, comm, send_lower: _t.Optional[np.ndarray],
+                    send_upper: _t.Optional[np.ndarray],
+                    recv_lower: _t.Optional[np.ndarray],
+                    recv_upper: _t.Optional[np.ndarray],
+                    tag_base: int = 100):
+    """Exchange one xy-plane with each z-neighbour (rank ± 1).
+
+    ``send_lower``/``recv_lower`` are used iff ``rank > 0``;
+    ``send_upper``/``recv_upper`` iff ``rank < size - 1``.  Receive
+    buffers are filled in place.
+    """
+    rank, size = comm.rank, comm.size
+    reqs = []
+    rmap = []
+    if rank > 0:
+        reqs.append(comm.irecv(source=rank - 1, tag=tag_base + 1))
+        rmap.append(recv_lower)
+        reqs.append(comm.isend(send_lower, dest=rank - 1, tag=tag_base))
+        rmap.append(None)
+    if rank < size - 1:
+        reqs.append(comm.irecv(source=rank + 1, tag=tag_base))
+        rmap.append(recv_upper)
+        reqs.append(comm.isend(send_upper, dest=rank + 1,
+                               tag=tag_base + 1))
+        rmap.append(None)
+    with ctx.region("halo"):
+        got = yield from comm.waitall(reqs)
+    for buf, data in zip(rmap, got):
+        if buf is not None:
+            np.copyto(buf, data)

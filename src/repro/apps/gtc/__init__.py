@@ -1,0 +1,5 @@
+"""GTC-like particle-in-cell application (system S11)."""
+
+from .pic_app import GtcConfig, gtc_program
+
+__all__ = ["GtcConfig", "gtc_program"]

@@ -1,0 +1,7 @@
+"""HPCCG mini-application (system S9)."""
+
+from .solver import (HpccgConfig, KernelBenchConfig, hpccg_kernel_bench,
+                     hpccg_program)
+
+__all__ = ["HpccgConfig", "KernelBenchConfig", "hpccg_kernel_bench",
+           "hpccg_program"]

@@ -1,0 +1,171 @@
+"""HPCCG mini-application (Mantevo suite) — system S9.
+
+A conjugate-gradient solver on a 27-point 3D-grid operator, partitioned
+across ranks along z.  Per CG iteration (as in the reference HPCCG):
+
+* one ``sparsemv``  (halo exchange + local CSR matvec),
+* two ``ddot``      (α denominator, new residual norm),
+* three ``waxpby``  (x, r, p updates).
+
+Which kernels run as intra-parallel sections is configurable
+(``intra_kernels``): Figure 5a studies each kernel individually; the
+Figure 5b application runs intra-parallelize only ddot and sparsemv,
+"since it does not provide good performance with waxpby" (§V-C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ...kernels import build_27pt
+from ..common import (DEFAULT_TASKS_PER_SECTION, AppResult, finish,
+                      halo_exchange_z, kernel_ddot, kernel_spmv,
+                      kernel_waxpby)
+
+
+@dataclasses.dataclass(frozen=True)
+class HpccgConfig:
+    """Per-logical-process problem configuration.
+
+    ``nx, ny, nz`` is the local grid (the paper uses 128³ per logical
+    process natively and doubles it under replication; we use smaller
+    grids and let the roofline model do the scaling).
+    """
+
+    nx: int = 16
+    ny: int = 16
+    nz: int = 16
+    max_iter: int = 10
+    tasks_per_section: int = DEFAULT_TASKS_PER_SECTION
+    #: kernels executed as intra-parallel sections
+    intra_kernels: _t.FrozenSet[str] = frozenset({"waxpby", "ddot",
+                                                  "spmv"})
+
+    def with_doubled_z(self) -> "HpccgConfig":
+        """The replicated-run configuration of Figure 5a/5b: per-logical-
+        process problem size doubled (along the partitioned axis)."""
+        return dataclasses.replace(self, nz=2 * self.nz)
+
+
+def hpccg_program(ctx, comm, config: HpccgConfig):
+    """One rank of the CG solve; returns an :class:`AppResult` whose
+    value is ``(final_residual_norm, iterations)``."""
+    rank, size = comm.rank, comm.size
+    nx, ny, nz = config.nx, config.ny, config.nz
+    plane = nx * ny
+    A = build_27pt(nx, ny, nz, has_lower=rank > 0,
+                   has_upper=rank < size - 1)
+    n = A.n_rows
+    local = slice(A.halo_lo, A.halo_lo + n)
+    sec = config.intra_kernels
+    nt = config.tasks_per_section
+
+    # b = A @ 1 (halo planes are 1 wherever a neighbour exists), x0 = 0.
+    ones_padded = np.ones(A.padded_len)
+    b = np.zeros(n)
+    yield from kernel_spmv(ctx, A, ones_padded, b,
+                           in_section="spmv" in sec, n_tasks=nt,
+                           region="setup")
+    x = np.zeros(n)
+    r = b.copy()
+    p = r.copy()
+    Ap = np.zeros(n)
+    p_padded = np.zeros(A.padded_len)
+
+    rtrans = yield from kernel_ddot(ctx, comm, r, r,
+                                    in_section="ddot" in sec, n_tasks=nt)
+    iterations = 0
+    solve_region = ctx.region("solve")
+    solve_region.__enter__()
+    for _ in range(config.max_iter):
+        # halo exchange of p's boundary planes, then local matvec
+        p_padded[local] = p
+        yield from halo_exchange_z(
+            ctx, comm,
+            send_lower=p[:plane] if rank > 0 else None,
+            send_upper=p[n - plane:] if rank < size - 1 else None,
+            recv_lower=p_padded[:A.halo_lo] if rank > 0 else None,
+            recv_upper=(p_padded[A.halo_lo + n:]
+                        if rank < size - 1 else None))
+        yield from kernel_spmv(ctx, A, p_padded, Ap,
+                               in_section="spmv" in sec, n_tasks=nt)
+        pAp = yield from kernel_ddot(ctx, comm, p, Ap,
+                                     in_section="ddot" in sec, n_tasks=nt)
+        alpha = rtrans / pAp
+        yield from kernel_waxpby(ctx, 1.0, x, alpha, p, x,
+                                 in_section="waxpby" in sec, n_tasks=nt)
+        yield from kernel_waxpby(ctx, 1.0, r, -alpha, Ap, r,
+                                 in_section="waxpby" in sec, n_tasks=nt)
+        rtrans_new = yield from kernel_ddot(ctx, comm, r, r,
+                                            in_section="ddot" in sec,
+                                            n_tasks=nt)
+        beta = rtrans_new / rtrans
+        rtrans = rtrans_new
+        yield from kernel_waxpby(ctx, 1.0, r, beta, p, p,
+                                 in_section="waxpby" in sec, n_tasks=nt)
+        iterations += 1
+    solve_region.__exit__(None, None, None)
+
+    return finish(ctx, (float(np.sqrt(rtrans)), iterations))
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelBenchConfig:
+    """Configuration for the Figure 5a kernel microbenchmark.
+
+    ``kernels`` selects which kernels run at all — Figure 5a studies
+    them individually, so per-kernel runs keep the runtime statistics
+    (exposed update time, bytes shipped) attributable to one kernel.
+    """
+
+    nx: int = 16
+    ny: int = 16
+    nz: int = 16
+    reps: int = 3
+    tasks_per_section: int = DEFAULT_TASKS_PER_SECTION
+    kernels: _t.Tuple[str, ...] = ("waxpby", "ddot", "spmv")
+    intra_kernels: _t.FrozenSet[str] = frozenset({"waxpby", "ddot",
+                                                  "spmv"})
+
+    def with_doubled_z(self) -> "KernelBenchConfig":
+        return dataclasses.replace(self, nz=2 * self.nz)
+
+
+def hpccg_kernel_bench(ctx, comm, config: KernelBenchConfig):
+    """Times each HPCCG kernel in isolation (Figure 5a's methodology:
+    "the average amount of time spent by a process inside each
+    computation kernel"); MPI communication is excluded from the timed
+    regions.  The value is the kernel→time mapping."""
+    rank, size = comm.rank, comm.size
+    A = build_27pt(config.nx, config.ny, config.nz,
+                   has_lower=rank > 0, has_upper=rank < size - 1)
+    n = A.n_rows
+    sec = config.intra_kernels
+    nt = config.tasks_per_section
+    rng_base = np.arange(n, dtype=np.float64)
+    x = rng_base / n
+    y = 1.0 - rng_base / n
+    w = np.zeros(n)
+    x_padded = np.zeros(A.padded_len)
+    x_padded[A.halo_lo:A.halo_lo + n] = x
+    Ax = np.zeros(n)
+
+    solve_region = ctx.region("solve")
+    solve_region.__enter__()
+    for _ in range(config.reps):
+        if "waxpby" in config.kernels:
+            yield from kernel_waxpby(ctx, 2.0, x, 0.5, y, w,
+                                     in_section="waxpby" in sec,
+                                     n_tasks=nt)
+        if "ddot" in config.kernels:
+            yield from kernel_ddot(ctx, comm, x, y,
+                                   in_section="ddot" in sec, n_tasks=nt)
+        if "spmv" in config.kernels:
+            yield from kernel_spmv(ctx, A, x_padded, Ax,
+                                   in_section="spmv" in sec, n_tasks=nt)
+    solve_region.__exit__(None, None, None)
+    checksum = float(w.sum() + Ax.sum())
+    return finish(ctx, checksum)

@@ -1,0 +1,5 @@
+"""MiniGhost mini-application (system S10)."""
+
+from .stepper import MiniGhostConfig, minighost_program
+
+__all__ = ["MiniGhostConfig", "minighost_program"]

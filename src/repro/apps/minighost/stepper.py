@@ -1,0 +1,106 @@
+"""MiniGhost mini-application (Mantevo suite) — system S10.
+
+MiniGhost studies boundary-exchange strategies with stencil
+computations: per timestep, exchange halos, apply a 3D 27-point stencil,
+and compute a global grid summation (the "correctness check" reduction
+that MiniGhost performs every step).
+
+The paper could *not* intra-parallelize the stencil efficiently — its
+output is a full new 3D grid, so update transfer erases the compute
+saving (§V-D) — and applied intra-parallelization only to the grid
+summation (~10% of runtime), yielding efficiency barely above 0.5
+(Figure 6d).  We reproduce both choices: ``stencil_in_section`` exists
+solely for the ablation that demonstrates *why* the paper skipped it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ...intra import Tag
+from ...kernels import apply_27pt, split_range, stencil27_cost
+from ..common import (DEFAULT_TASKS_PER_SECTION, finish, halo_exchange_z,
+                      kernel_grid_sum)
+
+
+@dataclasses.dataclass(frozen=True)
+class MiniGhostConfig:
+    """Local grid (the paper runs 128×128×64 per process) and step
+    count."""
+
+    nx: int = 16
+    ny: int = 16
+    nz: int = 8
+    steps: int = 4
+    tasks_per_section: int = DEFAULT_TASKS_PER_SECTION
+    #: intra-parallelize the grid summation (the paper's choice)
+    sum_in_section: bool = True
+    #: intra-parallelize the stencil itself (paper: not worth it; kept
+    #: for the ablation bench that shows the non-benefit)
+    stencil_in_section: bool = False
+
+
+def _stencil_task(grid: np.ndarray, out_block: np.ndarray,
+                  bounds: np.ndarray) -> None:
+    """One z-slab of the 27-point stencil: reads grid[:, :, lo:hi+2]
+    (halo-inclusive), writes out z-range [lo, hi)."""
+    lo, hi = int(bounds[0]), int(bounds[1])
+    apply_27pt(grid[:, :, lo:hi + 2], out_block)
+
+
+def _stencil_task_cost(grid, out_block, bounds):
+    return stencil27_cost(grid, out_block)
+
+
+def minighost_program(ctx, comm, config: MiniGhostConfig):
+    """One rank of the stencil time-stepper; the value is the final
+    global grid sum (conserved up to boundary loss, so modes must
+    agree)."""
+    rank, size = comm.rank, comm.size
+    nx, ny, nz = config.nx, config.ny, config.nz
+    # grid carries one halo plane at each end of z
+    grid = np.zeros((nx, ny, nz + 2))
+    # deterministic initial condition, distinct per logical rank
+    xs = np.arange(nx)[:, None, None]
+    ys = np.arange(ny)[None, :, None]
+    zs = np.arange(nz)[None, None, :]
+    grid[:, :, 1:-1] = (1.0 + np.sin(0.3 * xs + 0.1 * rank)
+                        * np.cos(0.2 * ys) + 0.01 * zs)
+    out = np.zeros((nx, ny, nz))
+    total = 0.0
+
+    solve_region = ctx.region("solve")
+    solve_region.__enter__()
+    for _step in range(config.steps):
+        yield from halo_exchange_z(
+            ctx, comm,
+            send_lower=grid[:, :, 1].copy() if rank > 0 else None,
+            send_upper=grid[:, :, nz].copy() if rank < size - 1 else None,
+            recv_lower=grid[:, :, 0] if rank > 0 else None,
+            recv_upper=grid[:, :, nz + 1] if rank < size - 1 else None)
+        with ctx.region("stencil"):
+            if config.stencil_in_section:
+                rt = ctx.intra
+                rt.section_begin()
+                tid = rt.task_register(
+                    _stencil_task, [Tag.IN, Tag.OUT, Tag.IN],
+                    cost=_stencil_task_cost)
+                for sl in split_range(nz, config.tasks_per_section):
+                    if sl.stop > sl.start:
+                        bounds = np.array([sl.start, sl.stop],
+                                          dtype=np.int64)
+                        rt.task_launch(tid, [grid, out[:, :, sl], bounds])
+                yield from rt.section_end()
+            else:
+                yield from ctx.intra.run_local(
+                    apply_27pt, [grid, out],
+                    cost=lambda g, o: stencil27_cost(g, o))
+        grid[:, :, 1:-1] = out
+        total = yield from kernel_grid_sum(
+            ctx, comm, grid[:, :, 1:-1],
+            in_section=config.sum_in_section,
+            n_tasks=config.tasks_per_section)
+    solve_region.__exit__(None, None, None)
+    return finish(ctx, total)

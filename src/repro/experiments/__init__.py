@@ -1,0 +1,23 @@
+"""Experiment harness regenerating every figure of the paper (S14)."""
+
+from .ablations import (AblationRow, copy_strategy_comparison,
+                        granularity_sweep, inout_overhead,
+                        minighost_stencil_ablation, placement_sweep,
+                        scheduler_comparison)
+from .background import BackgroundRow, ccr_vs_replication, crossover_point
+from .common import ModeRun, nodes_for, run_mode, three_mode_rows
+from .extensions import (DegreeSweepRow, FailureSweepRow, degree_sweep,
+                         failure_time_sweep)
+from .fig5 import Fig5aRow, Fig5bRow, fig5a, fig5b
+from .fig6 import Fig6Row, fig6a, fig6b, fig6c, fig6d
+
+__all__ = [
+    "AblationRow", "BackgroundRow", "Fig5aRow", "Fig5bRow", "Fig6Row",
+    "ModeRun", "ccr_vs_replication", "copy_strategy_comparison",
+    "crossover_point", "fig5a", "fig5b", "fig6a", "fig6b", "fig6c",
+    "fig6d", "granularity_sweep", "inout_overhead",
+    "DegreeSweepRow", "FailureSweepRow", "degree_sweep",
+    "failure_time_sweep",
+    "minighost_stencil_ablation", "nodes_for", "placement_sweep",
+    "run_mode", "scheduler_comparison", "three_mode_rows",
+]

@@ -1,0 +1,145 @@
+"""Regenerate the paper's tables from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # everything (~1 min)
+    python -m repro.experiments fig5a fig6c     # selected figures
+    python -m repro.experiments --list
+
+Tables print to stdout in the same layout the benchmark harness saves
+under ``benchmarks/_results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from ..analysis import format_table
+from . import (ccr_vs_replication, copy_strategy_comparison, degree_sweep,
+               failure_time_sweep, fig5a, fig5b, fig6a, fig6b, fig6c,
+               fig6d, granularity_sweep, minighost_stencil_ablation,
+               placement_sweep, scheduler_comparison)
+
+
+def _fig5a() -> str:
+    rows = fig5a()
+    return format_table(
+        ["kernel", "mode", "time (ms)", "normalized", "efficiency",
+         "exposed updates (ms)"],
+        [[r.kernel, r.mode, r.time * 1e3, r.normalized, r.efficiency,
+          r.exposed_update_time * 1e3] for r in rows],
+        title="Figure 5a — HPCCG kernels")
+
+
+def _fig5b() -> str:
+    rows = fig5b()
+    return format_table(
+        ["physical procs", "mode", "time (ms)", "efficiency"],
+        [[r.physical_processes, r.mode, r.time * 1e3, r.efficiency]
+         for r in rows],
+        title="Figure 5b — HPCCG weak scaling")
+
+
+def _fig6(fn, label: str) -> str:
+    rows = fn()
+    return format_table(
+        ["app", "mode", "procs", "time (ms)", "efficiency",
+         "sections frac"],
+        [[r.app, r.mode, r.physical_processes, r.time * 1e3,
+          r.efficiency, r.sections_fraction] for r in rows],
+        title=label)
+
+
+def _ablations() -> str:
+    parts = []
+    parts.append(format_table(
+        ["tasks/section", "intra efficiency"],
+        [[r.value, r.efficiency] for r in granularity_sweep()],
+        title="Ablation — task granularity (sparsemv)"))
+    parts.append(format_table(
+        ["scheduler", "time (ms)", "relative"],
+        [[r.value, r.time * 1e3, r.efficiency]
+         for r in scheduler_comparison()],
+        title="Ablation — scheduler under imbalance"))
+    parts.append(format_table(
+        ["replica spread", "efficiency"],
+        [[r.value, r.efficiency] for r in placement_sweep()],
+        title="Ablation — replica placement"))
+    parts.append(format_table(
+        ["copy strategy", "time (ms)", "relative"],
+        [[r.value, r.time * 1e3, r.efficiency]
+         for r in copy_strategy_comparison()],
+        title="Ablation — inout protection strategy"))
+    parts.append(format_table(
+        ["stencil in section", "efficiency"],
+        [[r.value, r.efficiency]
+         for r in minighost_stencil_ablation()],
+        title="Ablation — MiniGhost stencil in sections"))
+    return "\n\n".join(parts)
+
+
+def _background() -> str:
+    rows = ccr_vs_replication()
+    return format_table(
+        ["processes", "system MTBF (h)", "cCR", "replication"],
+        [[r.n_procs, r.system_mtbf_hours, r.ccr_efficiency,
+          r.replication_efficiency] for r in rows],
+        title="Background — cCR vs replication (§II)")
+
+
+def _extensions() -> str:
+    parts = []
+    parts.append(format_table(
+        ["crash at", "time (ms)", "efficiency", "re-executed"],
+        [["none" if r.crash_fraction < 0 else r.crash_fraction,
+          r.time * 1e3, r.efficiency, r.reexecuted]
+         for r in failure_time_sweep()],
+        title="Extension — efficiency vs crash time"))
+    parts.append(format_table(
+        ["degree", "time (ms)", "efficiency", "update KB"],
+        [[r.degree, r.time * 1e3, r.efficiency, r.update_bytes / 1e3]
+         for r in degree_sweep()],
+        title="Extension — replication degree sweep"))
+    return "\n\n".join(parts)
+
+
+EXPERIMENTS: _t.Dict[str, _t.Callable[[], str]] = {
+    "fig5a": _fig5a,
+    "fig5b": _fig5b,
+    "fig6a": lambda: _fig6(fig6a, "Figure 6a — AMG PCG 27pt"),
+    "fig6b": lambda: _fig6(fig6b, "Figure 6b — AMG GMRES 7pt"),
+    "fig6c": lambda: _fig6(fig6c, "Figure 6c — GTC"),
+    "fig6d": lambda: _fig6(fig6d, "Figure 6d — MiniGhost"),
+    "ablations": _ablations,
+    "background": _background,
+    "extensions": _extensions,
+}
+
+
+def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables/figures.")
+    parser.add_argument("names", nargs="*",
+                        help="experiments to run (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    args = parser.parse_args(argv)
+    if args.list:
+        print("\n".join(EXPERIMENTS))
+        return 0
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}; "
+                     f"choose from {', '.join(EXPERIMENTS)}")
+    for name in names:
+        print(EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

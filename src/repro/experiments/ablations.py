@@ -1,0 +1,162 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+1. **Task granularity** (§V-B: "8 tasks per section ... Having fewer
+   tasks reduces the opportunities of overlapping updates transfer and
+   computation.  Having more tasks can create overhead because it
+   increases synchronization between replicas.")
+2. **Scheduler policy** (§V-A: static block vs alternatives under load
+   imbalance).
+3. **Replica placement** (§VI: neighbouring nodes minimise network
+   crossing; distant nodes lower correlated-failure risk).
+4. **inout copy strategy** (§III-B2: copy-at-entry vs atomic updates
+   "have a similar cost").
+5. **MiniGhost stencil** (§V-D: why the stencil was *not*
+   intra-parallelized).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..analysis import doubled_resource_efficiency, fixed_resource_efficiency
+from ..apps.gtc import GtcConfig, gtc_program
+from ..apps.hpccg import KernelBenchConfig, hpccg_kernel_bench
+from ..apps.minighost import MiniGhostConfig, minighost_program
+from ..intra import (CopyStrategy, Tag, launch_intra_job, make_scheduler)
+from ..netmodel import GRID5000_NETWORK
+from .common import run_mode
+
+
+@dataclasses.dataclass
+class AblationRow:
+    setting: str
+    value: _t.Any
+    time: float
+    efficiency: float
+
+
+def granularity_sweep(task_counts: _t.Sequence[int] = (1, 2, 4, 8, 16,
+                                                       32, 64),
+                      n_logical: int = 8) -> _t.List[AblationRow]:
+    """Intra efficiency of the sparsemv kernel vs tasks per section."""
+    base = KernelBenchConfig(nx=32, ny=32, nz=16, reps=3,
+                             kernels=("spmv",))
+    native = run_mode("native", hpccg_kernel_bench, n_logical, base)
+    t_native = native.timers["spmv"]
+    rows = []
+    for nt in task_counts:
+        cfg = dataclasses.replace(base.with_doubled_z(),
+                                  tasks_per_section=nt)
+        intra = run_mode("intra", hpccg_kernel_bench, n_logical, cfg)
+        t = intra.timers["spmv"]
+        rows.append(AblationRow("tasks_per_section", nt, t,
+                                fixed_resource_efficiency(t_native, t)))
+    return rows
+
+
+def imbalance_program(ctx, comm, n_tasks=8):
+    """Synthetic section with strongly imbalanced task costs (task i
+    costs ∝ i+1): exposes the scheduler policies' balancing quality."""
+    import numpy as np
+    outs = [np.zeros(1) for _ in range(n_tasks)]
+    rt = ctx.intra
+    rt.section_begin()
+    tid = rt.task_register(
+        lambda c, o: o.fill(float(c[0])), [Tag.IN, Tag.OUT],
+        cost=lambda c, o: (float(c[0]) * 1e6, 0.0))
+    for i in range(n_tasks):
+        rt.task_launch(tid, [np.array([i + 1.0]), outs[i]])
+    yield from rt.section_end()
+    return ctx.now
+
+
+def scheduler_comparison(n_tasks: int = 8) -> _t.List[AblationRow]:
+    """Section completion time under each scheduling policy for the
+    imbalanced workload (lower is better)."""
+    from ..mpi import MpiWorld
+    from ..netmodel import Cluster, GRID5000_MACHINE
+
+    rows = []
+    for name in ("static-block", "round-robin", "cost-balanced"):
+        world = MpiWorld(Cluster(2, GRID5000_MACHINE), GRID5000_NETWORK)
+        job = launch_intra_job(world, imbalance_program, 1,
+                               scheduler=make_scheduler(name),
+                               kwargs=dict(n_tasks=n_tasks))
+        world.run()
+        t = max(max(row) for row in job.results())
+        rows.append(AblationRow("scheduler", name, t, 0.0))
+    # efficiency relative to the best policy
+    best = min(r.time for r in rows)
+    for r in rows:
+        r.efficiency = best / r.time
+    return rows
+
+
+def placement_sweep(spreads: _t.Sequence[int] = (1, 4, 16),
+                    n_logical: int = 8) -> _t.List[AblationRow]:
+    """Intra kernel efficiency vs replica distance on a linear topology
+    with per-hop latency (§VI's contention/correlation trade-off)."""
+    hoppy = dataclasses.replace(GRID5000_NETWORK, hop_latency=2e-6)
+    base = KernelBenchConfig(nx=32, ny=32, nz=16, reps=3,
+                             kernels=("ddot",))
+    native = run_mode("native", hpccg_kernel_bench, n_logical, base,
+                      netspec=hoppy, distance_model="linear")
+    t_native = native.timers["ddot"]
+    rows = []
+    for spread in spreads:
+        intra = run_mode("intra", hpccg_kernel_bench, n_logical,
+                         base.with_doubled_z(), netspec=hoppy,
+                         distance_model="linear", spread=spread)
+        t = intra.timers["ddot"]
+        rows.append(AblationRow("replica_spread", spread, t,
+                                fixed_resource_efficiency(t_native, t)))
+    return rows
+
+
+def copy_strategy_comparison(n_logical: int = 4) -> _t.List[AblationRow]:
+    """GTC wall time under the three inout-protection strategies —
+    §III-B2 predicts near-parity ("a similar cost")."""
+    cfg = GtcConfig(particles_per_rank=16384, cells_per_rank=64, steps=3)
+    rows = []
+    times = {}
+    for strategy in (CopyStrategy.LAZY, CopyStrategy.EAGER,
+                     CopyStrategy.ATOMIC):
+        run = run_mode("intra", gtc_program, n_logical, cfg,
+                       copy_strategy=strategy)
+        times[strategy.value] = run.wall_time
+        rows.append(AblationRow("copy_strategy", strategy.value,
+                                run.wall_time, 0.0))
+    best = min(times.values())
+    for r in rows:
+        r.efficiency = best / r.time
+    return rows
+
+
+def minighost_stencil_ablation(n_logical: int = 8) -> _t.List[AblationRow]:
+    """Put MiniGhost's stencil *into* sections and show it does not pay
+    (§V-D: "the performance with intra-parallelization were around the
+    same as without intra-parallelization")."""
+    base = MiniGhostConfig(nx=32, ny=32, nz=16, steps=3)
+    native = run_mode("native", minighost_program, n_logical, base)
+    rows = []
+    for stencil_in in (False, True):
+        cfg = dataclasses.replace(base, stencil_in_section=stencil_in)
+        intra = run_mode("intra", minighost_program, n_logical, cfg)
+        rows.append(AblationRow(
+            "stencil_in_section", stencil_in, intra.wall_time,
+            doubled_resource_efficiency(native.wall_time,
+                                        intra.wall_time)))
+    return rows
+
+
+def inout_overhead(n_logical: int = 4) -> float:
+    """Extra-copy overhead on GTC's affected tasks (paper: ≈ 6%).
+
+    Returns copy time as a fraction of section task-compute time."""
+    cfg = GtcConfig(particles_per_rank=32768, cells_per_rank=64, steps=3)
+    run = run_mode("intra", gtc_program, n_logical, cfg,
+                   copy_strategy=CopyStrategy.LAZY)
+    compute = run.intra.get("task_compute_time", 0.0)
+    copy = run.intra.get("copy_time", 0.0)
+    return copy / compute if compute else 0.0

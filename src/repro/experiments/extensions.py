@@ -1,0 +1,116 @@
+"""Extension experiments beyond the paper's figures.
+
+The paper's evaluation is failure-free (§VI: "The results presented in
+Section V only evaluate the efficiency of intra-parallelization in
+failure-free scenarios ... Analyzing the exact efficiency of
+intra-parallelization at extreme scale would deserve its own study").
+These experiments take the first steps of that study with the machinery
+we built:
+
+* :func:`failure_time_sweep` — application efficiency as a function of
+  *when* a replica dies: the earlier the crash, the longer the survivor
+  computes alone and the closer efficiency falls toward the SDR floor —
+  quantifying §VI's argument that failed replicas should be restarted
+  quickly.
+* :func:`degree_sweep` — intra-parallelization at replication degree
+  1–3: work per replica shrinks like 1/d but update traffic grows like
+  (d−1), showing why degree 2 is the sweet spot the paper assumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..analysis import fixed_resource_efficiency
+from ..apps.hpccg import HpccgConfig, hpccg_program
+from ..intra import launch_intra_job
+from ..mpi import MpiWorld
+from ..netmodel import (GRID5000_MACHINE, GRID5000_NETWORK, Cluster)
+from ..replication import FailureInjector
+from .common import nodes_for, run_mode
+
+
+@dataclasses.dataclass
+class FailureSweepRow:
+    crash_fraction: float     #: crash time / clean intra run time
+    time: float
+    efficiency: float
+    reexecuted: int
+
+
+def failure_time_sweep(
+        fractions: _t.Sequence[float] = (0.1, 0.5, 0.9),
+        n_logical: int = 4,
+        config: _t.Optional[HpccgConfig] = None) -> _t.List[FailureSweepRow]:
+    """HPCCG intra efficiency when one replica of rank 0 crashes at the
+    given fraction of the clean run's duration.  Includes a no-crash
+    row (fraction=None encoded as -1) and an SDR reference is implied by
+    the 0.5 floor."""
+    config = config or HpccgConfig(
+        nx=16, ny=16, nz=32, max_iter=6,
+        intra_kernels=frozenset({"ddot", "spmv"}))
+    # reference times
+    native_cfg = dataclasses.replace(config, nz=config.nz // 2)
+    native = run_mode("native", hpccg_program, 2 * n_logical, native_cfg)
+
+    def run_with_crash(at: _t.Optional[float]):
+        world = MpiWorld(
+            Cluster(nodes_for("intra", n_logical, GRID5000_MACHINE),
+                    GRID5000_MACHINE), GRID5000_NETWORK)
+        job = launch_intra_job(world, hpccg_program, n_logical,
+                               args=(config,))
+        if at is not None:
+            FailureInjector(job.manager).kill_at(0, 1, at)
+        world.run()
+        survivor = job.manager.alive_replicas(0)[0]
+        solve = max(
+            info.app_process.value.timers.get("solve", world.sim.now)
+            for row in job.manager.replicas
+            for info in row if info.alive)
+        return solve, survivor.ctx.intra.stats.tasks_reexecuted
+
+    t_clean, _ = run_with_crash(None)
+    rows = [FailureSweepRow(-1.0, t_clean,
+                            fixed_resource_efficiency(native.wall_time,
+                                                      t_clean), 0)]
+    for frac in fractions:
+        t, reexec = run_with_crash(frac * t_clean)
+        rows.append(FailureSweepRow(
+            frac, t,
+            fixed_resource_efficiency(native.wall_time, t), reexec))
+    return rows
+
+
+@dataclasses.dataclass
+class DegreeSweepRow:
+    degree: int
+    time: float
+    efficiency: float
+    update_bytes: float
+
+
+def degree_sweep(degrees: _t.Sequence[int] = (1, 2, 3),
+                 n_logical: int = 4) -> _t.List[DegreeSweepRow]:
+    """HPCCG intra efficiency vs replication degree, at fixed physical
+    resources: degree d uses d replicas per logical rank, each with the
+    per-logical problem scaled by d (the Figure 5 convention extended
+    beyond 2)."""
+    base = HpccgConfig(nx=16, ny=16, nz=8, max_iter=6,
+                       intra_kernels=frozenset({"ddot", "spmv"}))
+    native = run_mode("native", hpccg_program, n_logical, base)
+    rows = []
+    for d in degrees:
+        cfg = dataclasses.replace(base, nz=base.nz * d)
+        if d == 1:
+            run = run_mode("native", hpccg_program, n_logical, cfg)
+            update_bytes = 0.0
+        else:
+            run = run_mode("intra", hpccg_program, n_logical, cfg,
+                           degree=d)
+            update_bytes = run.intra.get("update_bytes_sent", 0.0)
+        rows.append(DegreeSweepRow(
+            d, run.wall_time,
+            fixed_resource_efficiency(native.wall_time, run.wall_time),
+            update_bytes))
+    return rows

@@ -1,0 +1,102 @@
+"""Figure 5: HPCCG kernel study (5a) and application weak scaling (5b).
+
+Methodology (paper §V-C): fixed physical resources; the native run uses
+the base per-process problem, the replicated runs double the per-
+logical-process problem (``with_doubled_z``).  Efficiency is therefore
+``t_native / t_mode``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..apps.hpccg import (HpccgConfig, KernelBenchConfig,
+                          hpccg_kernel_bench, hpccg_program)
+from ..analysis import fixed_resource_efficiency, normalized_time
+from .common import run_mode
+
+KERNELS = ("waxpby", "ddot", "spmv")
+
+
+@dataclasses.dataclass
+class Fig5aRow:
+    """One bar group of Figure 5a."""
+
+    kernel: str
+    mode: str
+    time: float                   #: mean time inside the kernel
+    normalized: float             #: vs Open MPI
+    efficiency: float
+    exposed_update_time: float    #: the dashed "intra updates" area
+
+
+def fig5a(n_logical: int = 8, base: _t.Optional[KernelBenchConfig] = None
+          ) -> _t.List[Fig5aRow]:
+    """Per-kernel normalized time + efficiency in the three modes.
+
+    Each kernel is benchmarked in isolation (its own run) so the intra
+    runtime's exposed-update statistic is attributable to it.
+    """
+    base = base or KernelBenchConfig(nx=32, ny=32, nz=16, reps=3)
+    rows: _t.List[Fig5aRow] = []
+    for kernel in KERNELS:
+        cfg_native = dataclasses.replace(base, kernels=(kernel,))
+        cfg_repl = cfg_native.with_doubled_z()
+        native = run_mode("native", hpccg_kernel_bench, n_logical,
+                          cfg_native)
+        sdr = run_mode("sdr", hpccg_kernel_bench, n_logical, cfg_repl)
+        intra = run_mode("intra", hpccg_kernel_bench, n_logical, cfg_repl)
+        t_native = native.timers[kernel]
+        for run in (native, sdr, intra):
+            label = {"native": "Open MPI", "sdr": "SDR-MPI",
+                     "intra": "intra"}[run.mode]
+            t = run.timers[kernel]
+            rows.append(Fig5aRow(
+                kernel=kernel if kernel != "spmv" else "sparsemv",
+                mode=label, time=t,
+                normalized=normalized_time(t_native, t),
+                efficiency=fixed_resource_efficiency(t_native, t),
+                exposed_update_time=(run.intra.get("exposed_update_time",
+                                                   0.0)
+                                     if run.mode == "intra" else 0.0)))
+    return rows
+
+
+@dataclasses.dataclass
+class Fig5bRow:
+    """One point of Figure 5b (per mode, per process count)."""
+
+    physical_processes: int
+    mode: str
+    time: float
+    efficiency: float
+
+
+def fig5b(process_counts: _t.Sequence[int] = (8, 16, 32),
+          base: _t.Optional[HpccgConfig] = None) -> _t.List[Fig5bRow]:
+    """HPCCG full-application weak scaling.
+
+    Intra-parallelization is applied only to ddot and sparsemv ("since
+    it does not provide good performance with waxpby", §V-C).
+    ``process_counts`` are *physical* process counts; the native run
+    uses that many ranks, the replicated runs half as many logical
+    ranks with the doubled per-logical problem.
+    """
+    base = base or HpccgConfig(nx=16, ny=16, nz=16, max_iter=6,
+                               intra_kernels=frozenset({"ddot", "spmv"}))
+    rows: _t.List[Fig5bRow] = []
+    for procs in process_counts:
+        if procs % 2:
+            raise ValueError("physical process counts must be even")
+        native = run_mode("native", hpccg_program, procs, base)
+        repl_cfg = base.with_doubled_z()
+        sdr = run_mode("sdr", hpccg_program, procs // 2, repl_cfg)
+        intra = run_mode("intra", hpccg_program, procs // 2, repl_cfg)
+        rows.append(Fig5bRow(procs, "Open MPI", native.wall_time, 1.0))
+        for run, label in ((sdr, "SDR-MPI"), (intra, "intra")):
+            rows.append(Fig5bRow(
+                procs, label, run.wall_time,
+                fixed_resource_efficiency(native.wall_time,
+                                          run.wall_time)))
+    return rows

@@ -1,0 +1,91 @@
+"""Figure 6: application-level efficiency (AMG, GTC, MiniGhost).
+
+Methodology (paper §V-D): constant problem, doubled resources — the
+native run uses P physical processes, the replicated runs use the same
+P *logical* ranks on 2P physical processes, so equal run time means 50%
+efficiency and ``E = 0.5 · t_native / t_mode``.
+
+Each result also reports the fraction of native runtime spent in the
+parts of the code where intra-parallelization was applied ("sections"
+vs "others" in the figure): 62% (6a), 42% (6b), 75% (6c), 10% (6d) in
+the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..analysis import doubled_resource_efficiency
+from ..apps.amg import AmgConfig, amg_gmres_program, amg_pcg_program
+from ..apps.gtc import GtcConfig, gtc_program
+from ..apps.minighost import MiniGhostConfig, minighost_program
+from .common import run_mode
+
+#: timer regions that correspond to intra-parallelized code per app
+SECTION_REGIONS = {
+    "amg_pcg": ("spmv", "smoother_spmv", "ddot"),
+    "amg_gmres": ("spmv", "smoother_spmv", "ddot"),
+    "gtc": ("charge", "push"),
+    "minighost": ("grid_sum",),
+}
+
+
+@dataclasses.dataclass
+class Fig6Row:
+    app: str
+    mode: str
+    physical_processes: int
+    time: float
+    efficiency: float
+    #: fraction of native runtime in intra-parallelized regions
+    sections_fraction: float
+
+
+def _run_app(app: str, program: _t.Callable, n_logical: int,
+             config: _t.Any) -> _t.List[Fig6Row]:
+    native = run_mode("native", program, n_logical, config)
+    sdr = run_mode("sdr", program, n_logical, config)
+    intra = run_mode("intra", program, n_logical, config)
+    section_time = sum(native.timers.get(r, 0.0)
+                       for r in SECTION_REGIONS[app])
+    frac = section_time / native.wall_time if native.wall_time else 0.0
+    rows = [Fig6Row(app, "Open MPI", n_logical, native.wall_time, 1.0,
+                    frac)]
+    for run, label in ((sdr, "SDR-MPI"), (intra, "intra")):
+        rows.append(Fig6Row(
+            app, label, 2 * n_logical, run.wall_time,
+            doubled_resource_efficiency(native.wall_time, run.wall_time),
+            frac))
+    return rows
+
+
+def fig6a(n_logical: int = 8,
+          config: _t.Optional[AmgConfig] = None) -> _t.List[Fig6Row]:
+    """AMG2013, 27-point stencil, PCG solver."""
+    config = config or AmgConfig(nx=16, ny=16, nz=16, max_iter=4)
+    return _run_app("amg_pcg", amg_pcg_program, n_logical, config)
+
+
+def fig6b(n_logical: int = 8,
+          config: _t.Optional[AmgConfig] = None) -> _t.List[Fig6Row]:
+    """AMG2013, 7-point stencil, GMRES solver."""
+    config = config or AmgConfig(nx=16, ny=16, nz=16, max_iter=8,
+                                 restart=8)
+    return _run_app("amg_gmres", amg_gmres_program, n_logical, config)
+
+
+def fig6c(n_logical: int = 8,
+          config: _t.Optional[GtcConfig] = None) -> _t.List[Fig6Row]:
+    """GTC particle-in-cell (charge + push intra-parallelized)."""
+    config = config or GtcConfig(particles_per_rank=65536,
+                                 cells_per_rank=64, steps=3)
+    return _run_app("gtc", gtc_program, n_logical, config)
+
+
+def fig6d(n_logical: int = 8,
+          config: _t.Optional[MiniGhostConfig] = None) -> _t.List[Fig6Row]:
+    """MiniGhost 27-point stencil (only the grid summation is
+    intra-parallelizable)."""
+    config = config or MiniGhostConfig(nx=32, ny=32, nz=16, steps=3)
+    return _run_app("minighost", minighost_program, n_logical, config)

@@ -1,0 +1,161 @@
+"""Public intra-parallelization API and the three execution modes.
+
+Paper-faithful free functions (§III-C)::
+
+    Intra_Section_begin(ctx)
+    tid = Intra_Task_register(ctx, fn, tags, cost)
+    Intra_Task_launch(ctx, tid, [vars...])
+    yield from Intra_Section_end(ctx)
+
+and mode-aware job launchers.  Application programs are written *once*
+against this API and run unchanged in the paper's three configurations:
+
+* ``mode="native"``   — plain MPI, every task executes locally
+  (the "Open MPI" bars);
+* ``mode="sdr"``      — classic state-machine replication, every replica
+  executes every task (the "SDR-MPI" bars);
+* ``mode="intra"``    — replication with work sharing (the "intra" bars).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..mpi.world import MpiWorld, launch_job
+from ..netmodel import Slot
+from ..replication.manager import (ReplicatedJob, ReplicationManager,
+                                   launch_replicated_job)
+from .runtime import IntraRuntime, LocalIntraRuntime
+from .scheduler import Scheduler
+from .task import CopyStrategy, CostFn, Tag, zero_cost
+
+MODES = ("native", "sdr", "intra")
+
+
+# ----------------------------------------------------- paper-style API
+def Intra_Section_begin(ctx) -> None:
+    """Open an intra-parallel section (paper §III-C)."""
+    _runtime(ctx).section_begin()
+
+
+def Intra_Task_register(ctx, fn: _t.Callable[..., _t.Any],
+                        tags: _t.Sequence[_t.Union[Tag, str]],
+                        cost: CostFn = zero_cost) -> int:
+    """Register a task type; returns its id (paper §III-C)."""
+    return _runtime(ctx).task_register(fn, tags, cost)
+
+
+def Intra_Task_launch(ctx, task_id: int,
+                      vars: _t.Sequence[_t.Any]) -> None:
+    """Instantiate a registered task with concrete variables."""
+    _runtime(ctx).task_launch(task_id, vars)
+
+
+def Intra_Section_end(ctx):
+    """Close the section: execute/share tasks, synchronise replicas.
+
+    Generator — call as ``yield from Intra_Section_end(ctx)``.
+    """
+    yield from _runtime(ctx).section_end()
+
+
+def _runtime(ctx):
+    if ctx.intra is None:
+        raise RuntimeError(
+            "no intra runtime attached to this process; launch the "
+            "program through repro.intra.api launchers (launch_native_job"
+            " / launch_sdr_job / launch_intra_job)")
+    return ctx.intra
+
+
+# ------------------------------------------------------------ launchers
+def launch_native_job(world: MpiWorld, program: _t.Callable,
+                      n_ranks: int,
+                      placement: _t.Optional[_t.Sequence[Slot]] = None,
+                      args: _t.Tuple = (),
+                      kwargs: _t.Optional[dict] = None):
+    """Plain MPI job with a local intra runtime on each rank (tasks run
+    sequentially in place — the unmodified-Open-MPI baseline)."""
+
+    def wrapped(ctx, comm, *a, **kw):
+        ctx.intra = LocalIntraRuntime(ctx)
+        result = yield from program(ctx, comm, *a, **kw)
+        return result
+
+    return launch_job(world, wrapped, n_ranks, placement=placement,
+                      args=args, kwargs=kwargs)
+
+
+def launch_sdr_job(world: MpiWorld, program: _t.Callable, n_logical: int,
+                   degree: int = 2, spread: int = 1,
+                   fd_delay: float = 50e-6,
+                   placements: _t.Optional[_t.Sequence] = None,
+                   args: _t.Tuple = (), kwargs: _t.Optional[dict] = None,
+                   ) -> ReplicatedJob:
+    """Classic active replication (SDR-MPI baseline): every replica
+    executes every task of every section."""
+
+    def wrapped(ctx, comm, *a, **kw):
+        ctx.intra = LocalIntraRuntime(ctx)
+        result = yield from program(ctx, comm, *a, **kw)
+        return result
+
+    return launch_replicated_job(world, wrapped, n_logical, degree=degree,
+                                 spread=spread, fd_delay=fd_delay,
+                                 placements=placements, args=args,
+                                 kwargs=kwargs)
+
+
+def launch_intra_job(world: MpiWorld, program: _t.Callable,
+                     n_logical: int, degree: int = 2, spread: int = 1,
+                     fd_delay: float = 50e-6,
+                     placements: _t.Optional[_t.Sequence] = None,
+                     scheduler: _t.Optional[Scheduler] = None,
+                     copy_strategy: CopyStrategy = CopyStrategy.LAZY,
+                     task_overhead: float = 0.5e-6,
+                     args: _t.Tuple = (),
+                     kwargs: _t.Optional[dict] = None) -> ReplicatedJob:
+    """Replication with intra-parallelization: sections are split into
+    tasks shared between the replicas of each logical rank."""
+
+    def wrapped(ctx, comm, *a, **kw):
+        manager: ReplicationManager = comm.manager
+        rset = manager.replica_comms[comm.lrank].bind(ctx)
+        ctx.intra = IntraRuntime(ctx, manager, comm.lrank, comm.rid,
+                                 rset, scheduler=scheduler,
+                                 copy_strategy=copy_strategy,
+                                 task_overhead=task_overhead)
+        result = yield from program(ctx, comm, *a, **kw)
+        return result
+
+    return launch_replicated_job(world, wrapped, n_logical, degree=degree,
+                                 spread=spread, fd_delay=fd_delay,
+                                 placements=placements, args=args,
+                                 kwargs=kwargs)
+
+
+def launch_mode(mode: str, world: MpiWorld, program: _t.Callable,
+                n_logical: int, **kw):
+    """Uniform entry point used by the experiment harness.
+
+    ``native`` launches ``n_logical`` plain ranks; ``sdr``/``intra``
+    launch ``n_logical`` logical ranks with ``degree`` replicas each.
+    Extra keyword arguments are forwarded to the specific launcher.
+    """
+    if mode == "native":
+        kw.pop("degree", None)
+        kw.pop("fd_delay", None)
+        kw.pop("spread", None)
+        kw.pop("scheduler", None)
+        kw.pop("copy_strategy", None)
+        kw.pop("task_overhead", None)
+        kw.pop("placements", None)
+        return launch_native_job(world, program, n_logical, **kw)
+    if mode == "sdr":
+        kw.pop("scheduler", None)
+        kw.pop("copy_strategy", None)
+        kw.pop("task_overhead", None)
+        return launch_sdr_job(world, program, n_logical, **kw)
+    if mode == "intra":
+        return launch_intra_job(world, program, n_logical, **kw)
+    raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")

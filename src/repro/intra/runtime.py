@@ -1,0 +1,401 @@
+"""The intra-parallelization runtimes (paper §III-D, Algorithm 1).
+
+Two implementations of one interface:
+
+* :class:`LocalIntraRuntime` — every task executes locally.  Used for
+  the native (no replication) runs **and** for classic state-machine
+  replication (SDR-MPI mode), where each replica redundantly executes
+  the whole section; this is exactly how the paper's baseline behaves.
+
+* :class:`IntraRuntime` — work sharing between the replicas of one
+  logical process.  Implements Algorithm 1 with the overlap optimisation
+  of §V-A: reception requests for all remote updates are posted on entry
+  to ``section_end``; each locally executed task posts its update sends
+  immediately; everything completes in a single ``Waitall``; failures
+  trigger local re-execution of the dead replica's unfinished tasks.
+
+Both are attached to ``ctx.intra`` by the job launchers in
+:mod:`repro.intra.api`, so application code is written once and runs in
+all three modes (Open MPI / SDR-MPI / intra of the paper's figures).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..mpi.errors import RankFailure
+from ..mpi.request import Request
+from ..simulate import ConditionError
+from .scheduler import Scheduler, StaticBlockScheduler
+from .stats import IntraStats
+from .task import CopyStrategy, CostFn, LaunchedTask, TaskDef, Tag, zero_cost
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..mpi.communicator import BoundComm
+    from ..mpi.world import ProcContext
+    from ..replication.manager import ReplicationManager
+
+#: update-message tag layout: tag = task_index * MAX_ARGS + arg_index
+MAX_ARGS = 64
+
+
+class IntraError(RuntimeError):
+    """Misuse of the intra-parallelization API."""
+
+
+class SectionState:
+    """The mutable state between ``section_begin`` and ``section_end``."""
+
+    def __init__(self) -> None:
+        self.task_defs: _t.Dict[int, TaskDef] = {}
+        self.tasks: _t.List[LaunchedTask] = []
+        self.next_def_id = 0
+
+
+class IntraRuntimeBase:
+    """Shared API: section/task bookkeeping (Algorithm 1, lines 9–19)."""
+
+    def __init__(self, ctx: "ProcContext"):
+        self.ctx = ctx
+        self.stats = IntraStats()
+        self._section: _t.Optional[SectionState] = None
+        self.section_index = -1
+
+    # ------------------------------------------------------------- API
+    def section_begin(self) -> None:
+        """``Intra_Section_begin`` — open a section (lines 9–12)."""
+        if self._section is not None:
+            raise IntraError("nested intra-parallel sections are not "
+                             "allowed (Definition 1)")
+        self._section = SectionState()
+        self.section_index += 1
+        self.stats.sections += 1
+
+    def task_register(self, fn: _t.Callable[..., _t.Any],
+                      tags: _t.Sequence[_t.Union[Tag, str]],
+                      cost: CostFn = zero_cost) -> int:
+        """``Intra_Task_register`` — declare a task type (lines 13–16).
+
+        ``tags`` gives the intent of each of ``fn``'s positional
+        arguments (:class:`~repro.intra.task.Tag` or the strings
+        ``"in"/"out"/"inout"``); ``cost(*vars)`` returns the
+        ``(flops, bytes_moved)`` the roofline model charges.
+        """
+        sec = self._require_section("Intra_Task_register")
+        norm = [t if isinstance(t, Tag) else Tag(t) for t in tags]
+        if len(norm) > MAX_ARGS:
+            raise IntraError(f"at most {MAX_ARGS} task arguments supported")
+        sec.next_def_id += 1
+        tdef = TaskDef(sec.next_def_id, fn, norm, cost)
+        sec.task_defs[tdef.id] = tdef
+        return tdef.id
+
+    def task_launch(self, task_id: int, vars: _t.Sequence[_t.Any]) -> None:
+        """``Intra_Task_launch`` — instantiate a task (lines 17–19)."""
+        sec = self._require_section("Intra_Task_launch")
+        try:
+            tdef = sec.task_defs[task_id]
+        except KeyError:
+            raise IntraError(f"task id {task_id} was not registered in "
+                             f"this section") from None
+        task = LaunchedTask(index=len(sec.tasks), tdef=tdef,
+                            vars=list(vars))
+        sec.tasks.append(task)
+        self.stats.tasks_launched += 1
+
+    def section_end(self):
+        """``Intra_Section_end`` — run the section protocol (generator:
+        ``yield from runtime.section_end()``)."""
+        sec = self._require_section("Intra_Section_end")
+        self._section = None
+        t0 = self.ctx.now
+        with self.ctx.region("sections"):
+            yield from self._run_section(sec)
+        self.stats.section_time += self.ctx.now - t0
+
+    def run_local(self, fn: _t.Callable[..., _t.Any],
+                  vars: _t.Sequence[_t.Any],
+                  cost: CostFn = zero_cost):
+        """Execute a kernel locally, outside any section (generator).
+
+        Used for computation the application does *not* intra-parallelize
+        (e.g. waxpby in the paper's Figure 5b runs, or MiniGhost's
+        stencil): every replica executes it redundantly, charging the
+        same roofline cost as a section task would.
+        """
+        if self._section is not None:
+            raise IntraError("run_local inside an open section; put the "
+                             "kernel in the section or close it first")
+        flops, nbytes = cost(*vars)
+        if flops or nbytes:
+            yield self.ctx.compute(flops=flops, bytes_moved=nbytes)
+        fn(*vars)
+
+    # ----------------------------------------------------------- helpers
+    def _require_section(self, what: str) -> SectionState:
+        if self._section is None:
+            raise IntraError(f"{what} called outside an intra-parallel "
+                             f"section")
+        return self._section
+
+    def _run_section(self, sec: SectionState):
+        raise NotImplementedError  # pragma: no cover
+
+    def _execute_fn(self, task: LaunchedTask):
+        """Charge the roofline cost and run the task function (real
+        numpy arithmetic — replica state actually changes)."""
+        flops, nbytes = task.tdef.cost(*task.vars)
+        if flops or nbytes:
+            before = self.ctx.now
+            yield self.ctx.compute(flops=flops, bytes_moved=nbytes)
+            self.stats.task_compute_time += self.ctx.now - before
+        task.tdef.fn(*task.vars)
+        self.stats.tasks_executed += 1
+
+
+class LocalIntraRuntime(IntraRuntimeBase):
+    """Execute every task locally (native and classic-replication
+    modes): sections degenerate to plain sequential computation."""
+
+    def _run_section(self, sec: SectionState):
+        for task in sec.tasks:
+            yield from self._execute_fn(task)
+            task.executed_locally = True
+            task.done = True
+
+
+class IntraRuntime(IntraRuntimeBase):
+    """Work-sharing runtime (Algorithm 1 + §V-A overlap)."""
+
+    def __init__(self, ctx: "ProcContext", manager: "ReplicationManager",
+                 logical_rank: int, replica_id: int,
+                 replica_comm: "BoundComm",
+                 scheduler: _t.Optional[Scheduler] = None,
+                 copy_strategy: CopyStrategy = CopyStrategy.LAZY,
+                 task_overhead: float = 0.5e-6):
+        super().__init__(ctx)
+        self.manager = manager
+        self.lrank = logical_rank
+        self.rid = replica_id
+        self.rcomm = replica_comm  # replica-set communicator (updates)
+        self.scheduler = scheduler or StaticBlockScheduler()
+        self.copy_strategy = copy_strategy
+        #: CPU cost per task for runtime bookkeeping (scheduling, posting
+        #: the update sends/receives).  This is the "synchronization
+        #: between replicas" overhead §V-B cites against fine task
+        #: granularity; the native/SDR paths run the unmodified kernels
+        #: and pay nothing.
+        self.task_overhead = task_overhead
+
+    # ------------------------------------------------------------ hooks
+    def _emit(self, name: str, **kw: _t.Any) -> None:
+        self.manager.hooks.emit(name, logical_rank=self.lrank,
+                                replica_id=self.rid,
+                                section=self.section_index, **kw)
+
+    # --------------------------------------------------------- protocol
+    def _alive_rids(self) -> _t.List[int]:
+        return [r.replica_id
+                for r in self.manager.alive_replicas(self.lrank)]
+
+    def _run_section(self, sec: SectionState):
+        ctx = self.ctx
+        self._emit("section_enter", n_tasks=len(sec.tasks))
+        if not sec.tasks:
+            self._emit("section_exit", n_tasks=0)
+            return
+        # -- schedule (Algorithm 1, line 24; deterministic across
+        #    replicas: pure function of task list + live replica set)
+        alive = self._alive_rids()
+        assignment = self.scheduler.assign(sec.tasks, alive)
+        for task, rid in zip(sec.tasks, assignment):
+            task.executor = rid
+        my_tasks = [t for t in sec.tasks if t.executor == self.rid]
+        remote_tasks = [t for t in sec.tasks if t.executor != self.rid]
+        if self.task_overhead:
+            yield ctx.sleep(self.task_overhead * len(sec.tasks))
+
+        # -- inout protection copies
+        copy_bytes = 0
+        if self.copy_strategy is CopyStrategy.EAGER:
+            # §III-C: copy at instantiation time, on every replica.
+            for task in sec.tasks:
+                copy_bytes += task.take_copies(task.tdef.inout_args)
+        elif self.copy_strategy is CopyStrategy.LAZY:
+            # Algorithm 1, lines 37–38: receivers copy before receiving.
+            for task in remote_tasks:
+                copy_bytes += task.take_copies(task.tdef.inout_args)
+        if copy_bytes:
+            self.stats.copy_count += 1
+            self.stats.copy_bytes += copy_bytes
+            before = ctx.now
+            yield ctx.memcpy(copy_bytes)
+            self.stats.copy_time += ctx.now - before
+
+        # -- §V-A overlap: post reception requests for ALL remote
+        #    updates on section entry...
+        recv_reqs: _t.List[Request] = []
+        for task in remote_tasks:
+            recv_reqs.extend(self._post_update_recvs(task, task.executor))
+        # -- ...execute local tasks in launch order, posting each task's
+        #    update sends as soon as it completes...
+        send_reqs: _t.List[Request] = []
+        for task in my_tasks:
+            send_reqs.extend((yield from self._execute_task(task)))
+        t_local_done = ctx.now
+        # -- ...and complete everything with one Waitall, recovering
+        #    from replica failures as they surface.
+        yield from self._waitall_with_recovery(sec, recv_reqs + send_reqs)
+        self.stats.exposed_update_time += ctx.now - t_local_done
+        self._emit("section_exit", n_tasks=len(sec.tasks))
+
+    # ------------------------------------------------------ local tasks
+    def _execute_task(self, task: LaunchedTask):
+        """Algorithm 1, ``execute_task`` (lines 29–35): restore inout
+        copies, run, post updates to all other correct replicas."""
+        restored = task.restore_copies()
+        if restored:
+            before = self.ctx.now
+            yield self.ctx.memcpy(restored)
+            self.stats.copy_time += self.ctx.now - before
+        yield from self._execute_fn(task)
+        task.executed_locally = True
+        task.done = True
+        task.applied.update(task.tdef.update_args)
+        self._emit("task_executed", task=task.index)
+        reqs: _t.List[Request] = []
+        for rid in self._alive_rids():
+            if rid == self.rid:
+                continue
+            for arg in task.tdef.update_args:
+                req = self.rcomm.isend(task.vars[arg], dest=rid,
+                                       tag=self._update_tag(task, arg))
+                self._watch_injection(task, arg, req)
+                self.stats.update_msgs_sent += 1
+                self.stats.update_bytes_sent += int(task.vars[arg].nbytes)
+                reqs.append(req)
+        return reqs
+
+    def _update_tag(self, task: LaunchedTask, arg: int) -> int:
+        # The section index is baked into the tag so a stale update from
+        # a failure-window schedule disagreement can never match a later
+        # section's receive (replicas traverse sections in the same
+        # deterministic order, so the section counter agrees everywhere).
+        return ((self.section_index * 1_000_000)
+                + task.index * MAX_ARGS + arg)
+
+    def _watch_injection(self, task: LaunchedTask, arg: int,
+                         req: Request) -> None:
+        """Emit the ``update_injected`` hook when the update message hits
+        the wire — the precise crash point of the Figure 2 scenario."""
+        idx = task.index
+
+        def cb(_ev) -> None:
+            self._emit("update_injected", task=idx, arg=arg)
+
+        if req.event.callbacks is not None:
+            req.event.callbacks.append(cb)
+
+    # ----------------------------------------------------- remote tasks
+    def _post_update_recvs(self, task: LaunchedTask,
+                           executor_rid: int) -> _t.List[Request]:
+        """Algorithm 1, ``receive_task_update`` (lines 36–42), split into
+        its post-receives half; application happens in completion
+        callbacks so transfers overlap local execution (§V-A)."""
+        reqs = []
+        for arg in task.tdef.update_args:
+            req = self.rcomm.irecv(source=executor_rid,
+                                   tag=self._update_tag(task, arg))
+            self._attach_apply(task, arg, req)
+            reqs.append(req)
+        return reqs
+
+    def _attach_apply(self, task: LaunchedTask, arg: int,
+                      req: Request) -> None:
+        def cb(ev) -> None:
+            if ev.exception is not None:
+                return  # failure handled by the recovery path
+            if task.done:
+                return  # task already re-executed locally; stale update
+            payload, _status = ev.value
+            self._apply_update(task, arg, payload)
+
+        assert req.event.callbacks is not None
+        req.event.callbacks.append(cb)
+
+    def _apply_update(self, task: LaunchedTask, arg: int,
+                      payload: np.ndarray) -> None:
+        if self.copy_strategy is CopyStrategy.ATOMIC:
+            task.buffered[arg] = payload
+            if set(task.buffered) == set(task.tdef.update_args):
+                for a, data in task.buffered.items():
+                    np.copyto(task.vars[a], data)
+                    task.applied.add(a)
+                    self.stats.update_bytes_applied += int(data.nbytes)
+                    self.stats.update_msgs_applied += 1
+                task.buffered.clear()
+                task.done = True
+            return
+        np.copyto(task.vars[arg], payload)
+        task.applied.add(arg)
+        self.stats.update_msgs_applied += 1
+        self.stats.update_bytes_applied += int(payload.nbytes)
+        if task.applied >= set(task.tdef.update_args):
+            task.done = True
+
+    # -------------------------------------------------------- recovery
+    def _waitall_with_recovery(self, sec: SectionState,
+                               reqs: _t.List[Request]):
+        """Complete all update transfers; on replica failure, re-execute
+        the dead executor's unfinished tasks locally.
+
+        This is the coordination-free variant of Algorithm 1's recovery
+        loop (lines 21–28): instead of re-scheduling a dead replica's
+        tasks across survivors (which requires survivors to agree on who
+        re-executes), every replica lacking a task's full update simply
+        executes that task itself — the option §III-B2 notes as "execute
+        the task locally".  For the paper's replication degree of 2 the
+        two strategies coincide: there is a single survivor.
+        """
+        outstanding = list(reqs)
+        while outstanding:
+            cond = self.ctx.sim.all_of([r.event for r in outstanding])
+            try:
+                yield cond
+                return
+            except ConditionError as err:
+                if not isinstance(err.cause, RankFailure):
+                    raise
+                self.stats.recoveries += 1
+                self._emit("recovery", n_outstanding=len(outstanding))
+                yield from self._reexecute_missing(sec)
+                outstanding = [r for r in outstanding
+                               if not r.event.triggered]
+
+    def _reexecute_missing(self, sec: SectionState):
+        """Execute locally every task whose executor died before this
+        replica obtained the full update."""
+        alive = set(self._alive_rids())
+        for task in sec.tasks:
+            if task.done or task.executor in alive:
+                continue
+            restored = task.restore_copies()
+            if restored:
+                before = self.ctx.now
+                yield self.ctx.memcpy(restored)
+                self.stats.copy_time += self.ctx.now - before
+            elif (self.copy_strategy is CopyStrategy.NONE
+                  and task.applied and task.tdef.inout_args):
+                # Deliberately unprotected: this re-execution reads
+                # partially updated inout state — the incorrect run of
+                # Figure 2b.  (No restore possible; fall through.)
+                pass
+            task.buffered.clear()
+            yield from self._execute_fn(task)
+            task.executed_locally = True
+            task.done = True
+            task.applied.update(task.tdef.update_args)
+            self.stats.tasks_reexecuted += 1
+            self._emit("task_reexecuted", task=task.index)

@@ -1,0 +1,126 @@
+"""Task→replica scheduling policies (paper §V-A).
+
+The paper's prototype uses a *static block* schedule: with N tasks and a
+replication degree of 2, "the N/2 first launched tasks of a section are
+executed by replica 1 and the N/2 last ones are executed by replica 2",
+and notes "more complex strategies could be designed if needed, for
+instance to deal with load imbalance".  We implement the paper's policy
+plus two alternates for the scheduler ablation bench.
+
+Determinism contract: every replica computes the schedule independently,
+so ``assign`` must be a pure function of (tasks, executors) — never of
+local runtime state.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .task import LaunchedTask
+
+
+class Scheduler:
+    """Interface: map each task to an executor replica id."""
+
+    name = "abstract"
+
+    def assign(self, tasks: _t.Sequence[LaunchedTask],
+               executors: _t.Sequence[int]) -> _t.List[int]:
+        """Return ``executor_rid[i]`` for each task, given the ascending
+        list of live replica ids."""
+        raise NotImplementedError
+
+
+class StaticBlockScheduler(Scheduler):
+    """The paper's policy: contiguous blocks of the launch order.
+
+    With N tasks and R executors, executor *k* gets tasks
+    ``[k*N/R, (k+1)*N/R)`` (balanced to within one task).
+    """
+
+    name = "static-block"
+
+    def assign(self, tasks: _t.Sequence[LaunchedTask],
+               executors: _t.Sequence[int]) -> _t.List[int]:
+        _check(tasks, executors)
+        n, r = len(tasks), len(executors)
+        out = []
+        for i in range(n):
+            # block boundaries at ceil-balanced split points
+            k = (i * r) // n
+            out.append(executors[k])
+        return out
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deal tasks like cards: task *i* → executor ``i mod R``.
+
+    Interleaves executors in launch order; with heterogeneous task costs
+    this balances better than blocks, at the price of less bunched
+    update traffic."""
+
+    name = "round-robin"
+
+    def assign(self, tasks: _t.Sequence[LaunchedTask],
+               executors: _t.Sequence[int]) -> _t.List[int]:
+        _check(tasks, executors)
+        return [executors[i % len(executors)] for i in range(len(tasks))]
+
+
+class CostBalancedScheduler(Scheduler):
+    """Greedy longest-processing-time balancing on the declared cost
+    model (flops + bytes, collapsed to estimated seconds at unit rates).
+
+    Deterministic: ties break on task launch index.  Useful when tasks
+    of one section have very different costs (e.g. boundary vs interior
+    blocks of a stencil)."""
+
+    name = "cost-balanced"
+
+    def __init__(self, flop_rate: float = 1e9, mem_bandwidth: float = 4e9):
+        if flop_rate <= 0 or mem_bandwidth <= 0:
+            raise ValueError("rates must be positive")
+        self.flop_rate = flop_rate
+        self.mem_bandwidth = mem_bandwidth
+
+    def _estimate(self, task: LaunchedTask) -> float:
+        flops, nbytes = task.tdef.cost(*task.vars)
+        return max(flops / self.flop_rate, nbytes / self.mem_bandwidth)
+
+    def assign(self, tasks: _t.Sequence[LaunchedTask],
+               executors: _t.Sequence[int]) -> _t.List[int]:
+        _check(tasks, executors)
+        loads = {e: 0.0 for e in executors}
+        order = sorted(range(len(tasks)),
+                       key=lambda i: (-self._estimate(tasks[i]), i))
+        out = [-1] * len(tasks)
+        for i in order:
+            # least-loaded executor; ties break on executor id
+            target = min(executors, key=lambda e: (loads[e], e))
+            out[i] = target
+            loads[target] += self._estimate(tasks[i])
+        return out
+
+
+def _check(tasks: _t.Sequence[LaunchedTask],
+           executors: _t.Sequence[int]) -> None:
+    if not executors:
+        raise ValueError("no live executors to schedule on")
+    if len(set(executors)) != len(executors):
+        raise ValueError("duplicate executor ids")
+
+
+SCHEDULERS: _t.Dict[str, _t.Callable[[], Scheduler]] = {
+    "static-block": StaticBlockScheduler,
+    "round-robin": RoundRobinScheduler,
+    "cost-balanced": CostBalancedScheduler,
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Scheduler factory by policy name."""
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise ValueError(f"unknown scheduler {name!r}; expected one of "
+                         f"{sorted(SCHEDULERS)}") from None

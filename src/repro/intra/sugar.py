@@ -1,0 +1,104 @@
+"""A compact section-builder API (the §VI future-work direction).
+
+The paper notes its register/launch interface "should be seen as a
+proof-of-concept" and that a compiler-assisted approach (à la OpenMP
+tasks) could reduce source changes further.  Python lets us get most of
+the way with a small builder that registers task types on first use and
+infers slicing from a partitioner::
+
+    sec = section(ctx)
+    for sl in split_range(n, 8):
+        sec.run(waxpby, [2.0, x[sl], 0.5, y[sl], w[sl]],
+                tags=[IN, IN, IN, IN, OUT], cost=waxpby_cost)
+    yield from sec.end()
+
+or, for the common map-over-slices pattern, a single call::
+
+    yield from parallel_for(ctx, waxpby, [2.0, x, 0.5, y, w],
+                            tags=[IN, IN, IN, IN, OUT],
+                            cost=waxpby_cost, n_tasks=8)
+
+``parallel_for`` slices every array argument consistently (scalars are
+broadcast), which is exactly the Figure 4 transformation done by hand
+in the paper.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..kernels.partition import split_range
+from .task import CostFn, Tag, zero_cost
+
+#: re-exported for terser call sites
+IN, OUT, INOUT = Tag.IN, Tag.OUT, Tag.INOUT
+
+
+class SectionBuilder:
+    """Fluent wrapper over one intra-parallel section."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self._runtime = ctx.intra
+        if self._runtime is None:
+            raise RuntimeError("no intra runtime attached; use the "
+                               "launchers in repro.intra.api")
+        self._runtime.section_begin()
+        #: task-type cache: (fn, tags tuple) -> registered id
+        self._ids: _t.Dict[_t.Tuple[_t.Any, _t.Tuple[Tag, ...]], int] = {}
+
+    def run(self, fn: _t.Callable[..., _t.Any], vars: _t.Sequence[_t.Any],
+            tags: _t.Sequence[_t.Union[Tag, str]],
+            cost: CostFn = zero_cost) -> "SectionBuilder":
+        """Launch one task, registering its type on first use.
+        Chainable."""
+        norm = tuple(t if isinstance(t, Tag) else Tag(t) for t in tags)
+        key = (fn, norm)
+        if key not in self._ids:
+            self._ids[key] = self._runtime.task_register(fn, list(norm),
+                                                         cost)
+        self._runtime.task_launch(self._ids[key], list(vars))
+        return self
+
+    def end(self):
+        """Close the section (generator: ``yield from sec.end()``)."""
+        yield from self._runtime.section_end()
+
+
+def section(ctx) -> SectionBuilder:
+    """Open an intra-parallel section with the builder API."""
+    return SectionBuilder(ctx)
+
+
+def parallel_for(ctx, fn: _t.Callable[..., _t.Any],
+                 vars: _t.Sequence[_t.Any],
+                 tags: _t.Sequence[_t.Union[Tag, str]],
+                 cost: CostFn = zero_cost, n_tasks: int = 8):
+    """One-call section: slice every array argument into ``n_tasks``
+    contiguous blocks and launch one task per block (Figure 4's
+    transformation, automated).
+
+    All array arguments must have the same length along axis 0; scalars
+    and 0-d values are passed unchanged to every task.  Generator —
+    ``yield from parallel_for(...)``.
+    """
+    norm = [t if isinstance(t, Tag) else Tag(t) for t in tags]
+    if len(norm) != len(vars):
+        raise ValueError(f"{len(vars)} vars for {len(norm)} tags")
+    lengths = {v.shape[0] for v in vars if isinstance(v, np.ndarray)
+               and v.ndim > 0}
+    if not lengths:
+        raise ValueError("parallel_for needs at least one array argument")
+    if len(lengths) != 1:
+        raise ValueError(f"array arguments disagree on length: {lengths}")
+    n = lengths.pop()
+    sec = section(ctx)
+    for sl in split_range(n, n_tasks):
+        if sl.stop <= sl.start:
+            continue
+        sliced = [v[sl] if isinstance(v, np.ndarray) and v.ndim > 0 else v
+                  for v in vars]
+        sec.run(fn, sliced, tags=norm, cost=cost)
+    yield from sec.end()

@@ -1,0 +1,32 @@
+"""Work-partitioning helpers for building intra-parallel tasks."""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+def split_range(n: int, parts: int) -> _t.List[slice]:
+    """Split ``range(n)`` into ``parts`` contiguous, balanced slices.
+
+    The first ``n % parts`` slices get one extra element, mirroring the
+    paper's Figure 4 decomposition (n/N iterations per task).  Empty
+    slices are produced when ``parts > n`` — the runtime handles
+    zero-size tasks gracefully.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    base, extra = divmod(n, parts)
+    out = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < extra else 0)
+        out.append(slice(lo, hi))
+        lo = hi
+    return out
+
+
+def split_blocks(n: int, parts: int) -> _t.List[_t.Tuple[int, int]]:
+    """Like :func:`split_range` but returns ``(lo, hi)`` index pairs."""
+    return [(s.start, s.stop) for s in split_range(n, parts)]

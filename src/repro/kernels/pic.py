@@ -1,0 +1,110 @@
+"""Particle-in-cell kernels: charge deposition and particle push (GTC).
+
+GTC is a 3D gyrokinetic PIC code; the paper intra-parallelizes its two
+main kernels, *charge* (deposit particle charge onto the grid) and
+*push* (advance particle positions/velocities), which together account
+for 75% of the runtime.  Push is the paper's example of an ``inout``
+kernel: "the new position of particles has to be computed at the end of
+each iteration ... declare particles position as inout variables since
+the new position depends on the current one" (§IV).
+
+We implement a 1D-periodic electrostatic PIC with cloud-in-cell
+weighting — the same data-flow signature (scatter for charge, gather +
+integrate for push) at laptop scale:
+
+* ``charge``: IN particle positions → OUT *private* grid slice per task
+  (tasks deposit into private grids; replicas locally reduce the
+  privates after the section, preserving task independence);
+* ``push``: IN field, INOUT positions, INOUT velocities.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+
+def charge_deposit(pos: np.ndarray, ngrid_arr: np.ndarray,
+                   rho_out: np.ndarray) -> None:
+    """Cloud-in-cell deposition of unit charges at ``pos`` (positions in
+    grid units, periodic in [0, ngrid)) into private grid ``rho_out``."""
+    ngrid = int(ngrid_arr[0])
+    if rho_out.size != ngrid:
+        raise ValueError(f"rho_out size {rho_out.size} != ngrid {ngrid}")
+    rho_out.fill(0.0)
+    cell = np.floor(pos).astype(np.int64) % ngrid
+    frac = pos - np.floor(pos)
+    np.add.at(rho_out, cell, 1.0 - frac)
+    np.add.at(rho_out, (cell + 1) % ngrid, frac)
+
+
+#: Cost calibration: our 1D CIC kernels *execute* a few ops per
+#: particle, but the roofline charge models GTC's real gyrokinetic
+#: kernels — 4-point gyro-averaged deposition (~150 flops/particle) and
+#: a gyro-center push with field interpolation at four gyro-points and
+#: geometric terms (~300 flops/particle).  This compute-per-particle is
+#: what makes charge/push profitable to intra-parallelize (compare the
+#: 16–32 bytes of update per particle): with the literal 1D-CIC flop
+#: counts the kernels would be waxpby-like and the paper's Figure 6c
+#: could not arise on *any* hardware.
+CHARGE_FLOPS_PER_PARTICLE = 150.0
+PUSH_FLOPS_PER_PARTICLE = 300.0
+
+
+def charge_cost(pos: np.ndarray, ngrid_arr: np.ndarray,
+                rho_out: np.ndarray) -> _t.Tuple[float, float]:
+    """Gyro-averaged deposition: ~150 flops and 16 streamed bytes per
+    particle, plus the private-grid write (scattered grid updates are
+    cache-resident for the small per-task grids)."""
+    n = pos.size
+    return (CHARGE_FLOPS_PER_PARTICLE * n, 16.0 * n + 8.0 * rho_out.size)
+
+
+def push_particles(efield: np.ndarray, dt_arr: np.ndarray,
+                   pos: np.ndarray, vel: np.ndarray) -> None:
+    """Leapfrog push: gather E at particle cells, kick velocities,
+    drift positions (periodic wrap).  ``pos``/``vel`` are INOUT."""
+    ngrid = efield.size
+    dt = float(dt_arr[0])
+    cell = np.floor(pos).astype(np.int64) % ngrid
+    frac = pos - np.floor(pos)
+    e_here = efield[cell] * (1.0 - frac) + efield[(cell + 1) % ngrid] * frac
+    vel += e_here * dt
+    pos += vel * dt
+    np.mod(pos, float(ngrid), out=pos)
+
+
+def push_cost(efield: np.ndarray, dt_arr: np.ndarray, pos: np.ndarray,
+              vel: np.ndarray) -> _t.Tuple[float, float]:
+    """Gyro-center push: ~300 flops per particle (see module note);
+    read+write pos and vel = 32 bytes per particle plus gathered field
+    reads (cache-resident grid)."""
+    n = pos.size
+    return (PUSH_FLOPS_PER_PARTICLE * n, 32.0 * n)
+
+
+def solve_field(rho: np.ndarray, efield_out: np.ndarray) -> None:
+    """Simplified periodic field solve: E = -grad(phi) with
+    phi = smoothed(rho - mean).  Spectral Poisson solve in 1D.
+
+    Kept on the logical-process level (outside intra sections) like
+    GTC's field solve, which the paper does not intra-parallelize.
+    """
+    ngrid = rho.size
+    rho_hat = np.fft.rfft(rho - rho.mean())
+    k = np.fft.rfftfreq(ngrid, d=1.0) * 2.0 * np.pi
+    phi_hat = np.zeros_like(rho_hat)
+    nonzero = k != 0
+    phi_hat[nonzero] = rho_hat[nonzero] / (k[nonzero] ** 2)
+    phi = np.fft.irfft(phi_hat, n=ngrid)
+    # E = -dphi/dx, centered differences, periodic
+    np.subtract(np.roll(phi, 1), np.roll(phi, -1), out=efield_out)
+    efield_out *= 0.5
+
+
+def field_cost(rho: np.ndarray,
+               efield_out: np.ndarray) -> _t.Tuple[float, float]:
+    """FFT-ish: 5 n log2 n flops, a few passes over the grid."""
+    n = rho.size
+    return (5.0 * n * max(1.0, np.log2(n)), 48.0 * n)

@@ -1,0 +1,320 @@
+"""Collective algorithms as a mixin over abstract point-to-point primitives.
+
+:class:`CollectiveOps` implements the standard tree/ring collective
+algorithms (binomial bcast/reduce/gather, dissemination barrier, ring
+allgather, pairwise alltoall) in terms of five primitives a subclass must
+provide:
+
+* ``rank`` / ``size`` properties,
+* ``isend(data, dest, tag) -> Request``,
+* ``irecv(source, tag) -> Request``,
+* ``sim`` property (for wait conditions).
+
+Two subclasses use it: :class:`repro.mpi.communicator.BoundComm` (plain
+MPI) and :class:`repro.replication.comm.ReplicatedComm` (each logical
+message mirrored across replica planes).  Because the replicated
+communicator's p2p primitives already tolerate replica failures, the
+collectives inherit fault tolerance for free — which is exactly the
+layering the paper assumes ("we assume that a state-machine replication
+protocol for MPI processes is available").
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from .errors import CommunicatorError
+from .message import ANY_TAG
+from .request import Request
+
+# Internal tags for collective phases.  User tags must be >= 0; -1 is
+# ANY_TAG; internal traffic uses <= -2 so it can never match user recvs.
+TAG_BCAST = -2
+TAG_REDUCE = -3
+TAG_BARRIER = -4
+TAG_ALLGATHER = -5
+TAG_GATHER = -6
+TAG_SCATTER = -7
+TAG_ALLTOALL = -8
+
+#: Reduction operators accepted by name.
+REDUCE_OPS: _t.Dict[str, _t.Callable[[_t.Any, _t.Any], _t.Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": lambda a, b: np.maximum(a, b),
+    "min": lambda a, b: np.minimum(a, b),
+}
+
+
+def resolve_op(op: _t.Union[str, _t.Callable]) -> _t.Callable:
+    """Turn an operator name (or callable) into a binary callable."""
+    if callable(op):
+        return op
+    try:
+        return REDUCE_OPS[op]
+    except KeyError:
+        raise CommunicatorError(
+            f"unknown reduction op {op!r}; expected one of "
+            f"{sorted(REDUCE_OPS)} or a callable") from None
+
+
+class CollectiveOps:
+    """Mixin: collectives + blocking p2p sugar over isend/irecv."""
+
+    # -- abstract interface (provided by subclasses) ----------------------
+    rank: int
+
+    @property
+    def size(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def sim(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def isend(self, data: _t.Any, dest: int, tag: int = 0) -> Request:
+        raise NotImplementedError  # pragma: no cover
+
+    def irecv(self, source: int = -1, tag: int = ANY_TAG) -> Request:
+        raise NotImplementedError  # pragma: no cover
+
+    # ---------------------------------------------------- blocking sugar
+    def send(self, data: _t.Any, dest: int, tag: int = 0):
+        """Blocking send; returns when the message is injected (buffer
+        reusable — eager-protocol semantics)."""
+        req = self.isend(data, dest, tag)
+        yield req.event
+
+    def recv(self, source: int = -1, tag: int = ANY_TAG):
+        """Blocking receive; returns the payload."""
+        req = self.irecv(source, tag)
+        payload, _status = yield req.event
+        return payload
+
+    def recv_with_status(self, source: int = -1, tag: int = ANY_TAG):
+        """Blocking receive; returns ``(payload, Status)``."""
+        req = self.irecv(source, tag)
+        payload, status = yield req.event
+        return payload, status
+
+    def sendrecv(self, senddata: _t.Any, dest: int, source: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG):
+        """Simultaneous send and receive (halo-exchange workhorse)."""
+        rreq = self.irecv(source, recvtag)
+        sreq = self.isend(senddata, dest, sendtag)
+        payload, _status = yield rreq.event
+        if not sreq.complete:
+            yield sreq.event
+        return payload
+
+    # ------------------------------------------------------- completion
+    def wait(self, req: Request):
+        """Wait for one request; returns payload for receives."""
+        value = yield req.event
+        if req.kind == "recv":
+            payload, _status = value
+            return payload
+        return None
+
+    def waitall(self, reqs: _t.Sequence[Request]):
+        """Wait for all requests; returns receive payloads (None for
+        sends) in request order.
+
+        If any request fails (peer crash), the first failure is raised
+        after the *other* requests are defused — mirroring how
+        ``MPI_Waitall`` reports errors without leaking pending handles.
+        """
+        ev = self.sim.all_of([r.event for r in reqs])
+        try:
+            values = yield ev
+        except Exception:
+            for r in reqs:
+                r.defuse()
+            raise
+        out = []
+        for req, value in zip(reqs, values):
+            if req.kind == "recv":
+                payload, _status = value
+                out.append(payload)
+            else:
+                out.append(None)
+        return out
+
+    def waitany(self, reqs: _t.Sequence[Request]):
+        """Wait for the first completed request; returns
+        ``(index, payload-or-None)``."""
+        idx, value = yield self.sim.any_of([r.event for r in reqs])
+        if reqs[idx].kind == "recv":
+            payload, _status = value
+            return idx, payload
+        return idx, None
+
+    # ------------------------------------------------------- collectives
+    def barrier(self):
+        """Dissemination barrier: ⌈log₂p⌉ rounds."""
+        size, rank = self.size, self.rank
+        if size == 1:
+            return
+        k = 1
+        while k < size:
+            dest = (rank + k) % size
+            src = (rank - k) % size
+            yield from self.sendrecv(None, dest=dest, source=src,
+                                     sendtag=TAG_BARRIER,
+                                     recvtag=TAG_BARRIER)
+            k *= 2
+
+    def bcast(self, data: _t.Any, root: int = 0):
+        """Binomial-tree broadcast; returns the broadcast value on every
+        rank (root's ``data`` argument is ignored elsewhere)."""
+        size, rank = self.size, self.rank
+        if size == 1:
+            return data
+        rel = (rank - root) % size
+        # Receive phase: a non-root rank's parent clears its lowest set
+        # bit; it then owns the subtree spanned by the bits below it.
+        if rel != 0:
+            mask = 1
+            while not rel & mask:
+                mask *= 2
+            parent = (rel - mask + root) % size
+            data = yield from self.recv(source=parent, tag=TAG_BCAST)
+            mask //= 2
+        else:
+            mask = 1
+            while mask * 2 < size:
+                mask *= 2
+        # Forward phase: relay down the subtree, highest child first.
+        while mask > 0:
+            if rel + mask < size:
+                child = (rel + mask + root) % size
+                yield from self.send(data, dest=child, tag=TAG_BCAST)
+            mask //= 2
+        return data
+
+    def reduce(self, data: _t.Any, op: _t.Union[str, _t.Callable] = "sum",
+               root: int = 0):
+        """Binomial-tree reduction; returns the result on ``root`` and
+        ``None`` elsewhere."""
+        fn = resolve_op(op)
+        size, rank = self.size, self.rank
+        acc = data
+        if size == 1:
+            return acc
+        rel = (rank - root) % size
+        mask = 1
+        while mask < size:
+            if rel & mask:
+                parent = (rel - mask + root) % size
+                yield from self.send(acc, dest=parent, tag=TAG_REDUCE)
+                return None
+            partner = rel + mask
+            if partner < size:
+                child_val = yield from self.recv(
+                    source=(partner + root) % size, tag=TAG_REDUCE)
+                acc = fn(acc, child_val)
+            mask *= 2
+        return acc
+
+    def allreduce(self, data: _t.Any,
+                  op: _t.Union[str, _t.Callable] = "sum"):
+        """Reduce-to-rank-0 followed by broadcast (result on all ranks)."""
+        root = 0
+        reduced = yield from self.reduce(data, op=op, root=root)
+        result = yield from self.bcast(reduced, root=root)
+        return result
+
+    def gather(self, data: _t.Any, root: int = 0):
+        """Binomial-tree gather; returns the rank-ordered list on ``root``
+        and ``None`` elsewhere."""
+        size, rank = self.size, self.rank
+        rel = (rank - root) % size
+        bundle: _t.Dict[int, _t.Any] = {rank: data}
+        mask = 1
+        while mask < size:
+            if rel & mask:
+                parent = (rel - mask + root) % size
+                yield from self.send(bundle, dest=parent, tag=TAG_GATHER)
+                return None
+            partner = rel + mask
+            if partner < size:
+                sub = yield from self.recv(
+                    source=(partner + root) % size, tag=TAG_GATHER)
+                bundle.update(sub)
+            mask *= 2
+        return [bundle[r] for r in range(size)]
+
+    def allgather(self, data: _t.Any):
+        """Ring allgather (p−1 steps, bandwidth-optimal); returns the
+        rank-ordered list on every rank."""
+        from .datatypes import copy_payload
+        size, rank = self.size, self.rank
+        out: _t.List[_t.Any] = [None] * size
+        out[rank] = copy_payload(data)
+        if size == 1:
+            return out
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        carry_rank, carry = rank, data
+        for _ in range(size - 1):
+            got = yield from self.sendrecv(
+                (carry_rank, carry), dest=right, source=left,
+                sendtag=TAG_ALLGATHER, recvtag=TAG_ALLGATHER)
+            carry_rank, carry = got
+            out[carry_rank] = carry
+        return out
+
+    def scatter(self, chunks: _t.Optional[_t.Sequence[_t.Any]],
+                root: int = 0):
+        """Root sends ``chunks[i]`` to rank *i*; returns the local chunk.
+
+        Linear implementation (root posts p−1 isends) — fine for the
+        setup phases where the apps use it.
+        """
+        from .datatypes import copy_payload
+        size, rank = self.size, self.rank
+        if rank == root:
+            if chunks is None or len(chunks) != size:
+                raise CommunicatorError(
+                    f"scatter root needs exactly {size} chunks")
+            reqs = [self.isend(chunks[r], dest=r, tag=TAG_SCATTER)
+                    for r in range(size) if r != root]
+            yield from self.waitall(reqs)
+            return copy_payload(chunks[root])
+        got = yield from self.recv(source=root, tag=TAG_SCATTER)
+        return got
+
+    def alltoall(self, chunks: _t.Sequence[_t.Any]):
+        """Each rank sends ``chunks[i]`` to rank *i*; returns the received
+        list indexed by source rank (pairwise-exchange algorithm)."""
+        from .datatypes import copy_payload
+        size, rank = self.size, self.rank
+        if len(chunks) != size:
+            raise CommunicatorError(f"alltoall needs exactly {size} chunks")
+        out: _t.List[_t.Any] = [None] * size
+        out[rank] = copy_payload(chunks[rank])
+        reqs = [self.irecv(source=src, tag=TAG_ALLTOALL)
+                for src in range(size) if src != rank]
+        sends = [self.isend(chunks[dst], dest=dst, tag=TAG_ALLTOALL)
+                 for dst in range(size) if dst != rank]
+        got = yield from self.waitall(list(reqs) + list(sends))
+        idx = 0
+        for src in range(size):
+            if src != rank:
+                out[src] = got[idx]
+                idx += 1
+        return out
+
+    # ------------------------------------------------------------ helpers
+    @staticmethod
+    def check_tag(tag: int, allow_any: bool = False) -> None:
+        """User tags are >= 0; internal collective tags (<= -2) pass."""
+        if tag >= 0:
+            return
+        if allow_any and tag == ANY_TAG:
+            return
+        if tag <= TAG_BCAST:
+            return
+        raise CommunicatorError(f"invalid tag {tag}")

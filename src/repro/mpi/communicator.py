@@ -1,0 +1,121 @@
+"""Communicators: membership, context isolation, bound endpoints.
+
+A :class:`Communicator` is an ordered group of endpoints plus a context
+id that isolates its traffic (MPI semantics).  Rank programs use a
+:class:`BoundComm` — a communicator bound to the calling process — whose
+blocking operations are generator sub-routines::
+
+    data = yield from comm.recv(source=0, tag=7)
+    yield from comm.send(data, dest=1)
+    total = yield from comm.allreduce(local, op="sum")
+
+Nonblocking operations (:meth:`BoundComm.isend`, :meth:`BoundComm.irecv`)
+return :class:`~repro.mpi.request.Request` handles immediately; complete
+them with ``wait``/``waitall``/``waitany``.
+
+Collective algorithms live in :class:`~repro.mpi.collectives.CollectiveOps`
+and are shared with the replicated communicator.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .collectives import CollectiveOps
+from .datatypes import copy_payload, payload_nbytes
+from .errors import CommunicatorError
+from .message import ANY_SOURCE, ANY_TAG
+from .request import Request
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .world import MpiWorld, ProcContext
+
+
+class Communicator:
+    """An ordered group of endpoint ids with a private context."""
+
+    def __init__(self, world: "MpiWorld", endpoint_ids: _t.Sequence[int],
+                 name: str = ""):
+        if len(endpoint_ids) == 0:
+            raise CommunicatorError("communicator needs at least one member")
+        if len(set(endpoint_ids)) != len(endpoint_ids):
+            raise CommunicatorError("duplicate endpoint in communicator")
+        self.world = world
+        self.endpoint_ids = list(endpoint_ids)
+        self.context = world.new_context()
+        self.name = name or f"comm{self.context}"
+        self._rank_of = {ep: r for r, ep in enumerate(self.endpoint_ids)}
+
+    @property
+    def size(self) -> int:
+        return len(self.endpoint_ids)
+
+    def rank_of_endpoint(self, endpoint_id: int) -> int:
+        try:
+            return self._rank_of[endpoint_id]
+        except KeyError:
+            raise CommunicatorError(
+                f"endpoint {endpoint_id} is not a member of {self.name}"
+            ) from None
+
+    def endpoint_of_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(
+                f"rank {rank} outside [0, {self.size}) in {self.name}")
+        return self.endpoint_ids[rank]
+
+    def replace_endpoint(self, old_endpoint: int, new_endpoint: int) -> None:
+        """Swap a member endpoint in place (same rank), used when a
+        crashed replica is restarted on a fresh endpoint.  Operations
+        resolve ranks to endpoints per call, so live BoundComm handles
+        observe the change immediately."""
+        rank = self.rank_of_endpoint(old_endpoint)
+        if new_endpoint in self._rank_of:
+            raise CommunicatorError(
+                f"endpoint {new_endpoint} already a member of {self.name}")
+        self.endpoint_ids[rank] = new_endpoint
+        del self._rank_of[old_endpoint]
+        self._rank_of[new_endpoint] = rank
+
+    def bind(self, ctx: "ProcContext") -> "BoundComm":
+        """Bind this communicator to a calling process."""
+        return BoundComm(self, ctx)
+
+
+class BoundComm(CollectiveOps):
+    """A communicator as seen from one member process."""
+
+    def __init__(self, comm: Communicator, ctx: "ProcContext"):
+        self.comm = comm
+        self.ctx = ctx
+        self.rank = comm.rank_of_endpoint(ctx.endpoint.id)
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def sim(self):
+        return self.ctx.sim
+
+    # ---------------------------------------------------------------- p2p
+    def isend(self, data: _t.Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send.  The payload is copied at post time (the
+        caller may immediately reuse its buffer)."""
+        self.check_tag(tag)
+        dst_ep = self.comm.endpoint_of_rank(dest)
+        return self.ctx.world.post_send(
+            src=self.ctx.endpoint, dst_endpoint=dst_ep,
+            src_rank=self.rank, tag=tag, context=self.comm.context,
+            payload=copy_payload(data), nbytes=payload_nbytes(data))
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive."""
+        self.check_tag(tag, allow_any=True)
+        if source == ANY_SOURCE:
+            src_ep = ANY_SOURCE
+        else:
+            src_ep = self.comm.endpoint_of_rank(source)
+        return self.ctx.endpoint.post_recv(
+            source_endpoint=src_ep, source_rank=source, tag=tag,
+            context=self.comm.context)

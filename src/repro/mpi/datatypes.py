@@ -1,0 +1,74 @@
+"""Payload handling: sizes and copy semantics.
+
+The simulated MPI passes Python objects between processes.  To keep the
+simulation honest two properties must hold:
+
+* **value semantics** — the receiver obtains an independent copy, so a
+  sender mutating its buffer after the send cannot retroactively change
+  a delivered message (this matters for replica-consistency checks);
+* **size accounting** — the network model charges time proportional to
+  the wire size of the payload.
+
+Numpy arrays are the fast path (``nbytes``, ``np.copy``); scalars, bytes
+and (nested) tuples/lists/dicts of those are also supported.
+"""
+
+from __future__ import annotations
+
+import numbers
+import typing as _t
+
+import numpy as np
+
+#: Wire size charged for a Python scalar (C double / int64 equivalent).
+SCALAR_NBYTES = 8
+
+
+def payload_nbytes(payload: _t.Any) -> int:
+    """Wire size of ``payload`` in bytes.
+
+    Sizes are deterministic (no pickling): numpy arrays report ``nbytes``,
+    scalars count as 8 bytes, containers sum their elements.  ``None`` is
+    a zero-byte control message.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, np.generic):
+        return int(payload.nbytes)
+    if isinstance(payload, (bool, numbers.Number)):
+        return SCALAR_NBYTES
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_nbytes(x) for x in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v)
+                   for k, v in payload.items())
+    raise TypeError(
+        f"cannot size payload of type {type(payload).__name__}; send numpy "
+        f"arrays, scalars, bytes, or containers thereof")
+
+
+def copy_payload(payload: _t.Any) -> _t.Any:
+    """Deep-enough copy of ``payload`` to give the receiver value
+    semantics.  Immutable objects are returned as-is."""
+    if payload is None or isinstance(payload, (bool, numbers.Number, str,
+                                               bytes)):
+        return payload
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, np.generic):
+        return payload  # immutable numpy scalar
+    if isinstance(payload, (bytearray, memoryview)):
+        return bytes(payload)
+    if isinstance(payload, tuple):
+        return tuple(copy_payload(x) for x in payload)
+    if isinstance(payload, list):
+        return [copy_payload(x) for x in payload]
+    if isinstance(payload, dict):
+        return {k: copy_payload(v) for k, v in payload.items()}
+    raise TypeError(f"cannot copy payload of type {type(payload).__name__}")

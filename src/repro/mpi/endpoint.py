@@ -1,0 +1,182 @@
+"""Per-physical-process message engine: mailbox, matching, failure hooks.
+
+Every simulated physical process owns exactly one :class:`Endpoint`.  The
+endpoint implements MPI's two-queue matching discipline:
+
+* the **unexpected queue** holds envelopes that arrived before a matching
+  receive was posted,
+* the **posted queue** holds receives waiting for a matching envelope.
+
+Matching is FIFO on both sides, which (together with the FIFO network
+path) preserves MPI's non-overtaking guarantee.
+
+Failure integration: when a peer endpoint is declared dead (by the
+failure detector in :mod:`repro.replication`), posted receives that name
+that peer as their *only* possible source fail with
+:class:`~repro.mpi.errors.RankFailure`, and new receives towards it fail
+at post time — unless a matching message already arrived, which is the
+"replica died after sending the full update" case of §III-B2.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing as _t
+
+from ..simulate import Event, Simulator
+from .errors import RankFailure
+from .message import ANY_SOURCE, Envelope, Status
+from .request import Request
+
+
+@dataclasses.dataclass
+class _PostedRecv:
+    source_endpoint: int  # resolved world endpoint id, or ANY_SOURCE
+    source_rank: int      # comm-local rank (for Status), or ANY_SOURCE
+    tag: int
+    context: int
+    request: Request
+
+
+class Endpoint:
+    """Message engine of one physical process."""
+
+    def __init__(self, sim: Simulator, endpoint_id: int, node: int,
+                 name: str = ""):
+        self.sim = sim
+        self.id = endpoint_id
+        self.node = node
+        self.name = name or f"ep{endpoint_id}"
+        self.alive = True
+        self.unexpected: _t.Deque[Envelope] = collections.deque()
+        self.posted: _t.List[_PostedRecv] = []
+        #: FIFO enforcement: next expected seq and a reorder buffer per
+        #: (src_endpoint, context).  The network path is FIFO for
+        #: inter-node traffic, but intra-node transfers have
+        #: size-dependent delay and could overtake; MPI's non-overtaking
+        #: guarantee requires in-order matching per channel.
+        self._expected_seq: _t.Dict[_t.Tuple[int, int], int] = {}
+        self._reorder: _t.Dict[_t.Tuple[int, int],
+                               _t.Dict[int, Envelope]] = {}
+        #: endpoints this process has learnt are dead (fed by the FD)
+        self.known_dead: _t.Set[int] = set()
+        #: per-destination send sequence numbers (non-overtaking checks)
+        self._send_seq: _t.DefaultDict[_t.Tuple[int, int], int] = \
+            collections.defaultdict(int)
+        #: statistics
+        self.delivered_count = 0
+
+    # -- sending -----------------------------------------------------------
+    def next_seq(self, dst_endpoint: int, context: int) -> int:
+        key = (dst_endpoint, context)
+        self._send_seq[key] += 1
+        return self._send_seq[key]
+
+    # -- delivery (called by the transport when the last byte arrives) ----
+    def deliver(self, env: Envelope) -> None:
+        """Deposit an arrived envelope; matches a posted receive or queues
+        as unexpected.  Delivery to a dead endpoint is dropped (the crash
+        already happened; nobody will ever read the mailbox).
+
+        Envelopes arriving out of order on one (source, context) channel
+        are held back until their predecessors arrive, preserving MPI's
+        non-overtaking guarantee.  A crashed sender can only create a
+        *suffix* gap (messages are injected in post order), so held-back
+        envelopes never get stuck behind a retracted one.
+        """
+        if not self.alive:
+            return
+        key = (env.src_endpoint, env.context)
+        expected = self._expected_seq.get(key, 1)
+        if env.seq != expected:
+            self._reorder.setdefault(key, {})[env.seq] = env
+            return
+        self._deliver_in_order(env)
+        expected = env.seq + 1
+        buffered = self._reorder.get(key)
+        while buffered and expected in buffered:
+            self._deliver_in_order(buffered.pop(expected))
+            expected += 1
+        self._expected_seq[key] = expected
+
+    def _deliver_in_order(self, env: Envelope) -> None:
+        self.delivered_count += 1
+        for i, pr in enumerate(self.posted):
+            if env.matches(pr.source_endpoint, pr.tag, pr.context,
+                           source_rank=pr.source_rank):
+                del self.posted[i]
+                status = Status(source=env.src_rank, tag=env.tag,
+                                nbytes=env.nbytes)
+                pr.request.event.succeed((env.payload, status))
+                return
+        self.unexpected.append(env)
+
+    # -- receiving ---------------------------------------------------------
+    def post_recv(self, source_endpoint: int, source_rank: int, tag: int,
+                  context: int) -> Request:
+        """Post a receive; returns its :class:`Request`.
+
+        If a matching envelope is already queued, the request completes
+        immediately.  If the (explicit) source is known dead and nothing
+        matching is queued, the request fails immediately.
+        """
+        ev = Event(self.sim, label=f"recv@{self.name}")
+        req = Request(ev, kind="recv")
+        for i, env in enumerate(self.unexpected):
+            if env.matches(source_endpoint, tag, context,
+                           source_rank=source_rank):
+                del self.unexpected[i]
+                status = Status(source=env.src_rank, tag=env.tag,
+                                nbytes=env.nbytes)
+                ev.succeed((env.payload, status))
+                return req
+        if (source_endpoint != ANY_SOURCE
+                and source_endpoint in self.known_dead):
+            ev.defused = True  # the poster is handed the failure directly
+            ev.fail(RankFailure(source_endpoint, "known dead at post time"))
+            return req
+        self.posted.append(_PostedRecv(source_endpoint, source_rank, tag,
+                                       context, req))
+        return req
+
+    # -- failure hooks -------------------------------------------------------
+    def peer_died(self, dead_endpoint: int) -> None:
+        """The failure detector tells this endpoint that a peer crashed.
+
+        Pending receives whose only possible source is the dead peer fail
+        (no message from it can arrive anymore — in-flight messages from
+        the crashed process were killed with it)."""
+        self.known_dead.add(dead_endpoint)
+        still_posted: _t.List[_PostedRecv] = []
+        for pr in self.posted:
+            if pr.source_endpoint == dead_endpoint:
+                pr.request.event.defused = True
+                pr.request.event.fail(
+                    RankFailure(dead_endpoint, "peer crashed"))
+            else:
+                still_posted.append(pr)
+        self.posted = still_posted
+
+    def fail_posted(self, match_fn, exc_factory) -> int:
+        """Fail every posted receive for which ``match_fn(posted)`` is
+        true with ``exc_factory()``; returns the count.  Used by the
+        replication manager to wake rank-matched receives when a whole
+        logical rank is wiped out."""
+        still = []
+        failed = 0
+        for pr in self.posted:
+            if match_fn(pr):
+                pr.request.event.defused = True
+                pr.request.event.fail(exc_factory())
+                failed += 1
+            else:
+                still.append(pr)
+        self.posted = still
+        return failed
+
+    def kill(self) -> None:
+        """Mark this endpoint dead (its owner process crashed)."""
+        self.alive = False
+        self.unexpected.clear()
+        self.posted.clear()

@@ -1,0 +1,32 @@
+"""MPI-layer exceptions."""
+
+from __future__ import annotations
+
+
+class MpiError(RuntimeError):
+    """Base class for simulated-MPI errors."""
+
+
+class CommunicatorError(MpiError):
+    """Misuse of a communicator (bad rank, wrong membership, ...)."""
+
+
+class TruncationError(MpiError):
+    """A receive matched a message it cannot represent (reserved for
+    future buffer-size checking; kept for API completeness)."""
+
+
+class RankFailure(MpiError):
+    """A receive was posted towards (or was pending on) a crashed rank.
+
+    This is the error that Algorithm 1 (line 41: "if no recv failed")
+    observes: the intra-parallelization runtime catches it and reassigns
+    the dead replica's tasks.
+    """
+
+    def __init__(self, endpoint_id: int, detail: str = ""):
+        msg = f"peer endpoint {endpoint_id} has failed"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+        self.endpoint_id = endpoint_id

@@ -1,0 +1,75 @@
+"""Message envelope and matching constants."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+#: Wildcards, same semantics as MPI_ANY_SOURCE / MPI_ANY_TAG.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclasses.dataclass
+class Envelope:
+    """A message as it sits in a mailbox.
+
+    Attributes
+    ----------
+    context:
+        Communicator context id — isolates traffic of different
+        communicators, like MPI's hidden context id.
+    src_endpoint:
+        World-unique endpoint id of the sending physical process
+        (used for matching and failure handling).
+    src_rank:
+        Sender's rank *within the sending communicator* (what the
+        receiver observes in ``Status.source``).
+    tag:
+        User tag.
+    payload:
+        The (already copied) data.
+    nbytes:
+        Wire size that was charged for the transfer.
+    seq:
+        Per-(src_endpoint, dst_endpoint, context) sequence number;
+        lets tests assert MPI's non-overtaking guarantee.
+    """
+
+    context: int
+    src_endpoint: int
+    src_rank: int
+    tag: int
+    payload: _t.Any
+    nbytes: int
+    seq: int
+
+    def matches(self, source_endpoint: int, tag: int, context: int,
+                source_rank: int = ANY_SOURCE) -> bool:
+        """Does this envelope satisfy a receive posted with the given
+        constraints?
+
+        ``source_endpoint`` pins the physical sender; ``source_rank``
+        pins the *logical* sender (communicator rank) — the replicated
+        communicator uses rank-based matching so a message is accepted
+        from whichever replica of the logical sender currently covers
+        the receiver's plane (mirror, cover, or restarted replacement).
+        """
+        if context != self.context:
+            return False
+        if source_endpoint != ANY_SOURCE and source_endpoint != self.src_endpoint:
+            return False
+        if source_rank != ANY_SOURCE and source_rank != self.src_rank:
+            return False
+        if tag != ANY_TAG and tag != self.tag:
+            return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class Status:
+    """Receive status, modelled after ``MPI_Status``."""
+
+    source: int  #: sender's rank in the receiver's communicator
+    tag: int
+    nbytes: int

@@ -1,0 +1,61 @@
+"""Nonblocking-operation handles (``MPI_Request`` analogue)."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..simulate import Event
+from .message import Status
+
+
+class Request:
+    """Handle for a nonblocking send or receive.
+
+    ``yield req.event`` waits for completion (``MPI_Wait``); on a
+    completed receive, :attr:`data` and :attr:`status` are populated.
+    A request posted towards a crashed peer *fails*: the ``yield``
+    raises :class:`~repro.mpi.errors.RankFailure` — this is the error
+    return Algorithm 1 relies on.
+    """
+
+    __slots__ = ("event", "kind", "_cancelled")
+
+    def __init__(self, event: Event, kind: str):
+        self.event = event
+        self.kind = kind  # "send" | "recv"
+        self._cancelled = False
+
+    @property
+    def complete(self) -> bool:
+        """True once the operation finished (successfully or not)."""
+        return self.event.triggered
+
+    @property
+    def failed(self) -> bool:
+        """True if the operation failed (e.g. peer crash)."""
+        return self.event.triggered and self.event.exception is not None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def data(self) -> _t.Any:
+        """Received payload (receives only, after completion)."""
+        if not self.complete or self.failed:
+            raise RuntimeError("request not successfully completed")
+        payload, _status = self.event.value
+        return payload
+
+    @property
+    def status(self) -> Status:
+        """Receive status (receives only, after completion)."""
+        if not self.complete or self.failed:
+            raise RuntimeError("request not successfully completed")
+        _payload, status = self.event.value
+        return status
+
+    def defuse(self) -> None:
+        """Mark an expected failure as handled without waiting on it
+        (used when a waitall already reported the first failure)."""
+        self.event.defused = True

@@ -1,0 +1,15 @@
+"""Machine, network and topology models (systems S2–S4)."""
+
+from .calibration import (GRID5000_MACHINE, GRID5000_NETWORK,
+                          TESTBENCH_MACHINE, TESTBENCH_NETWORK)
+from .machine import MachineSpec
+from .network import NIC, Network, NetworkSpec
+from .topology import (Cluster, Slot, block_placement, replica_placement,
+                       round_robin_placement, validate_placement)
+
+__all__ = [
+    "Cluster", "GRID5000_MACHINE", "GRID5000_NETWORK", "MachineSpec",
+    "NIC", "Network", "NetworkSpec", "Slot", "TESTBENCH_MACHINE",
+    "TESTBENCH_NETWORK", "block_placement", "replica_placement",
+    "round_robin_placement", "validate_placement",
+]

@@ -1,0 +1,99 @@
+"""Node hardware model (system S2).
+
+Simulated computation is charged to virtual time through a two-parameter
+roofline: a kernel that performs ``flops`` floating-point operations and
+moves ``bytes`` through the memory hierarchy takes::
+
+    time = max(flops / flop_rate,  bytes / mem_bandwidth_share)
+
+which captures the regime split the paper's kernel study exploits —
+waxpby and ddot are memory-bound streams, sparsemv is heavier per output
+byte (§V-C: "We can relate intra-parallelization efficiency to the number
+of floating-point operations required to compute each output").
+
+The memory bus of a node is shared by its cores: when an experiment runs
+one simulated process per core, each process gets
+``mem_bandwidth / cores_per_node`` of streaming bandwidth, matching the
+saturated-STREAM operating point of the paper's runs (all 4 cores busy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """Hardware description of one cluster node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label, e.g. ``"grid5000-2015"``.
+    cores_per_node:
+        Number of cores (one simulated physical process per core).
+    flop_rate:
+        *Sustained* double-precision rate of one core, flop/s.
+    mem_bandwidth:
+        Sustained node-level streaming bandwidth, bytes/s, shared by all
+        busy cores.
+    mem_per_node:
+        Bytes of DRAM; used only for sanity checks on problem sizes.
+    copy_bandwidth:
+        Bandwidth of a plain in-memory ``memcpy`` (bytes/s per core); used
+        to charge the `inout` extra-copy of §III-B2 and the application of
+        received updates.
+    """
+
+    name: str
+    cores_per_node: int
+    flop_rate: float
+    mem_bandwidth: float
+    mem_per_node: float = 16e9
+    copy_bandwidth: float = 4e9
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+        for field in ("flop_rate", "mem_bandwidth", "mem_per_node",
+                      "copy_bandwidth"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+    @property
+    def mem_bandwidth_per_core(self) -> float:
+        """Streaming bandwidth available to one core when all cores of the
+        node are busy (the saturated operating point used in the paper's
+        experiments)."""
+        return self.mem_bandwidth / self.cores_per_node
+
+    def kernel_time(self, flops: float, bytes_moved: float,
+                    active_cores: _t.Optional[int] = None) -> float:
+        """Roofline execution time of a kernel on one core.
+
+        Parameters
+        ----------
+        flops:
+            Floating-point operations executed.
+        bytes_moved:
+            Bytes streamed through DRAM (reads + writes).
+        active_cores:
+            How many cores of the node are concurrently busy; defaults to
+            all of them (``cores_per_node``).
+        """
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("flops and bytes_moved must be non-negative")
+        cores = self.cores_per_node if active_cores is None else active_cores
+        if not 1 <= cores <= self.cores_per_node:
+            raise ValueError(
+                f"active_cores={cores} outside [1, {self.cores_per_node}]")
+        bw = self.mem_bandwidth / cores
+        return max(flops / self.flop_rate, bytes_moved / bw)
+
+    def copy_time(self, nbytes: float) -> float:
+        """Time to memcpy ``nbytes`` on one core (extra-copy / update
+        application cost)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.copy_bandwidth

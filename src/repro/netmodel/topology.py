@@ -1,0 +1,156 @@
+"""Cluster topology and process/replica placement (system S4).
+
+The paper's experiments place the two replicas of each logical process on
+*different nodes* (§V-B) and its discussion (§VI) points out the placement
+trade-off: replicas on neighbouring nodes minimise network crossing (and
+contention), but too-close replicas raise the probability of *correlated*
+failures.  This module provides:
+
+* :class:`Cluster` — nodes with a hop-distance metric (linear or fat-tree
+  style "all pairs one switch" metric),
+* placement policies mapping physical processes to (node, core) slots,
+* replica-placement policies controlling the distance between the
+  replicas of one logical rank.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from .machine import MachineSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class Slot:
+    """One core of one node — the execution slot of a physical process."""
+    node: int
+    core: int
+
+
+class Cluster:
+    """A homogeneous cluster of ``n_nodes`` nodes.
+
+    ``distance_model`` selects the hop metric:
+
+    * ``"switch"`` — every pair of distinct nodes is 1 hop apart (single
+      crossbar / idealized fat tree); the paper's 128-node IB cluster is
+      closest to this.
+    * ``"linear"`` — ``|a - b|`` hops; used by the placement ablation to
+      make replica distance *matter*.
+    """
+
+    def __init__(self, n_nodes: int, machine: MachineSpec,
+                 distance_model: str = "switch"):
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if distance_model not in ("switch", "linear"):
+            raise ValueError(f"unknown distance model {distance_model!r}")
+        self.n_nodes = n_nodes
+        self.machine = machine
+        self.distance_model = distance_model
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.machine.cores_per_node
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        """Topological distance between two nodes."""
+        self._check_node(node_a)
+        self._check_node(node_b)
+        if node_a == node_b:
+            return 0
+        if self.distance_model == "switch":
+            return 1
+        return abs(node_a - node_b)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} outside [0, {self.n_nodes})")
+
+
+def block_placement(cluster: Cluster, n_procs: int) -> _t.List[Slot]:
+    """Fill nodes core-by-core: process *i* → node ``i // cores``, core
+    ``i % cores`` (the default of most MPI launchers)."""
+    if n_procs < 1:
+        raise ValueError("n_procs must be >= 1")
+    if n_procs > cluster.total_cores:
+        raise ValueError(
+            f"{n_procs} processes exceed cluster capacity "
+            f"{cluster.total_cores}")
+    cores = cluster.machine.cores_per_node
+    return [Slot(i // cores, i % cores) for i in range(n_procs)]
+
+
+def round_robin_placement(cluster: Cluster, n_procs: int) -> _t.List[Slot]:
+    """Cycle over nodes: process *i* → node ``i % n_nodes`` (spreads load,
+    one process per node until wrap-around)."""
+    if n_procs < 1:
+        raise ValueError("n_procs must be >= 1")
+    if n_procs > cluster.total_cores:
+        raise ValueError(
+            f"{n_procs} processes exceed cluster capacity "
+            f"{cluster.total_cores}")
+    n = cluster.n_nodes
+    return [Slot(i % n, i // n) for i in range(n_procs)]
+
+
+def replica_placement(cluster: Cluster, n_logical: int, degree: int = 2,
+                      spread: int = 1) -> _t.List[_t.List[Slot]]:
+    """Place ``degree`` replicas of each of ``n_logical`` ranks.
+
+    Replicas of one logical rank are always on *different nodes* (paper
+    §V-B).  ``spread`` is the node distance between consecutive replicas
+    of the same rank: ``spread=1`` puts them on neighbouring node groups
+    (the paper's choice, minimising network crossing); larger values model
+    the anti-correlated-failure placement discussed in §VI.
+
+    Returns ``placements[logical_rank][replica_id] -> Slot``.
+
+    Layout: logical ranks are packed block-wise onto a group of
+    ``ceil(n_logical / cores)`` nodes; replica *r* of every rank lives on
+    the node ``base + r * spread * group_size`` shifted copy of that
+    layout, so replica sets never collide.
+    """
+    if n_logical < 1:
+        raise ValueError("n_logical must be >= 1")
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    if spread < 1:
+        raise ValueError("spread must be >= 1")
+    cores = cluster.machine.cores_per_node
+    group = -(-n_logical // cores)  # nodes needed by one replica set
+    needed = group * (1 + (degree - 1) * spread)
+    if needed > cluster.n_nodes:
+        raise ValueError(
+            f"placement needs {needed} nodes "
+            f"(group={group}, degree={degree}, spread={spread}) but cluster "
+            f"has {cluster.n_nodes}")
+    out: _t.List[_t.List[Slot]] = []
+    for lr in range(n_logical):
+        node_in_group, core = lr // cores, lr % cores
+        replicas = [Slot(node_in_group + r * spread * group, core)
+                    for r in range(degree)]
+        out.append(replicas)
+    return out
+
+
+def validate_placement(cluster: Cluster,
+                       placements: _t.Sequence[_t.Sequence[Slot]]) -> None:
+    """Check a replica placement: slots in range, no slot used twice, and
+    replicas of one rank on distinct nodes.  Raises ``ValueError``."""
+    seen: _t.Set[_t.Tuple[int, int]] = set()
+    for lr, replicas in enumerate(placements):
+        nodes = set()
+        for slot in replicas:
+            cluster._check_node(slot.node)
+            if not 0 <= slot.core < cluster.machine.cores_per_node:
+                raise ValueError(f"core {slot.core} out of range at rank {lr}")
+            key = (slot.node, slot.core)
+            if key in seen:
+                raise ValueError(f"slot {key} assigned twice (rank {lr})")
+            seen.add(key)
+            nodes.add(slot.node)
+        if len(nodes) != len(replicas):
+            raise ValueError(
+                f"replicas of logical rank {lr} share a node: {replicas}")

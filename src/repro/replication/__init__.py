@@ -1,0 +1,17 @@
+"""Active replication of MPI processes (system S6) — SDR-MPI analogue."""
+
+from .comm import ReplicatedComm
+from .errors import NoLiveReplicaError, ProtocolError, ReplicationError
+from .failures import CrashPlan, FailureInjector, HookBus
+from .manager import (ReplicaInfo, ReplicatedJob, ReplicationManager,
+                      launch_replicated_job)
+from .restart import (Restartable, RestartCoordinator,
+                      launch_restartable_job, run_restartable)
+
+__all__ = [
+    "CrashPlan", "FailureInjector", "HookBus", "NoLiveReplicaError",
+    "ProtocolError", "ReplicaInfo", "ReplicatedComm", "ReplicatedJob",
+    "ReplicationError", "ReplicationManager", "Restartable",
+    "RestartCoordinator", "launch_replicated_job",
+    "launch_restartable_job", "run_restartable",
+]

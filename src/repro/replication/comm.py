@@ -1,0 +1,190 @@
+"""The replicated communicator: MPI semantics over replica planes.
+
+:class:`ReplicatedComm` gives application code the exact API of
+:class:`~repro.mpi.communicator.BoundComm` (ranks are *logical* ranks),
+while underneath every logical message flows through the mirror protocol:
+
+* replica *k* of the sender transmits to replica *k* of the receiver
+  ("planes"); each plane has its own communicator context, so plane
+  traffic never crosses;
+* every send is appended to a per-channel **send log** and wrapped with a
+  per-channel **logical sequence number**;
+* receivers drop duplicates using a per-channel *seen* set (tags allow
+  out-of-order consumption, so a single counter is not enough);
+* when replica *m* of a logical sender dies, the lowest-id surviving
+  replica (the *cover*) starts dual-sending to plane *m*, and the replay
+  service (:mod:`repro.replication.manager`) re-sends the logged messages
+  the dead replica may never have delivered.
+
+The combination guarantees every live replica receives every logical
+message exactly once (perfect failure detector, crash-stop faults) —
+i.e. state-machine replication as the paper's §III assumes it, with the
+partial-determinism role of SDR-MPI played by deterministic simulation.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..mpi.collectives import CollectiveOps
+from ..mpi.datatypes import copy_payload, payload_nbytes
+from ..mpi.errors import RankFailure
+from ..mpi.message import ANY_SOURCE, ANY_TAG, Status
+from ..mpi.request import Request
+from ..simulate import Event
+from .errors import NoLiveReplicaError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..mpi.world import ProcContext
+    from .manager import ReplicationManager
+
+
+class ReplicatedComm(CollectiveOps):
+    """Logical-rank communicator bound to one replica."""
+
+    def __init__(self, manager: "ReplicationManager", logical_rank: int,
+                 replica_id: int, ctx: "ProcContext"):
+        self.manager = manager
+        self.lrank = logical_rank
+        self.rid = replica_id
+        self.ctx = ctx
+        self.rank = logical_rank
+        #: next logical sequence number per destination logical rank
+        self._next_lseq: _t.Dict[int, int] = {}
+        #: per-source-channel set of consumed lseq (duplicate filter) and
+        #: the length of the contiguous consumed prefix (replay cursor)
+        self._seen: _t.Dict[int, _t.Set[int]] = {}
+        self._prefix: _t.Dict[int, int] = {}
+        #: per-destination log of (lseq, tag, payload) for replay
+        self.send_log: _t.Dict[int, _t.List[_t.Tuple[int, int, _t.Any]]] = {}
+        #: live receive-loop helper processes (cleaned up on crash/end)
+        self.pending_loops: _t.Set[_t.Any] = set()
+
+    # ------------------------------------------------------------ basics
+    @property
+    def size(self) -> int:
+        return self.manager.n_logical
+
+    @property
+    def sim(self):
+        return self.ctx.sim
+
+    # ---------------------------------------------------------------- p2p
+    def isend(self, data: _t.Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking logical send: one physical message per plane this
+        replica is responsible for (its own plane + planes it covers)."""
+        self.check_tag(tag)
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} outside [0, {self.size})")
+        lseq = self._next_lseq.get(dest, 1)
+        self._next_lseq[dest] = lseq + 1
+        payload = copy_payload(data)
+        self.send_log.setdefault(dest, []).append((lseq, tag, payload))
+        events = self._send_to_planes(dest, lseq, tag, payload)
+        if len(events) == 1:
+            return Request(events[0], kind="send")
+        return Request(self.sim.all_of(events), kind="send")
+
+    def _send_to_planes(self, dest: int, lseq: int, tag: int,
+                        payload: _t.Any) -> _t.List[Event]:
+        """Post the physical sends for one logical message; returns their
+        injection events."""
+        mgr = self.manager
+        nbytes = payload_nbytes(payload) + 8  # + lseq header
+        events: _t.List[Event] = []
+        for plane in mgr.planes_covered_by(self.lrank, self.rid):
+            dst_info = mgr.replica(dest, plane)
+            if not dst_info.alive:
+                continue
+            req = mgr.world.post_send(
+                src=self.ctx.endpoint, dst_endpoint=dst_info.endpoint_id,
+                src_rank=self.lrank, tag=tag,
+                context=mgr.plane_context[plane],
+                payload=(lseq, payload), nbytes=nbytes)
+            events.append(req.event)
+        if not events:
+            # Destination fully crashed, or nothing to do: complete
+            # immediately (the send is a no-op, like writing to /dev/null).
+            ev = Event(self.sim, label="send-to-dead")
+            ev.succeed()
+            events.append(ev)
+        return events
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking logical receive.
+
+        Returns a proxy request; a helper process performs the
+        receive/dedupe loop and completes the proxy with the first
+        *fresh* logical message.
+
+        Matching is by **logical source rank** (plus plane context and
+        tag), not by physical endpoint: a message is accepted from
+        whichever replica of the logical sender currently serves this
+        plane — its mirror, the cover after a crash, or a restarted
+        replacement — so sender handovers never strand a receive.
+        Failure wake-up comes from the manager: when every replica of an
+        awaited logical rank is dead, the pending receive is failed and
+        the proxy reports :class:`NoLiveReplicaError`.
+        """
+        self.check_tag(tag, allow_any=True)
+        proxy = Event(self.sim, label=f"lrecv@{self.ctx.name}")
+        proc = self.sim.process(self._recv_loop(source, tag, proxy),
+                                name=f"lrecv:{self.ctx.name}")
+        self.pending_loops.add(proc)
+        proc.callbacks.append(lambda _ev: self.pending_loops.discard(proc))
+        return Request(proxy, kind="recv")
+
+    def _recv_loop(self, source: int, tag: int, proxy: Event):
+        mgr = self.manager
+        while True:
+            if (source != ANY_SOURCE
+                    and not mgr.alive_replicas(source)):
+                proxy.defused = True
+                proxy.fail(NoLiveReplicaError(source))
+                return
+            inner = self.ctx.endpoint.post_recv(
+                source_endpoint=ANY_SOURCE, source_rank=source, tag=tag,
+                context=mgr.plane_context[self.rid])
+            try:
+                wrapped, status = yield inner.event
+            except RankFailure:
+                # the manager failed this receive (logical-rank wipeout
+                # notification); loop to re-check liveness
+                continue
+            lsrc = status.source
+            lseq, data = wrapped
+            if self._consume(lsrc, lseq):
+                proxy.succeed((data, Status(source=lsrc, tag=status.tag,
+                                            nbytes=status.nbytes - 8)))
+                return
+            # duplicate — drop and keep listening
+
+    def _consume(self, lsrc: int, lseq: int) -> bool:
+        """Record message (lsrc, lseq); returns True if fresh.
+
+        The duplicate filter is a contiguous prefix length plus a sparse
+        set of out-of-order consumptions (tags allow consuming lseq 9
+        before 8): memory stays proportional to the out-of-order window,
+        not the channel history.
+        """
+        prefix = self._prefix.get(lsrc, 0)
+        seen = self._seen.setdefault(lsrc, set())
+        if lseq <= prefix or lseq in seen:
+            return False
+        seen.add(lseq)
+        while prefix + 1 in seen:
+            prefix += 1
+            seen.discard(prefix)
+        self._prefix[lsrc] = prefix
+        return True
+
+    def seen_prefix(self, lsrc: int) -> int:
+        """Length of the contiguous consumed prefix of channel
+        ``lsrc -> self`` (replay starts after it)."""
+        return self._prefix.get(lsrc, 0)
+
+    def was_consumed(self, lsrc: int, lseq: int) -> bool:
+        """Has (lsrc, lseq) been consumed already?"""
+        if lseq <= self._prefix.get(lsrc, 0):
+            return True
+        return lseq in self._seen.get(lsrc, set())

@@ -1,0 +1,24 @@
+"""Replication-layer exceptions."""
+
+from __future__ import annotations
+
+
+class ReplicationError(RuntimeError):
+    """Base class for replication-layer errors."""
+
+
+class NoLiveReplicaError(ReplicationError):
+    """Every replica of a logical rank has crashed: the application is
+    interrupted (the event whose probability [16] shows to be small for
+    replication degree 2)."""
+
+    def __init__(self, logical_rank: int):
+        super().__init__(
+            f"all replicas of logical rank {logical_rank} have failed; "
+            f"application interrupted")
+        self.logical_rank = logical_rank
+
+
+class ProtocolError(ReplicationError):
+    """Internal invariant of the replication protocol was violated
+    (e.g. a gap in a logical message stream that replay cannot explain)."""

@@ -1,0 +1,372 @@
+"""Replica-set management, failure detection, replay service, launcher.
+
+:class:`ReplicationManager` owns the mapping *logical rank → replicas*
+(the paper's "logical process" vs "physical process" distinction, §III),
+the per-plane communicator contexts, the perfect failure detector, and
+the replay service that keeps the mirror protocol gap-free across
+crashes.
+
+Launch path::
+
+    world = MpiWorld(cluster, netspec)
+    job = launch_replicated_job(world, program, n_logical=16, degree=2)
+    world.run()
+    job.results()      # per logical rank, per replica return values
+
+Application programs have the same signature as for plain MPI jobs —
+``program(ctx, comm, *args)`` — and observe *logical* ranks through the
+:class:`~repro.replication.comm.ReplicatedComm`; replication is
+transparent, as with rMPI/SDR-MPI.  The intra-parallelization runtime
+(system S7) is attached to ``ctx.intra`` by the launcher, so the same
+program source runs native, replicated, or intra-parallelized.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..mpi.communicator import Communicator
+from ..mpi.errors import RankFailure
+from ..mpi.world import MpiWorld, ProcContext
+from ..netmodel import Slot, replica_placement
+from ..simulate import Process, ProcessKilled
+from .comm import ReplicatedComm
+from .errors import NoLiveReplicaError, ReplicationError
+from .failures import HookBus
+
+#: control-plane tag for replay requests
+_TAG_REPLAY = 1
+
+
+@dataclasses.dataclass
+class ReplicaInfo:
+    """Bookkeeping for one replica (physical process)."""
+    logical_rank: int
+    replica_id: int
+    ctx: ProcContext
+    alive: bool = True
+    app_process: _t.Optional[Process] = None
+    service_process: _t.Optional[Process] = None
+    rcomm: _t.Optional[ReplicatedComm] = None
+    crash_time: _t.Optional[float] = None
+
+    @property
+    def endpoint_id(self) -> int:
+        return self.ctx.endpoint.id
+
+
+class ReplicationManager:
+    """Global state of one replicated job."""
+
+    def __init__(self, world: MpiWorld, n_logical: int, degree: int = 2,
+                 fd_delay: float = 50e-6, name: str = "repl"):
+        if degree < 1:
+            raise ReplicationError(f"replication degree must be >= 1, "
+                                   f"got {degree}")
+        if n_logical < 1:
+            raise ReplicationError("need at least one logical rank")
+        if fd_delay < 0:
+            raise ReplicationError("fd_delay must be non-negative")
+        self.world = world
+        self.n_logical = n_logical
+        self.degree = degree
+        self.fd_delay = fd_delay
+        self.name = name
+        self.hooks = HookBus()
+        #: replicas[lrank][rid]
+        self.replicas: _t.List[_t.List[ReplicaInfo]] = []
+        #: communicator context of each plane
+        self.plane_context: _t.List[int] = [world.new_context()
+                                            for _ in range(degree)]
+        #: control-plane context (replay requests)
+        self.control_context: int = world.new_context()
+        #: per-logical-rank replica-set communicator (intra updates)
+        self.replica_comms: _t.List[Communicator] = []
+        #: death listeners: callback(logical_rank, replica_id)
+        self._death_listeners: _t.List[_t.Callable[[int, int], None]] = []
+
+    # --------------------------------------------------------- membership
+    def build(self, placements: _t.Sequence[_t.Sequence[Slot]]) -> None:
+        """Spawn all replica processes according to ``placements``."""
+        if len(placements) != self.n_logical:
+            raise ReplicationError(
+                f"placements for {len(placements)} logical ranks, "
+                f"expected {self.n_logical}")
+        for lrank, slots in enumerate(placements):
+            if len(slots) != self.degree:
+                raise ReplicationError(
+                    f"logical rank {lrank}: {len(slots)} slots for degree "
+                    f"{self.degree}")
+            row = []
+            for rid, slot in enumerate(slots):
+                ctx = self.world.spawn(
+                    slot, name=f"{self.name}.l{lrank}r{rid}")
+                row.append(ReplicaInfo(lrank, rid, ctx))
+            self.replicas.append(row)
+        for lrank in range(self.n_logical):
+            eps = [info.endpoint_id for info in self.replicas[lrank]]
+            self.replica_comms.append(
+                Communicator(self.world, eps, name=f"rset{lrank}"))
+
+    def replica(self, lrank: int, rid: int) -> ReplicaInfo:
+        return self.replicas[lrank][rid]
+
+    def alive_replicas(self, lrank: int) -> _t.List[ReplicaInfo]:
+        """Live replicas of one logical rank, by ascending replica id."""
+        return [r for r in self.replicas[lrank] if r.alive]
+
+    def cover_of(self, lrank: int) -> ReplicaInfo:
+        """The designated cover: lowest-id live replica of ``lrank``."""
+        live = self.alive_replicas(lrank)
+        if not live:
+            raise NoLiveReplicaError(lrank)
+        return live[0]
+
+    def planes_covered_by(self, lrank: int, rid: int) -> _t.List[int]:
+        """Planes replica ``rid`` of ``lrank`` must send on: its own,
+        plus every dead sibling's plane if ``rid`` is the cover."""
+        me = self.replica(lrank, rid)
+        if not me.alive:
+            return []
+        planes = [rid]
+        if self.cover_of(lrank).replica_id == rid:
+            planes += [r.replica_id for r in self.replicas[lrank]
+                       if not r.alive]
+        return planes
+
+    def live_sender_endpoint(self, lrank: int, plane: int) -> int:
+        """Endpoint a plane-``plane`` receiver should listen to for
+        logical sender ``lrank``: its mirror if alive, else the cover."""
+        info = self.replica(lrank, plane)
+        if info.alive:
+            return info.endpoint_id
+        return self.cover_of(lrank).endpoint_id
+
+    def on_death(self, listener: _t.Callable[[int, int], None]) -> None:
+        """Register a callback invoked (after FD delay) on each crash."""
+        self._death_listeners.append(listener)
+
+    # ------------------------------------------------------------ failures
+    def crash_replica(self, lrank: int, rid: int) -> None:
+        """Crash-stop failure of one replica, effective immediately; the
+        failure detector notifies survivors ``fd_delay`` later."""
+        info = self.replica(lrank, rid)
+        if not info.alive:
+            return
+        info.alive = False
+        info.crash_time = self.world.sim.now
+        self.hooks.emit("replica_crashed", logical_rank=lrank,
+                        replica_id=rid, time=self.world.sim.now)
+
+        def fd_body():
+            yield self.world.sim.timeout(self.fd_delay)
+            self._fd_notify(lrank, rid)
+
+        self.world.sim.process(fd_body(), name=f"fd:{lrank}.{rid}")
+        if info.service_process is not None:
+            info.service_process.kill("host replica crashed")
+        if info.rcomm is not None:
+            for proc in list(info.rcomm.pending_loops):
+                proc.kill("host replica crashed")
+        # Last: may raise ProcessKilled through the victim's own stack
+        # when the crash was triggered by a hook the victim emitted.
+        self.world.kill_endpoint(info.endpoint_id)
+
+    def _fd_notify(self, lrank: int, rid: int) -> None:
+        """Failure-detector verdict: propagate to all endpoints, trigger
+        proactive channel replays, run listeners."""
+        dead = self.replica(lrank, rid)
+        self.world.notify_death(dead.endpoint_id)
+        self.hooks.emit("replica_death_detected", logical_rank=lrank,
+                        replica_id=rid, time=self.world.sim.now)
+        # Proactive replay: every live plane-`rid` receiver may have lost
+        # in-flight messages from the dead replica; ask the cover to
+        # replay each channel from the receiver's consumed prefix.
+        try:
+            self.cover_of(lrank)
+        except NoLiveReplicaError:
+            # Logical rank wiped out: wake every plane receive awaiting
+            # this rank so its proxy can report NoLiveReplicaError.
+            plane_ctxs = set(self.plane_context)
+            for row in self.replicas:
+                for info in row:
+                    if info.alive:
+                        info.ctx.endpoint.fail_posted(
+                            lambda pr: (pr.context in plane_ctxs
+                                        and pr.source_rank == lrank),
+                            lambda: RankFailure(
+                                -1, f"logical rank {lrank} wiped out"))
+        else:
+            for dst_lrank in range(self.n_logical):
+                dst = self.replica(dst_lrank, rid)
+                if dst.alive and dst_lrank != lrank:
+                    self.request_replay(requester_lrank=dst_lrank,
+                                        requester_rid=rid,
+                                        channel_lrank=lrank)
+        for listener in list(self._death_listeners):
+            listener(lrank, rid)
+
+    # ------------------------------------------------------------- replay
+    def request_replay(self, requester_lrank: int, requester_rid: int,
+                       channel_lrank: int) -> None:
+        """Send a control message to the cover of ``channel_lrank``
+        asking it to re-send channel ``channel_lrank -> requester_lrank``
+        messages the requester has not consumed yet."""
+        requester = self.replica(requester_lrank, requester_rid)
+        if not requester.alive:
+            return
+        try:
+            cover = self.cover_of(channel_lrank)
+        except NoLiveReplicaError:
+            return
+        assert requester.rcomm is not None
+        prefix = requester.rcomm.seen_prefix(channel_lrank)
+        self.world.post_send(
+            src=requester.ctx.endpoint, dst_endpoint=cover.endpoint_id,
+            src_rank=requester_lrank, tag=_TAG_REPLAY,
+            context=self.control_context,
+            payload=(requester_lrank, requester_rid, prefix), nbytes=24)
+
+    def _service_program(self, info: ReplicaInfo):
+        """Replay service: runs next to the application replica, answers
+        replay requests from its send log."""
+        ep = info.ctx.endpoint
+        while True:
+            req = ep.post_recv(source_endpoint=-1, source_rank=-1,
+                               tag=_TAG_REPLAY, context=self.control_context)
+            payload, _status = yield req.event
+            req_lrank, req_rid, prefix = payload
+            rcomm = info.rcomm
+            assert rcomm is not None
+            log = rcomm.send_log.get(req_lrank, [])
+            target = self.replica(req_lrank, req_rid)
+            if not target.alive:
+                continue
+            for lseq, tag, data in log:
+                if lseq <= prefix:
+                    continue
+                sreq = self.world.post_send(
+                    src=ep, dst_endpoint=target.endpoint_id,
+                    src_rank=info.logical_rank, tag=tag,
+                    context=self.plane_context[req_rid],
+                    payload=(lseq, data),
+                    nbytes=rcomm_nbytes(data))
+                yield sreq.event  # pace replays at injection rate
+
+    # ------------------------------------------------------------- launch
+    def start_program(self, program: _t.Callable[..., _t.Generator],
+                      args: _t.Tuple = (),
+                      kwargs: _t.Optional[dict] = None) -> None:
+        """Start the application program and replay service on every
+        replica."""
+        kwargs = kwargs or {}
+        for row in self.replicas:
+            for info in row:
+                rcomm = ReplicatedComm(self, info.logical_rank,
+                                       info.replica_id, info.ctx)
+                info.rcomm = rcomm
+                info.app_process = self.world.start(
+                    info.ctx, program(info.ctx, rcomm, *args, **kwargs))
+                info.service_process = self.world.sim.process(
+                    self._service_program(info),
+                    name=f"svc:{info.ctx.name}")
+        self.world.sim.process(self._supervisor(), name=f"{self.name}.sup")
+
+    def _supervisor(self):
+        """Joins all application replicas, then retires the services (so
+        deadlock detection stays meaningful for application hangs).
+
+        Rescans the replica table after every join: replicas that were
+        restarted during the run install a *new* app process that must
+        also be joined before the services go away (the replacement may
+        still need replay service from its sibling)."""
+        joined: _t.Set[Process] = set()
+        while True:
+            pending = [info.app_process
+                       for row in self.replicas for info in row
+                       if info.app_process is not None
+                       and info.app_process not in joined]
+            if not pending:
+                break
+            for proc in pending:
+                try:
+                    yield proc
+                except ProcessKilled:
+                    pass
+                except (RankFailure, NoLiveReplicaError):
+                    pass
+                joined.add(proc)
+        for row in self.replicas:
+            for info in row:
+                if (info.service_process is not None
+                        and info.service_process.is_alive):
+                    info.service_process.kill("job finished")
+                if info.rcomm is not None:
+                    for proc in list(info.rcomm.pending_loops):
+                        proc.kill("job finished")
+
+
+def rcomm_nbytes(data: _t.Any) -> int:
+    """Wire size of a replicated logical message (payload + lseq)."""
+    from ..mpi.datatypes import payload_nbytes
+    return payload_nbytes(data) + 8
+
+
+class ReplicatedJob:
+    """Handle on a launched replicated application."""
+
+    def __init__(self, world: MpiWorld, manager: ReplicationManager):
+        self.world = world
+        self.manager = manager
+
+    @property
+    def elapsed(self) -> float:
+        return self.world.sim.now
+
+    def results(self) -> _t.List[_t.List[_t.Any]]:
+        """``results()[lrank][rid]`` — a replica's return value, or the
+        :class:`ProcessKilled` exception if it crashed."""
+        out = []
+        for row in self.manager.replicas:
+            vals = []
+            for info in row:
+                p = info.app_process
+                vals.append(p.value if p is not None else None)
+            out.append(vals)
+        return out
+
+    def surviving_results(self) -> _t.List[_t.Any]:
+        """One return value per logical rank, taken from its lowest-id
+        surviving replica.  Raises if a logical rank was wiped out."""
+        out = []
+        for lrank in range(self.manager.n_logical):
+            live = self.manager.alive_replicas(lrank)
+            if not live:
+                raise NoLiveReplicaError(lrank)
+            out.append(live[0].app_process.value)
+        return out
+
+
+def launch_replicated_job(world: MpiWorld,
+                          program: _t.Callable[..., _t.Generator],
+                          n_logical: int, degree: int = 2,
+                          spread: int = 1, fd_delay: float = 50e-6,
+                          placements: _t.Optional[
+                              _t.Sequence[_t.Sequence[Slot]]] = None,
+                          args: _t.Tuple = (),
+                          kwargs: _t.Optional[dict] = None,
+                          ) -> ReplicatedJob:
+    """Build a :class:`ReplicationManager`, place replicas (different
+    nodes per logical rank, as in the paper's §V-B), start the program.
+
+    The caller still owns ``world.run()`` so failure injectors can be
+    attached before time starts."""
+    manager = ReplicationManager(world, n_logical, degree=degree,
+                                 fd_delay=fd_delay)
+    if placements is None:
+        placements = replica_placement(world.cluster, n_logical,
+                                       degree=degree, spread=spread)
+    manager.build(placements)
+    manager.start_program(program, args=args, kwargs=kwargs)
+    return ReplicatedJob(world, manager)

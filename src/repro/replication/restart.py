@@ -1,0 +1,300 @@
+"""Replica restart (the §VI extension the paper argues for).
+
+"With intra-parallelization, it is important to restart failed replicas
+as soon as possible, since speed-up of a logical process execution can
+only be achieved if tasks are shared among multiple replicas.  Another
+study of MPI replication shows that the cost of starting a new replica
+is low in general [19]."
+
+This module implements that restart for **replication degree 2** (the
+paper's setting) and applications structured as a *step loop* — the
+natural shape of every app in this repository (CG iterations, PIC
+steps, stencil steps):
+
+1. The application implements the :class:`Restartable` protocol
+   (init/step/snapshot/restore/finalize) and runs under
+   :func:`run_restartable`.
+2. A :class:`RestartCoordinator` watches for replica deaths and flags a
+   pending restart; it spawns the replacement process (fresh endpoint on
+   the dead replica's slot) which blocks waiting for state.
+3. At its next step boundary, the surviving replica (the *cover*)
+   hands over: it ships a snapshot — application state **plus** the
+   replication-protocol state (logical send counters, dedupe filters,
+   send log for replay, intra section index) — and atomically marks the
+   replacement alive.
+4. Nothing special is needed on the peers: replicated receives match by
+   *logical source rank* (see :meth:`ReplicatedComm.irecv`), so messages
+   are accepted from mirror, cover or replacement alike, and the dedupe
+   filter absorbs the overlap; the replacement fills any channel gaps by
+   requesting replay from each sender's cover.
+
+From the step after the handover, sections are scheduled over both
+replicas again: work sharing (and its >50% efficiency) resumes.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..mpi.message import ANY_SOURCE
+from .comm import ReplicatedComm
+from .errors import ReplicationError
+from .manager import ReplicaInfo, ReplicationManager
+
+#: control-plane tag for restart state transfer (replay uses tag 1)
+_TAG_RESTART = 2
+
+
+class Restartable:
+    """Protocol for step-structured applications.
+
+    Methods other than ``snapshot``/``restore`` may be generators
+    (``yield`` events); ``snapshot`` must return a payload the simulated
+    MPI can ship (numpy arrays / scalars / containers).
+    """
+
+    n_steps: int = 1
+
+    def init_state(self, ctx, comm) -> _t.Any:
+        """Build the rank's initial state (plain function)."""
+        raise NotImplementedError
+
+    def step(self, ctx, comm, state: _t.Any, step_index: int):
+        """One application step (generator)."""
+        raise NotImplementedError
+
+    def snapshot(self, state: _t.Any) -> _t.Any:
+        """Serializable copy of ``state`` at a step boundary."""
+        raise NotImplementedError
+
+    def restore(self, payload: _t.Any) -> _t.Any:
+        """Rebuild state from :meth:`snapshot`'s payload."""
+        raise NotImplementedError
+
+    def finalize(self, ctx, comm, state: _t.Any) -> _t.Any:
+        """Produce the rank's result (plain function)."""
+        return state
+
+
+class RestartCoordinator:
+    """Manager-side restart orchestration (degree 2 only)."""
+
+    def __init__(self, manager: ReplicationManager, app: Restartable,
+                 restart_delay: float = 1e-3):
+        if manager.degree != 2:
+            raise ReplicationError(
+                "replica restart is implemented for replication degree 2 "
+                "(the paper's configuration): with a single survivor "
+                "there is no schedule-agreement race")
+        self.manager = manager
+        self.app = app
+        #: spawn cost for the replacement process (job launch, binary
+        #: load — [19] reports this is low; configurable)
+        self.restart_delay = restart_delay
+        #: lrank -> replacement ReplicaInfo awaiting state
+        self.pending: _t.Dict[int, ReplicaInfo] = {}
+        self.restarts_completed = 0
+        manager.on_death(self._on_death)
+
+    # ----------------------------------------------------------- death
+    def _on_death(self, lrank: int, rid: int) -> None:
+        if lrank in self.pending:
+            return  # one restart at a time per logical rank
+        if not self.manager.alive_replicas(lrank):
+            return  # rank wiped out; nothing to restart from
+        sim = self.manager.world.sim
+
+        def spawn_later():
+            yield sim.timeout(self.restart_delay)
+            self._spawn_replacement(lrank, rid)
+
+        sim.process(spawn_later(), name=f"respawn:{lrank}.{rid}")
+
+    def _spawn_replacement(self, lrank: int, rid: int) -> None:
+        mgr = self.manager
+        live = mgr.alive_replicas(lrank)
+        if not live:
+            return  # wiped out while the respawn was in flight
+        cover = live[0]
+        if (cover.app_process is not None
+                and cover.app_process.triggered):
+            return  # the job already finished; a replacement is useless
+        old = mgr.replica(lrank, rid)
+        ctx = mgr.world.spawn(old.ctx.slot,
+                              name=f"{mgr.name}.l{lrank}r{rid}'")
+        info = ReplicaInfo(lrank, rid, ctx, alive=False)
+        rcomm = ReplicatedComm(mgr, lrank, rid, ctx)
+        info.rcomm = rcomm
+        mgr.replicas[lrank][rid] = info
+        # the replica-set communicator (intra updates) now addresses the
+        # fresh endpoint; members resolve ranks per call, so the
+        # survivor's handle observes this immediately
+        mgr.replica_comms[lrank].replace_endpoint(old.endpoint_id,
+                                                  info.endpoint_id)
+        self.pending[lrank] = info
+        self.manager.hooks.emit("replica_respawned", logical_rank=lrank,
+                                replica_id=rid,
+                                time=mgr.world.sim.now)
+        info.app_process = mgr.world.start(
+            ctx, _rejoin_program(self, info))
+        info.service_process = mgr.world.sim.process(
+            mgr._service_program(info), name=f"svc:{ctx.name}")
+
+    # -------------------------------------------------------- handover
+    def wants_handover(self, lrank: int, rid: int) -> bool:
+        """Should the (cover) replica serve a restart at this boundary?"""
+        info = self.pending.get(lrank)
+        if info is None:
+            return False
+        cover = self.manager.cover_of(lrank)
+        return cover.replica_id == rid
+
+    def serve_handover(self, ctx, comm: ReplicatedComm, state: _t.Any,
+                       next_step: int, intra_section_index: int):
+        """Cover side: ship state + protocol state and flip the
+        replacement alive.  Generator."""
+        mgr = self.manager
+        info = self.pending.pop(comm.lrank)
+        payload = {
+            "next_step": next_step,
+            "app": self.app.snapshot(state),
+            "next_lseq": dict(comm._next_lseq),
+            "prefix": dict(comm._prefix),
+            "seen": {k: sorted(v) for k, v in comm._seen.items() if v},
+            "send_log": {k: list(v) for k, v in comm.send_log.items()},
+            "section_index": intra_section_index,
+        }
+        from ..mpi.datatypes import payload_nbytes
+        req = mgr.world.post_send(
+            src=ctx.endpoint, dst_endpoint=info.endpoint_id,
+            src_rank=comm.lrank, tag=_TAG_RESTART,
+            context=mgr.control_context, payload=payload,
+            nbytes=payload_nbytes(payload["app"]) + 256)
+        yield req.event  # injected: the survivor may proceed
+        # Atomically (same virtual instant) bring the replica back:
+        # receives match by logical source rank, so peers accept the
+        # replacement's messages without any re-resolution.
+        info.alive = True
+        self.restarts_completed += 1
+        mgr.hooks.emit("replica_restarted", logical_rank=comm.lrank,
+                       replica_id=info.replica_id,
+                       time=mgr.world.sim.now)
+
+    def abandon(self, lrank: int) -> None:
+        """Cancel a pending restart (the cover finished the job before
+        the handover point: a late replacement is useless)."""
+        info = self.pending.pop(lrank, None)
+        if info is None:
+            return
+        if info.app_process is not None and info.app_process.is_alive:
+            info.app_process.kill("restart abandoned: job finished")
+        if (info.service_process is not None
+                and info.service_process.is_alive):
+            info.service_process.kill("restart abandoned")
+
+
+def _rejoin_program(coord: RestartCoordinator, info: ReplicaInfo):
+    """The replacement replica: wait for state, restore, resume the
+    step loop."""
+    mgr = coord.manager
+    ctx = info.ctx
+    comm = info.rcomm
+    req = ctx.endpoint.post_recv(
+        source_endpoint=ANY_SOURCE, source_rank=ANY_SOURCE,
+        tag=_TAG_RESTART, context=mgr.control_context)
+    payload, _status = yield req.event
+    comm._next_lseq = dict(payload["next_lseq"])
+    comm._prefix = dict(payload["prefix"])
+    comm._seen = {k: set(v) for k, v in payload["seen"].items()}
+    comm.send_log = {k: [tuple(e) for e in v]
+                     for k, v in payload["send_log"].items()}
+    state = coord.app.restore(payload["app"])
+    # fill any channel gaps that opened while we were down
+    for lsrc in range(mgr.n_logical):
+        if lsrc != comm.lrank:
+            mgr.request_replay(requester_lrank=comm.lrank,
+                               requester_rid=comm.rid,
+                               channel_lrank=lsrc)
+    _attach_intra(ctx, comm, payload["section_index"])
+    result = yield from _step_loop(coord, ctx, comm, state,
+                                   payload["next_step"])
+    return result
+
+
+def _attach_intra(ctx, comm: ReplicatedComm, section_index: int) -> None:
+    """Give the restarted replica an intra runtime whose section counter
+    matches the survivor's (update tags embed it)."""
+    from ..intra.runtime import IntraRuntime
+    mgr = comm.manager
+    rset = mgr.replica_comms[comm.lrank].bind(ctx)
+    runtime = IntraRuntime(ctx, mgr, comm.lrank, comm.rid, rset)
+    runtime.section_index = section_index
+    ctx.intra = runtime
+
+
+def _step_loop(coord: RestartCoordinator, ctx, comm, state,
+               first_step: int):
+    """The shared step loop: run steps, serving handovers at
+    boundaries."""
+    app = coord.app
+    for step_index in range(first_step, app.n_steps):
+        yield from app.step(ctx, comm, state, step_index)
+        if coord.wants_handover(comm.lrank, comm.rid):
+            yield from coord.serve_handover(
+                ctx, comm, state, next_step=step_index + 1,
+                intra_section_index=ctx.intra.section_index)
+    # A respawn that arrives after the last step has no handover point:
+    # abandon it (restarting into a finished job is useless).
+    if (comm.lrank in coord.pending
+            and coord.manager.cover_of(comm.lrank).replica_id == comm.rid):
+        coord.abandon(comm.lrank)
+    return app.finalize(ctx, comm, state)
+
+
+def run_restartable(coord: RestartCoordinator):
+    """Build the rank program for :func:`launch_intra_job` /
+    ``launch_mode``: ``program(ctx, comm)`` running ``coord.app`` with
+    restart support."""
+    app = coord.app
+
+    def program(ctx, comm):
+        state = app.init_state(ctx, comm)
+        result = yield from _step_loop(coord, ctx, comm, state, 0)
+        return result
+
+    return program
+
+
+def launch_restartable_job(world, app: Restartable, n_logical: int,
+                           fd_delay: float = 50e-6,
+                           restart_delay: float = 1e-3,
+                           spread: int = 1,
+                           scheduler=None):
+    """Launch an intra-parallelized replicated job with replica restart.
+
+    Returns ``(ReplicatedJob, RestartCoordinator)``.  Inject crashes via
+    :class:`~repro.replication.failures.FailureInjector` as usual — dead
+    replicas respawn automatically after ``restart_delay`` and rejoin
+    work sharing at the survivor's next step boundary.
+    """
+    from ..intra.runtime import IntraRuntime
+    from ..netmodel import replica_placement
+    from .manager import ReplicatedJob
+
+    manager = ReplicationManager(world, n_logical, degree=2,
+                                 fd_delay=fd_delay)
+    placements = replica_placement(world.cluster, n_logical, degree=2,
+                                   spread=spread)
+    manager.build(placements)
+    coord = RestartCoordinator(manager, app, restart_delay=restart_delay)
+    base_program = run_restartable(coord)
+
+    def wrapped(ctx, comm):
+        rset = manager.replica_comms[comm.lrank].bind(ctx)
+        ctx.intra = IntraRuntime(ctx, manager, comm.lrank, comm.rid,
+                                 rset, scheduler=scheduler)
+        result = yield from base_program(ctx, comm)
+        return result
+
+    manager.start_program(wrapped)
+    return ReplicatedJob(world, manager), coord

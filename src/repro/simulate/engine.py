@@ -1,0 +1,240 @@
+"""The discrete-event simulation kernel.
+
+This module provides the :class:`Simulator` (virtual clock + event heap)
+and :class:`Process` (a generator-based coroutine suspended on events).
+Everything above it in the stack — the network model, the simulated MPI,
+the replication layer and the intra-parallelization runtime — is written
+as processes that ``yield`` events.
+
+Determinism
+-----------
+Events scheduled for the same virtual time are processed in scheduling
+order (a monotonically increasing sequence number breaks ties), so a run
+is a pure function of its inputs.  Reproduction experiments rely on this:
+re-running a failure-injection scenario replays the identical interleaving.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim):
+...     yield sim.timeout(3.0)
+...     return "done at %g" % sim.now
+>>> p = sim.process(hello(sim))
+>>> sim.run()
+>>> p.value
+'done at 3'
+"""
+
+from __future__ import annotations
+
+import heapq
+import inspect
+import typing as _t
+
+from .errors import (DeadlockError, NotProcessError, ProcessKilled,
+                     SimulationError, UnhandledFailure)
+from .events import AllOf, AnyOf, Event, Timeout
+
+
+class Simulator:
+    """Virtual clock and event queue.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable ``trace(time, event)`` invoked for every
+        processed event; used by tests that assert on protocol traces
+        (e.g. the Figure 1 message/compute pattern).
+    """
+
+    def __init__(self, trace: _t.Optional[_t.Callable[[float, Event], None]] = None):
+        self.now: float = 0.0
+        self._heap: _t.List[_t.Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._trace = trace
+        #: live (not yet terminated) processes, used for deadlock detection
+        self._active_processes: _t.Set["Process"] = set()
+
+    # -- event construction helpers --------------------------------------
+    def event(self, label: str = "") -> Event:
+        """A fresh pending event, to be triggered by model code."""
+        return Event(self, label=label)
+
+    def timeout(self, delay: float, value: _t.Any = None,
+                label: str = "") -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value=value, label=label)
+
+    def all_of(self, events: _t.Sequence[Event], label: str = "") -> AllOf:
+        """Fires when all ``events`` fired (cf. ``MPI_Waitall``)."""
+        return AllOf(self, events, label=label)
+
+    def any_of(self, events: _t.Sequence[Event], label: str = "") -> AnyOf:
+        """Fires when the first of ``events`` fires (cf. ``MPI_Waitany``)."""
+        return AnyOf(self, events, label=label)
+
+    def process(self, body: _t.Generator, name: str = "") -> "Process":
+        """Register a generator as a new simulated process."""
+        return Process(self, body, name=name)
+
+    # -- kernel ------------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        time, _seq, event = heapq.heappop(self._heap)
+        self.now = time
+        event._process()
+        if self._trace is not None:
+            self._trace(time, event)
+        if event.exception is not None and not event.defused:
+            raise UnhandledFailure(event.exception)
+
+    def run(self, until: _t.Optional[float] = None,
+            detect_deadlock: bool = False) -> None:
+        """Run until the queue drains or ``until`` is reached.
+
+        With ``detect_deadlock=True``, raise :class:`DeadlockError` if the
+        queue drains while registered processes are still alive — the
+        standard failure mode of an unmatched ``recv``.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+        if detect_deadlock and self._active_processes:
+            waiting = ", ".join(sorted(p.name for p in self._active_processes))
+            raise DeadlockError(
+                f"event queue drained but processes still waiting: {waiting}")
+
+
+class Process(Event):
+    """A coroutine driven by the simulator.
+
+    A process body is a generator that yields :class:`Event` objects; the
+    process suspends until each yielded event fires, receiving the event's
+    value as the result of the ``yield`` (or the event's exception raised
+    at the ``yield``).  The :class:`Process` itself is an event that fires
+    when the body returns — ``yield other_process`` is a *join*.
+
+    Crash injection: :meth:`kill` terminates the process at the current
+    virtual time.  The process event *fails* with :class:`ProcessKilled`
+    (defused, so an unobserved crash does not abort the run) and a
+    ``GeneratorExit`` is thrown into the body so ``finally`` blocks run.
+    """
+
+    __slots__ = ("body", "name", "_waiting_on", "_killed")
+
+    def __init__(self, sim: Simulator, body: _t.Generator, name: str = ""):
+        if not inspect.isgenerator(body):
+            raise NotProcessError(
+                f"process body must be a generator, got {type(body).__name__}")
+        super().__init__(sim, label=name or "process")
+        self.body = body
+        self.name = name or getattr(body, "__name__", "process")
+        self._waiting_on: _t.Optional[Event] = None
+        self._killed = False
+        sim._active_processes.add(self)
+        # Bootstrap: start executing at the current time.
+        start = Event(sim, label=f"start:{self.name}")
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    # -- state -------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the body has not returned and was not killed."""
+        return not self.triggered
+
+    @property
+    def killed(self) -> bool:
+        """True if the process was terminated by :meth:`kill`."""
+        return self._killed
+
+    # -- crash injection ---------------------------------------------------
+    def kill(self, reason: str = "killed") -> None:
+        """Terminate the process now (crash-stop fault injection).
+
+        Idempotent; killing a terminated process is a no-op.  The body's
+        ``finally`` blocks run (via ``GeneratorExit``), the process event
+        fails with :class:`ProcessKilled` and is defused.
+
+        Self-kill: if the process is killed from within its own stack
+        (e.g. a fault injector subscribed to a protocol hook the process
+        just emitted), :class:`ProcessKilled` is raised *through the
+        caller* — it propagates up the victim's frames (running their
+        ``finally`` blocks) until the kernel completes the kill.  Code
+        between the victim and the kernel must not swallow it.
+        """
+        if self.triggered:
+            return
+        if getattr(self.body, "gi_running", False):
+            self._killed = True
+            raise ProcessKilled(reason)
+        self._killed = True
+        if self._waiting_on is not None and self._waiting_on.callbacks is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._waiting_on = None
+        self.body.close()
+        self.sim._active_processes.discard(self)
+        self.defused = True
+        self.fail(ProcessKilled(reason))
+
+    # -- kernel ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:  # killed while the wake-up was in flight
+            return
+        self._waiting_on = None
+        try:
+            if event.exception is not None:
+                event.defused = True
+                target = self.body.throw(event.exception)
+            else:
+                target = self.body.send(event.value if event is not self else None)
+        except StopIteration as stop:
+            self.sim._active_processes.discard(self)
+            self.succeed(stop.value)
+            return
+        except ProcessKilled:
+            # A body may re-raise the kill of a subprocess it joined on;
+            # treat as its own crash.
+            self.sim._active_processes.discard(self)
+            self._killed = True
+            self.defused = True
+            self.fail(ProcessKilled(f"{self.name}: propagated kill"))
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                f"yield Event objects (did you forget a .request()/.recv()?)")
+        if target.processed:
+            # Already fired: resume immediately (via a zero-delay event to
+            # preserve run-to-completion semantics per event).
+            bounce = Event(self.sim, label=f"bounce:{self.name}")
+            bounce.callbacks.append(self._resume)
+            if target.exception is not None:
+                target.defused = True
+                bounce.defused = True
+                bounce.fail(target.exception)
+            else:
+                bounce.succeed(target.value)
+            self._waiting_on = bounce
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target

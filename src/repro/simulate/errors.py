@@ -1,0 +1,62 @@
+"""Exception hierarchy for the discrete-event simulation kernel.
+
+The simulator distinguishes three failure categories:
+
+* programming errors in simulation scripts (:class:`SimulationError`),
+* intentional process termination injected by fault-tolerance experiments
+  (:class:`ProcessKilled`), and
+* failed events that nobody handled (:class:`UnhandledFailure`), which
+  usually indicate a missing ``try/except`` around a ``yield``.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class StaleEventError(SimulationError):
+    """An event was triggered (succeeded or failed) more than once."""
+
+
+class NotProcessError(SimulationError):
+    """A plain function (not a generator) was passed where a process body
+    was expected."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting.
+
+    In a correct simulation every suspended process eventually has its
+    event triggered; running out of events first means the model
+    deadlocked (e.g. a ``recv`` whose matching ``send`` never happens).
+    """
+
+
+class ProcessKilled(Exception):
+    """Raised inside (or recorded for) a process that was killed.
+
+    Fault-injection experiments kill replica processes with
+    :meth:`repro.simulate.engine.Process.kill`; the process's completion
+    event fails with this exception so that observers (e.g. a failure
+    detector) can distinguish a crash from a normal exit.
+    """
+
+    def __init__(self, reason: str = "killed"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class UnhandledFailure(SimulationError):
+    """An event failed and no callback consumed the failure.
+
+    Mirrors SimPy semantics: a failed event must either be defused
+    (expected failure, e.g. an injected crash) or be observed by at least
+    one waiting process, otherwise the simulation aborts loudly instead of
+    silently dropping an error.
+    """
+
+    def __init__(self, cause: BaseException):
+        super().__init__(f"unhandled event failure: {cause!r}")
+        self.cause = cause

@@ -1,0 +1,233 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot occurrence in virtual time.  Processes
+suspend by ``yield``-ing an event and are resumed when it *fires*.  Events
+carry either a value (success) or an exception (failure); a failed event
+makes the waiting process's ``yield`` raise, which is how, for example, a
+receive posted towards a crashed replica reports an error (Algorithm 1,
+line 41 of the paper).
+
+The composite events :class:`AllOf` and :class:`AnyOf` implement the
+``MPI_Waitall`` / ``MPI_Waitany`` style synchronisation the
+intra-parallelization runtime relies on to overlap update transfers with
+task execution (paper §V-A).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .errors import StaleEventError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Simulator
+
+Callback = _t.Callable[["Event"], None]
+
+_PENDING = 0
+_TRIGGERED = 1
+_PROCESSED = 2
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    Lifecycle: *pending* → *triggered* (``succeed``/``fail`` called, event
+    sits in the simulator's queue) → *processed* (callbacks ran, waiting
+    processes resumed).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_state", "defused",
+                 "label")
+
+    def __init__(self, sim: "Simulator", label: str = ""):
+        self.sim = sim
+        #: callbacks invoked, in registration order, when the event is
+        #: processed.  ``None`` once processed (catches late registration).
+        self.callbacks: _t.Optional[_t.List[Callback]] = []
+        self._value: _t.Any = None
+        self._exc: _t.Optional[BaseException] = None
+        self._state = _PENDING
+        #: a failed event whose failure is expected (e.g. an injected
+        #: crash) is *defused* so the kernel does not abort the run.
+        self.defused = False
+        self.label = label
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run and waiters were resumed."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful if triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> _t.Any:
+        """The success value (or the failure exception) of the event."""
+        if self._exc is not None:
+            return self._exc
+        return self._value
+
+    @property
+    def exception(self) -> _t.Optional[BaseException]:
+        """The failure exception, or ``None`` if the event succeeded."""
+        return self._exc
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: _t.Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful; it fires ``delay`` from now."""
+        if self._state != _PENDING:
+            raise StaleEventError(f"event {self!r} already triggered")
+        self._state = _TRIGGERED
+        self._value = value
+        self.sim._enqueue(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; the waiter's ``yield`` will raise."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        if self._state != _PENDING:
+            raise StaleEventError(f"event {self!r} already triggered")
+        self._state = _TRIGGERED
+        self._exc = exc
+        self.sim._enqueue(self, delay)
+        return self
+
+    # -- kernel hooks ------------------------------------------------------
+    def _process(self) -> None:
+        """Run callbacks.  Called by the simulator when the event's time
+        arrives; user code never calls this."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = _PROCESSED
+        for cb in callbacks:  # type: ignore[union-attr]
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered",
+                 _PROCESSED: "processed"}[self._state]
+        tag = f" {self.label!r}" if self.label else ""
+        return f"<{type(self).__name__}{tag} {state} at t={self.sim.now:g}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units after it is
+    created.  ``yield sim.timeout(d)`` is how processes model the passage
+    of (compute) time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: _t.Any = None,
+                 label: str = ""):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, label=label)
+        self.delay = delay
+        self._state = _TRIGGERED
+        self._value = value
+        sim._enqueue(self, delay)
+
+
+class ConditionError(Exception):
+    """Wraps the first failure among a composite condition's children."""
+
+    def __init__(self, event: Event, cause: BaseException):
+        super().__init__(f"condition child failed: {cause!r}")
+        self.event = event
+        self.cause = cause
+
+
+class AllOf(Event):
+    """Fires when *all* child events have fired (``MPI_Waitall``).
+
+    The value is a list of child values in the order the children were
+    given.  If any child fails, the condition fails immediately with a
+    :class:`ConditionError` carrying the first failure; remaining children
+    are left to fire on their own (their failures are defused through the
+    condition).
+    """
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: _t.Sequence[Event],
+                 label: str = ""):
+        super().__init__(sim, label=label)
+        self.events = list(events)
+        self._pending_count = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.processed:
+                if not ev.ok:
+                    self._child_failed(ev)
+                    return
+            else:
+                self._pending_count += 1
+                ev.callbacks.append(self._on_child)  # type: ignore[union-attr]
+        if self._pending_count == 0 and self._state == _PENDING:
+            self.succeed([ev.value for ev in self.events])
+
+    def _on_child(self, ev: Event) -> None:
+        if self._state != _PENDING:
+            # Condition already failed because of a sibling; absorb this
+            # child's outcome so a failure doesn't go unhandled.
+            if not ev.ok:
+                ev.defused = True
+            return
+        if not ev.ok:
+            self._child_failed(ev)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed([e.value for e in self.events])
+
+    def _child_failed(self, ev: Event) -> None:
+        ev.defused = True
+        assert ev.exception is not None
+        self.fail(ConditionError(ev, ev.exception))
+
+
+class AnyOf(Event):
+    """Fires when the *first* child event fires (``MPI_Waitany``).
+
+    The value is a ``(index, value)`` pair identifying which child fired.
+    A first-failing child fails the condition.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: _t.Sequence[Event],
+                 label: str = ""):
+        super().__init__(sim, label=label)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf needs at least one event")
+        for idx, ev in enumerate(self.events):
+            if ev.processed:
+                self._on_child_idx(ev, idx)
+                if self._state != _PENDING:
+                    break
+            else:
+                ev.callbacks.append(  # type: ignore[union-attr]
+                    lambda e, i=idx: self._on_child_idx(e, i))
+
+    def _on_child_idx(self, ev: Event, idx: int) -> None:
+        if self._state != _PENDING:
+            if not ev.ok:
+                ev.defused = True
+            return
+        if not ev.ok:
+            ev.defused = True
+            assert ev.exception is not None
+            self.fail(ConditionError(ev, ev.exception))
+        else:
+            self.succeed((idx, ev.value))

@@ -1,0 +1,131 @@
+"""Analytic model tests: efficiency metric, Daly cCR, MNFTI."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (ccr_efficiency, daly_interval,
+                            doubled_resource_efficiency,
+                            expected_segment_time,
+                            fixed_resource_efficiency, mean,
+                            mnfti_degree2, normalized_time,
+                            plain_ccr_efficiency,
+                            replicated_ccr_efficiency, replication_mtti,
+                            workload_efficiency, young_interval)
+
+
+def test_efficiency_definitions():
+    assert workload_efficiency(10.0, 20.0) == 0.5
+    assert fixed_resource_efficiency(10.0, 20.0) == 0.5
+    assert doubled_resource_efficiency(10.0, 10.0) == 0.5
+    assert normalized_time(10.0, 25.0) == 2.5
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+
+
+def test_efficiency_validation():
+    with pytest.raises(ValueError):
+        workload_efficiency(1.0, 0.0)
+    with pytest.raises(ValueError):
+        normalized_time(0.0, 1.0)
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_young_interval_formula():
+    assert young_interval(60.0, 30000.0) == pytest.approx(
+        math.sqrt(2 * 60 * 30000))
+
+
+def test_daly_close_to_young_for_small_delta():
+    M = 1e5
+    d = 10.0
+    assert daly_interval(d, M) == pytest.approx(young_interval(d, M),
+                                                rel=0.05)
+
+
+def test_expected_segment_time_failure_free_limit():
+    # M -> inf: E[T] -> work
+    assert expected_segment_time(100.0, 1e12, 10.0) == pytest.approx(
+        100.0, rel=1e-6)
+
+
+def test_ccr_efficiency_decreases_with_failures():
+    e_good = ccr_efficiency(mtbf=1e6, checkpoint_cost=60, restart_cost=60)
+    e_bad = ccr_efficiency(mtbf=1e3, checkpoint_cost=60, restart_cost=60)
+    assert 0 < e_bad < e_good < 1
+
+
+def test_ccr_can_drop_below_half():
+    """The paper's §II motivation: at exascale-like MTBF and PFS-scale
+    checkpoint costs, cCR efficiency falls below 50%."""
+    e = ccr_efficiency(mtbf=600.0, checkpoint_cost=300.0,
+                       restart_cost=300.0)
+    assert e < 0.5
+
+
+def test_mnfti_small_cases():
+    # N=1: two replicas; first failure damages, second kills: E = 2 - ...
+    # exact: E_0 = 1 + (1 - 0/2) * E_1 ; E_1 = 1 (j=1 of 1: next failure
+    # must hit the survivor).  So E_0 = 2.
+    assert mnfti_degree2(1) == pytest.approx(2.0)
+    assert mnfti_degree2(2) > mnfti_degree2(1)
+
+
+def test_mnfti_grows_sublinearly_like_sqrt():
+    """[16]: the mean number of failures to interruption grows ~ sqrt(N)
+    — large even at scale."""
+    e100 = mnfti_degree2(100)
+    e10000 = mnfti_degree2(10000)
+    ratio = e10000 / e100
+    assert 8.0 < ratio < 12.0  # sqrt(100) = 10
+
+
+def test_replication_mtti_much_larger_than_system_mtbf():
+    n = 10000
+    node_mtbf = 5 * 365 * 24 * 3600.0  # 5 years per node
+    system_mtbf = node_mtbf / (2 * n)
+    assert replication_mtti(n, node_mtbf) > 50 * system_mtbf
+
+
+def test_replication_beats_ccr_at_low_mtbf():
+    """The crossover the paper leans on: replicated cCR ≈ 0.5 while
+    plain cCR degrades below it when failures are frequent."""
+    n = 100000
+    node_mtbf = 2 * 365 * 24 * 3600.0
+    delta, restart = 1800.0, 1800.0  # PFS-scale checkpoints
+    e_plain = plain_ccr_efficiency(n, node_mtbf, delta, restart)
+    e_repl = replicated_ccr_efficiency(n // 2, node_mtbf, delta, restart)
+    assert e_plain < 0.5
+    assert e_repl > e_plain
+    assert e_repl <= 0.5
+
+
+def test_replication_loses_at_high_mtbf():
+    """With rare failures plain cCR approaches 1.0 and replication's 50%
+    cap makes it unattractive — the other side of the crossover."""
+    n = 100
+    node_mtbf = 30 * 365 * 24 * 3600.0
+    e_plain = plain_ccr_efficiency(n, node_mtbf, 60.0, 60.0)
+    e_repl = replicated_ccr_efficiency(n // 2, node_mtbf, 60.0, 60.0)
+    assert e_plain > 0.9
+    assert e_repl < 0.51
+
+
+@given(st.integers(1, 2000))
+def test_property_mnfti_bounds(n):
+    e = mnfti_degree2(n)
+    # at least 2 failures (one per replica of some rank), at most 1 + N
+    # (every rank damaged once) + 1
+    assert 2.0 <= e <= n + 2.0
+
+
+def test_model_input_validation():
+    with pytest.raises(ValueError):
+        young_interval(-1, 10)
+    with pytest.raises(ValueError):
+        ccr_efficiency(0, 1, 1)
+    with pytest.raises(ValueError):
+        mnfti_degree2(0)
+    with pytest.raises(NotImplementedError):
+        replication_mtti(10, 1e5, degree=3)

@@ -1,0 +1,69 @@
+"""Partial-replication model ([18] of the paper's §II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (mnfti_degree2, mnfti_partial,
+                            partial_replication_efficiency,
+                            partial_replication_sweep)
+
+
+def test_no_replication_dies_on_first_failure():
+    assert mnfti_partial(0, 100) == 1.0
+
+
+def test_full_replication_matches_degree2_model():
+    for n in (1, 5, 100, 1000):
+        assert mnfti_partial(n, 0) == pytest.approx(mnfti_degree2(n))
+
+
+def test_single_pair_plus_singletons():
+    # r=1, u=1: 3 live procs; interrupt prob first failure = 1/3
+    # E_0 = 1 + (2/3)*E_1 ; E_1 (pair damaged): live=2, p=2/2=1 -> E=1
+    assert mnfti_partial(1, 1) == pytest.approx(1 + 2 / 3)
+
+
+@given(r=st.integers(0, 300), u=st.integers(0, 300))
+def test_property_mnfti_bounds(r, u):
+    if r + u == 0:
+        return
+    e = mnfti_partial(r, u)
+    assert 1.0 <= e <= r + 2.0
+    if u > 0:
+        # singletons can only make things worse than full replication
+        assert e <= mnfti_partial(r + u, 0)
+
+
+@given(r=st.integers(1, 200))
+def test_property_more_replication_survives_longer(r):
+    # moving one rank from unreplicated to replicated never hurts
+    assert mnfti_partial(r, 10) >= mnfti_partial(r - 1, 11) - 1e-9
+
+
+def test_random_partial_replication_does_not_pay_off():
+    """The [18] result the paper cites: for random selection, every
+    interior fraction is dominated by one of the endpoints."""
+    for n, mtbf_years in ((10_000, 5.0), (100_000, 5.0),
+                          (1_000_000, 5.0)):
+        rows = partial_replication_sweep(
+            n, mtbf_years * 365 * 24 * 3600, 900.0, 900.0,
+            fractions=(0.0, 0.25, 0.5, 0.75, 1.0))
+        eff = dict(rows)
+        best_endpoint = max(eff[0.0], eff[1.0])
+        for frac in (0.25, 0.5, 0.75):
+            assert eff[frac] <= best_endpoint + 1e-9, (n, frac)
+
+
+def test_efficiency_cap_scales_with_fraction():
+    # failure-free limit: cap = 1 / (1 + fraction)
+    e = partial_replication_efficiency(1000, 0.5, 1e18, 1.0, 1.0)
+    assert e == pytest.approx(1 / 1.5, rel=1e-3)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        mnfti_partial(0, 0)
+    with pytest.raises(ValueError):
+        partial_replication_efficiency(10, 1.5, 1e6, 1, 1)
+    with pytest.raises(ValueError):
+        partial_replication_efficiency(0, 0.5, 1e6, 1, 1)

@@ -1,0 +1,37 @@
+"""Reporting helpers (table formatting)."""
+
+from repro.analysis import efficiency_label, format_table
+
+
+def test_format_table_basic():
+    out = format_table(["a", "bb"], [[1, 2.5], ["xyz", 0.123456]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "-+-" in lines[1]
+    assert "2.50" in out
+    assert "0.123" in out
+
+
+def test_format_table_title_and_widths():
+    out = format_table(["mode"], [["Open MPI"]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert len(lines[1]) == len(lines[2]) == len("Open MPI")
+
+
+def test_format_table_float_ranges():
+    out = format_table(["v"], [[1234.5678], [12.345], [0.00123], [0]])
+    assert "1234.6" in out
+    assert "12.35" in out
+    assert "0.001" in out
+    assert "\n0" in out
+
+
+def test_format_table_empty_rows():
+    out = format_table(["h1", "h2"], [])
+    assert "h1" in out
+
+
+def test_efficiency_label():
+    assert efficiency_label(0.3412) == "0.34"
+    assert efficiency_label(0.999) == "1.00"

@@ -1,0 +1,101 @@
+"""MiniGhost and GTC: mode-consistency and physics checks."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gtc import GtcConfig, gtc_program
+from repro.apps.minighost import MiniGhostConfig, minighost_program
+from repro.intra import launch_mode
+from repro.mpi import MpiWorld
+from repro.netmodel import Cluster, MachineSpec, NetworkSpec
+
+MACHINE = MachineSpec(name="t", cores_per_node=4, flop_rate=2.5e9,
+                      mem_bandwidth=12e9)
+NETSPEC = NetworkSpec(bandwidth=1.5e9, latency=3e-6, half_duplex=False)
+
+
+def run(mode, program, n_logical, config, n_nodes=8):
+    world = MpiWorld(Cluster(n_nodes, MACHINE), NETSPEC)
+    job = launch_mode(mode, world, program, n_logical, args=(config,))
+    world.run()
+    return job
+
+
+def values(job, mode):
+    if mode == "native":
+        return [r.value for r in job.results()]
+    return [res.value for row in job.results() for res in row]
+
+
+MG_CFG = MiniGhostConfig(nx=8, ny=8, nz=4, steps=3)
+GTC_CFG = GtcConfig(particles_per_rank=256, cells_per_rank=16, steps=3)
+
+
+@pytest.mark.parametrize("mode", ["native", "sdr", "intra"])
+def test_minighost_total_agrees_across_ranks(mode):
+    job = run(mode, minighost_program, 2, MG_CFG)
+    vals = values(job, mode)
+    assert all(v == pytest.approx(vals[0], rel=1e-12) for v in vals)
+
+
+def test_minighost_modes_agree():
+    ref = values(run("native", minighost_program, 2, MG_CFG), "native")[0]
+    for mode in ("sdr", "intra"):
+        got = values(run(mode, minighost_program, 2, MG_CFG), mode)
+        assert all(v == pytest.approx(ref, rel=1e-12) for v in got)
+
+
+def test_minighost_smoothing_contracts():
+    """The 27-pt average with zero x/y padding loses mass each step."""
+    job = run("native", minighost_program, 1,
+              MiniGhostConfig(nx=8, ny=8, nz=4, steps=1))
+    one = values(job, "native")[0]
+    job = run("native", minighost_program, 1,
+              MiniGhostConfig(nx=8, ny=8, nz=4, steps=4))
+    four = values(job, "native")[0]
+    assert 0 < four < one
+
+
+def test_minighost_sum_section_stats():
+    job = run("intra", minighost_program, 2, MG_CFG)
+    for row in job.manager.replicas:
+        for info in row:
+            s = info.ctx.intra.stats
+            assert s.sections == MG_CFG.steps  # grid_sum only
+            # stencil ran outside sections: no stencil updates shipped
+            assert s.update_bytes_sent <= MG_CFG.steps * 8 * 8
+
+
+@pytest.mark.parametrize("mode", ["native", "sdr", "intra"])
+def test_gtc_conserves_particles(mode):
+    job = run(mode, gtc_program, 2, GTC_CFG)
+    vals = values(job, mode)
+    total = (sum(v[0] for v in vals) if mode == "native"
+             else sum(v[0] for v in vals) / 2)  # two replicas each
+    assert total == 2 * GTC_CFG.particles_per_rank
+
+
+def test_gtc_modes_agree():
+    ref = values(run("native", gtc_program, 2, GTC_CFG), "native")
+    for mode in ("sdr", "intra"):
+        got = values(run(mode, gtc_program, 2, GTC_CFG), mode)
+        # per logical rank: both replicas match the native rank value
+        assert got[0] == pytest.approx(ref[0], rel=1e-9)
+        assert got[1] == pytest.approx(ref[0], rel=1e-9)
+        assert got[2] == pytest.approx(ref[1], rel=1e-9)
+        assert got[3] == pytest.approx(ref[1], rel=1e-9)
+
+
+def test_gtc_inout_copies_charged_in_intra_mode():
+    job = run("intra", gtc_program, 1, GTC_CFG)
+    for info in job.manager.replicas[0]:
+        s = info.ctx.intra.stats
+        assert s.copy_bytes > 0      # pos/vel INOUT protection copies
+        assert s.copy_time > 0
+        assert s.sections == 2 * GTC_CFG.steps  # charge + push per step
+
+
+def test_gtc_momentum_is_finite_and_symmetric():
+    job = run("native", gtc_program, 2, GTC_CFG)
+    for _n, mom in values(job, "native"):
+        assert np.isfinite(mom)

@@ -1,0 +1,136 @@
+"""End-to-end integration: whole applications through crashes, and
+determinism of the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gtc import GtcConfig, gtc_program
+from repro.apps.hpccg import HpccgConfig, hpccg_program
+from repro.intra import launch_intra_job, launch_mode
+from repro.mpi import MpiWorld
+from repro.netmodel import (GRID5000_MACHINE, GRID5000_NETWORK, Cluster)
+from repro.replication import FailureInjector
+
+CFG = HpccgConfig(nx=8, ny=8, nz=8, max_iter=6)
+
+
+def make_world(n_nodes=8):
+    return MpiWorld(Cluster(n_nodes, GRID5000_MACHINE), GRID5000_NETWORK)
+
+
+def run_hpccg_with_crash(kill_spec, fd_delay=50e-6):
+    world = make_world()
+    job = launch_intra_job(world, hpccg_program, 2, fd_delay=fd_delay,
+                           args=(CFG,))
+    inj = FailureInjector(job.manager)
+    kill_spec(inj)
+    world.run()
+    return job
+
+
+def reference_residual():
+    world = make_world()
+    job = launch_mode("native", world, hpccg_program, 2, args=(CFG,))
+    world.run()
+    return job.results()[0].value[0]
+
+
+def test_hpccg_intra_survives_time_triggered_crash():
+    ref = reference_residual()
+    job = run_hpccg_with_crash(lambda inj: inj.kill_at(0, 1, 0.0015))
+    for lrank in range(2):
+        for info in job.manager.alive_replicas(lrank):
+            assert info.app_process.value.value[0] == pytest.approx(
+                ref, rel=1e-12)
+
+
+def test_hpccg_intra_survives_section_hook_crash():
+    ref = reference_residual()
+    job = run_hpccg_with_crash(
+        lambda inj: inj.kill_on_hook(
+            1, 0, "update_injected",
+            when=lambda section, **kw: section == 7))
+    survivor = job.manager.alive_replicas(1)[0]
+    assert survivor.app_process.value.value[0] == pytest.approx(
+        ref, rel=1e-12)
+    assert survivor.ctx.intra.stats.recoveries >= 1
+
+
+def test_hpccg_intra_survives_two_crashes_different_ranks():
+    ref = reference_residual()
+
+    def kills(inj):
+        inj.kill_at(0, 0, 0.001)
+        inj.kill_at(1, 1, 0.002)
+
+    job = run_hpccg_with_crash(kills)
+    for lrank in range(2):
+        live = job.manager.alive_replicas(lrank)
+        assert len(live) == 1
+        assert live[0].app_process.value.value[0] == pytest.approx(
+            ref, rel=1e-12)
+
+
+def test_crashed_run_takes_longer_than_clean_run():
+    """After a crash the survivor executes all tasks alone: the run
+    degrades toward SDR speed (the §VI observation that motivates fast
+    replica restart)."""
+    world = make_world()
+    clean = launch_intra_job(world, hpccg_program, 2, args=(CFG,))
+    world.run()
+    t_clean = world.sim.now
+
+    job = run_hpccg_with_crash(lambda inj: inj.kill_at(0, 1, 1e-4))
+    t_crashed = job.world.sim.now
+    assert t_crashed > t_clean
+
+
+def test_full_stack_determinism():
+    """Two identical runs produce identical virtual times and results —
+    the property every reproduction experiment rests on."""
+    outcomes = []
+    for _ in range(2):
+        world = make_world()
+        job = launch_intra_job(world, hpccg_program, 2, args=(CFG,))
+        inj = FailureInjector(job.manager)
+        inj.kill_at(1, 0, 0.0012)
+        world.run()
+        survivor = job.manager.alive_replicas(1)[0]
+        outcomes.append((world.sim.now,
+                         survivor.app_process.value.value[0],
+                         survivor.ctx.intra.stats.tasks_reexecuted))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_gtc_intra_crash_preserves_physics():
+    cfg = GtcConfig(particles_per_rank=512, cells_per_rank=16, steps=3)
+    world = make_world()
+    native = launch_mode("native", world, gtc_program, 2, args=(cfg,))
+    world.run()
+    ref = [r.value for r in native.results()]
+
+    world2 = make_world()
+    job = launch_intra_job(world2, gtc_program, 2, fd_delay=20e-6,
+                           args=(cfg,))
+    inj = FailureInjector(job.manager)
+    inj.kill_on_hook(0, 0, "task_executed",
+                     when=lambda section, **kw: section == 2)
+    world2.run()
+    for lrank in range(2):
+        for info in job.manager.alive_replicas(lrank):
+            got = info.app_process.value.value
+            assert got == pytest.approx(ref[lrank], rel=1e-9)
+
+
+def test_network_traffic_accounting():
+    """The replicated run moves strictly more bytes than native (update
+    traffic), and intra moves more than SDR (which ships no updates)."""
+    def traffic(mode):
+        world = make_world()
+        launch_mode(mode, world, hpccg_program, 2, args=(CFG,))
+        world.run()
+        return world.network.bytes_sent
+
+    native, sdr, intra = (traffic(m) for m in ("native", "sdr", "intra"))
+    assert sdr >= native            # mirrored messages across planes
+    assert intra > sdr              # plus update exchanges

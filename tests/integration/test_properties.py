@@ -1,0 +1,183 @@
+"""Property-based tests on the full stack (hypothesis).
+
+These are the invariants DESIGN.md commits to:
+* event-queue ordering (same-time events process in schedule order),
+* per-channel FIFO delivery under random message patterns,
+* replica bitwise consistency at section exit for *any* task structure,
+* recovery correctness for *any* crash time,
+* partition helpers cover exactly the input range.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.intra import Tag, launch_intra_job
+from repro.kernels import split_range
+from repro.mpi import MpiWorld, launch_job
+from repro.netmodel import Cluster, MachineSpec, NetworkSpec
+from repro.replication import FailureInjector
+from repro.simulate import Simulator
+
+MACHINE = MachineSpec(name="t", cores_per_node=4, flop_rate=1e9,
+                      mem_bandwidth=4e9)
+NETSPEC = NetworkSpec(bandwidth=1e9, latency=1e-6, half_duplex=False)
+
+
+@given(delays=st.lists(st.floats(0, 100, allow_nan=False), min_size=1,
+                       max_size=50))
+def test_event_processing_order_is_time_then_schedule_order(delays):
+    sim = Simulator()
+    seen = []
+    for i, d in enumerate(delays):
+        ev = sim.timeout(d, value=i)
+        ev.callbacks.append(lambda e: seen.append((sim.now, e.value)))
+    sim.run()
+    # sorted by (time, insertion order)
+    expect = sorted(range(len(delays)), key=lambda i: (delays[i], i))
+    assert [i for _t, i in seen] == expect
+
+
+@given(n=st.integers(0, 500), parts=st.integers(1, 40))
+def test_split_range_partitions_exactly(n, parts):
+    slices = split_range(n, parts)
+    assert len(slices) == parts
+    covered = []
+    for sl in slices:
+        covered.extend(range(sl.start, sl.stop))
+    assert covered == list(range(n))
+    sizes = [sl.stop - sl.start for sl in slices]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(messages=st.lists(
+    st.tuples(st.integers(0, 3),          # tag
+              st.integers(1, 2000)),      # payload size (bytes)
+    min_size=1, max_size=20))
+def test_fifo_per_tag_under_random_message_sizes(messages):
+    """MPI non-overtaking: per (source, tag) channel, messages arrive in
+    send order regardless of their sizes (which perturb transfer
+    times)."""
+    def program(ctx, comm):
+        if comm.rank == 0:
+            for seq, (tag, size) in enumerate(messages):
+                yield from comm.send((seq, bytes(size)), dest=1, tag=tag)
+            return None
+        out = {}
+        for tag in {t for t, _ in messages}:
+            count = sum(1 for t, _ in messages if t == tag)
+            got = []
+            for _ in range(count):
+                seq, _payload = yield from comm.recv(source=0, tag=tag)
+                got.append(seq)
+            out[tag] = got
+        return out
+
+    world = MpiWorld(Cluster(2, MACHINE), NETSPEC)
+    job = launch_job(world, program, 2)
+    world.run()
+    per_tag = job.results()[1]
+    for tag, seqs in per_tag.items():
+        expect = [i for i, (t, _s) in enumerate(messages) if t == tag]
+        assert seqs == expect
+
+
+@settings(max_examples=15, deadline=None)
+@given(task_sizes=st.lists(st.integers(1, 64), min_size=1, max_size=12),
+       degree=st.integers(2, 3),
+       seed=st.integers(0, 2**16))
+def test_replicas_bitwise_identical_for_any_task_structure(task_sizes,
+                                                           degree, seed):
+    """Any section shape (task count/sizes) leaves all replicas with
+    bitwise-identical state."""
+    rng = np.random.default_rng(seed)
+    inputs = [rng.standard_normal(s) for s in task_sizes]
+
+    def program(ctx, comm):
+        outs = [np.zeros_like(x) for x in inputs]
+        rt = ctx.intra
+        rt.section_begin()
+        tid = rt.task_register(
+            lambda a, o: np.copyto(o, np.sin(a) * 3.0),
+            [Tag.IN, Tag.OUT])
+        for x, o in zip(inputs, outs):
+            rt.task_launch(tid, [x, o])
+        yield from rt.section_end()
+        return np.concatenate(outs)
+
+    world = MpiWorld(Cluster(3 * degree, MACHINE), NETSPEC)
+    job = launch_intra_job(world, program, 1, degree=degree)
+    world.run()
+    row = job.results()[0]
+    ref = row[0]
+    for other in row[1:]:
+        assert np.array_equal(ref, other)
+
+
+@settings(max_examples=15, deadline=None)
+@given(crash_us=st.floats(1.0, 4000.0),
+       victim=st.integers(0, 1))
+def test_any_crash_time_yields_correct_final_state(crash_us, victim):
+    """Whenever either replica dies, the survivor finishes with exactly
+    the failure-free result (recovery idempotence over crash time)."""
+    n, n_tasks, rounds = 64, 8, 3
+
+    def program(ctx, comm):
+        acc = np.arange(n, dtype=np.float64)
+        for _ in range(rounds):
+            rt = ctx.intra
+            rt.section_begin()
+            tid = rt.task_register(
+                lambda p: np.add(p, 1.0, out=p), [Tag.INOUT],
+                cost=lambda p: (p.size * 100.0, 16.0 * p.size))
+            for sl in split_range(n, n_tasks):
+                rt.task_launch(tid, [acc[sl]])
+            yield from rt.section_end()
+        return acc
+
+    world = MpiWorld(Cluster(4, MACHINE), NETSPEC)
+    job = launch_intra_job(world, program, 1, fd_delay=10e-6)
+    FailureInjector(job.manager).kill_at(0, victim, crash_us * 1e-6)
+    world.run()
+    live = job.manager.alive_replicas(0)
+    expect = np.arange(n, dtype=np.float64) + rounds
+    for info in live:
+        got = (info.app_process.value if info.app_process.value is not None
+               else None)
+        assert got is not None
+        np.testing.assert_array_equal(got, expect)
+
+
+@settings(max_examples=10, deadline=None)
+@given(values=st.lists(st.floats(-1e3, 1e3, allow_nan=False,
+                                 allow_infinity=False),
+                       min_size=2, max_size=9))
+def test_collectives_match_numpy_reference(values):
+    n = len(values)
+
+    def program(ctx, comm, v):
+        s = yield from comm.allreduce(v, op="sum")
+        m = yield from comm.allreduce(v, op="max")
+        g = yield from comm.allgather(v)
+        return (s, m, g)
+
+    world = MpiWorld(Cluster(-(-n // 4), MACHINE), NETSPEC)
+    procs = []
+    from repro.mpi import Communicator
+    from repro.netmodel import block_placement
+    slots = block_placement(world.cluster, n)
+    ctxs = [world.spawn(slots[i], name=f"p{i}") for i in range(n)]
+    comm = Communicator(world, [c.endpoint.id for c in ctxs])
+    for i, ctx in enumerate(ctxs):
+        procs.append(world.start(ctx, program(ctx, comm.bind(ctx),
+                                              values[i])))
+    world.run()
+    total = sum(values)
+    for p in procs:
+        s, m, g = p.value
+        # binomial reduction order differs from sum()'s left fold:
+        # compare with a tolerance scaled to the magnitude of the terms
+        scale = max(1.0, max(abs(v) for v in values) * n)
+        assert abs(s - total) <= 1e-9 * scale
+        assert m == max(values)
+        assert g == values

@@ -1,0 +1,280 @@
+"""Failure handling inside intra-parallel sections (paper §III-B2).
+
+Three crash cases are distinguished by the paper:
+  1. before the replica sent any update for its current task,
+  2. after the full update reached some (all, at degree 2) replicas,
+  3. mid-update — some variables delivered, others not (Figure 2).
+
+Plus: failures outside sections need no action, and the true-dependence
+hazard of case 3 is only avoided thanks to the extra `inout` copy
+(Figure 2c); with protection disabled we reproduce the *incorrect*
+execution of Figure 2b.
+"""
+
+import numpy as np
+import pytest
+
+from repro.intra import (CopyStrategy, Intra_Section_begin,
+                         Intra_Section_end, Intra_Task_launch,
+                         Intra_Task_register, Tag, launch_intra_job)
+from repro.replication import FailureInjector
+
+
+def doubler_program(ctx, comm, n=64, n_tasks=8, sleep_before=0.0):
+    """Simple OUT-only section: w = 2 * x."""
+    x = np.arange(n, dtype=np.float64)
+    w = np.zeros(n, dtype=np.float64)
+    if sleep_before:
+        yield ctx.sleep(sleep_before)
+    Intra_Section_begin(ctx)
+    tid = Intra_Task_register(
+        ctx, lambda a, o: np.multiply(a, 2.0, out=o), [Tag.IN, Tag.OUT],
+        cost=lambda a, o: (a.size, 16.0 * a.size))
+    ts = n // n_tasks
+    for i in range(n_tasks):
+        sl = slice(i * ts, (i + 1) * ts)
+        Intra_Task_launch(ctx, tid, [x[sl], w[sl]])
+    yield from Intra_Section_end(ctx)
+    return w
+
+
+def inout_program(ctx, comm, n=32, n_tasks=4, rounds=1):
+    """GTC-push-style INOUT section: pos += 1 (depends on old pos)."""
+    pos = np.arange(n, dtype=np.float64)
+    for _ in range(rounds):
+        Intra_Section_begin(ctx)
+        tid = Intra_Task_register(
+            ctx, lambda p: np.add(p, 1.0, out=p), [Tag.INOUT],
+            cost=lambda p: (p.size, 16.0 * p.size))
+        ts = n // n_tasks
+        for i in range(n_tasks):
+            Intra_Task_launch(ctx, tid, [pos[i * ts:(i + 1) * ts]])
+        yield from Intra_Section_end(ctx)
+    return pos
+
+
+def survivors_w(job, lrank=0):
+    return [info.app_process.value
+            for info in job.manager.alive_replicas(lrank)]
+
+
+def test_failure_outside_section_needs_no_action(make_world):
+    """Crash before the section starts: survivor executes all tasks."""
+    world = make_world()
+    job = launch_intra_job(world, doubler_program, 1,
+                           kwargs=dict(sleep_before=0.01))
+    FailureInjector(job.manager).kill_at(0, 1, 0.001)
+    world.run()
+    (w,) = survivors_w(job)
+    np.testing.assert_allclose(w, 2.0 * np.arange(64.0))
+    # survivor executed all 8 tasks, sent no updates (no live sibling)
+    survivor = job.manager.alive_replicas(0)[0]
+    assert survivor.ctx.intra.stats.tasks_executed == 8
+    assert survivor.ctx.intra.stats.update_msgs_sent == 0
+
+
+def test_case1_crash_before_any_update(make_world):
+    """Replica dies right when the section starts: none of its task
+    updates exist; survivor re-executes them all."""
+    world = make_world()
+    job = launch_intra_job(world, doubler_program, 1, fd_delay=10e-6)
+    inj = FailureInjector(job.manager)
+    inj.kill_on_hook(0, 1, "section_enter")
+    world.run()
+    (w,) = survivors_w(job)
+    np.testing.assert_allclose(w, 2.0 * np.arange(64.0))
+    survivor = job.manager.alive_replicas(0)[0]
+    s = survivor.ctx.intra.stats
+    assert s.tasks_reexecuted == 4
+    assert s.recoveries >= 1
+
+
+def test_case2_crash_after_full_update_delivery(make_world):
+    """Replica dies after executing and fully delivering every one of
+    its tasks' updates: the survivor needs no re-execution."""
+    world = make_world()
+    # large fd_delay: the crash (late in virtual time) is detected long
+    # after the section completed.
+    job = launch_intra_job(world, doubler_program, 1, fd_delay=0.5)
+    inj = FailureInjector(job.manager)
+    # kill replica 1 after its last update was injected AND delivered:
+    # its 4th task is index 7; let the run finish the section first by
+    # killing at a hook that fires on section exit.
+    inj.kill_on_hook(0, 1, "section_exit")
+    world.run()
+    (w,) = survivors_w(job)
+    np.testing.assert_allclose(w, 2.0 * np.arange(64.0))
+    survivor = job.manager.alive_replicas(0)[0]
+    assert survivor.ctx.intra.stats.tasks_reexecuted == 0
+
+
+def test_case3_crash_mid_task_stream(make_world):
+    """Replica dies after injecting only its first task's update: the
+    survivor re-executes the remaining tasks."""
+    world = make_world()
+    job = launch_intra_job(world, doubler_program, 1, fd_delay=10e-6)
+    inj = FailureInjector(job.manager)
+    inj.kill_on_hook(0, 1, "update_injected",
+                     when=lambda task, arg, **kw: task == 4)
+    world.run()
+    (w,) = survivors_w(job)
+    np.testing.assert_allclose(w, 2.0 * np.arange(64.0))
+    survivor = job.manager.alive_replicas(0)[0]
+    s = survivor.ctx.intra.stats
+    # task 4's update was delivered; tasks 5-7 re-executed
+    assert s.tasks_reexecuted == 3
+
+
+def test_figure2_partial_update_with_lazy_copy_is_correct(make_world):
+    """Figure 2c: task writes variables a then b; executor dies after
+    a's update is injected but before b's.  The survivor restores its
+    `inout` copy before re-executing, so no true dependence corrupts the
+    result."""
+    def program(ctx, comm):
+        a = np.array([1.0])
+        b = np.array([0.0])
+        Intra_Section_begin(ctx)
+
+        def task1(a, b):
+            a += 1.0
+            b[...] = a * 2.0
+
+        tid = Intra_Task_register(ctx, task1, [Tag.INOUT, Tag.OUT],
+                                  cost=lambda a, b: (2.0, 1e6))
+        Intra_Task_launch(ctx, tid, [a, b])
+        yield from Intra_Section_end(ctx)
+        return (float(a[0]), float(b[0]))
+
+    world = make_world()
+    job = launch_intra_job(world, program, 1, fd_delay=10e-6,
+                           copy_strategy=CopyStrategy.LAZY)
+    inj = FailureInjector(job.manager)
+    # replica 0 executes the single task (static-block assigns task 0 to
+    # the lowest live rid); kill it the moment update arg 0 (a) hits the
+    # wire — arg 1 (b) is still queued behind it and is retracted.
+    inj.kill_on_hook(0, 0, "update_injected",
+                     when=lambda task, arg, **kw: arg == 0)
+    world.run()
+    (result,) = survivors_w(job)
+    # correct execution: a = 2, b = 4 (Figure 2's expected values)
+    assert result == (2.0, 4.0)
+
+
+def test_figure2_without_protection_reproduces_incorrect_run(make_world):
+    """Figure 2b: same scenario with CopyStrategy.NONE — the partial
+    update of `a` leaks into the re-execution, giving a=3, b=6."""
+    def program(ctx, comm):
+        a = np.array([1.0])
+        b = np.array([0.0])
+        Intra_Section_begin(ctx)
+
+        def task1(a, b):
+            a += 1.0
+            b[...] = a * 2.0
+
+        tid = Intra_Task_register(ctx, task1, [Tag.INOUT, Tag.OUT],
+                                  cost=lambda a, b: (2.0, 1e6))
+        Intra_Task_launch(ctx, tid, [a, b])
+        yield from Intra_Section_end(ctx)
+        return (float(a[0]), float(b[0]))
+
+    world = make_world()
+    job = launch_intra_job(world, program, 1, fd_delay=10e-6,
+                           copy_strategy=CopyStrategy.NONE)
+    inj = FailureInjector(job.manager)
+    inj.kill_on_hook(0, 0, "update_injected",
+                     when=lambda task, arg, **kw: arg == 0)
+    world.run()
+    (result,) = survivors_w(job)
+    # incorrect execution of Figure 2b: a=2 applied, then re-execution
+    # reads the updated a: a=3, b=6.
+    assert result == (3.0, 6.0)
+
+
+@pytest.mark.parametrize("strategy", [CopyStrategy.LAZY, CopyStrategy.EAGER,
+                                      CopyStrategy.ATOMIC])
+def test_inout_protection_strategies_all_correct(make_world, strategy):
+    """All three protection strategies of §III-B2 give the correct
+    result under a mid-update crash."""
+    world = make_world()
+    job = launch_intra_job(world, inout_program, 1, fd_delay=10e-6,
+                           copy_strategy=strategy,
+                           kwargs=dict(rounds=3))
+    inj = FailureInjector(job.manager)
+    inj.kill_on_hook(0, 0, "update_injected",
+                     when=lambda task, arg, section, **kw: section == 1
+                     and task == 0)
+    world.run()
+    (pos,) = survivors_w(job)
+    np.testing.assert_allclose(pos, np.arange(32.0) + 3.0)
+
+
+def test_subsequent_sections_run_on_survivor(make_world):
+    """After a crash, later sections schedule all tasks on the survivor
+    (paper: "During the next intra-parallel sections, tasks would be
+    scheduled on the remaining replicas")."""
+    world = make_world()
+    job = launch_intra_job(world, inout_program, 1, fd_delay=10e-6,
+                           kwargs=dict(rounds=4))
+    inj = FailureInjector(job.manager)
+    inj.kill_on_hook(0, 1, "section_exit",
+                     when=lambda section, **kw: section == 0)
+    world.run()
+    (pos,) = survivors_w(job)
+    np.testing.assert_allclose(pos, np.arange(32.0) + 4.0)
+    survivor = job.manager.alive_replicas(0)[0]
+    s = survivor.ctx.intra.stats
+    # round 0: 2 tasks locally; rounds 1-3: all 4 tasks each
+    assert s.tasks_executed == 2 + 3 * 4
+    # updates only in round 0 (2 local tasks x 1 inout arg x 1 sibling);
+    # rounds 1-3 have no live sibling to update
+    assert s.update_msgs_sent == 2
+    assert s.tasks_reexecuted == 0
+
+
+def test_degree3_crash_survivors_both_reexecute_locally(make_world):
+    """With degree 3, both survivors independently re-execute the dead
+    replica's unfinished tasks and stay bitwise consistent."""
+    def program(ctx, comm):
+        w = yield from doubler_program(ctx, comm, n=60, n_tasks=6)
+        return w
+
+    world = make_world(n_nodes=12)
+    job = launch_intra_job(world, program, 1, degree=3, fd_delay=10e-6)
+    inj = FailureInjector(job.manager)
+    inj.kill_on_hook(0, 2, "section_enter")
+    world.run()
+    vals = survivors_w(job)
+    assert len(vals) == 2
+    np.testing.assert_array_equal(vals[0], vals[1])
+    np.testing.assert_allclose(vals[0], 2.0 * np.arange(60.0))
+
+
+def test_crash_during_intra_section_with_mpi_phases_around(make_world):
+    """Full mini-app shape: MPI allreduce, intra section, MPI allreduce,
+    with a crash inside the section."""
+    def program(ctx, comm):
+        pre = yield from comm.allreduce(comm.rank + 1.0, op="sum")
+        w = np.zeros(32)
+        x = np.full(32, pre)
+        Intra_Section_begin(ctx)
+        tid = Intra_Task_register(
+            ctx, lambda a, o: np.multiply(a, 3.0, out=o),
+            [Tag.IN, Tag.OUT], cost=lambda a, o: (a.size, 1e6))
+        for i in range(4):
+            Intra_Task_launch(ctx, tid, [x[i * 8:(i + 1) * 8],
+                                         w[i * 8:(i + 1) * 8]])
+        yield from Intra_Section_end(ctx)
+        post = yield from comm.allreduce(float(w.sum()), op="sum")
+        return post
+
+    world = make_world()
+    job = launch_intra_job(world, program, 2, fd_delay=10e-6)
+    inj = FailureInjector(job.manager)
+    inj.kill_on_hook(1, 0, "update_injected",
+                     when=lambda task, **kw: task == 0)
+    world.run()
+    # pre = 3 on every rank; w = 9 everywhere; sum_w = 288; post = 576
+    for lrank in range(2):
+        for info in job.manager.alive_replicas(lrank):
+            assert info.app_process.value == pytest.approx(576.0)

@@ -1,0 +1,180 @@
+"""Intra-runtime internals: stats accounting, stale updates, run_local
+guard, ATOMIC buffering, tags."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.intra import (CopyStrategy, IntraError, IntraStats, Tag,
+                         launch_intra_job, launch_native_job)
+from repro.replication import FailureInjector
+
+
+def test_stats_merge():
+    a = IntraStats(sections=2, tasks_executed=5, copy_bytes=100,
+                   section_time=1.5)
+    b = IntraStats(sections=1, tasks_executed=3, copy_bytes=50,
+                   section_time=0.5)
+    m = a.merge(b)
+    assert m.sections == 3
+    assert m.tasks_executed == 8
+    assert m.copy_bytes == 150
+    assert m.section_time == 2.0
+    # originals untouched
+    assert a.sections == 2 and b.sections == 1
+
+
+def test_run_local_inside_section_rejected(make_world):
+    def program(ctx, comm):
+        ctx.intra.section_begin()
+        try:
+            yield from ctx.intra.run_local(lambda: None, [])
+        except IntraError:
+            return "caught"
+
+    world = make_world()
+    job = launch_native_job(world, program, 1)
+    world.run()
+    assert job.results() == ["caught"]
+
+
+def test_stale_update_after_local_reexecution_is_ignored(make_world):
+    """If a task was re-executed locally, a late-arriving update from
+    the (now dead) original executor must not clobber post-section
+    state.  We verify through the done-flag path: the re-executed value
+    equals the update value (determinism), so state stays consistent
+    either way — the assertion is that nothing crashes and replicas
+    agree."""
+    def program(ctx, comm):
+        w = np.zeros(16)
+        rt = ctx.intra
+        rt.section_begin()
+        tid = rt.task_register(lambda o: o.fill(3.0), [Tag.OUT],
+                               cost=lambda o: (1e5, 1e6))
+        for i in range(4):
+            rt.task_launch(tid, [w[i * 4:(i + 1) * 4]])
+        yield from rt.section_end()
+        return w
+
+    world = make_world()
+    job = launch_intra_job(world, program, 1, fd_delay=5e-6)
+    inj = FailureInjector(job.manager)
+    inj.kill_on_hook(0, 0, "update_injected",
+                     when=lambda task, **kw: task == 0)
+    world.run()
+    for info in job.manager.alive_replicas(0):
+        np.testing.assert_allclose(info.app_process.value, 3.0)
+
+
+def test_atomic_strategy_buffers_until_complete(make_world):
+    """Under ATOMIC, a task with two OUT args applies both at once; a
+    mid-update crash leaves the receiver's vars untouched before
+    re-execution."""
+    def program(ctx, comm):
+        a = np.zeros(4)
+        b = np.zeros(4)
+        rt = ctx.intra
+        rt.section_begin()
+
+        def task(x, y):
+            x.fill(1.0)
+            y.fill(2.0)
+
+        tid = rt.task_register(task, [Tag.OUT, Tag.OUT],
+                               cost=lambda x, y: (10.0, 1e6))
+        rt.task_launch(tid, [a, b])
+        yield from rt.section_end()
+        return np.concatenate([a, b])
+
+    world = make_world()
+    job = launch_intra_job(world, program, 1, fd_delay=5e-6,
+                           copy_strategy=CopyStrategy.ATOMIC)
+    inj = FailureInjector(job.manager)
+    # crash the executor between its two update injections
+    inj.kill_on_hook(0, 0, "update_injected",
+                     when=lambda arg, **kw: arg == 0)
+    world.run()
+    survivor = job.manager.alive_replicas(0)[0]
+    np.testing.assert_allclose(survivor.app_process.value,
+                               [1, 1, 1, 1, 2, 2, 2, 2])
+    assert survivor.ctx.intra.stats.tasks_reexecuted == 1
+
+
+def test_update_tags_unique_across_sections(make_world):
+    """Two sections with identical task structure must not cross-match
+    update messages (section index is baked into the tag)."""
+    def program(ctx, comm):
+        out1 = np.zeros(4)
+        out2 = np.zeros(4)
+        for val, out in ((1.0, out1), (2.0, out2)):
+            rt = ctx.intra
+            rt.section_begin()
+            tid = rt.task_register(
+                lambda o, v=val: o.fill(v), [Tag.OUT])
+            rt.task_launch(tid, [out])
+            yield from rt.section_end()
+        return (out1.copy(), out2.copy())
+
+    world = make_world()
+    job = launch_intra_job(world, program, 1)
+    world.run()
+    for o1, o2 in job.results()[0]:
+        np.testing.assert_allclose(o1, 1.0)
+        np.testing.assert_allclose(o2, 2.0)
+
+
+def test_max_args_enforced(make_world):
+    def program(ctx, comm):
+        ctx.intra.section_begin()
+        try:
+            ctx.intra.task_register(lambda *a: None, [Tag.IN] * 100)
+        except IntraError:
+            return "caught"
+        yield  # pragma: no cover
+
+    world = make_world()
+    job = launch_native_job(world, program, 1)
+    world.run()
+    assert job.results() == ["caught"]
+
+
+def test_string_tags_accepted(make_world):
+    def program(ctx, comm):
+        w = np.zeros(4)
+        rt = ctx.intra
+        rt.section_begin()
+        tid = rt.task_register(lambda o: o.fill(9.0), ["out"])
+        rt.task_launch(tid, [w])
+        yield from rt.section_end()
+        return w
+
+    world = make_world()
+    job = launch_intra_job(world, program, 1)
+    world.run()
+    for w in job.results()[0]:
+        np.testing.assert_allclose(w, 9.0)
+
+
+def test_task_overhead_charged_per_task(make_world):
+    def program(ctx, comm, n_tasks):
+        outs = [np.zeros(1) for _ in range(n_tasks)]
+        rt = ctx.intra
+        rt.section_begin()
+        tid = rt.task_register(lambda o: None, [Tag.OUT])
+        for o in outs:
+            rt.task_launch(tid, [o])
+        yield from rt.section_end()
+        return ctx.now
+
+    def run(n_tasks, overhead):
+        world = make_world()
+        job = launch_intra_job(world, program, 1,
+                               task_overhead=overhead,
+                               args=(n_tasks,))
+        world.run()
+        return max(job.results()[0])
+
+    t_small = run(4, 1e-5)
+    t_large = run(32, 1e-5)
+    assert t_large - t_small == pytest.approx(28e-5, rel=0.2)

@@ -1,0 +1,108 @@
+"""Scheduler policies: determinism, balance, completeness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.intra import (CostBalancedScheduler, RoundRobinScheduler,
+                         StaticBlockScheduler, Tag, TaskDef, LaunchedTask,
+                         make_scheduler)
+
+
+def make_tasks(n, costs=None):
+    tdef = TaskDef(1, lambda o: None, [Tag.OUT])
+    import numpy as np
+    tasks = []
+    for i in range(n):
+        t = LaunchedTask(index=i, tdef=tdef, vars=[np.zeros(1)])
+        tasks.append(t)
+    if costs:
+        for t, c in zip(tasks, costs):
+            t.tdef = TaskDef(1, lambda o: None, [Tag.OUT],
+                             cost=lambda o, c=c: (c, 0.0))
+    return tasks
+
+
+def test_static_block_paper_split():
+    """Paper §V-A: with 8 tasks and 2 replicas, first 4 go to replica 0,
+    last 4 to replica 1."""
+    sched = StaticBlockScheduler()
+    out = sched.assign(make_tasks(8), [0, 1])
+    assert out == [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+def test_static_block_uneven():
+    sched = StaticBlockScheduler()
+    out = sched.assign(make_tasks(5), [0, 1])
+    assert out in ([0, 0, 0, 1, 1], [0, 0, 1, 1, 1])
+    assert sorted(set(out)) == [0, 1]
+
+
+def test_static_block_single_executor():
+    sched = StaticBlockScheduler()
+    assert sched.assign(make_tasks(4), [7]) == [7, 7, 7, 7]
+
+
+def test_round_robin_interleaves():
+    sched = RoundRobinScheduler()
+    assert sched.assign(make_tasks(5), [0, 1]) == [0, 1, 0, 1, 0]
+
+
+def test_cost_balanced_puts_heavy_alone():
+    sched = CostBalancedScheduler()
+    tasks = make_tasks(4, costs=[100.0, 1.0, 1.0, 1.0])
+    out = sched.assign(tasks, [0, 1])
+    heavy = out[0]
+    assert all(e != heavy for e in out[1:])
+
+
+def test_no_executors_rejected():
+    with pytest.raises(ValueError):
+        StaticBlockScheduler().assign(make_tasks(2), [])
+
+
+def test_duplicate_executors_rejected():
+    with pytest.raises(ValueError):
+        RoundRobinScheduler().assign(make_tasks(2), [1, 1])
+
+
+def test_make_scheduler_factory():
+    assert isinstance(make_scheduler("static-block"), StaticBlockScheduler)
+    assert isinstance(make_scheduler("round-robin"), RoundRobinScheduler)
+    assert isinstance(make_scheduler("cost-balanced"),
+                      CostBalancedScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("magic")
+
+
+@given(n=st.integers(1, 200), r=st.integers(1, 8),
+       policy=st.sampled_from(["static-block", "round-robin"]))
+def test_property_every_task_assigned_to_valid_executor(n, r, policy):
+    sched = make_scheduler(policy)
+    executors = list(range(10, 10 + r))
+    out = sched.assign(make_tasks(n), executors)
+    assert len(out) == n
+    assert all(e in executors for e in out)
+
+
+@given(n=st.integers(1, 200), r=st.integers(1, 8))
+def test_property_static_block_is_balanced_and_contiguous(n, r):
+    sched = StaticBlockScheduler()
+    executors = list(range(r))
+    out = sched.assign(make_tasks(n), executors)
+    # contiguity: executor ids non-decreasing along launch order
+    assert out == sorted(out)
+    # balance: counts differ by at most 1
+    counts = [out.count(e) for e in executors]
+    assert max(counts) - min(counts) <= 1
+
+
+@given(n=st.integers(1, 100), r=st.integers(1, 6), seed=st.integers(0, 99))
+def test_property_cost_balanced_deterministic(n, r, seed):
+    import random
+    rng = random.Random(seed)
+    costs = [rng.uniform(0.1, 10.0) for _ in range(n)]
+    executors = list(range(r))
+    a = CostBalancedScheduler().assign(make_tasks(n, costs), executors)
+    b = CostBalancedScheduler().assign(make_tasks(n, costs), executors)
+    assert a == b
+    assert all(e in executors for e in a)

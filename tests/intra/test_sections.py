@@ -1,0 +1,291 @@
+"""Section/task semantics in all three modes: consistency at section
+exit, work split, update traffic, API error handling."""
+
+import numpy as np
+import pytest
+
+from repro.intra import (Intra_Section_begin, Intra_Section_end,
+                         Intra_Task_launch, Intra_Task_register,
+                         IntraError, Tag, launch_intra_job, launch_mode,
+                         launch_native_job, launch_sdr_job)
+from tests.intra.conftest import waxpby_cost, waxpby_task
+
+
+def waxpby_program(ctx, comm, n=64, n_tasks=8):
+    """The paper's Figure 4: waxpby split into n_tasks tasks."""
+    x = np.arange(n, dtype=np.float64) + comm.rank
+    y = np.ones(n, dtype=np.float64)
+    w = np.zeros(n, dtype=np.float64)
+    Intra_Section_begin(ctx)
+    tid = Intra_Task_register(
+        ctx, waxpby_task, [Tag.IN, Tag.IN, Tag.IN, Tag.IN, Tag.OUT],
+        cost=waxpby_cost)
+    ts = n // n_tasks
+    for i in range(n_tasks):
+        sl = slice(i * ts, (i + 1) * ts)
+        Intra_Task_launch(ctx, tid, [2.0, x[sl], 3.0, y[sl], w[sl]])
+    yield from Intra_Section_end(ctx)
+    return w
+
+
+def expected_w(rank, n=64):
+    return 2.0 * (np.arange(n, dtype=np.float64) + rank) + 3.0
+
+
+def test_native_mode_computes_waxpby(make_world):
+    world = make_world()
+    job = launch_native_job(world, waxpby_program, 2)
+    world.run()
+    for rank, w in enumerate(job.results()):
+        np.testing.assert_allclose(w, expected_w(rank))
+
+
+def test_sdr_mode_all_replicas_compute_everything(make_world):
+    world = make_world()
+    job = launch_sdr_job(world, waxpby_program, 2)
+    world.run()
+    for lrank, row in enumerate(job.results()):
+        for w in row:
+            np.testing.assert_allclose(w, expected_w(lrank))
+    # every replica executed all 8 tasks itself
+    for row in job.manager.replicas:
+        for info in row:
+            assert info.ctx.intra.stats.tasks_executed == 8
+            assert info.ctx.intra.stats.update_msgs_sent == 0
+
+
+def test_intra_mode_replicas_consistent_and_share_work(make_world):
+    world = make_world()
+    job = launch_intra_job(world, waxpby_program, 2)
+    world.run()
+    for lrank, row in enumerate(job.results()):
+        for w in row:
+            np.testing.assert_allclose(w, expected_w(lrank))
+    for row in job.manager.replicas:
+        stats = [info.ctx.intra.stats for info in row]
+        # paper's static split: 4 tasks per replica (8 tasks, degree 2)
+        assert [s.tasks_executed for s in stats] == [4, 4]
+        # each replica shipped its 4 task outputs (one OUT arg each)
+        assert all(s.update_msgs_sent == 4 for s in stats)
+        assert all(s.update_msgs_applied == 4 for s in stats)
+
+
+def test_intra_replicas_bitwise_identical(make_world):
+    world = make_world()
+    job = launch_intra_job(world, waxpby_program, 3)
+    world.run()
+    for row in job.results():
+        ref = row[0]
+        for w in row[1:]:
+            assert np.array_equal(ref, w)  # bit-for-bit
+
+
+def test_intra_faster_than_sdr_for_compute_heavy_task(make_world):
+    """A task with large compute and tiny update (ddot-like) should run
+    ~2x faster under intra than under SDR."""
+    def program(ctx, comm):
+        x = np.arange(1024.0)
+        out = [np.zeros(1) for _ in range(8)]
+        Intra_Section_begin(ctx)
+        tid = Intra_Task_register(
+            ctx, lambda v, o: np.copyto(o, v.sum()), [Tag.IN, Tag.OUT],
+            cost=lambda v, o: (2.0 * v.size * 1000, 0.0))  # compute-heavy
+        for i in range(8):
+            Intra_Task_launch(ctx, tid, [x[i * 128:(i + 1) * 128], out[i]])
+        yield from Intra_Section_end(ctx)
+        return (ctx.now, float(sum(o[0] for o in out)))
+
+    world = make_world()
+    sdr = launch_sdr_job(world, program, 1)
+    world.run()
+    t_sdr = max(t for t, _ in sdr.results()[0])
+
+    world2 = make_world()
+    intra = launch_intra_job(world2, program, 1)
+    world2.run()
+    t_intra = max(t for t, _ in intra.results()[0])
+    val = intra.results()[0][0][1]
+
+    assert val == float(np.arange(1024.0).sum())
+    assert t_intra < 0.6 * t_sdr
+
+
+def test_multiple_sections_in_sequence(make_world):
+    def program(ctx, comm, k=5):
+        acc = np.zeros(16)
+        for step in range(k):
+            Intra_Section_begin(ctx)
+            tid = Intra_Task_register(
+                ctx, lambda a, o: np.copyto(o, a + 1.0),
+                [Tag.IN, Tag.OUT])
+            half = 8
+            buf = acc.copy()
+            Intra_Task_launch(ctx, tid, [buf[:half], acc[:half]])
+            Intra_Task_launch(ctx, tid, [buf[half:], acc[half:]])
+            yield from Intra_Section_end(ctx)
+        return acc
+
+    world = make_world()
+    job = launch_intra_job(world, program, 2)
+    world.run()
+    for row in job.results():
+        for acc in row:
+            np.testing.assert_allclose(acc, np.full(16, 5.0))
+
+
+def test_section_with_zero_tasks(make_world):
+    def program(ctx, comm):
+        Intra_Section_begin(ctx)
+        yield from Intra_Section_end(ctx)
+        return "ok"
+
+    world = make_world()
+    job = launch_intra_job(world, program, 1)
+    world.run()
+    assert job.results()[0] == ["ok", "ok"]
+
+
+def test_fewer_tasks_than_replicas(make_world):
+    def program(ctx, comm):
+        out = np.zeros(4)
+        Intra_Section_begin(ctx)
+        tid = Intra_Task_register(ctx, lambda o: o.fill(7.0), [Tag.OUT])
+        Intra_Task_launch(ctx, tid, [out])
+        yield from Intra_Section_end(ctx)
+        return out
+
+    world = make_world()
+    job = launch_intra_job(world, program, 1, degree=3, placements=None,
+                           spread=1)
+    world.run()
+    for out in job.results()[0]:
+        np.testing.assert_allclose(out, np.full(4, 7.0))
+
+
+def test_nested_section_rejected(make_world):
+    def program(ctx, comm):
+        Intra_Section_begin(ctx)
+        try:
+            Intra_Section_begin(ctx)
+        except IntraError:
+            return "caught"
+        yield  # pragma: no cover
+
+    world = make_world()
+    job = launch_native_job(world, program, 1)
+    world.run()
+    assert job.results() == ["caught"]
+
+
+def test_launch_without_register_rejected(make_world):
+    def program(ctx, comm):
+        Intra_Section_begin(ctx)
+        try:
+            Intra_Task_launch(ctx, 99, [])
+        except IntraError:
+            return "caught"
+        yield  # pragma: no cover
+
+    world = make_world()
+    job = launch_native_job(world, program, 1)
+    world.run()
+    assert job.results() == ["caught"]
+
+
+def test_out_arg_must_be_ndarray(make_world):
+    def program(ctx, comm):
+        Intra_Section_begin(ctx)
+        tid = Intra_Task_register(ctx, lambda o: None, [Tag.OUT])
+        try:
+            Intra_Task_launch(ctx, tid, [3.0])  # scalar OUT: invalid
+        except TypeError:
+            return "caught"
+        yield  # pragma: no cover
+
+    world = make_world()
+    job = launch_native_job(world, program, 1)
+    world.run()
+    assert job.results() == ["caught"]
+
+
+def test_api_outside_launcher_rejected(make_world):
+    from repro.mpi import launch_job
+
+    def program(ctx, comm):
+        try:
+            Intra_Section_begin(ctx)
+        except RuntimeError:
+            return "caught"
+        yield  # pragma: no cover
+
+    world = make_world()
+    job = launch_job(world, program, 1)
+    world.run()
+    assert job.results() == ["caught"]
+
+
+@pytest.mark.parametrize("mode", ["native", "sdr", "intra"])
+def test_launch_mode_dispatch(make_world, mode):
+    world = make_world()
+    job = launch_mode(mode, world, waxpby_program, 2, degree=2)
+    world.run()
+    if mode == "native":
+        for rank, w in enumerate(job.results()):
+            np.testing.assert_allclose(w, expected_w(rank))
+    else:
+        for lrank, row in enumerate(job.results()):
+            for w in row:
+                np.testing.assert_allclose(w, expected_w(lrank))
+
+
+def test_inout_task_all_modes_agree(make_world):
+    """GTC-style inout kernel: new value depends on old value."""
+    def program(ctx, comm):
+        pos = np.arange(32, dtype=np.float64)
+        vel = np.full(32, 0.5)
+        Intra_Section_begin(ctx)
+        tid = Intra_Task_register(
+            ctx, lambda p, v: np.add(p, v, out=p), [Tag.INOUT, Tag.IN])
+        for i in range(4):
+            sl = slice(i * 8, (i + 1) * 8)
+            Intra_Task_launch(ctx, tid, [pos[sl], vel[sl]])
+        yield from Intra_Section_end(ctx)
+        return pos
+
+    expect = np.arange(32, dtype=np.float64) + 0.5
+    for mode in ("native", "sdr", "intra"):
+        world = make_world()
+        job = launch_mode(mode, world, program, 1, degree=2)
+        world.run()
+        if mode == "native":
+            np.testing.assert_allclose(job.results()[0], expect)
+        else:
+            for pos in job.results()[0]:
+                np.testing.assert_allclose(pos, expect)
+
+
+def test_exposed_update_time_tracked_for_large_updates(make_world):
+    """waxpby-style task: output as large as input — update transfer
+    dominates and is visible in stats.exposed_update_time."""
+    def program(ctx, comm):
+        n = 1_000_000  # 8 MB vectors
+        x = np.ones(n)
+        w = np.zeros(n)
+        Intra_Section_begin(ctx)
+        tid = Intra_Task_register(
+            ctx, lambda a, o: np.multiply(a, 2.0, out=o),
+            [Tag.IN, Tag.OUT],
+            cost=lambda a, o: (a.size, 8.0 * a.size))
+        ts = n // 8
+        for i in range(8):
+            sl = slice(i * ts, (i + 1) * ts)
+            Intra_Task_launch(ctx, tid, [x[sl], w[sl]])
+        yield from Intra_Section_end(ctx)
+        s = ctx.intra.stats
+        return (s.exposed_update_time, s.section_time)
+
+    world = make_world()
+    job = launch_intra_job(world, program, 1)
+    world.run()
+    for exposed, total in job.results()[0]:
+        assert exposed > 0.3 * total  # transfer-dominated, like Fig 5a

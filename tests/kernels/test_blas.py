@@ -1,0 +1,80 @@
+"""Correctness of the BLAS-like kernels against numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kernels import (ddot_cost, ddot_partial, grid_sum_cost,
+                           grid_sum_partial, waxpby, waxpby_cost)
+
+floats = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(x=hnp.arrays(np.float64, st.integers(1, 100), elements=floats),
+       alpha=floats, beta=floats)
+def test_waxpby_matches_numpy(x, alpha, beta):
+    y = np.ones_like(x) * 2.0
+    w = np.zeros_like(x)
+    waxpby(alpha, x, beta, y, w)
+    np.testing.assert_allclose(w, alpha * x + beta * y, rtol=1e-12,
+                               atol=1e-9)
+
+
+def test_waxpby_beta_one_fast_path():
+    x = np.arange(4.0)
+    y = np.arange(4.0) * 10
+    w = np.empty(4)
+    waxpby(2.0, x, 1.0, y, w)
+    np.testing.assert_allclose(w, 2 * x + y)
+
+
+def test_waxpby_does_not_alias_inputs():
+    x = np.arange(8.0)
+    y = np.arange(8.0)
+    w = np.zeros(8)
+    waxpby(1.0, x, 1.0, y, w)
+    np.testing.assert_allclose(x, np.arange(8.0))
+    np.testing.assert_allclose(y, np.arange(8.0))
+
+
+@given(hnp.arrays(np.float64, st.integers(1, 100), elements=floats))
+def test_ddot_partial_matches_numpy(x):
+    y = x * 0.5 + 1.0
+    out = np.zeros(1)
+    ddot_partial(x, y, out)
+    assert out[0] == pytest.approx(float(np.dot(x, y)), rel=1e-12,
+                                   abs=1e-6)
+
+
+@given(hnp.arrays(np.float64, st.integers(1, 100), elements=floats))
+def test_grid_sum_partial(x):
+    out = np.zeros(1)
+    grid_sum_partial(x, out)
+    assert out[0] == pytest.approx(float(x.sum()), rel=1e-12, abs=1e-6)
+
+
+def test_cost_models_scale_linearly():
+    x = np.zeros(100)
+    y = np.zeros(100)
+    w = np.zeros(100)
+    out = np.zeros(1)
+    assert waxpby_cost(1.0, x, 1.0, y, w) == (300.0, 2400.0)
+    assert ddot_cost(x, y, out) == (200.0, 1600.0)
+    assert grid_sum_cost(x, out) == (100.0, 800.0)
+
+
+def test_flops_per_output_byte_ordering():
+    """The paper's §V-C observation: intra-parallelization efficiency
+    tracks compute per output byte.  ddot/grid_sum produce 8 bytes total;
+    waxpby produces 8 bytes per element."""
+    n = 1000
+    x = np.zeros(n)
+    w = np.zeros(n)
+    out = np.zeros(1)
+    wax_bytes_out = w.nbytes
+    ddot_bytes_out = out.nbytes
+    wax_compute = waxpby_cost(1.0, x, 1.0, x, w)[1]
+    ddot_compute = ddot_cost(x, x, out)[1]
+    assert ddot_compute / ddot_bytes_out > 10 * (wax_compute
+                                                 / wax_bytes_out)

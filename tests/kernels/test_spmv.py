@@ -1,0 +1,90 @@
+"""27-point CSR operator: structure and spmv correctness vs scipy."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.kernels import build_27pt, make_spmv_task, spmv_cost, spmv_rows
+from repro.kernels.partition import split_blocks
+
+
+def to_scipy(m):
+    return sp.csr_matrix((m.val, m.col, m.row_ptr),
+                         shape=(m.n_rows, m.padded_len))
+
+
+def test_interior_row_has_27_nonzeros():
+    m = build_27pt(5, 5, 5, has_lower=True, has_upper=True)
+    # center cell (2,2,2): row = 2 + 5*2 + 25*2 = 62
+    row = 62
+    assert m.row_ptr[row + 1] - m.row_ptr[row] == 27
+
+
+def test_corner_row_truncated():
+    m = build_27pt(5, 5, 5, has_lower=False, has_upper=False)
+    # corner (0,0,0): 2*2*2 = 8 legs survive
+    assert m.row_ptr[1] - m.row_ptr[0] == 8
+
+
+def test_diagonal_is_27():
+    m = build_27pt(3, 3, 3, has_lower=False, has_upper=False)
+    A = to_scipy(m)
+    for r in range(m.n_rows):
+        assert A[r, m.halo_lo + r] == 27.0
+
+
+def test_halo_columns_present_with_neighbours():
+    m = build_27pt(3, 3, 2, has_lower=True, has_upper=True)
+    assert m.halo_lo == 9 and m.halo_hi == 9
+    # row 0 (cell 0,0,0) should reference lower-halo columns [0, 9)
+    cols0 = m.col[m.row_ptr[0]:m.row_ptr[1]]
+    assert (cols0 < m.halo_lo).any()
+
+
+@pytest.mark.parametrize("halo", [(False, False), (True, False),
+                                  (False, True), (True, True)])
+def test_spmv_rows_matches_scipy(halo):
+    rng = np.random.default_rng(42)
+    m = build_27pt(4, 3, 5, has_lower=halo[0], has_upper=halo[1])
+    x = rng.standard_normal(m.padded_len)
+    y = np.zeros(m.n_rows)
+    spmv_rows(m, x, 0, m.n_rows, y)
+    np.testing.assert_allclose(y, to_scipy(m) @ x, rtol=1e-12)
+
+
+def test_spmv_row_blocks_compose():
+    rng = np.random.default_rng(7)
+    m = build_27pt(4, 4, 4, has_lower=True, has_upper=True)
+    x = rng.standard_normal(m.padded_len)
+    y = np.zeros(m.n_rows)
+    for lo, hi in split_blocks(m.n_rows, 8):
+        spmv_rows(m, x, lo, hi, y[lo:hi])
+    np.testing.assert_allclose(y, to_scipy(m) @ x, rtol=1e-12)
+
+
+def test_spmv_cost_tracks_nnz():
+    m = build_27pt(4, 4, 4, has_lower=False, has_upper=False)
+    flops, nbytes = spmv_cost(m, 0, m.n_rows)
+    assert flops == 2.0 * m.nnz
+    assert nbytes == 12.0 * m.nnz + 16.0 * m.n_rows
+    # half the rows ~ roughly half the cost
+    f2, _ = spmv_cost(m, 0, m.n_rows // 2)
+    assert 0.3 * flops < f2 < 0.7 * flops
+
+
+def test_make_spmv_task_binding():
+    rng = np.random.default_rng(3)
+    m = build_27pt(3, 3, 3, has_lower=False, has_upper=False)
+    fn, cost = make_spmv_task(m)
+    x = rng.standard_normal(m.padded_len)
+    y = np.zeros(m.n_rows)
+    bounds = np.array([0, m.n_rows], dtype=np.int64)
+    fn(x, bounds, y)
+    np.testing.assert_allclose(y, to_scipy(m) @ x, rtol=1e-12)
+    flops, nbytes = cost(x, bounds, y)
+    assert flops == 2.0 * m.nnz
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ValueError):
+        build_27pt(0, 3, 3, False, False)

@@ -1,0 +1,122 @@
+"""Stencil and PIC kernel correctness."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (apply_27pt, apply_27pt_matvec, apply_7pt,
+                           charge_deposit, push_particles, solve_field,
+                           split_range)
+
+
+def test_27pt_average_of_constant_interior():
+    g = np.ones((6, 6, 6))  # includes z halos
+    out = np.zeros((6, 6, 4))
+    apply_27pt(g, out)
+    # interior cells away from x/y boundaries: average of 27 ones = 1
+    np.testing.assert_allclose(out[2:-2, 2:-2, 1:-1], 1.0)
+    # x/y boundary cells see zero padding: average < 1
+    assert out[0, 0, 1] < 1.0
+
+
+def test_27pt_matches_reference_loop():
+    rng = np.random.default_rng(5)
+    g = rng.standard_normal((4, 4, 5))
+    out = np.zeros((4, 4, 3))
+    apply_27pt(g, out)
+    padded = np.zeros((6, 6, 5))
+    padded[1:-1, 1:-1, :] = g
+    for i in range(4):
+        for j in range(4):
+            for k in range(3):
+                ref = padded[i:i + 3, j:j + 3, k:k + 3].sum() / 27.0
+                assert out[i, j, k] == pytest.approx(ref)
+
+
+def test_7pt_laplacian_of_linear_field_is_zero_in_interior():
+    nx, ny, nz = 6, 6, 4
+    x = np.arange(nx)[:, None, None]
+    g = np.broadcast_to(x, (nx, ny, nz + 2)).astype(float).copy()
+    out = np.zeros((nx, ny, nz))
+    apply_7pt(g, out)
+    # interior (not touching x/y boundary): 6c - sum(neighbours) = 0
+    np.testing.assert_allclose(out[1:-1, 1:-1, 1:-1], 0.0, atol=1e-12)
+
+
+def test_27pt_matvec_shape_checks():
+    with pytest.raises(ValueError):
+        apply_27pt_matvec(np.zeros((3, 3, 4)), np.zeros((3, 3, 3)))
+
+
+def test_charge_deposit_conserves_charge():
+    rng = np.random.default_rng(11)
+    ngrid = 32
+    pos = rng.uniform(0, ngrid, size=500)
+    rho = np.zeros(ngrid)
+    charge_deposit(pos, np.array([ngrid]), rho)
+    assert rho.sum() == pytest.approx(500.0)
+    assert (rho >= 0).all()
+
+
+def test_charge_deposit_cic_weights():
+    rho = np.zeros(8)
+    charge_deposit(np.array([2.25]), np.array([8]), rho)
+    assert rho[2] == pytest.approx(0.75)
+    assert rho[3] == pytest.approx(0.25)
+
+
+def test_charge_private_grids_compose():
+    """Per-task private deposits sum to the full deposit — the property
+    that makes charge intra-parallelizable."""
+    rng = np.random.default_rng(13)
+    ngrid = 16
+    pos = rng.uniform(0, ngrid, size=400)
+    full = np.zeros(ngrid)
+    charge_deposit(pos, np.array([ngrid]), full)
+    acc = np.zeros(ngrid)
+    for sl in split_range(pos.size, 4):
+        part = np.zeros(ngrid)
+        charge_deposit(pos[sl], np.array([ngrid]), part)
+        acc += part
+    np.testing.assert_allclose(acc, full)
+
+
+def test_push_advances_positions_periodically():
+    pos = np.array([0.5, 15.9])
+    vel = np.array([1.0, 1.0])
+    efield = np.zeros(16)
+    push_particles(efield, np.array([1.0]), pos, vel)
+    np.testing.assert_allclose(pos, [1.5, 0.9], atol=1e-12)
+
+
+def test_push_kick_uses_interpolated_field():
+    pos = np.array([3.5])
+    vel = np.array([0.0])
+    efield = np.zeros(8)
+    efield[3] = 2.0
+    efield[4] = 4.0
+    push_particles(efield, np.array([0.5]), pos, vel)
+    # E at 3.5 = 3.0; dv = 1.5; dx = 0.75
+    assert vel[0] == pytest.approx(1.5)
+    assert pos[0] == pytest.approx(4.25)
+
+
+def test_field_solve_zero_mean_and_shape():
+    rng = np.random.default_rng(17)
+    rho = rng.uniform(0, 2, size=64)
+    e = np.zeros(64)
+    solve_field(rho, e)
+    assert e.shape == (64,)
+    # periodic E field integrates to ~0
+    assert abs(e.sum()) < 1e-8
+
+
+def test_field_solve_sinusoidal_mode():
+    """For rho = cos(kx), phi = cos(kx)/k^2 and E = sin(kx)/k."""
+    n = 128
+    xs = np.arange(n)
+    k = 2 * np.pi / n
+    rho = np.cos(k * xs)
+    e = np.zeros(n)
+    solve_field(rho, e)
+    expect = np.sin(k * xs) / k
+    np.testing.assert_allclose(e, expect, atol=1e-2 * abs(expect).max())

@@ -1,0 +1,28 @@
+"""Shared fixtures for MPI-layer tests: a small fast-cluster world."""
+
+import pytest
+
+from repro.netmodel import Cluster, MachineSpec, NetworkSpec
+from repro.mpi import MpiWorld
+
+
+@pytest.fixture
+def machine():
+    return MachineSpec(name="t", cores_per_node=4, flop_rate=1e9,
+                       mem_bandwidth=4e9)
+
+
+@pytest.fixture
+def netspec():
+    # Zero overheads and tiny latency: message time = latency + 2*size/bw.
+    return NetworkSpec(bandwidth=1e9, latency=1e-6, o_send=0.0, o_recv=0.0,
+                       o_nic=0.0, half_duplex=False,
+                       intranode_bandwidth=4e9, intranode_latency=0.0)
+
+
+@pytest.fixture
+def make_world(machine, netspec):
+    def _make(n_nodes=4):
+        return MpiWorld(Cluster(n_nodes, machine), netspec)
+
+    return _make

@@ -1,0 +1,184 @@
+"""Collective operations: correctness against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import launch_job
+
+SIZES = [1, 2, 3, 4, 5, 8, 13]
+
+
+def run_collective(make_world, program, n_ranks):
+    world = make_world(n_nodes=max(1, -(-n_ranks // 4)))
+    job = launch_job(world, program, n_ranks)
+    world.run()
+    return job.results()
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bcast(make_world, n):
+    def program(ctx, comm):
+        data = np.arange(10) * 7 if comm.rank == 2 % comm.size else None
+        got = yield from comm.bcast(data, root=2 % comm.size)
+        return got
+
+    results = run_collective(make_world, program, n)
+    for got in results:
+        np.testing.assert_array_equal(got, np.arange(10) * 7)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_sum(make_world, n):
+    def program(ctx, comm):
+        got = yield from comm.reduce(float(comm.rank + 1), op="sum", root=0)
+        return got
+
+    results = run_collective(make_world, program, n)
+    assert results[0] == pytest.approx(n * (n + 1) / 2)
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_nonzero_root(make_world, n):
+    root = n - 1
+
+    def program(ctx, comm):
+        got = yield from comm.reduce(comm.rank, op="max", root=root)
+        return got
+
+    results = run_collective(make_world, program, n)
+    assert results[root] == n - 1
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allreduce_sum_arrays(make_world, n):
+    def program(ctx, comm):
+        local = np.full(4, float(comm.rank))
+        got = yield from comm.allreduce(local, op="sum")
+        return got
+
+    results = run_collective(make_world, program, n)
+    expect = np.full(4, sum(range(n)), dtype=float)
+    for got in results:
+        np.testing.assert_allclose(got, expect)
+
+
+@pytest.mark.parametrize("op,expect", [("max", 12), ("min", 0),
+                                       ("prod", 0)])
+def test_allreduce_ops(make_world, op, expect):
+    def program(ctx, comm):
+        got = yield from comm.allreduce(comm.rank * 3, op=op)
+        return got
+
+    results = run_collective(make_world, program, 5)
+    assert all(r == expect for r in results)
+
+
+def test_allreduce_custom_op(make_world):
+    def program(ctx, comm):
+        got = yield from comm.allreduce((comm.rank,),
+                                        op=lambda a, b: a + b)
+        return got
+
+    results = run_collective(make_world, program, 4)
+    assert all(sorted(r) == [0, 1, 2, 3] for r in results)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allgather(make_world, n):
+    def program(ctx, comm):
+        got = yield from comm.allgather(comm.rank * 10)
+        return got
+
+    results = run_collective(make_world, program, n)
+    expect = [r * 10 for r in range(n)]
+    assert all(r == expect for r in results)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gather(make_world, n):
+    def program(ctx, comm):
+        got = yield from comm.gather(chr(ord("a") + comm.rank), root=0)
+        return got
+
+    results = run_collective(make_world, program, n)
+    assert results[0] == [chr(ord("a") + r) for r in range(n)]
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scatter(make_world, n):
+    def program(ctx, comm):
+        chunks = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+        got = yield from comm.scatter(chunks, root=0)
+        return got
+
+    results = run_collective(make_world, program, n)
+    assert results == [r * r for r in range(n)]
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 6])
+def test_alltoall(make_world, n):
+    def program(ctx, comm):
+        chunks = [f"{comm.rank}->{d}" for d in range(comm.size)]
+        got = yield from comm.alltoall(chunks)
+        return got
+
+    results = run_collective(make_world, program, n)
+    for dst, got in enumerate(results):
+        assert got == [f"{src}->{dst}" for src in range(n)]
+
+
+def test_barrier_synchronizes(make_world):
+    def program(ctx, comm):
+        yield ctx.sleep(0.01 * comm.rank)
+        yield from comm.barrier()
+        return ctx.now
+
+    results = run_collective(make_world, program, 6)
+    # Nobody leaves the barrier before the slowest rank arrived at 0.05.
+    assert min(results) >= 0.05
+
+
+def test_consecutive_collectives_do_not_crosstalk(make_world):
+    def program(ctx, comm):
+        a = yield from comm.allreduce(1, op="sum")
+        b = yield from comm.allreduce(comm.rank, op="max")
+        c = yield from comm.bcast("x" if comm.rank == 0 else None, root=0)
+        return (a, b, c)
+
+    results = run_collective(make_world, program, 7)
+    assert all(r == (7, 6, "x") for r in results)
+
+
+def test_collectives_isolated_between_communicators(make_world):
+    """Two disjoint communicators running collectives concurrently."""
+    from repro.mpi import Communicator, MpiWorld
+    from repro.netmodel import Slot
+
+    world = make_world(4)
+    ctxs = [world.spawn(Slot(i // 4, i % 4), name=f"p{i}") for i in range(8)]
+    comm_a = Communicator(world, [c.endpoint.id for c in ctxs[:4]], "A")
+    comm_b = Communicator(world, [c.endpoint.id for c in ctxs[4:]], "B")
+
+    def program(ctx, comm, val):
+        got = yield from comm.allreduce(val, op="sum")
+        return got
+
+    procs = []
+    for ctx in ctxs[:4]:
+        procs.append(world.start(ctx, program(ctx, comm_a.bind(ctx), 1)))
+    for ctx in ctxs[4:]:
+        procs.append(world.start(ctx, program(ctx, comm_b.bind(ctx), 100)))
+    world.run()
+    assert [p.value for p in procs] == [4] * 4 + [400] * 4
+
+
+def test_unknown_reduce_op_rejected(make_world):
+    def program(ctx, comm):
+        yield from comm.allreduce(1, op="median")
+
+    world = make_world(1)
+    launch_job(world, program, 2)
+    with pytest.raises(Exception, match="median"):
+        world.run()

@@ -1,0 +1,146 @@
+"""Endpoint internals: matching discipline, reorder buffer, failure
+hooks, payload sizing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi import (ANY_SOURCE, ANY_TAG, Endpoint, Envelope,
+                       RankFailure, copy_payload, payload_nbytes)
+from repro.simulate import Simulator
+
+
+def env(src=0, tag=0, ctx=1, seq=1, payload="x"):
+    return Envelope(context=ctx, src_endpoint=src, src_rank=src, tag=tag,
+                    payload=payload, nbytes=payload_nbytes(payload),
+                    seq=seq)
+
+
+def make_ep():
+    return Endpoint(Simulator(), endpoint_id=9, node=0)
+
+
+def test_unexpected_then_match():
+    ep = make_ep()
+    ep.deliver(env(payload="hello"))
+    req = ep.post_recv(source_endpoint=0, source_rank=0, tag=0, context=1)
+    assert req.complete
+    assert req.event.value[0] == "hello"
+
+
+def test_posted_then_deliver():
+    ep = make_ep()
+    req = ep.post_recv(source_endpoint=0, source_rank=0, tag=0, context=1)
+    assert not req.complete
+    ep.deliver(env(payload="later"))
+    assert req.complete
+    assert req.event.value[0] == "later"
+
+
+def test_context_isolation():
+    ep = make_ep()
+    ep.deliver(env(ctx=1, payload="ctx1"))
+    req = ep.post_recv(source_endpoint=0, source_rank=0, tag=0, context=2)
+    assert not req.complete
+
+
+def test_posted_recvs_matched_fifo():
+    ep = make_ep()
+    r1 = ep.post_recv(ANY_SOURCE, ANY_SOURCE, ANY_TAG, context=1)
+    r2 = ep.post_recv(ANY_SOURCE, ANY_SOURCE, ANY_TAG, context=1)
+    ep.deliver(env(seq=1, payload="first"))
+    assert r1.complete and not r2.complete
+    ep.deliver(env(seq=2, payload="second"))
+    assert r2.complete
+
+
+def test_reorder_buffer_holds_out_of_order_seq():
+    ep = make_ep()
+    r = ep.post_recv(source_endpoint=0, source_rank=0, tag=0, context=1)
+    ep.deliver(env(seq=2, payload="second"))   # arrives early
+    assert not r.complete                       # held back
+    ep.deliver(env(seq=1, payload="first"))
+    assert r.complete
+    assert r.event.value[0] == "first"
+    # seq 2 was drained into the unexpected queue
+    r2 = ep.post_recv(source_endpoint=0, source_rank=0, tag=0, context=1)
+    assert r2.complete and r2.event.value[0] == "second"
+
+
+def test_reorder_is_per_channel():
+    ep = make_ep()
+    ep.deliver(env(src=5, seq=1, payload="a"))
+    ep.deliver(env(src=7, seq=1, payload="b"))  # different channel
+    assert len(ep.unexpected) == 2
+
+
+def test_peer_died_fails_matching_recvs_only():
+    ep = make_ep()
+    r_dead = ep.post_recv(source_endpoint=3, source_rank=3, tag=0,
+                          context=1)
+    r_live = ep.post_recv(source_endpoint=4, source_rank=4, tag=0,
+                          context=1)
+    r_any = ep.post_recv(ANY_SOURCE, ANY_SOURCE, ANY_TAG, context=1)
+    ep.peer_died(3)
+    assert r_dead.failed
+    assert isinstance(r_dead.event.exception, RankFailure)
+    assert not r_live.complete
+    assert not r_any.complete
+
+
+def test_recv_from_known_dead_fails_fast_unless_message_queued():
+    ep = make_ep()
+    ep.known_dead.add(3)
+    r = ep.post_recv(source_endpoint=3, source_rank=3, tag=0, context=1)
+    assert r.failed
+    # ...but a message that already arrived is still deliverable (the
+    # "replica died after sending the full update" case)
+    ep2 = make_ep()
+    ep2.deliver(env(src=3, payload="sent before dying"))
+    ep2.known_dead.add(3)
+    r2 = ep2.post_recv(source_endpoint=3, source_rank=3, tag=0, context=1)
+    assert r2.complete and not r2.failed
+
+
+def test_delivery_to_dead_endpoint_dropped():
+    ep = make_ep()
+    ep.kill()
+    ep.deliver(env())
+    assert len(ep.unexpected) == 0
+    assert ep.delivered_count == 0
+
+
+# ------------------------------------------------------ payload helpers
+def test_payload_nbytes_various():
+    assert payload_nbytes(None) == 0
+    assert payload_nbytes(1.5) == 8
+    assert payload_nbytes(True) == 8
+    assert payload_nbytes(b"abcd") == 4
+    assert payload_nbytes("héllo") == len("héllo".encode())
+    assert payload_nbytes(np.zeros(10)) == 80
+    assert payload_nbytes(np.float32(1.0)) == 4
+    assert payload_nbytes([1.0, np.zeros(2)]) == 8 + 16
+    assert payload_nbytes({"k": np.zeros(4)}) == 1 + 32
+    with pytest.raises(TypeError):
+        payload_nbytes(object())
+
+
+def test_copy_payload_value_semantics():
+    arr = np.arange(4.0)
+    t = (arr, [arr], {"a": arr})
+    c = copy_payload(t)
+    arr[:] = -1
+    np.testing.assert_array_equal(c[0], np.arange(4.0))
+    np.testing.assert_array_equal(c[1][0], np.arange(4.0))
+    np.testing.assert_array_equal(c[2]["a"], np.arange(4.0))
+    with pytest.raises(TypeError):
+        copy_payload(object())
+
+
+@given(st.recursive(
+    st.one_of(st.none(), st.floats(allow_nan=False), st.integers(),
+              st.text(max_size=20), st.binary(max_size=20)),
+    lambda inner: st.lists(inner, max_size=4) | st.tuples(inner, inner),
+    max_leaves=10))
+def test_property_copy_preserves_size(payload):
+    assert payload_nbytes(copy_payload(payload)) == payload_nbytes(payload)

@@ -1,0 +1,207 @@
+"""Point-to-point semantics: blocking, nonblocking, matching, ordering."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, launch_job
+from repro.netmodel import Slot
+
+
+def run_program(make_world, program, n_ranks=2, n_nodes=4, placement=None):
+    world = make_world(n_nodes)
+    job = launch_job(world, program, n_ranks, placement=placement)
+    world.run()
+    return job
+
+
+def test_send_recv_scalar(make_world):
+    def program(ctx, comm):
+        if comm.rank == 0:
+            yield from comm.send(42.5, dest=1, tag=3)
+            return None
+        got = yield from comm.recv(source=0, tag=3)
+        return got
+
+    job = run_program(make_world, program)
+    assert job.results() == [None, 42.5]
+
+
+def test_send_recv_numpy_array_is_copied(make_world):
+    def program(ctx, comm):
+        if comm.rank == 0:
+            data = np.arange(8, dtype=np.float64)
+            req = comm.isend(data, dest=1)
+            data[:] = -1  # mutate after post: receiver must see original
+            yield req.event
+            return None
+        got = yield from comm.recv(source=0)
+        return got
+
+    job = run_program(make_world, program)
+    np.testing.assert_array_equal(job.results()[1], np.arange(8.0))
+
+
+def test_recv_any_source_any_tag(make_world):
+    def program(ctx, comm):
+        if comm.rank == 0:
+            got, status = yield from comm.recv_with_status(
+                source=ANY_SOURCE, tag=ANY_TAG)
+            return (got, status.source, status.tag)
+        yield ctx.sleep(0.001 * comm.rank)
+        yield from comm.send(f"from{comm.rank}", dest=0, tag=comm.rank)
+
+    job = run_program(make_world, program, n_ranks=3)
+    got, src, tag = job.results()[0]
+    assert got == "from1" and src == 1 and tag == 1
+
+
+def test_tag_selectivity(make_world):
+    def program(ctx, comm):
+        if comm.rank == 0:
+            yield from comm.send("a", dest=1, tag=5)
+            yield from comm.send("b", dest=1, tag=9)
+            return None
+        # Receive tag 9 first even though tag 5 arrived first.
+        first = yield from comm.recv(source=0, tag=9)
+        second = yield from comm.recv(source=0, tag=5)
+        return (first, second)
+
+    job = run_program(make_world, program)
+    assert job.results()[1] == ("b", "a")
+
+
+def test_non_overtaking_same_tag(make_world):
+    def program(ctx, comm):
+        if comm.rank == 0:
+            for i in range(5):
+                yield from comm.send(i, dest=1, tag=0)
+            return None
+        out = []
+        for _ in range(5):
+            out.append((yield from comm.recv(source=0, tag=0)))
+        return out
+
+    job = run_program(make_world, program)
+    assert job.results()[1] == [0, 1, 2, 3, 4]
+
+
+def test_isend_irecv_waitall(make_world):
+    def program(ctx, comm):
+        if comm.rank == 0:
+            reqs = [comm.isend(np.full(4, i), dest=1, tag=i)
+                    for i in range(3)]
+            yield from comm.waitall(reqs)
+            return None
+        reqs = [comm.irecv(source=0, tag=i) for i in range(3)]
+        vals = yield from comm.waitall(reqs)
+        return [v[0] for v in vals]
+
+    job = run_program(make_world, program)
+    assert job.results()[1] == [0.0, 1.0, 2.0]
+
+
+def test_waitany_returns_first(make_world):
+    def program(ctx, comm):
+        if comm.rank == 0:
+            yield ctx.sleep(0.010)
+            yield from comm.send("slow", dest=2, tag=1)
+        elif comm.rank == 1:
+            yield ctx.sleep(0.001)
+            yield from comm.send("fast", dest=2, tag=2)
+        else:
+            reqs = [comm.irecv(source=0, tag=1), comm.irecv(source=1, tag=2)]
+            idx, val = yield from comm.waitany(reqs)
+            return (idx, val)
+
+    job = run_program(make_world, program, n_ranks=3)
+    assert job.results()[2] == (1, "fast")
+
+
+def test_sendrecv_exchange(make_world):
+    def program(ctx, comm):
+        partner = 1 - comm.rank
+        got = yield from comm.sendrecv(f"hello-{comm.rank}", dest=partner,
+                                       source=partner)
+        return got
+
+    job = run_program(make_world, program)
+    assert job.results() == ["hello-1", "hello-0"]
+
+
+def test_send_to_self(make_world):
+    def program(ctx, comm):
+        req = comm.isend("loop", dest=0, tag=1)
+        got = yield from comm.recv(source=0, tag=1)
+        yield req.event
+        return got
+
+    job = run_program(make_world, program, n_ranks=1)
+    assert job.results() == ["loop"]
+
+
+def test_message_time_scales_with_size(make_world):
+    # 1 MB at 1 GB/s across nodes: 1 ms tx + 1 us wire + 1 ms rx.
+    def program(ctx, comm):
+        if comm.rank == 0:
+            yield from comm.send(np.zeros(125_000), dest=1)  # 1 MB
+            return None
+        yield from comm.recv(source=0)
+        return ctx.now
+
+    job = run_program(make_world, program,
+                      placement=[Slot(0, 0), Slot(1, 0)])
+    assert job.results()[1] == pytest.approx(2.001e-3, rel=1e-3)
+
+
+def test_intranode_message_faster_than_internode(make_world):
+    def program(ctx, comm):
+        if comm.rank == 0:
+            yield from comm.send(np.zeros(125_000), dest=1)
+            return None
+        yield from comm.recv(source=0)
+        return ctx.now
+
+    same = run_program(make_world, program,
+                       placement=[Slot(0, 0), Slot(0, 1)])
+    cross = run_program(make_world, program,
+                        placement=[Slot(0, 0), Slot(1, 0)])
+    assert same.results()[1] < cross.results()[1]
+
+
+def test_compute_charges_roofline_time(make_world):
+    def program(ctx, comm):
+        # 4 MB at 1 GB/s-per-core (4-core node, all busy) = 4 ms.
+        yield ctx.compute(flops=100.0, bytes_moved=4e6)
+        return ctx.now
+        yield  # pragma: no cover
+
+    job = run_program(make_world, program, n_ranks=1)
+    assert job.results()[0] == pytest.approx(4e-3)
+
+
+def test_unmatched_recv_deadlocks(make_world):
+    from repro.simulate import DeadlockError
+
+    def program(ctx, comm):
+        if comm.rank == 1:
+            yield from comm.recv(source=0, tag=0)  # never sent
+
+    world = make_world(4)
+    launch_job(world, program, 2)
+    with pytest.raises(DeadlockError):
+        world.run(detect_deadlock=True)
+
+
+def test_region_timers(make_world):
+    def program(ctx, comm):
+        with ctx.region("sections"):
+            yield ctx.sleep(0.5)
+        with ctx.region("others"):
+            yield ctx.sleep(0.25)
+        with ctx.region("sections"):
+            yield ctx.sleep(0.5)
+        return dict(ctx.timers)
+
+    job = run_program(make_world, program, n_ranks=1)
+    assert job.results()[0] == pytest.approx({"sections": 1.0,
+                                              "others": 0.25})

@@ -1,0 +1,47 @@
+"""Calibration sanity: the GRID5000_2015 profile puts the HPCCG kernels
+in the regimes Figure 5a requires (the analytic pre-check of the DES
+results)."""
+
+import pytest
+
+from repro.netmodel import (GRID5000_MACHINE, GRID5000_NETWORK,
+                            TESTBENCH_MACHINE, TESTBENCH_NETWORK)
+
+
+def test_grid5000_testbed_parameters():
+    m, n = GRID5000_MACHINE, GRID5000_NETWORK
+    assert m.cores_per_node == 4                    # 4-core Xeon
+    assert m.mem_per_node == pytest.approx(16e9)    # 16 GB
+    # per-core sustained bandwidth at the saturated operating point
+    assert m.mem_bandwidth_per_core == pytest.approx(3e9)
+    # IB 20G effective MPI bandwidth, full duplex
+    assert 1e9 < n.bandwidth < 2e9
+    assert not n.half_duplex
+    assert 1e-6 < n.latency < 10e-6
+
+
+def test_waxpby_update_costs_more_than_recompute():
+    """The Figure 5a waxpby condition: per output element, shipping
+    8 bytes (at the per-process NIC share) costs more than streaming
+    24 bytes through memory — so intra loses to recomputation."""
+    m, n = GRID5000_MACHINE, GRID5000_NETWORK
+    compute_per_elem = 24.0 / m.mem_bandwidth_per_core
+    nic_share = n.bandwidth / m.cores_per_node   # 4 procs share the NIC
+    transfer_per_elem = 2 * 8.0 / nic_share      # tx at sender + rx at peer
+    assert transfer_per_elem > compute_per_elem
+
+
+def test_sparsemv_compute_hides_updates():
+    """The sparsemv condition: ~340 streamed bytes per output row dwarf
+    the 8-byte update, so transfers overlap."""
+    m, n = GRID5000_MACHINE, GRID5000_NETWORK
+    compute_per_row = 340.0 / m.mem_bandwidth_per_core
+    nic_share = n.bandwidth / m.cores_per_node
+    transfer_per_row = 2 * 8.0 / nic_share
+    assert compute_per_row > 2.5 * transfer_per_row
+
+
+def test_testbench_profile_round_numbers():
+    m, n = TESTBENCH_MACHINE, TESTBENCH_NETWORK
+    assert m.kernel_time(flops=0, bytes_moved=1e9) == pytest.approx(1.0)
+    assert n.serialization_time(100e6) == pytest.approx(1.0)

@@ -1,0 +1,82 @@
+"""Tests for the roofline machine model."""
+
+import pytest
+
+from repro.netmodel import MachineSpec, TESTBENCH_MACHINE
+
+
+def make_spec(**kw):
+    base = dict(name="m", cores_per_node=4, flop_rate=1e9,
+                mem_bandwidth=4e9, mem_per_node=1e9, copy_bandwidth=1e9)
+    base.update(kw)
+    return MachineSpec(**base)
+
+
+def test_memory_bound_kernel():
+    m = make_spec()
+    # 1 MB at 1 GB/s per core (all 4 cores busy) = 1 ms; flops negligible.
+    assert m.kernel_time(flops=1e3, bytes_moved=1e6) == pytest.approx(1e-3)
+
+
+def test_compute_bound_kernel():
+    m = make_spec()
+    # 1 Gflop at 1 Gflop/s = 1 s; bytes negligible.
+    assert m.kernel_time(flops=1e9, bytes_moved=8.0) == pytest.approx(1.0)
+
+
+def test_roofline_crossover():
+    m = make_spec()
+    # per-core bw = 1e9 B/s, flop rate 1e9 f/s: a kernel with intensity
+    # exactly 1 flop/byte sits on the ridge.
+    t = m.kernel_time(flops=1e6, bytes_moved=1e6)
+    assert t == pytest.approx(1e-3)
+
+
+def test_fewer_active_cores_get_more_bandwidth():
+    m = make_spec()
+    t_all = m.kernel_time(flops=0, bytes_moved=4e6, active_cores=4)
+    t_solo = m.kernel_time(flops=0, bytes_moved=4e6, active_cores=1)
+    assert t_all == pytest.approx(4e-3)
+    assert t_solo == pytest.approx(1e-3)
+
+
+def test_active_cores_out_of_range():
+    m = make_spec()
+    with pytest.raises(ValueError):
+        m.kernel_time(1, 1, active_cores=0)
+    with pytest.raises(ValueError):
+        m.kernel_time(1, 1, active_cores=5)
+
+
+def test_negative_inputs_rejected():
+    m = make_spec()
+    with pytest.raises(ValueError):
+        m.kernel_time(-1, 0)
+    with pytest.raises(ValueError):
+        m.kernel_time(0, -1)
+    with pytest.raises(ValueError):
+        m.copy_time(-1)
+
+
+def test_copy_time():
+    m = make_spec()
+    assert m.copy_time(2e9) == pytest.approx(2.0)
+
+
+def test_invalid_spec_fields():
+    with pytest.raises(ValueError):
+        make_spec(cores_per_node=0)
+    with pytest.raises(ValueError):
+        make_spec(flop_rate=0)
+    with pytest.raises(ValueError):
+        make_spec(mem_bandwidth=-1)
+
+
+def test_mem_bandwidth_per_core():
+    assert TESTBENCH_MACHINE.mem_bandwidth_per_core == pytest.approx(1e9)
+
+
+def test_spec_is_frozen():
+    m = make_spec()
+    with pytest.raises(Exception):
+        m.flop_rate = 1.0  # type: ignore[misc]

@@ -1,0 +1,104 @@
+"""Tests for cluster topology and placement policies."""
+
+import pytest
+
+from repro.netmodel import (Cluster, MachineSpec, Slot, block_placement,
+                            replica_placement, round_robin_placement,
+                            validate_placement)
+
+MACHINE = MachineSpec(name="m", cores_per_node=4, flop_rate=1e9,
+                      mem_bandwidth=4e9)
+
+
+def test_switch_distance_is_one_hop():
+    c = Cluster(8, MACHINE, distance_model="switch")
+    assert c.hops(0, 7) == 1
+    assert c.hops(3, 3) == 0
+
+
+def test_linear_distance():
+    c = Cluster(8, MACHINE, distance_model="linear")
+    assert c.hops(1, 6) == 5
+    assert c.hops(6, 1) == 5
+
+
+def test_unknown_distance_model():
+    with pytest.raises(ValueError):
+        Cluster(4, MACHINE, distance_model="torus")
+
+
+def test_total_cores():
+    assert Cluster(8, MACHINE).total_cores == 32
+
+
+def test_block_placement_fills_nodes():
+    c = Cluster(2, MACHINE)
+    slots = block_placement(c, 6)
+    assert slots[:4] == [Slot(0, 0), Slot(0, 1), Slot(0, 2), Slot(0, 3)]
+    assert slots[4:] == [Slot(1, 0), Slot(1, 1)]
+
+
+def test_round_robin_placement_cycles_nodes():
+    c = Cluster(3, MACHINE)
+    slots = round_robin_placement(c, 5)
+    assert [s.node for s in slots] == [0, 1, 2, 0, 1]
+    assert [s.core for s in slots] == [0, 0, 0, 1, 1]
+
+
+def test_placement_capacity_check():
+    c = Cluster(1, MACHINE)
+    with pytest.raises(ValueError):
+        block_placement(c, 5)
+    with pytest.raises(ValueError):
+        round_robin_placement(c, 5)
+
+
+def test_replica_placement_distinct_nodes():
+    c = Cluster(8, MACHINE)
+    placements = replica_placement(c, n_logical=8, degree=2)
+    validate_placement(c, placements)
+    for replicas in placements:
+        assert replicas[0].node != replicas[1].node
+
+
+def test_replica_placement_neighbouring_groups():
+    c = Cluster(4, MACHINE)
+    placements = replica_placement(c, n_logical=4, degree=2, spread=1)
+    # 4 logical ranks on 1 node => replica 0 all on node 0, replica 1 on 1.
+    assert {r[0].node for r in placements} == {0}
+    assert {r[1].node for r in placements} == {1}
+
+
+def test_replica_placement_spread():
+    c = Cluster(16, MACHINE)
+    near = replica_placement(c, n_logical=4, degree=2, spread=1)
+    far = replica_placement(c, n_logical=4, degree=2, spread=5)
+    assert far[0][1].node - far[0][0].node > near[0][1].node - near[0][0].node
+
+
+def test_replica_placement_degree_three():
+    c = Cluster(12, MACHINE)
+    placements = replica_placement(c, n_logical=8, degree=3)
+    validate_placement(c, placements)
+    for replicas in placements:
+        assert len({s.node for s in replicas}) == 3
+
+
+def test_replica_placement_too_small_cluster():
+    c = Cluster(2, MACHINE)
+    with pytest.raises(ValueError):
+        replica_placement(c, n_logical=8, degree=2, spread=3)
+
+
+def test_validate_placement_catches_shared_slot():
+    c = Cluster(4, MACHINE)
+    bad = [[Slot(0, 0), Slot(1, 0)], [Slot(0, 0), Slot(2, 0)]]
+    with pytest.raises(ValueError, match="assigned twice"):
+        validate_placement(c, bad)
+
+
+def test_validate_placement_catches_same_node_replicas():
+    c = Cluster(4, MACHINE)
+    bad = [[Slot(0, 0), Slot(0, 1)]]
+    with pytest.raises(ValueError, match="share a node"):
+        validate_placement(c, bad)

@@ -1,0 +1,27 @@
+"""Shared fixtures for replication tests."""
+
+import pytest
+
+from repro.mpi import MpiWorld
+from repro.netmodel import Cluster, MachineSpec, NetworkSpec
+
+
+@pytest.fixture
+def machine():
+    return MachineSpec(name="t", cores_per_node=4, flop_rate=1e9,
+                       mem_bandwidth=4e9)
+
+
+@pytest.fixture
+def netspec():
+    return NetworkSpec(bandwidth=1e9, latency=1e-6, o_send=0.0, o_recv=0.0,
+                       o_nic=0.0, half_duplex=False,
+                       intranode_bandwidth=4e9, intranode_latency=0.0)
+
+
+@pytest.fixture
+def make_world(machine, netspec):
+    def _make(n_nodes=8):
+        return MpiWorld(Cluster(n_nodes, machine), netspec)
+
+    return _make

@@ -1,0 +1,206 @@
+"""Crash-stop failures against the mirror protocol: survivor takeover,
+replay, dedupe, and application-level continuity."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MpiWorld
+from repro.replication import (FailureInjector, NoLiveReplicaError,
+                               launch_replicated_job)
+
+
+def run_with_failure(make_world, program, n_logical, kills, degree=2,
+                     n_nodes=8, fd_delay=50e-6):
+    world = make_world(n_nodes)
+    job = launch_replicated_job(world, program, n_logical, degree=degree,
+                                fd_delay=fd_delay)
+    inj = FailureInjector(job.manager)
+    for lrank, rid, t in kills:
+        inj.kill_at(lrank, rid, t)
+    world.run()
+    return job
+
+
+def test_receiver_replica_dies_sender_unaffected(make_world):
+    def program(ctx, comm):
+        if comm.rank == 0:
+            yield ctx.sleep(0.01)
+            yield from comm.send("late", dest=1)
+            return "sender-done"
+        got = yield from comm.recv(source=0)
+        return got
+
+    job = run_with_failure(make_world, program, 2, kills=[(1, 1, 0.001)])
+    results = job.results()
+    assert results[0] == ["sender-done", "sender-done"]
+    assert results[1][0] == "late"            # surviving replica got it
+    assert job.manager.replica(1, 1).alive is False
+
+
+def test_sender_replica_dies_before_send_survivor_covers(make_world):
+    """Replica 0 of the sender dies before sending anything; the
+    surviving replica 1 must deliver to BOTH receiver replicas."""
+    def program(ctx, comm):
+        if comm.rank == 0:
+            yield ctx.sleep(0.01)  # die window is [0, 0.01)
+            yield from comm.send(np.arange(4.0), dest=1)
+            return None
+        got = yield from comm.recv(source=0)
+        return got
+
+    job = run_with_failure(make_world, program, 2, kills=[(0, 0, 0.001)])
+    a, b = job.results()[1]
+    np.testing.assert_array_equal(a, np.arange(4.0))
+    np.testing.assert_array_equal(b, np.arange(4.0))
+
+
+def test_sender_dies_after_partial_channel_history_replay_fills_gap(
+        make_world):
+    """Replica 0 of rank 0 sends messages 1..3 then dies; the survivor
+    has sent the same stream to its own plane.  Receiver replica 0 (which
+    lost its mirror) must still obtain messages it never got, via replay
+    from the survivor's send log."""
+    def program(ctx, comm):
+        if comm.rank == 0:
+            for i in range(6):
+                yield from comm.send(i, dest=1, tag=0)
+                yield ctx.sleep(0.002)
+            return None
+        out = []
+        for _ in range(6):
+            out.append((yield from comm.recv(source=0, tag=0)))
+        return out
+
+    # Replica 0 of logical 0 dies at t=0.005, i.e. after ~3 sends.
+    job = run_with_failure(make_world, program, 2, kills=[(0, 0, 0.005)])
+    for got in job.results()[1]:
+        assert got == [0, 1, 2, 3, 4, 5]
+
+
+def test_both_directions_with_midstream_crash(make_world):
+    """Ping-pong with a crash of one side's replica mid-stream."""
+    def program(ctx, comm):
+        other = 1 - comm.rank
+        total = 0
+        for i in range(8):
+            if comm.rank == 0:
+                yield from comm.send(i, dest=other, tag=1)
+                total += yield from comm.recv(source=other, tag=2)
+            else:
+                got = yield from comm.recv(source=other, tag=1)
+                yield from comm.send(got * 2, dest=other, tag=2)
+                total += got
+        return total
+
+    job = run_with_failure(make_world, program, 2, kills=[(1, 0, 0.004)])
+    # rank 0 receives 2*sum(0..7) = 56; rank 1 receives sum(0..7) = 28
+    assert job.results()[0] == [56, 56]
+    live = job.manager.alive_replicas(1)
+    assert len(live) == 1 and live[0].app_process.value == 28
+
+
+def test_collective_survives_replica_crash(make_world):
+    def program(ctx, comm):
+        total = 0
+        for i in range(5):
+            total += yield from comm.allreduce(comm.rank + i, op="sum")
+            yield ctx.sleep(0.001)
+        return total
+
+    job = run_with_failure(make_world, program, 4, kills=[(2, 1, 0.0025)])
+    # sum over ranks of (rank + i) = 6 + 4i; total over i=0..4: 30 + 40
+    for lrank in range(4):
+        for info in job.manager.alive_replicas(lrank):
+            assert info.app_process.value == 70
+
+
+def test_degree_three_tolerates_two_failures(make_world):
+    def program(ctx, comm):
+        total = 0
+        for i in range(6):
+            total += yield from comm.allreduce(1, op="sum")
+            yield ctx.sleep(0.001)
+        return total
+
+    job = run_with_failure(make_world, program, 2,
+                           kills=[(0, 0, 0.0015), (0, 2, 0.0035)],
+                           degree=3, n_nodes=12)
+    for info in job.manager.alive_replicas(0):
+        assert info.app_process.value == 12
+    for info in job.manager.alive_replicas(1):
+        assert info.app_process.value == 12
+    assert len(job.manager.alive_replicas(0)) == 1
+
+
+def test_logical_rank_wipeout_raises(make_world):
+    def program(ctx, comm):
+        if comm.rank == 1:
+            got = yield from comm.recv(source=0)
+            return got
+        yield ctx.sleep(1.0)
+        yield from comm.send("never", dest=1)
+
+    world = make_world(8)
+    job = launch_replicated_job(world, program, 2)
+    inj = FailureInjector(job.manager)
+    inj.kill_at(0, 0, 0.001)
+    inj.kill_at(0, 1, 0.002)
+    with pytest.raises(Exception):
+        world.run()
+    with pytest.raises(NoLiveReplicaError):
+        job.surviving_results()
+
+
+def test_crash_is_idempotent_and_recorded(make_world):
+    def program(ctx, comm):
+        yield ctx.sleep(0.01)
+        return "ok"
+
+    world = make_world(8)
+    job = launch_replicated_job(world, program, 1)
+    inj = FailureInjector(job.manager)
+    inj.kill_at(0, 1, 0.002)
+    inj.kill_at(0, 1, 0.003)  # second kill: no-op
+    world.run()
+    info = job.manager.replica(0, 1)
+    assert info.crash_time == pytest.approx(0.002)
+    assert job.manager.replica(0, 0).app_process.value == "ok"
+
+
+def test_hook_triggered_crash(make_world):
+    """Kill a replica precisely when it emits a protocol hook event."""
+    def program(ctx, comm):
+        mgr = comm.manager
+        for i in range(5):
+            mgr.hooks.emit("step_done", logical_rank=comm.rank,
+                           replica_id=comm.rid, step=i)
+            yield ctx.sleep(0.001)
+        return "finished"
+
+    world = make_world(8)
+    job = launch_replicated_job(world, program, 1)
+    inj = FailureInjector(job.manager)
+    plan = inj.kill_on_hook(0, 1, "step_done",
+                            when=lambda step, **kw: step == 3)
+    world.run()
+    assert plan.fired
+    info = job.manager.replica(0, 1)
+    assert info.crash_time == pytest.approx(0.003)
+    assert job.manager.replica(0, 0).app_process.value == "finished"
+
+
+def test_fd_delay_controls_detection_time(make_world):
+    seen = []
+
+    def program(ctx, comm):
+        yield ctx.sleep(0.02)
+        return None
+
+    world = make_world(8)
+    job = launch_replicated_job(world, program, 1, fd_delay=0.005)
+    job.manager.on_death(lambda lr, rid: seen.append(
+        (lr, rid, world.sim.now)))
+    inj = FailureInjector(job.manager)
+    inj.kill_at(0, 1, 0.001)
+    world.run()
+    assert seen == [(0, 1, pytest.approx(0.006))]

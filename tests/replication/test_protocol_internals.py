@@ -1,0 +1,149 @@
+"""Replication protocol internals: dedupe filter, send log, replay
+service, cover selection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.replication import launch_replicated_job
+from repro.replication.comm import ReplicatedComm
+
+
+class _FakeCtx:
+    class _Sim:
+        pass
+    sim = _Sim()
+
+
+def make_filter():
+    """A ReplicatedComm shell exercising only the dedupe filter."""
+    rc = ReplicatedComm.__new__(ReplicatedComm)
+    rc._seen = {}
+    rc._prefix = {}
+    return rc
+
+
+def test_consume_fresh_and_duplicate():
+    rc = make_filter()
+    assert rc._consume(0, 1) is True
+    assert rc._consume(0, 1) is False
+    assert rc._consume(0, 2) is True
+    assert rc._consume(0, 2) is False
+
+
+def test_consume_out_of_order_then_fill():
+    rc = make_filter()
+    assert rc._consume(0, 3) is True    # tags allow consuming 3 first
+    assert rc._consume(0, 1) is True
+    assert rc._consume(0, 2) is True
+    assert rc.seen_prefix(0) == 3       # prefix compacted
+    assert rc._seen[0] == set()         # sparse set emptied
+    assert rc._consume(0, 3) is False   # still a duplicate via prefix
+
+
+def test_consume_channels_independent():
+    rc = make_filter()
+    assert rc._consume(0, 1) is True
+    assert rc._consume(5, 1) is True
+    assert rc._consume(0, 1) is False
+    assert rc._consume(5, 2) is True
+
+
+def test_was_consumed():
+    rc = make_filter()
+    rc._consume(2, 1)
+    rc._consume(2, 5)
+    assert rc.was_consumed(2, 1)
+    assert rc.was_consumed(2, 5)
+    assert not rc.was_consumed(2, 3)
+
+
+@given(perm=st.permutations(list(range(1, 30))),
+       dup_at=st.lists(st.integers(0, 28), max_size=10))
+def test_property_filter_accepts_each_lseq_exactly_once(perm, dup_at):
+    """Any consumption order with arbitrary duplicate injections: each
+    lseq is accepted exactly once, and the prefix ends complete."""
+    rc = make_filter()
+    stream = list(perm)
+    for i in dup_at:
+        stream.insert(i, perm[i % len(perm)])
+    accepted = [x for x in stream if rc._consume(0, x)]
+    assert sorted(accepted) == list(range(1, 30))
+    assert rc.seen_prefix(0) == 29
+    assert rc._seen[0] == set()
+
+
+def test_send_log_grows_per_destination(make_world):
+    def program(ctx, comm):
+        if comm.rank == 0:
+            yield from comm.send("a", dest=1)
+            yield from comm.send("b", dest=1)
+            yield from comm.send("c", dest=2)
+            return [len(comm.send_log[d]) for d in (1, 2)]
+        yield ctx.sleep(0.01)
+
+    world = make_world()
+    job = launch_replicated_job(world, program, 3)
+    world.run()
+    for log_sizes in job.results()[0]:
+        assert log_sizes == [2, 1]
+
+
+def test_cover_is_lowest_live_replica(make_world):
+    def program(ctx, comm):
+        yield ctx.sleep(0.01)
+
+    world = make_world(n_nodes=12)
+    job = launch_replicated_job(world, program, 1, degree=3)
+    mgr = job.manager
+    assert mgr.cover_of(0).replica_id == 0
+    mgr.crash_replica(0, 0)
+    assert mgr.cover_of(0).replica_id == 1
+    assert mgr.planes_covered_by(0, 1) == [1, 0]
+    assert mgr.planes_covered_by(0, 2) == [2]
+    assert mgr.planes_covered_by(0, 0) == []  # dead replica covers none
+    world.run()
+
+
+def test_live_sender_endpoint_resolution(make_world):
+    def program(ctx, comm):
+        yield ctx.sleep(0.01)
+
+    world = make_world()
+    job = launch_replicated_job(world, program, 2)
+    mgr = job.manager
+    ep_mirror = mgr.live_sender_endpoint(0, plane=1)
+    assert ep_mirror == mgr.replica(0, 1).endpoint_id
+    mgr.crash_replica(0, 1)
+    assert mgr.live_sender_endpoint(0, plane=1) == \
+        mgr.replica(0, 0).endpoint_id
+    world.run()
+
+
+def test_replay_deduped_when_requested_twice(make_world):
+    """Two replay requests for the same channel produce duplicate
+    messages on the wire, but the receiver consumes each lseq once."""
+    def program(ctx, comm):
+        if comm.rank == 0:
+            for i in range(4):
+                yield from comm.send(i, dest=1, tag=0)
+            yield ctx.sleep(0.02)
+            return None
+        yield ctx.sleep(0.005)
+        out = []
+        for _ in range(4):
+            out.append((yield from comm.recv(source=0, tag=0)))
+        return out
+
+    world = make_world()
+    job = launch_replicated_job(world, program, 2)
+    mgr = job.manager
+
+    def extra_replays():
+        yield world.sim.timeout(0.002)
+        mgr.request_replay(1, 0, channel_lrank=0)
+        mgr.request_replay(1, 0, channel_lrank=0)
+
+    world.sim.process(extra_replays())
+    world.run()
+    for got in job.results()[1]:
+        assert got == [0, 1, 2, 3]

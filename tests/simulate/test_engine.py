@@ -1,0 +1,298 @@
+"""Unit tests for the discrete-event kernel: clock, processes, joins."""
+
+import pytest
+
+from repro.simulate import (DeadlockError, NotProcessError, ProcessKilled,
+                            Simulator, StaleEventError, UnhandledFailure)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(2.5)
+        yield sim.timeout(1.5)
+        return sim.now
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == 4.0
+    assert sim.now == 4.0
+
+
+def test_zero_delay_timeout():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(0.0)
+        return "ok"
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == "ok"
+    assert sim.now == 0.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+
+    def body(sim):
+        got = yield sim.timeout(1.0, value="payload")
+        return got
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == "payload"
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(NotProcessError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yield_non_event_is_an_error():
+    sim = Simulator()
+
+    def body(sim):
+        yield 42  # not an Event
+
+    sim.process(body(sim))
+    with pytest.raises(Exception, match="must yield Event"):
+        sim.run()
+
+
+def test_two_processes_interleave_deterministically():
+    sim = Simulator()
+    log = []
+
+    def ticker(sim, name, period):
+        for _ in range(3):
+            yield sim.timeout(period)
+            log.append((sim.now, name))
+
+    sim.process(ticker(sim, "a", 1.0))
+    sim.process(ticker(sim, "b", 1.0))
+    sim.run()
+    # Same-time events process in scheduling order: a before b each tick.
+    assert log == [(1.0, "a"), (1.0, "b"), (2.0, "a"), (2.0, "b"),
+                   (3.0, "a"), (3.0, "b")]
+
+
+def test_join_returns_child_value():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(5.0)
+        return 123
+
+    def parent(sim):
+        c = sim.process(child(sim))
+        got = yield c
+        return (sim.now, got)
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == (5.0, 123)
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return "early"
+
+    def parent(sim, c):
+        yield sim.timeout(10.0)
+        got = yield c  # child finished long ago
+        return got
+
+    c = sim.process(child(sim))
+    p = sim.process(parent(sim, c))
+    sim.run()
+    assert p.value == "early"
+    assert sim.now == 10.0
+
+
+def test_event_triggered_twice_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(StaleEventError):
+        ev.succeed(2)
+
+
+def test_failed_event_raises_in_waiter():
+    sim = Simulator()
+
+    def body(sim, ev):
+        try:
+            yield ev
+        except ValueError as e:
+            return f"caught {e}"
+
+    ev = sim.event()
+    p = sim.process(body(sim, ev))
+    ev.fail(ValueError("boom"), delay=1.0)
+    sim.run()
+    assert p.value == "caught boom"
+
+
+def test_unhandled_failed_event_aborts_run():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("nobody listens"))
+    with pytest.raises(UnhandledFailure):
+        sim.run()
+
+
+def test_defused_failed_event_is_silent():
+    sim = Simulator()
+    ev = sim.event()
+    ev.defused = True
+    ev.fail(RuntimeError("expected"))
+    sim.run()  # no raise
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(100.0)
+
+    sim.process(body(sim))
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+    sim.run()
+    assert sim.now == 100.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(Exception):
+        sim.run(until=1.0)
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.event()  # never triggered
+
+    sim.process(body(sim), name="stuck")
+    with pytest.raises(DeadlockError, match="stuck"):
+        sim.run(detect_deadlock=True)
+
+
+def test_kill_process_runs_finally():
+    sim = Simulator()
+    cleaned = []
+
+    def body(sim):
+        try:
+            yield sim.timeout(100.0)
+        finally:
+            cleaned.append(sim.now)
+
+    def killer(sim, victim):
+        yield sim.timeout(3.0)
+        victim.kill("injected crash")
+
+    victim = sim.process(body(sim))
+    sim.process(killer(sim, victim))
+    sim.run()
+    assert cleaned == [3.0]
+    assert victim.killed
+    assert not victim.is_alive
+    assert isinstance(victim.exception, ProcessKilled)
+
+
+def test_kill_is_idempotent():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(10.0)
+
+    p = sim.process(body(sim))
+
+    def killer(sim):
+        yield sim.timeout(1.0)
+        p.kill()
+        p.kill()
+
+    sim.process(killer(sim))
+    sim.run()
+    assert p.killed
+
+
+def test_join_on_killed_process_raises_processkilled():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(10.0)
+
+    def parent(sim, c):
+        try:
+            yield c
+        except ProcessKilled:
+            return "observed crash"
+
+    c = sim.process(child(sim))
+    p = sim.process(parent(sim, c))
+
+    def killer(sim):
+        yield sim.timeout(2.0)
+        c.kill()
+
+    sim.process(killer(sim))
+    sim.run()
+    assert p.value == "observed crash"
+
+
+def test_trace_hook_sees_events():
+    seen = []
+    sim = Simulator(trace=lambda t, ev: seen.append(t))
+
+    def body(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+
+    sim.process(body(sim))
+    sim.run()
+    assert 1.0 in seen and 3.0 in seen
+
+
+def test_peek_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(7.0)
+    assert sim.peek() == 7.0
+
+
+def test_yield_from_subroutine():
+    sim = Simulator()
+
+    def sub(sim):
+        yield sim.timeout(2.0)
+        return "sub-result"
+
+    def body(sim):
+        r = yield from sub(sim)
+        return (sim.now, r)
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == (2.0, "sub-result")

@@ -1,0 +1,142 @@
+"""Tests for composite events (AllOf/AnyOf) — the MPI_Waitall/Waitany
+analogues that the intra-parallelization update overlap relies on."""
+
+import pytest
+
+from repro.simulate import ConditionError, Simulator
+
+
+def test_all_of_waits_for_slowest():
+    sim = Simulator()
+
+    def body(sim):
+        evs = [sim.timeout(1.0, value="a"), sim.timeout(5.0, value="b"),
+               sim.timeout(3.0, value="c")]
+        vals = yield sim.all_of(evs)
+        return (sim.now, vals)
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == (5.0, ["a", "b", "c"])
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def body(sim):
+        vals = yield sim.all_of([])
+        return (sim.now, vals)
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == (0.0, [])
+
+
+def test_all_of_with_already_processed_children():
+    sim = Simulator()
+
+    def body(sim):
+        e1 = sim.timeout(1.0, value=1)
+        yield sim.timeout(2.0)  # e1 processed by now
+        e2 = sim.timeout(1.0, value=2)
+        vals = yield sim.all_of([e1, e2])
+        return (sim.now, vals)
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == (3.0, [1, 2])
+
+
+def test_all_of_fails_fast_on_child_failure():
+    sim = Simulator()
+
+    def body(sim):
+        bad = sim.event()
+        bad.fail(RuntimeError("replica crashed"), delay=1.0)
+        slow = sim.timeout(100.0)
+        try:
+            yield sim.all_of([bad, slow])
+        except ConditionError as e:
+            return (sim.now, str(e.cause))
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value[0] == 1.0
+    assert "replica crashed" in p.value[1]
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def body(sim):
+        evs = [sim.timeout(4.0, value="slow"), sim.timeout(2.0, value="fast")]
+        idx, val = yield sim.any_of(evs)
+        return (sim.now, idx, val)
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == (2.0, 1, "fast")
+
+
+def test_any_of_empty_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.any_of([])
+
+
+def test_any_of_with_processed_child_fires_immediately():
+    sim = Simulator()
+
+    def body(sim):
+        done = sim.timeout(0.5, value="x")
+        yield sim.timeout(1.0)
+        idx, val = yield sim.any_of([sim.timeout(99.0), done])
+        return (sim.now, idx, val)
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == (1.0, 1, "x")
+
+
+def test_any_of_failure_propagates():
+    sim = Simulator()
+
+    def body(sim):
+        bad = sim.event()
+        bad.fail(ValueError("nope"), delay=1.0)
+        try:
+            yield sim.any_of([bad, sim.timeout(50.0)])
+        except ConditionError as e:
+            return str(e.cause)
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == "nope"
+
+
+def test_all_of_same_time_children():
+    sim = Simulator()
+
+    def body(sim):
+        evs = [sim.timeout(3.0, value=i) for i in range(10)]
+        vals = yield sim.all_of(evs)
+        return vals
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == list(range(10))
+
+
+def test_nested_conditions():
+    sim = Simulator()
+
+    def body(sim):
+        inner = sim.all_of([sim.timeout(1.0, value="i1"),
+                            sim.timeout(2.0, value="i2")])
+        outer = sim.all_of([inner, sim.timeout(3.0, value="o")])
+        vals = yield outer
+        return (sim.now, vals)
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == (3.0, [["i1", "i2"], "o"])

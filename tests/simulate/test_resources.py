@@ -1,0 +1,130 @@
+"""Tests for Resource (FIFO server) and Store (FIFO buffer)."""
+
+import pytest
+
+from repro.simulate import Resource, Simulator, Store
+
+
+def test_resource_serializes_holders():
+    sim = Simulator()
+    nic = Resource(sim, capacity=1, name="nic")
+    done = []
+
+    def sender(sim, name, hold):
+        yield from nic.hold(hold)
+        done.append((sim.now, name))
+
+    sim.process(sender(sim, "m1", 2.0))
+    sim.process(sender(sim, "m2", 3.0))
+    sim.process(sender(sim, "m3", 1.0))
+    sim.run()
+    # FIFO: m1 [0,2], m2 [2,5], m3 [5,6]
+    assert done == [(2.0, "m1"), (5.0, "m2"), (6.0, "m3")]
+
+
+def test_resource_capacity_two_runs_pairs():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    done = []
+
+    def user(sim, name):
+        yield from res.hold(4.0)
+        done.append((sim.now, name))
+
+    for n in ("a", "b", "c"):
+        sim.process(user(sim, n))
+    sim.run()
+    assert done == [(4.0, "a"), (4.0, "b"), (8.0, "c")]
+
+
+def test_resource_release_without_request_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_queue_length_visible():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    probes = []
+
+    def holder(sim):
+        yield from res.hold(10.0)
+
+    def waiter(sim):
+        req = res.request()
+        yield req
+        res.release()
+
+    def probe(sim):
+        yield sim.timeout(1.0)
+        probes.append((res.in_use, res.queue_length))
+
+    sim.process(holder(sim))
+    sim.process(waiter(sim))
+    sim.process(probe(sim))
+    sim.run()
+    assert probes == [(1, 1)]
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    store.put("y")
+    assert len(store) == 2
+
+    def body(sim):
+        a = yield store.get()
+        b = yield store.get()
+        return [a, b]
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == ["x", "y"]  # FIFO order
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def getter(sim):
+        item = yield store.get()
+        return (sim.now, item)
+
+    def putter(sim):
+        yield sim.timeout(5.0)
+        store.put("late")
+
+    p = sim.process(getter(sim))
+    sim.process(putter(sim))
+    sim.run()
+    assert p.value == (5.0, "late")
+
+
+def test_store_getters_served_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(sim, name):
+        item = yield store.get()
+        got.append((name, item))
+
+    def putter(sim):
+        yield sim.timeout(1.0)
+        store.put(1)
+        store.put(2)
+
+    sim.process(getter(sim, "first"))
+    sim.process(getter(sim, "second"))
+    sim.process(putter(sim))
+    sim.run()
+    assert got == [("first", 1), ("second", 2)]
