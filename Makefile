@@ -1,0 +1,33 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-all profile figures clean
+
+## tier-1 test suite (what CI gates on)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## regenerate benchmarks/BENCH_sim_core.json (engine events/sec +
+## fig5b sweep wall-time legs) and print the table
+bench:
+	$(PYTHON) -m pytest benchmarks/test_perf_engine.py -q -s
+
+## every figure-regeneration benchmark (tables under benchmarks/_results/)
+bench-all:
+	$(PYTHON) -m pytest benchmarks -q -s
+
+## profile the fig5b sweep hot path (top 30 by cumulative time)
+profile:
+	$(PYTHON) -c "import cProfile, pstats; \
+	from repro.experiments.fig5 import fig5b; \
+	pr = cProfile.Profile(); pr.enable(); \
+	fig5b(process_counts=(8, 16)); pr.disable(); \
+	pstats.Stats(pr).sort_stats('cumulative').print_stats(30)"
+
+## regenerate all paper tables (parallel, cached)
+figures:
+	$(PYTHON) -m repro.experiments --workers 2
+
+clean:
+	rm -rf .perf_cache benchmarks/_results/.sweep_cache
+	find . -name __pycache__ -prune -exec rm -rf {} +

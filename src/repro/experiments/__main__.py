@@ -4,10 +4,15 @@ Usage::
 
     python -m repro.experiments                 # everything (~1 min)
     python -m repro.experiments fig5a fig6c     # selected figures
+    python -m repro.experiments --workers 4     # parallel sweep points
+    python -m repro.experiments --no-cache      # force recomputation
     python -m repro.experiments --list
 
 Tables print to stdout in the same layout the benchmark harness saves
-under ``benchmarks/_results/``.
+under ``benchmarks/_results/``.  Sweep points fan out over ``--workers``
+processes and results are memoized under ``.perf_cache/`` (disable with
+``--no-cache``; delete the directory or bump
+``repro.perf.CACHE_VERSION`` after model changes).
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import sys
 import typing as _t
 
 from ..analysis import format_table
+from ..perf import configure
 from . import (ccr_vs_replication, copy_strategy_comparison, degree_sweep,
                failure_time_sweep, fig5a, fig5b, fig6a, fig6b, fig6c,
                fig6d, granularity_sweep, minighost_stencil_ablation,
@@ -126,10 +132,18 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
                         help="experiments to run (default: all)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="process-pool width for sweep points "
+                             "(default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk sweep result cache")
     args = parser.parse_args(argv)
     if args.list:
         print("\n".join(EXPERIMENTS))
         return 0
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    configure(workers=args.workers, cache=not args.no_cache)
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:

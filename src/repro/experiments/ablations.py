@@ -25,7 +25,8 @@ from ..apps.hpccg import KernelBenchConfig, hpccg_kernel_bench
 from ..apps.minighost import MiniGhostConfig, minighost_program
 from ..intra import (CopyStrategy, Tag, launch_intra_job, make_scheduler)
 from ..netmodel import GRID5000_NETWORK
-from .common import run_mode
+from ..perf import run_sweep
+from .common import run_mode, sweep_modes
 
 
 @dataclasses.dataclass
@@ -42,13 +43,15 @@ def granularity_sweep(task_counts: _t.Sequence[int] = (1, 2, 4, 8, 16,
     """Intra efficiency of the sparsemv kernel vs tasks per section."""
     base = KernelBenchConfig(nx=32, ny=32, nz=16, reps=3,
                              kernels=("spmv",))
-    native = run_mode("native", hpccg_kernel_bench, n_logical, base)
-    t_native = native.timers["spmv"]
+    points = [("native", hpccg_kernel_bench, n_logical, base, {})]
+    points += [("intra", hpccg_kernel_bench, n_logical,
+                dataclasses.replace(base.with_doubled_z(),
+                                    tasks_per_section=nt), {})
+               for nt in task_counts]
+    runs = sweep_modes(points)
+    t_native = runs[0].timers["spmv"]
     rows = []
-    for nt in task_counts:
-        cfg = dataclasses.replace(base.with_doubled_z(),
-                                  tasks_per_section=nt)
-        intra = run_mode("intra", hpccg_kernel_bench, n_logical, cfg)
+    for nt, intra in zip(task_counts, runs[1:]):
         t = intra.timers["spmv"]
         rows.append(AblationRow("tasks_per_section", nt, t,
                                 fixed_resource_efficiency(t_native, t)))
@@ -71,21 +74,29 @@ def imbalance_program(ctx, comm, n_tasks=8):
     return ctx.now
 
 
-def scheduler_comparison(n_tasks: int = 8) -> _t.List[AblationRow]:
-    """Section completion time under each scheduling policy for the
-    imbalanced workload (lower is better)."""
+def _scheduler_point(point: _t.Tuple[str, int]) -> float:
+    """Sweep point: section completion time under one scheduling policy
+    for the imbalanced workload."""
     from ..mpi import MpiWorld
     from ..netmodel import Cluster, GRID5000_MACHINE
 
-    rows = []
-    for name in ("static-block", "round-robin", "cost-balanced"):
-        world = MpiWorld(Cluster(2, GRID5000_MACHINE), GRID5000_NETWORK)
-        job = launch_intra_job(world, imbalance_program, 1,
-                               scheduler=make_scheduler(name),
-                               kwargs=dict(n_tasks=n_tasks))
-        world.run()
-        t = max(max(row) for row in job.results())
-        rows.append(AblationRow("scheduler", name, t, 0.0))
+    name, n_tasks = point
+    world = MpiWorld(Cluster(2, GRID5000_MACHINE), GRID5000_NETWORK)
+    job = launch_intra_job(world, imbalance_program, 1,
+                           scheduler=make_scheduler(name),
+                           kwargs=dict(n_tasks=n_tasks))
+    world.run()
+    return max(max(row) for row in job.results())
+
+
+def scheduler_comparison(n_tasks: int = 8) -> _t.List[AblationRow]:
+    """Section completion time under each scheduling policy for the
+    imbalanced workload (lower is better)."""
+    names = ("static-block", "round-robin", "cost-balanced")
+    times = run_sweep([(name, n_tasks) for name in names],
+                      _scheduler_point, tag="scheduler_comparison")
+    rows = [AblationRow("scheduler", name, t, 0.0)
+            for name, t in zip(names, times)]
     # efficiency relative to the best policy
     best = min(r.time for r in rows)
     for r in rows:
@@ -100,14 +111,17 @@ def placement_sweep(spreads: _t.Sequence[int] = (1, 4, 16),
     hoppy = dataclasses.replace(GRID5000_NETWORK, hop_latency=2e-6)
     base = KernelBenchConfig(nx=32, ny=32, nz=16, reps=3,
                              kernels=("ddot",))
-    native = run_mode("native", hpccg_kernel_bench, n_logical, base,
-                      netspec=hoppy, distance_model="linear")
-    t_native = native.timers["ddot"]
+    points = [("native", hpccg_kernel_bench, n_logical, base,
+               dict(netspec=hoppy, distance_model="linear"))]
+    points += [("intra", hpccg_kernel_bench, n_logical,
+                base.with_doubled_z(),
+                dict(netspec=hoppy, distance_model="linear",
+                     spread=spread))
+               for spread in spreads]
+    runs = sweep_modes(points)
+    t_native = runs[0].timers["ddot"]
     rows = []
-    for spread in spreads:
-        intra = run_mode("intra", hpccg_kernel_bench, n_logical,
-                         base.with_doubled_z(), netspec=hoppy,
-                         distance_model="linear", spread=spread)
+    for spread, intra in zip(spreads, runs[1:]):
         t = intra.timers["ddot"]
         rows.append(AblationRow("replica_spread", spread, t,
                                 fixed_resource_efficiency(t_native, t)))
@@ -118,16 +132,15 @@ def copy_strategy_comparison(n_logical: int = 4) -> _t.List[AblationRow]:
     """GTC wall time under the three inout-protection strategies —
     §III-B2 predicts near-parity ("a similar cost")."""
     cfg = GtcConfig(particles_per_rank=16384, cells_per_rank=64, steps=3)
-    rows = []
-    times = {}
-    for strategy in (CopyStrategy.LAZY, CopyStrategy.EAGER,
-                     CopyStrategy.ATOMIC):
-        run = run_mode("intra", gtc_program, n_logical, cfg,
-                       copy_strategy=strategy)
-        times[strategy.value] = run.wall_time
-        rows.append(AblationRow("copy_strategy", strategy.value,
-                                run.wall_time, 0.0))
-    best = min(times.values())
+    strategies = (CopyStrategy.LAZY, CopyStrategy.EAGER,
+                  CopyStrategy.ATOMIC)
+    runs = sweep_modes([("intra", gtc_program, n_logical, cfg,
+                         dict(copy_strategy=strategy))
+                        for strategy in strategies])
+    rows = [AblationRow("copy_strategy", strategy.value, run.wall_time,
+                        0.0)
+            for strategy, run in zip(strategies, runs)]
+    best = min(r.time for r in rows)
     for r in rows:
         r.efficiency = best / r.time
     return rows
@@ -138,11 +151,15 @@ def minighost_stencil_ablation(n_logical: int = 8) -> _t.List[AblationRow]:
     (§V-D: "the performance with intra-parallelization were around the
     same as without intra-parallelization")."""
     base = MiniGhostConfig(nx=32, ny=32, nz=16, steps=3)
-    native = run_mode("native", minighost_program, n_logical, base)
+    points = [("native", minighost_program, n_logical, base, {})]
+    points += [("intra", minighost_program, n_logical,
+                dataclasses.replace(base, stencil_in_section=stencil_in),
+                {})
+               for stencil_in in (False, True)]
+    runs = sweep_modes(points)
+    native = runs[0]
     rows = []
-    for stencil_in in (False, True):
-        cfg = dataclasses.replace(base, stencil_in_section=stencil_in)
-        intra = run_mode("intra", minighost_program, n_logical, cfg)
+    for stencil_in, intra in zip((False, True), runs[1:]):
         rows.append(AblationRow(
             "stencil_in_section", stencil_in, intra.wall_time,
             doubled_resource_efficiency(native.wall_time,

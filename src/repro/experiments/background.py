@@ -13,6 +13,7 @@ import dataclasses
 import typing as _t
 
 from ..analysis import plain_ccr_efficiency, replicated_ccr_efficiency
+from ..perf import run_sweep
 
 
 @dataclasses.dataclass
@@ -21,6 +22,17 @@ class BackgroundRow:
     system_mtbf_hours: float
     ccr_efficiency: float
     replication_efficiency: float
+
+
+def _ccr_point(point: _t.Tuple[int, float, float, float]) -> BackgroundRow:
+    """Sweep point: one machine size of the cCR-vs-replication model."""
+    n, node_mtbf, delta, restart = point
+    return BackgroundRow(
+        n_procs=n,
+        system_mtbf_hours=node_mtbf / n / 3600.0,
+        ccr_efficiency=plain_ccr_efficiency(n, node_mtbf, delta, restart),
+        replication_efficiency=replicated_ccr_efficiency(
+            n // 2, node_mtbf, delta, restart))
 
 
 def ccr_vs_replication(
@@ -34,17 +46,9 @@ def ccr_vs_replication(
     node_mtbf = node_mtbf_years * 365.0 * 24 * 3600
     delta = checkpoint_minutes * 60
     restart = restart_minutes * 60
-    rows = []
-    for n in proc_counts:
-        e_ccr = plain_ccr_efficiency(n, node_mtbf, delta, restart)
-        e_rep = replicated_ccr_efficiency(n // 2, node_mtbf, delta,
-                                          restart)
-        rows.append(BackgroundRow(
-            n_procs=n,
-            system_mtbf_hours=node_mtbf / n / 3600.0,
-            ccr_efficiency=e_ccr,
-            replication_efficiency=e_rep))
-    return rows
+    return run_sweep([(n, node_mtbf, delta, restart)
+                      for n in proc_counts],
+                     _ccr_point, tag="ccr_vs_replication")
 
 
 def crossover_point(rows: _t.Sequence[BackgroundRow]) -> _t.Optional[int]:

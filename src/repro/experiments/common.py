@@ -21,6 +21,7 @@ from ..intra import CopyStrategy, Scheduler, launch_mode
 from ..mpi import MpiWorld
 from ..netmodel import (GRID5000_MACHINE, GRID5000_NETWORK, Cluster,
                         MachineSpec, NetworkSpec)
+from ..perf import run_sweep
 
 
 @dataclasses.dataclass
@@ -83,6 +84,23 @@ def run_mode(mode: str, program: _t.Callable, n_logical: int,
              for k in intra_keys}
     return ModeRun(mode=mode, wall_time=wall, timers=timers, intra=intra,
                    value=results[0].value)
+
+
+def run_mode_point(point: _t.Tuple[str, _t.Callable, int, _t.Any, dict]
+                   ) -> ModeRun:
+    """Evaluate one ``(mode, program, n_logical, config, kwargs)`` sweep
+    point — the module-level (hence picklable) unit of work every
+    experiment fans out through :func:`repro.perf.run_sweep`."""
+    mode, program, n_logical, config, kw = point
+    return run_mode(mode, program, n_logical, config, **kw)
+
+
+def sweep_modes(points: _t.Sequence[
+        _t.Tuple[str, _t.Callable, int, _t.Any, dict]],
+        **sweep_kw: _t.Any) -> _t.List[ModeRun]:
+    """Run a batch of :func:`run_mode` points through the sweep driver
+    (process-pool parallelism + on-disk caching per the perf config)."""
+    return run_sweep(points, run_mode_point, tag="run_mode", **sweep_kw)
 
 
 def three_mode_rows(native: ModeRun, sdr: ModeRun, intra: ModeRun,

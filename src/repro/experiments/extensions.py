@@ -27,8 +27,9 @@ from ..apps.hpccg import HpccgConfig, hpccg_program
 from ..intra import launch_intra_job
 from ..mpi import MpiWorld
 from ..netmodel import (GRID5000_MACHINE, GRID5000_NETWORK, Cluster)
+from ..perf import run_sweep
 from ..replication import FailureInjector
-from .common import nodes_for, run_mode
+from .common import nodes_for, run_mode_point, sweep_modes
 
 
 @dataclasses.dataclass
@@ -37,6 +38,27 @@ class FailureSweepRow:
     time: float
     efficiency: float
     reexecuted: int
+
+
+def _crash_point(point: _t.Tuple[HpccgConfig, int, _t.Optional[float]]
+                 ) -> _t.Tuple[float, int]:
+    """Sweep point: HPCCG intra run with an optional replica crash at
+    virtual time ``at``; returns (solve time, tasks re-executed)."""
+    config, n_logical, at = point
+    world = MpiWorld(
+        Cluster(nodes_for("intra", n_logical, GRID5000_MACHINE),
+                GRID5000_MACHINE), GRID5000_NETWORK)
+    job = launch_intra_job(world, hpccg_program, n_logical,
+                           args=(config,))
+    if at is not None:
+        FailureInjector(job.manager).kill_at(0, 1, at)
+    world.run()
+    survivor = job.manager.alive_replicas(0)[0]
+    solve = max(
+        info.app_process.value.timers.get("solve", world.sim.now)
+        for row in job.manager.replicas
+        for info in row if info.alive)
+    return solve, survivor.ctx.intra.stats.tasks_reexecuted
 
 
 def failure_time_sweep(
@@ -50,36 +72,36 @@ def failure_time_sweep(
     config = config or HpccgConfig(
         nx=16, ny=16, nz=32, max_iter=6,
         intra_kernels=frozenset({"ddot", "spmv"}))
-    # reference times
+    # reference times: the native run and the clean (no-crash) intra run
+    # are independent — one two-point sweep
     native_cfg = dataclasses.replace(config, nz=config.nz // 2)
-    native = run_mode("native", hpccg_program, 2 * n_logical, native_cfg)
-
-    def run_with_crash(at: _t.Optional[float]):
-        world = MpiWorld(
-            Cluster(nodes_for("intra", n_logical, GRID5000_MACHINE),
-                    GRID5000_MACHINE), GRID5000_NETWORK)
-        job = launch_intra_job(world, hpccg_program, n_logical,
-                               args=(config,))
-        if at is not None:
-            FailureInjector(job.manager).kill_at(0, 1, at)
-        world.run()
-        survivor = job.manager.alive_replicas(0)[0]
-        solve = max(
-            info.app_process.value.timers.get("solve", world.sim.now)
-            for row in job.manager.replicas
-            for info in row if info.alive)
-        return solve, survivor.ctx.intra.stats.tasks_reexecuted
-
-    t_clean, _ = run_with_crash(None)
+    native_result, clean = run_sweep(
+        [("native", hpccg_program, 2 * n_logical, native_cfg, {}),
+         (config, n_logical, None)],
+        _failure_ref_point, tag="failure_time_refs")
+    t_clean, _ = clean
+    # crash times depend on t_clean, so the crash batch is a second sweep
+    crash_results = run_sweep(
+        [(config, n_logical, frac * t_clean) for frac in fractions],
+        _crash_point, tag="failure_time_sweep")
     rows = [FailureSweepRow(-1.0, t_clean,
-                            fixed_resource_efficiency(native.wall_time,
-                                                      t_clean), 0)]
-    for frac in fractions:
-        t, reexec = run_with_crash(frac * t_clean)
+                            fixed_resource_efficiency(
+                                native_result.wall_time, t_clean), 0)]
+    for frac, (t, reexec) in zip(fractions, crash_results):
         rows.append(FailureSweepRow(
             frac, t,
-            fixed_resource_efficiency(native.wall_time, t), reexec))
+            fixed_resource_efficiency(native_result.wall_time, t),
+            reexec))
     return rows
+
+
+def _failure_ref_point(point):
+    """Sweep point dispatching the two reference runs of
+    :func:`failure_time_sweep` (a native :func:`run_mode` point or a
+    clean :func:`_crash_point`)."""
+    if isinstance(point[0], str):
+        return run_mode_point(point)
+    return _crash_point(point)
 
 
 @dataclasses.dataclass
@@ -98,17 +120,20 @@ def degree_sweep(degrees: _t.Sequence[int] = (1, 2, 3),
     beyond 2)."""
     base = HpccgConfig(nx=16, ny=16, nz=8, max_iter=6,
                        intra_kernels=frozenset({"ddot", "spmv"}))
-    native = run_mode("native", hpccg_program, n_logical, base)
-    rows = []
+    points = [("native", hpccg_program, n_logical, base, {})]
     for d in degrees:
         cfg = dataclasses.replace(base, nz=base.nz * d)
         if d == 1:
-            run = run_mode("native", hpccg_program, n_logical, cfg)
-            update_bytes = 0.0
+            points.append(("native", hpccg_program, n_logical, cfg, {}))
         else:
-            run = run_mode("intra", hpccg_program, n_logical, cfg,
-                           degree=d)
-            update_bytes = run.intra.get("update_bytes_sent", 0.0)
+            points.append(("intra", hpccg_program, n_logical, cfg,
+                           dict(degree=d)))
+    runs = sweep_modes(points)
+    native = runs[0]
+    rows = []
+    for d, run in zip(degrees, runs[1:]):
+        update_bytes = (0.0 if d == 1
+                        else run.intra.get("update_bytes_sent", 0.0))
         rows.append(DegreeSweepRow(
             d, run.wall_time,
             fixed_resource_efficiency(native.wall_time, run.wall_time),

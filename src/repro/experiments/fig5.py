@@ -14,7 +14,7 @@ import typing as _t
 from ..apps.hpccg import (HpccgConfig, KernelBenchConfig,
                           hpccg_kernel_bench, hpccg_program)
 from ..analysis import fixed_resource_efficiency, normalized_time
-from .common import run_mode
+from .common import sweep_modes
 
 KERNELS = ("waxpby", "ddot", "spmv")
 
@@ -39,14 +39,17 @@ def fig5a(n_logical: int = 8, base: _t.Optional[KernelBenchConfig] = None
     runtime's exposed-update statistic is attributable to it.
     """
     base = base or KernelBenchConfig(nx=32, ny=32, nz=16, reps=3)
-    rows: _t.List[Fig5aRow] = []
+    points = []
     for kernel in KERNELS:
         cfg_native = dataclasses.replace(base, kernels=(kernel,))
         cfg_repl = cfg_native.with_doubled_z()
-        native = run_mode("native", hpccg_kernel_bench, n_logical,
-                          cfg_native)
-        sdr = run_mode("sdr", hpccg_kernel_bench, n_logical, cfg_repl)
-        intra = run_mode("intra", hpccg_kernel_bench, n_logical, cfg_repl)
+        points += [("native", hpccg_kernel_bench, n_logical, cfg_native, {}),
+                   ("sdr", hpccg_kernel_bench, n_logical, cfg_repl, {}),
+                   ("intra", hpccg_kernel_bench, n_logical, cfg_repl, {})]
+    runs = sweep_modes(points)
+    rows: _t.List[Fig5aRow] = []
+    for k_idx, kernel in enumerate(KERNELS):
+        native, sdr, intra = runs[3 * k_idx:3 * k_idx + 3]
         t_native = native.timers[kernel]
         for run in (native, sdr, intra):
             label = {"native": "Open MPI", "sdr": "SDR-MPI",
@@ -85,14 +88,18 @@ def fig5b(process_counts: _t.Sequence[int] = (8, 16, 32),
     """
     base = base or HpccgConfig(nx=16, ny=16, nz=16, max_iter=6,
                                intra_kernels=frozenset({"ddot", "spmv"}))
-    rows: _t.List[Fig5bRow] = []
+    repl_cfg = base.with_doubled_z()
+    points = []
     for procs in process_counts:
         if procs % 2:
             raise ValueError("physical process counts must be even")
-        native = run_mode("native", hpccg_program, procs, base)
-        repl_cfg = base.with_doubled_z()
-        sdr = run_mode("sdr", hpccg_program, procs // 2, repl_cfg)
-        intra = run_mode("intra", hpccg_program, procs // 2, repl_cfg)
+        points += [("native", hpccg_program, procs, base, {}),
+                   ("sdr", hpccg_program, procs // 2, repl_cfg, {}),
+                   ("intra", hpccg_program, procs // 2, repl_cfg, {})]
+    runs = sweep_modes(points)
+    rows: _t.List[Fig5bRow] = []
+    for p_idx, procs in enumerate(process_counts):
+        native, sdr, intra = runs[3 * p_idx:3 * p_idx + 3]
         rows.append(Fig5bRow(procs, "Open MPI", native.wall_time, 1.0))
         for run, label in ((sdr, "SDR-MPI"), (intra, "intra")):
             rows.append(Fig5bRow(

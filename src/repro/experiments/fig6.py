@@ -20,7 +20,7 @@ from ..analysis import doubled_resource_efficiency
 from ..apps.amg import AmgConfig, amg_gmres_program, amg_pcg_program
 from ..apps.gtc import GtcConfig, gtc_program
 from ..apps.minighost import MiniGhostConfig, minighost_program
-from .common import run_mode
+from .common import sweep_modes
 
 #: timer regions that correspond to intra-parallelized code per app
 SECTION_REGIONS = {
@@ -44,9 +44,9 @@ class Fig6Row:
 
 def _run_app(app: str, program: _t.Callable, n_logical: int,
              config: _t.Any) -> _t.List[Fig6Row]:
-    native = run_mode("native", program, n_logical, config)
-    sdr = run_mode("sdr", program, n_logical, config)
-    intra = run_mode("intra", program, n_logical, config)
+    native, sdr, intra = sweep_modes([
+        (mode, program, n_logical, config, {})
+        for mode in ("native", "sdr", "intra")])
     section_time = sum(native.timers.get(r, 0.0)
                        for r in SECTION_REGIONS[app])
     frac = section_time / native.wall_time if native.wall_time else 0.0

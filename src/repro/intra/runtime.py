@@ -295,8 +295,8 @@ class IntraRuntime(IntraRuntimeBase):
         def cb(_ev) -> None:
             self._emit("update_injected", task=idx, arg=arg)
 
-        if req.event.callbacks is not None:
-            req.event.callbacks.append(cb)
+        if not req.event.processed:
+            req.event.add_callback(cb)
 
     # ----------------------------------------------------- remote tasks
     def _post_update_recvs(self, task: LaunchedTask,
@@ -322,8 +322,8 @@ class IntraRuntime(IntraRuntimeBase):
             payload, _status = ev.value
             self._apply_update(task, arg, payload)
 
-        assert req.event.callbacks is not None
-        req.event.callbacks.append(cb)
+        assert not req.event.processed
+        req.event.add_callback(cb)
 
     def _apply_update(self, task: LaunchedTask, arg: int,
                       payload: np.ndarray) -> None:

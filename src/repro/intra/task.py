@@ -73,22 +73,22 @@ class TaskDef:
     fn: _t.Callable[..., _t.Any]
     tags: _t.List[Tag]
     cost: CostFn = zero_cost
+    #: indices of arguments transferred after execution (non-IN);
+    #: derived from ``tags`` once — the runtime reads this per task per
+    #: section, so recomputing it per access showed up in profiles
+    update_args: _t.Tuple[int, ...] = dataclasses.field(init=False)
+    #: indices of arguments needing re-execution protection
+    inout_args: _t.Tuple[int, ...] = dataclasses.field(init=False)
 
     def __post_init__(self) -> None:
         if not callable(self.fn):
             raise TypeError("task function must be callable")
         if not self.tags:
             raise ValueError("task needs at least one argument tag")
-
-    @property
-    def update_args(self) -> _t.List[int]:
-        """Indices of arguments transferred after execution (non-IN)."""
-        return [i for i, t in enumerate(self.tags) if t is not Tag.IN]
-
-    @property
-    def inout_args(self) -> _t.List[int]:
-        """Indices of arguments needing re-execution protection."""
-        return [i for i, t in enumerate(self.tags) if t is Tag.INOUT]
+        self.update_args = tuple(i for i, t in enumerate(self.tags)
+                                 if t is not Tag.IN)
+        self.inout_args = tuple(i for i, t in enumerate(self.tags)
+                                if t is Tag.INOUT)
 
 
 @dataclasses.dataclass

@@ -16,6 +16,21 @@ import typing as _t
 
 import numpy as np
 
+from . import cachectl
+
+#: recycled per-size temporary for the scaled-operand term of waxpby
+#: (the kernel runs hundreds of times per CG solve on identical sizes)
+_tmp_cache: _t.Dict[int, np.ndarray] = {}
+
+
+def _tmp(n: int) -> np.ndarray:
+    if not cachectl.enabled():
+        return np.empty(n)
+    buf = _tmp_cache.get(n)
+    if buf is None:
+        buf = _tmp_cache[n] = np.empty(n)
+    return buf
+
 
 def waxpby(alpha: float, x: np.ndarray, beta: float, y: np.ndarray,
            w: np.ndarray) -> None:
@@ -24,19 +39,33 @@ def waxpby(alpha: float, x: np.ndarray, beta: float, y: np.ndarray,
     The paper's Figure 3 kernel.  Alias-safe like HPCCG's elementwise
     loop: CG calls it with ``w`` aliasing ``x`` (x update) or ``y``
     (p update), so the aliased operand is scaled in place first.
+    Temporaries for the scaled second term come from a per-size scratch
+    cache instead of being allocated per call.
     """
     if w is y or np.shares_memory(w, y):
         w *= beta
-        w += alpha * x
+        if alpha == 1.0:
+            w += x
+        else:
+            tmp = _tmp(x.size).reshape(x.shape)
+            np.multiply(x, alpha, out=tmp)
+            w += tmp
     elif w is x or np.shares_memory(w, x):
         w *= alpha
-        w += beta * y
+        if beta == 1.0:
+            w += y
+        else:
+            tmp = _tmp(y.size).reshape(y.shape)
+            np.multiply(y, beta, out=tmp)
+            w += tmp
     else:
         np.multiply(x, alpha, out=w)
         if beta == 1.0:
             w += y
         else:
-            w += beta * y
+            tmp = _tmp(y.size).reshape(y.shape)
+            np.multiply(y, beta, out=tmp)
+            w += tmp
 
 
 def waxpby_cost(alpha: float, x: np.ndarray, beta: float, y: np.ndarray,

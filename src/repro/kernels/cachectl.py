@@ -1,0 +1,25 @@
+"""Process-wide switch for the kernel-layer caches.
+
+One flag governs every cache in :mod:`repro.kernels` — CSR memoization
+and row-block lookups (:mod:`.spmv`), the stencil scratch buffers
+(:mod:`.stencil`) and the waxpby temporaries (:mod:`.blas`).  Disabling
+it makes every kernel call allocate and compute from scratch, which is
+exactly the seed behaviour the perf benchmark uses as its baseline leg.
+"""
+
+from __future__ import annotations
+
+_enabled = True
+
+
+def set_enabled(flag: bool) -> bool:
+    """Set the kernel-cache switch; returns the previous value."""
+    global _enabled
+    prev = _enabled
+    _enabled = bool(flag)
+    return prev
+
+
+def enabled() -> bool:
+    """Whether kernel-layer caching is active."""
+    return _enabled

@@ -6,6 +6,12 @@ of z (the rank-partitioned axis); x/y boundaries are treated as zero
 the paper found *not* amenable to intra-parallelization in MiniGhost
 ("the output is a new 3D matrix"), so its cost model matters mostly for
 the native/SDR baselines.
+
+The x/y-padded staging array each application needs is recycled through
+a small per-shape scratch cache: a MiniGhost run applies the stencil
+thousands of times on identically shaped grids, and the padded borders
+only ever hold zeros, so the buffer is allocated (and its border zeroed)
+once per shape.
 """
 
 from __future__ import annotations
@@ -13,6 +19,42 @@ from __future__ import annotations
 import typing as _t
 
 import numpy as np
+
+from . import cachectl
+
+#: per-shape scratch arrays; borders of "pad" entries stay zero
+_scratch: _t.Dict[tuple, np.ndarray] = {}
+
+
+def clear_stencil_scratch() -> None:
+    """Drop the scratch-buffer cache (tests / memory pressure)."""
+    _scratch.clear()
+
+
+def _padded(grid: np.ndarray) -> np.ndarray:
+    """Return ``grid`` staged into an x/y zero-padded scratch array."""
+    nx, ny, nz2 = grid.shape
+    if not cachectl.enabled():
+        buf = np.zeros((nx + 2, ny + 2, nz2))
+        buf[1:-1, 1:-1, :] = grid
+        return buf
+    key = ("pad", nx, ny, nz2)
+    buf = _scratch.get(key)
+    if buf is None:
+        buf = _scratch[key] = np.zeros((nx + 2, ny + 2, nz2))
+    buf[1:-1, 1:-1, :] = grid
+    return buf
+
+
+def _interior_scratch(shape: tuple) -> np.ndarray:
+    """An uninitialised per-shape temporary of interior shape."""
+    if not cachectl.enabled():
+        return np.empty(shape)
+    key = ("tmp", *shape)
+    buf = _scratch.get(key)
+    if buf is None:
+        buf = _scratch[key] = np.empty(shape)
+    return buf
 
 
 def apply_27pt(grid: np.ndarray, out: np.ndarray) -> None:
@@ -26,14 +68,13 @@ def apply_27pt(grid: np.ndarray, out: np.ndarray) -> None:
     nz = nz2 - 2
     if out.shape != (nx, ny, nz):
         raise ValueError(f"out shape {out.shape} != {(nx, ny, nz)}")
-    padded = np.zeros((nx + 2, ny + 2, nz2))
-    padded[1:-1, 1:-1, :] = grid
-    acc = np.zeros((nx, ny, nz))
+    padded = _padded(grid)
+    out.fill(0.0)
     for dx in (0, 1, 2):
         for dy in (0, 1, 2):
             for dz in (0, 1, 2):
-                acc += padded[dx:dx + nx, dy:dy + ny, dz:dz + nz]
-    np.divide(acc, 27.0, out=out)
+                out += padded[dx:dx + nx, dy:dy + ny, dz:dz + nz]
+    out /= 27.0
 
 
 def stencil27_cost(grid: np.ndarray,
@@ -51,8 +92,7 @@ def apply_7pt(grid: np.ndarray, out: np.ndarray) -> None:
     nz = nz2 - 2
     if out.shape != (nx, ny, nz):
         raise ValueError(f"out shape {out.shape} != {(nx, ny, nz)}")
-    padded = np.zeros((nx + 2, ny + 2, nz2))
-    padded[1:-1, 1:-1, :] = grid
+    padded = _padded(grid)
     c = padded[1:-1, 1:-1, 1:-1]
     np.multiply(c, 6.0, out=out)
     out -= padded[0:-2, 1:-1, 1:-1]
@@ -78,17 +118,18 @@ def apply_27pt_matvec(grid: np.ndarray, out: np.ndarray) -> None:
     nz = nz2 - 2
     if out.shape != (nx, ny, nz):
         raise ValueError(f"out shape {out.shape} != {(nx, ny, nz)}")
-    padded = np.zeros((nx + 2, ny + 2, nz2))
-    padded[1:-1, 1:-1, :] = grid
-    acc = np.zeros((nx, ny, nz))
+    padded = _padded(grid)
+    out.fill(0.0)
     for dx in (0, 1, 2):
         for dy in (0, 1, 2):
             for dz in (0, 1, 2):
                 if dx == 1 and dy == 1 and dz == 1:
                     continue
-                acc += padded[dx:dx + nx, dy:dy + ny, dz:dz + nz]
-    np.multiply(padded[1:-1, 1:-1, 1:-1], 27.0, out=out)
-    out -= acc
+                out += padded[dx:dx + nx, dy:dy + ny, dz:dz + nz]
+    # out = 27*c - neighbour_sum, via a recycled temporary
+    tmp = _interior_scratch(out.shape)
+    np.multiply(padded[1:-1, 1:-1, 1:-1], 27.0, out=tmp)
+    np.subtract(tmp, out, out=out)
 
 
 def stencil27_matvec_cost(grid: np.ndarray,

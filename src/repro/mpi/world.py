@@ -62,10 +62,18 @@ class ProcContext:
     # ------------------------------------------------------------ compute
     def compute(self, flops: float = 0.0, bytes_moved: float = 0.0,
                 active_cores: _t.Optional[int] = None) -> Event:
-        """Charge roofline time for a kernel; ``yield`` the result."""
+        """Charge roofline time for a kernel; ``yield`` the result.
+
+        The descriptive label is only attached when a trace hook is
+        installed — labelling is for trace assertions, and the f-string
+        plus unpooled allocation are measurable on the compute-heavy
+        hot path.
+        """
         dt = self.world.cluster.machine.kernel_time(flops, bytes_moved,
                                                     active_cores)
         self.compute_time += dt
+        if self.sim._trace is None:
+            return self.sim.sleep(dt)
         return self.sim.timeout(dt, label=f"compute:{self.name}")
 
     def memcpy(self, nbytes: float) -> Event:
@@ -73,11 +81,13 @@ class ProcContext:
         application of received updates)."""
         dt = self.world.cluster.machine.copy_time(nbytes)
         self.compute_time += dt
+        if self.sim._trace is None:
+            return self.sim.sleep(dt)
         return self.sim.timeout(dt, label=f"memcpy:{self.name}")
 
     def sleep(self, duration: float) -> Event:
         """Idle for ``duration`` virtual seconds."""
-        return self.sim.timeout(duration)
+        return self.sim.sleep(duration)
 
     # ------------------------------------------------------------ timing
     def region(self, name: str) -> "_Region":

@@ -1,0 +1,14 @@
+"""Performance subsystem: parallel sweep driver + result caching.
+
+The experiment harness describes every figure as a list of independent
+sweep points; :func:`run_sweep` evaluates them through a process pool
+with optional on-disk memoization.  See :mod:`repro.perf.sweep`.
+"""
+
+from .sweep import (CACHE_VERSION, SweepConfig, clear_result_cache,
+                    configure, get_config, run_sweep, stable_token)
+
+__all__ = [
+    "CACHE_VERSION", "SweepConfig", "clear_result_cache", "configure",
+    "get_config", "run_sweep", "stable_token",
+]

@@ -1,0 +1,233 @@
+"""Parallel experiment-sweep driver with on-disk result caching.
+
+Every figure of the reproduction is a *sweep*: a list of independent
+(mode, program, problem) points, each of which runs a full discrete-event
+simulation.  Points share nothing at runtime (determinism makes each one
+a pure function of its descriptor), which makes the sweep embarrassingly
+parallel and its results safely cacheable.
+
+:func:`run_sweep` fans the points out over a process pool and memoizes
+each point's result on disk, keyed by a *stable* serialization of the
+point descriptor (:func:`stable_token` — plain ``repr`` is not stable
+for sets/dataclasses across hash seeds).
+
+Defaults are conservative: serial and uncached.  The experiment CLI
+(``python -m repro.experiments --workers N``) and the perf benchmark
+opt in through :func:`configure`; library callers can also pass
+``workers=`` / ``cache=`` explicitly.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import enum
+import hashlib
+import os
+import pathlib
+import pickle
+import typing as _t
+
+#: bump to invalidate every cached result (e.g. on model changes)
+CACHE_VERSION = 1
+
+_DEFAULT_CACHE_DIR = pathlib.Path(".perf_cache")
+
+
+@dataclasses.dataclass
+class SweepConfig:
+    """Process-wide defaults for :func:`run_sweep`."""
+
+    workers: int = 1
+    cache: bool = False
+    cache_dir: pathlib.Path = _DEFAULT_CACHE_DIR
+
+
+def _env_flag(name: str) -> bool:
+    """Truthiness of an env flag: '', '0', 'false', 'no', 'off' are
+    False (``bool(raw)`` would treat '0' as enabled)."""
+    return os.environ.get(name, "").strip().lower() not in (
+        "", "0", "false", "no", "off")
+
+
+_config = SweepConfig(
+    workers=int(os.environ.get("REPRO_WORKERS", "1") or 1),
+    cache=_env_flag("REPRO_SWEEP_CACHE"),
+    cache_dir=pathlib.Path(os.environ.get("REPRO_CACHE_DIR", "")
+                           or _DEFAULT_CACHE_DIR),
+)
+
+
+def configure(workers: _t.Optional[int] = None,
+              cache: _t.Optional[bool] = None,
+              cache_dir: _t.Optional[_t.Union[str, pathlib.Path]] = None
+              ) -> SweepConfig:
+    """Set process-wide sweep defaults; returns the live config."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        _config.workers = int(workers)
+    if cache is not None:
+        _config.cache = bool(cache)
+    if cache_dir is not None:
+        _config.cache_dir = pathlib.Path(cache_dir)
+    return _config
+
+
+def get_config() -> SweepConfig:
+    """The live process-wide sweep configuration."""
+    return _config
+
+
+# ------------------------------------------------------------ stable keys
+def stable_token(obj: _t.Any) -> str:
+    """A deterministic, hash-seed-independent serialization of a sweep
+    point descriptor.
+
+    Handles the types experiment configs are made of: primitives,
+    sequences, dicts, sets/frozensets (sorted), enums, dataclasses,
+    callables (by qualified name) and plain attribute objects.  Unknown
+    objects fall back to ``repr`` — fine as long as the repr does not
+    embed memory addresses (a ``<... at 0x...>`` repr raises instead of
+    silently producing an unstable key).
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, float):
+        return repr(obj)  # repr round-trips floats exactly
+    if isinstance(obj, enum.Enum):
+        return f"enum:{type(obj).__qualname__}.{obj.name}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ", ".join(
+            f"{f.name}={stable_token(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj))
+        return f"dc:{type(obj).__qualname__}({fields})"
+    if isinstance(obj, (list, tuple)):
+        kind = "list" if isinstance(obj, list) else "tuple"
+        return f"{kind}[{', '.join(stable_token(v) for v in obj)}]"
+    if isinstance(obj, (set, frozenset)):
+        return f"set[{', '.join(sorted(stable_token(v) for v in obj))}]"
+    if isinstance(obj, dict):
+        items = sorted((stable_token(k), stable_token(v))
+                       for k, v in obj.items())
+        return f"dict[{', '.join(f'{k}: {v}' for k, v in items)}]"
+    if callable(obj) and hasattr(obj, "__qualname__"):
+        return f"fn:{getattr(obj, '__module__', '?')}.{obj.__qualname__}"
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        return f"obj:{type(obj).__qualname__}({stable_token(attrs)})"
+    r = repr(obj)
+    if " at 0x" in r:
+        raise TypeError(
+            f"cannot build a stable cache key for {type(obj).__name__}: "
+            f"repr embeds a memory address ({r})")
+    return f"repr:{r}"
+
+
+def _point_key(fn: _t.Callable, point: _t.Any, tag: str) -> str:
+    blob = f"v{CACHE_VERSION}|{tag or stable_token(fn)}|{stable_token(point)}"
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ------------------------------------------------------------- disk cache
+def _cache_path(cache_dir: pathlib.Path, key: str) -> pathlib.Path:
+    return cache_dir / f"{key[:2]}" / f"{key}.pkl"
+
+
+def _cache_load(cache_dir: pathlib.Path, key: str) -> _t.Tuple[bool, _t.Any]:
+    path = _cache_path(cache_dir, key)
+    try:
+        with open(path, "rb") as fh:
+            return True, pickle.load(fh)
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        return False, None
+
+
+def _cache_store(cache_dir: pathlib.Path, key: str, value: _t.Any) -> None:
+    path = _cache_path(cache_dir, key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic under concurrent writers
+    except (OSError, pickle.PickleError):
+        pass  # caching is best-effort; never fail the sweep
+
+
+def clear_result_cache(cache_dir: _t.Optional[_t.Union[str, pathlib.Path]]
+                       = None) -> int:
+    """Delete all cached sweep results; returns the number removed."""
+    root = pathlib.Path(cache_dir) if cache_dir else _config.cache_dir
+    removed = 0
+    if root.is_dir():
+        for p in root.rglob("*.pkl"):
+            try:
+                p.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+# ------------------------------------------------------------- the driver
+def run_sweep(points: _t.Sequence[_t.Any], fn: _t.Callable[[_t.Any], _t.Any],
+              workers: _t.Optional[int] = None,
+              cache: _t.Optional[bool] = None,
+              cache_dir: _t.Optional[_t.Union[str, pathlib.Path]] = None,
+              tag: str = "") -> _t.List[_t.Any]:
+    """Evaluate ``fn(point)`` for every point, in order.
+
+    Parameters
+    ----------
+    points:
+        Picklable point descriptors.  Each must be a pure description of
+        the run (configs, mode names, counts) — results are memoized on
+        the descriptor.
+    fn:
+        Module-level callable (picklable by reference when
+        ``workers > 1``); must be deterministic in ``point``.
+    workers:
+        Process-pool width; ``None`` uses the configured default.  With
+        1 worker everything runs inline (no pool, no pickling).
+    cache / cache_dir:
+        Override the configured on-disk memoization.  ``tag`` namespaces
+        the cache key (defaults to ``fn``'s qualified name).
+
+    Returns results in the same order as ``points``.
+    """
+    cfg = _config
+    n_workers = cfg.workers if workers is None else workers
+    use_cache = cfg.cache if cache is None else cache
+    root = pathlib.Path(cache_dir) if cache_dir else cfg.cache_dir
+
+    points = list(points)
+    results: _t.List[_t.Any] = [None] * len(points)
+    pending: _t.List[int] = []
+    if use_cache:
+        keys = [_point_key(fn, p, tag) for p in points]
+        for i, key in enumerate(keys):
+            hit, value = _cache_load(root, key)
+            if hit:
+                results[i] = value
+            else:
+                pending.append(i)
+    else:
+        keys = []
+        pending = list(range(len(points)))
+
+    if pending:
+        if n_workers > 1 and len(pending) > 1:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(n_workers, len(pending))) as pool:
+                for i, value in zip(pending,
+                                    pool.map(fn, [points[i]
+                                                  for i in pending])):
+                    results[i] = value
+        else:
+            for i in pending:
+                results[i] = fn(points[i])
+        if use_cache:
+            for i in pending:
+                _cache_store(root, keys[i], results[i])
+    return results

@@ -131,7 +131,7 @@ class ReplicatedComm(CollectiveOps):
         proc = self.sim.process(self._recv_loop(source, tag, proxy),
                                 name=f"lrecv:{self.ctx.name}")
         self.pending_loops.add(proc)
-        proc.callbacks.append(lambda _ev: self.pending_loops.discard(proc))
+        proc.add_callback(lambda _ev: self.pending_loops.discard(proc))
         return Request(proxy, kind="recv")
 
     def _recv_loop(self, source: int, tag: int, proxy: Event):

@@ -11,7 +11,20 @@ Determinism
 Events scheduled for the same virtual time are processed in scheduling
 order (a monotonically increasing sequence number breaks ties), so a run
 is a pure function of its inputs.  Reproduction experiments rely on this:
-re-running a failure-injection scenario replays the identical interleaving.
+re-running a failure-injection scenario replays the identical interleaving
+(``tests/simulate/test_determinism.py`` pins a golden trace).
+
+Performance
+-----------
+:meth:`Simulator.run` inlines the pop→process→callback chain (the body of
+:meth:`Event._process`) and :meth:`Process._resume` reads event slots
+directly instead of going through properties.  Plain timeouts — the
+dominant event by two orders of magnitude — are recycled through a small
+free list: after the run loop processes a :class:`Timeout` that nothing
+else references (checked via the CPython refcount), the object is reset
+and reused by the next :meth:`Simulator.sleep` call, making the
+"process sleeps for its compute time" hot path allocation-free.
+``benchmarks/test_perf_engine.py`` tracks the resulting events/sec.
 
 Example
 -------
@@ -33,7 +46,22 @@ import typing as _t
 
 from .errors import (DeadlockError, NotProcessError, ProcessKilled,
                      SimulationError, UnhandledFailure)
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import (_PENDING, _PROCESSED, _TRIGGERED, AllOf, AnyOf, Event,
+                     Timeout)
+
+try:  # CPython: enables the timeout free list in the run loop
+    from sys import getrefcount as _getrefcount
+except ImportError:  # pragma: no cover - non-refcounting interpreters
+    _getrefcount = None
+
+#: cap on the timeout free list (a handful per live process is plenty)
+_POOL_MAX = 256
+
+#: process-wide default for ``Simulator(fast=None)``; the perf benchmark
+#: flips this to time the un-inlined baseline loop
+FAST_DEFAULT = True
+
+_INF = float("inf")
 
 
 class Simulator:
@@ -45,13 +73,25 @@ class Simulator:
         Optional callable ``trace(time, event)`` invoked for every
         processed event; used by tests that assert on protocol traces
         (e.g. the Figure 1 message/compute pattern).
+    fast:
+        When False, :meth:`run` falls back to the un-inlined
+        ``while heap: step()`` loop and timeout pooling is disabled.
+        Only the performance benchmarks use this (as the seed-equivalent
+        baseline); semantics are identical either way.  ``None`` means
+        "use :data:`FAST_DEFAULT`".
     """
 
-    def __init__(self, trace: _t.Optional[_t.Callable[[float, Event], None]] = None):
+    def __init__(self, trace: _t.Optional[_t.Callable[[float, Event], None]] = None,
+                 fast: _t.Optional[bool] = None):
         self.now: float = 0.0
         self._heap: _t.List[_t.Tuple[float, int, Event]] = []
         self._seq = 0
         self._trace = trace
+        if fast is None:
+            fast = FAST_DEFAULT
+        self._fast = fast and _getrefcount is not None
+        #: free list of recycled Timeout objects (see :meth:`sleep`)
+        self._timeout_pool: _t.List[Timeout] = []
         #: live (not yet terminated) processes, used for deadlock detection
         self._active_processes: _t.Set["Process"] = set()
 
@@ -64,6 +104,32 @@ class Simulator:
                 label: str = "") -> Timeout:
         """An event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value=value, label=label)
+
+    def sleep(self, delay: float) -> Timeout:
+        """A plain timeout (no value, no label) from the free list.
+
+        Semantically identical to ``timeout(delay)``; the returned object
+        may be a recycled :class:`Timeout`.  This is the zero-allocation
+        fast path for the dominant "process sleeps for its compute/idle
+        time" case.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            t._waiter = None
+            t.callbacks = None
+            t._value = None
+            t._exc = None
+            t._state = _TRIGGERED
+            t.defused = False
+            t.label = ""
+            t.delay = delay
+            self._seq += 1
+            heapq.heappush(self._heap, (self.now + delay, self._seq, t))
+            return t
+        return Timeout(self, delay)
 
     def all_of(self, events: _t.Sequence[Event], label: str = "") -> AllOf:
         """Fires when all ``events`` fired (cf. ``MPI_Waitall``)."""
@@ -86,7 +152,7 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._heap[0][0] if self._heap else _INF
 
     def step(self) -> None:
         """Process exactly one event."""
@@ -95,8 +161,8 @@ class Simulator:
         event._process()
         if self._trace is not None:
             self._trace(time, event)
-        if event.exception is not None and not event.defused:
-            raise UnhandledFailure(event.exception)
+        if event._exc is not None and not event.defused:
+            raise UnhandledFailure(event._exc)
 
     def run(self, until: _t.Optional[float] = None,
             detect_deadlock: bool = False) -> None:
@@ -108,11 +174,60 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self.now = until
-                return
-            self.step()
+        if not self._fast:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    return
+                self.step()
+        else:
+            heap = self._heap
+            pool = self._timeout_pool
+            heappop = heapq.heappop
+            trace = self._trace
+            getrefcount = _getrefcount
+            pool_append = pool.append
+            timeout_cls = Timeout
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self.now = until
+                    return
+                time, _seq, event = heappop(heap)
+                self.now = time
+                # -- inline Event._process (keep in sync) --------------
+                event._state = _PROCESSED
+                waiter = event._waiter
+                if waiter is not None:
+                    event._waiter = None
+                    waiter(event)
+                    if event.callbacks is None:
+                        # single-waiter success: the dominant shape.
+                        # Recycle unreferenced plain timeouts — refcount
+                        # 2 means only the local variable and the
+                        # getrefcount argument hold the object, so no
+                        # model code can observe the reuse.
+                        if (event._exc is None and trace is None
+                                and type(event) is timeout_cls
+                                and len(pool) < _POOL_MAX
+                                and getrefcount(event) == 2):
+                            pool_append(event)
+                            continue
+                    else:
+                        cbs = event.callbacks
+                        event.callbacks = None
+                        for cb in cbs:
+                            cb(event)
+                else:
+                    cbs = event.callbacks
+                    if cbs is not None:
+                        event.callbacks = None
+                        for cb in cbs:
+                            cb(event)
+                # ------------------------------------------------------
+                if trace is not None:
+                    trace(time, event)
+                if event._exc is not None and not event.defused:
+                    raise UnhandledFailure(event._exc)
         if until is not None:
             self.now = until
         if detect_deadlock and self._active_processes:
@@ -136,7 +251,7 @@ class Process(Event):
     ``GeneratorExit`` is thrown into the body so ``finally`` blocks run.
     """
 
-    __slots__ = ("body", "name", "_waiting_on", "_killed")
+    __slots__ = ("body", "name", "_waiting_on", "_killed", "_resume_cb")
 
     def __init__(self, sim: Simulator, body: _t.Generator, name: str = ""):
         if not inspect.isgenerator(body):
@@ -147,17 +262,21 @@ class Process(Event):
         self.name = name or getattr(body, "__name__", "process")
         self._waiting_on: _t.Optional[Event] = None
         self._killed = False
+        #: the bound resume method, created once — registering a fresh
+        #: bound method per wait would allocate on every suspension and
+        #: break identity-based deregistration.
+        self._resume_cb = self._resume
         sim._active_processes.add(self)
         # Bootstrap: start executing at the current time.
         start = Event(sim, label=f"start:{self.name}")
-        start.callbacks.append(self._resume)
+        start._waiter = self._resume_cb
         start.succeed()
 
     # -- state -------------------------------------------------------------
     @property
     def is_alive(self) -> bool:
         """True while the body has not returned and was not killed."""
-        return not self.triggered
+        return self._state == _PENDING
 
     @property
     def killed(self) -> bool:
@@ -179,17 +298,14 @@ class Process(Event):
         ``finally`` blocks) until the kernel completes the kill.  Code
         between the victim and the kernel must not swallow it.
         """
-        if self.triggered:
+        if self._state != _PENDING:
             return
         if getattr(self.body, "gi_running", False):
             self._killed = True
             raise ProcessKilled(reason)
         self._killed = True
-        if self._waiting_on is not None and self._waiting_on.callbacks is not None:
-            try:
-                self._waiting_on.callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+        if self._waiting_on is not None:
+            self._waiting_on.remove_callback(self._resume_cb)
             self._waiting_on = None
         self.body.close()
         self.sim._active_processes.discard(self)
@@ -198,15 +314,17 @@ class Process(Event):
 
     # -- kernel ------------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:  # killed while the wake-up was in flight
+        if self._state != _PENDING:  # killed while the wake-up was in flight
             return
         self._waiting_on = None
+        body = self.body
         try:
-            if event.exception is not None:
+            exc = event._exc
+            if exc is not None:
                 event.defused = True
-                target = self.body.throw(event.exception)
+                target = body.throw(exc)
             else:
-                target = self.body.send(event.value if event is not self else None)
+                target = body.send(event._value if event is not self else None)
         except StopIteration as stop:
             self.sim._active_processes.discard(self)
             self.succeed(stop.value)
@@ -219,22 +337,29 @@ class Process(Event):
             self.defused = True
             self.fail(ProcessKilled(f"{self.name}: propagated kill"))
             return
+        # Fast path: a freshly created (triggered, unwaited) Timeout —
+        # the overwhelmingly common "yield sim.timeout(dt)" case.
+        if (type(target) is Timeout and target._state == _TRIGGERED
+                and target._waiter is None):
+            target._waiter = self._resume_cb
+            self._waiting_on = target
+            return
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must "
                 f"yield Event objects (did you forget a .request()/.recv()?)")
-        if target.processed:
+        if target._state == _PROCESSED:
             # Already fired: resume immediately (via a zero-delay event to
             # preserve run-to-completion semantics per event).
             bounce = Event(self.sim, label=f"bounce:{self.name}")
-            bounce.callbacks.append(self._resume)
-            if target.exception is not None:
+            bounce._waiter = self._resume_cb
+            if target._exc is not None:
                 target.defused = True
                 bounce.defused = True
-                bounce.fail(target.exception)
+                bounce.fail(target._exc)
             else:
-                bounce.succeed(target.value)
+                bounce.succeed(target._value)
             self._waiting_on = bounce
         else:
-            target.callbacks.append(self._resume)
+            target.add_callback(self._resume_cb)
             self._waiting_on = target

@@ -11,6 +11,24 @@ The composite events :class:`AllOf` and :class:`AnyOf` implement the
 ``MPI_Waitall`` / ``MPI_Waitany`` style synchronisation the
 intra-parallelization runtime relies on to overlap update transfers with
 task execution (paper §V-A).
+
+Performance notes
+-----------------
+The kernel processes tens of thousands of events per simulated second of
+an experiment sweep, and the overwhelmingly common shape is *one waiter
+per event* (a process yielding a timeout).  Two layout decisions keep
+that path allocation-free:
+
+* the first registered callback lives in the dedicated ``_waiter`` slot;
+  the ``callbacks`` list is lazily allocated only when a second waiter
+  appears (composite conditions, protocol hooks);
+* state is a plain int slot (``_state``) read directly by the kernel;
+  the ``triggered``/``processed``/``ok`` properties remain the public
+  API but are off the hot path.
+
+Register and deregister callbacks through :meth:`Event.add_callback` /
+:meth:`Event.remove_callback` — mutating ``callbacks`` directly would
+bypass the ``_waiter`` slot.
 """
 
 from __future__ import annotations
@@ -37,14 +55,16 @@ class Event:
     processes resumed).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_state", "defused",
-                 "label")
+    __slots__ = ("sim", "callbacks", "_waiter", "_value", "_exc", "_state",
+                 "defused", "label")
 
     def __init__(self, sim: "Simulator", label: str = ""):
         self.sim = sim
-        #: callbacks invoked, in registration order, when the event is
-        #: processed.  ``None`` once processed (catches late registration).
-        self.callbacks: _t.Optional[_t.List[Callback]] = []
+        #: first registered callback (the common single-waiter case)
+        self._waiter: _t.Optional[Callback] = None
+        #: overflow callbacks beyond the first, lazily allocated;
+        #: ``None`` again once processed (catches late registration).
+        self.callbacks: _t.Optional[_t.List[Callback]] = None
         self._value: _t.Any = None
         self._exc: _t.Optional[BaseException] = None
         self._state = _PENDING
@@ -67,7 +87,7 @@ class Event:
     @property
     def ok(self) -> bool:
         """True when the event succeeded (only meaningful if triggered)."""
-        return self.triggered and self._exc is None
+        return self._state >= _TRIGGERED and self._exc is None
 
     @property
     def value(self) -> _t.Any:
@@ -80,6 +100,54 @@ class Event:
     def exception(self) -> _t.Optional[BaseException]:
         """The failure exception, or ``None`` if the event succeeded."""
         return self._exc
+
+    @property
+    def has_waiters(self) -> bool:
+        """True while at least one callback is registered (used e.g. to
+        skip resource grants whose requester was killed)."""
+        return self._waiter is not None or bool(self.callbacks)
+
+    # -- callback registration -------------------------------------------
+    def add_callback(self, cb: Callback) -> None:
+        """Register ``cb(event)`` to run when the event is processed.
+
+        Callbacks run in registration order.  Registering on an already
+        processed event is an error (the callback would never run).
+        """
+        if self._state == _PROCESSED:
+            raise StaleEventError(
+                f"cannot add a callback to already-processed event {self!r}")
+        if self._waiter is None:
+            cbs = self.callbacks
+            if not cbs:
+                self._waiter = cb
+            else:
+                cbs.append(cb)
+        elif self.callbacks is None:
+            self.callbacks = [cb]
+        else:
+            self.callbacks.append(cb)
+
+    def remove_callback(self, cb: Callback) -> bool:
+        """Deregister ``cb``; returns whether it was registered.
+
+        Tolerant of already-processed events (the kill path races the
+        wake-up it is cancelling).  Comparison is by equality, matching
+        ``list.remove`` — bound methods of the same function and instance
+        compare equal even when they are distinct objects.
+        """
+        if self._waiter is cb or self._waiter == cb:
+            cbs = self.callbacks
+            self._waiter = cbs.pop(0) if cbs else None
+            return True
+        cbs = self.callbacks
+        if cbs is not None:
+            try:
+                cbs.remove(cb)
+                return True
+            except ValueError:
+                pass
+        return False
 
     # -- triggering ------------------------------------------------------
     def succeed(self, value: _t.Any = None, delay: float = 0.0) -> "Event":
@@ -105,11 +173,18 @@ class Event:
     # -- kernel hooks ------------------------------------------------------
     def _process(self) -> None:
         """Run callbacks.  Called by the simulator when the event's time
-        arrives; user code never calls this."""
-        callbacks, self.callbacks = self.callbacks, None
+        arrives; user code never calls this.  (The simulator's run loop
+        inlines this body — keep the two in sync.)"""
         self._state = _PROCESSED
-        for cb in callbacks:  # type: ignore[union-attr]
-            cb(self)
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            waiter(self)
+        cbs = self.callbacks
+        if cbs is not None:
+            self.callbacks = None
+            for cb in cbs:
+                cb(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = {_PENDING: "pending", _TRIGGERED: "triggered",
@@ -121,7 +196,12 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically ``delay`` time units after it is
     created.  ``yield sim.timeout(d)`` is how processes model the passage
-    of (compute) time."""
+    of (compute) time.
+
+    The constructor is written against the slot layout directly (no
+    ``super().__init__`` chain): timeouts are the single most allocated
+    object of a simulation run.
+    """
 
     __slots__ = ("delay",)
 
@@ -129,10 +209,15 @@ class Timeout(Event):
                  label: str = ""):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, label=label)
-        self.delay = delay
-        self._state = _TRIGGERED
+        self.sim = sim
+        self._waiter = None
+        self.callbacks = None
         self._value = value
+        self._exc = None
+        self._state = _TRIGGERED
+        self.defused = False
+        self.label = label
+        self.delay = delay
         sim._enqueue(self, delay)
 
 
@@ -166,13 +251,13 @@ class AllOf(Event):
             self.succeed([])
             return
         for ev in self.events:
-            if ev.processed:
+            if ev._state == _PROCESSED:
                 if not ev.ok:
                     self._child_failed(ev)
                     return
             else:
                 self._pending_count += 1
-                ev.callbacks.append(self._on_child)  # type: ignore[union-attr]
+                ev.add_callback(self._on_child)
         if self._pending_count == 0 and self._state == _PENDING:
             self.succeed([ev.value for ev in self.events])
 
@@ -212,12 +297,12 @@ class AnyOf(Event):
         if not self.events:
             raise ValueError("AnyOf needs at least one event")
         for idx, ev in enumerate(self.events):
-            if ev.processed:
+            if ev._state == _PROCESSED:
                 self._on_child_idx(ev, idx)
                 if self._state != _PENDING:
                     break
             else:
-                ev.callbacks.append(  # type: ignore[union-attr]
+                ev.add_callback(
                     lambda e, i=idx: self._on_child_idx(e, i))
 
     def _on_child_idx(self, ev: Event, idx: int) -> None:

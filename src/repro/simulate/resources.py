@@ -73,7 +73,7 @@ class Resource:
             raise RuntimeError(f"release() on idle resource {self.name!r}")
         while self._queue:
             ev = self._queue.popleft()
-            if ev.callbacks:  # someone is still waiting on this grant
+            if ev.has_waiters:  # someone is still waiting on this grant
                 ev.succeed()
                 return
         self._in_use -= 1

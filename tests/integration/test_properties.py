@@ -30,7 +30,7 @@ def test_event_processing_order_is_time_then_schedule_order(delays):
     seen = []
     for i, d in enumerate(delays):
         ev = sim.timeout(d, value=i)
-        ev.callbacks.append(lambda e: seen.append((sim.now, e.value)))
+        ev.add_callback(lambda e: seen.append((sim.now, e.value)))
     sim.run()
     # sorted by (time, insertion order)
     expect = sorted(range(len(delays)), key=lambda i: (delays[i], i))

@@ -1,0 +1,108 @@
+"""The parallel sweep driver: ordering, pooling, caching, stable keys."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.hpccg import HpccgConfig
+from repro.intra import CopyStrategy
+from repro.perf import (clear_result_cache, configure, get_config,
+                        run_sweep, stable_token)
+
+
+def _square(x):
+    return x * x
+
+
+def _record_calls(x):
+    _record_calls.calls.append(x)
+    return x + 1
+
+
+_record_calls.calls = []
+
+
+def test_results_preserve_point_order():
+    assert run_sweep([3, 1, 2], _square) == [9, 1, 4]
+
+
+def test_empty_sweep():
+    assert run_sweep([], _square) == []
+
+
+def test_process_pool_matches_serial():
+    points = list(range(8))
+    assert (run_sweep(points, _square, workers=2)
+            == run_sweep(points, _square, workers=1))
+
+
+def test_disk_cache_hit_skips_recompute(tmp_path):
+    _record_calls.calls = []
+    points = [1, 2, 3]
+    first = run_sweep(points, _record_calls, cache=True,
+                      cache_dir=tmp_path)
+    assert _record_calls.calls == points
+    again = run_sweep(points, _record_calls, cache=True,
+                      cache_dir=tmp_path)
+    assert again == first == [2, 3, 4]
+    assert _record_calls.calls == points  # nothing recomputed
+
+
+def test_cache_is_keyed_on_point_and_tag(tmp_path):
+    a = run_sweep([2], _square, cache=True, cache_dir=tmp_path)
+    b = run_sweep([3], _square, cache=True, cache_dir=tmp_path)
+    c = run_sweep([2], _square, cache=True, cache_dir=tmp_path,
+                  tag="other")
+    assert (a, b, c) == ([4], [9], [4])
+    assert clear_result_cache(tmp_path) == 3  # three distinct entries
+
+
+def test_configure_sets_defaults(tmp_path):
+    cfg = get_config()
+    old = (cfg.workers, cfg.cache, cfg.cache_dir)
+    try:
+        configure(workers=2, cache=True, cache_dir=tmp_path)
+        assert run_sweep([5], _square) == [25]
+        assert list(tmp_path.rglob("*.pkl"))  # default cache dir used
+    finally:
+        configure(workers=old[0], cache=old[1], cache_dir=old[2])
+
+
+def test_configure_rejects_bad_workers():
+    with pytest.raises(ValueError):
+        configure(workers=0)
+
+
+# ------------------------------------------------------------ stable keys
+def test_stable_token_sorts_sets():
+    # frozenset iteration order depends on the hash seed; tokens must not
+    assert (stable_token(frozenset({"ddot", "spmv", "waxpby"}))
+            == stable_token(frozenset({"waxpby", "spmv", "ddot"})))
+
+
+def test_stable_token_distinguishes_configs():
+    a = HpccgConfig(nx=16, ny=16, nz=16)
+    b = dataclasses.replace(a, nz=32)
+    assert stable_token(a) != stable_token(b)
+    assert stable_token(a) == stable_token(
+        HpccgConfig(nx=16, ny=16, nz=16))
+
+
+def test_stable_token_handles_experiment_types():
+    token = stable_token({
+        "mode": "intra",
+        "cfg": HpccgConfig(),
+        "strategy": CopyStrategy.LAZY,
+        "fn": _square,
+        "nested": (1, [2.5, None], {"k": frozenset({1, 2})}),
+    })
+    assert "CopyStrategy.LAZY" in token
+    assert "_square" in token
+
+
+def test_stable_token_rejects_address_reprs():
+    class Opaque:
+        __slots__ = ()
+
+    with pytest.raises(TypeError):
+        stable_token(Opaque())
