@@ -30,6 +30,7 @@ Run via ``make bench`` (or ``pytest benchmarks/test_perf_engine.py -s``).
 """
 
 import json
+import os
 import pathlib
 import statistics
 import time
@@ -167,6 +168,11 @@ def test_bench_sim_core(save_table):
             "cached_rerun_s": round(cached_rerun, 4),
             "speedup_vs_seed": round(speedup_vs_seed, 3),
             "speedup_vs_baseline": round(speedup_vs_baseline, 3),
+        },
+        # host context: the --workers leg only shows real fan-out when
+        # cpu_count > 1 (see the ROADMAP note on the 1-CPU recording)
+        "host": {
+            "cpu_count": os.cpu_count(),
         },
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }

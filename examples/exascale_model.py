@@ -8,37 +8,62 @@ Sweeps machine size with the analytic models of
 * plain coordinated checkpoint-restart (Daly-optimal interval),
 * replication (degree 2) + rare checkpoints, whose MTTI survives
   ~sqrt(N) failures [16] — capped at 50% efficiency,
-* the same replication with intra-parallelization's measured
-  application efficiencies layered on top (HPCCG 0.8, GTC 0.7),
+* the same replication with intra-parallelization's efficiencies
+  *measured from the registered scenarios* ``example:hpccg:*`` and
+  ``example:gtc:*`` (our Figure 5b / 6c reproductions) layered on top,
   showing the head-room the paper's technique unlocks.
 
-Run:  python examples/exascale_model.py
+Run:  python examples/exascale_model.py [--tiny]
 """
 
-from repro.analysis import (format_table, mnfti_degree2,
-                            plain_ccr_efficiency,
-                            replicated_ccr_efficiency)
+import sys
+
+from repro.analysis import (doubled_resource_efficiency,
+                            fixed_resource_efficiency, format_table,
+                            mnfti_degree2)
+from repro.experiments import ccr_vs_replication
+from repro.scenarios import get_scenario, sweep_scenarios
+from repro.scenarios.catalog import tiny_overrides
 
 NODE_MTBF_YEARS = 5.0
 CHECKPOINT_MIN = 15.0
 RESTART_MIN = 15.0
-#: application efficiency of intra-parallelization relative to the 0.5
-#: replication cap (from our Figure 5b / 6c reproductions)
-INTRA_GAIN = {"HPCCG (Fig 5b)": 0.80 / 0.50, "GTC (Fig 6c)": 0.71 / 0.50}
 
 
-def main():
-    node_mtbf = NODE_MTBF_YEARS * 365 * 24 * 3600
-    delta, restart = CHECKPOINT_MIN * 60, RESTART_MIN * 60
+def measured_intra_gains(tiny: bool = False):
+    """Intra-parallelization efficiency relative to the 0.5 replication
+    cap, simulated from the registered example scenarios (cached by
+    scenario hash, so re-runs are free)."""
+    gains = {}
+    for label, app, convention in (("HPCCG (Fig 5b)", "hpccg", "fixed"),
+                                   ("GTC (Fig 6c)", "gtc", "doubled")):
+        native_s = get_scenario(f"example:{app}:native")
+        intra_s = get_scenario(f"example:{app}:intra")
+        if tiny:
+            native_s = native_s.with_overrides(
+                tiny_overrides(app, "native"))
+            intra_s = intra_s.with_overrides(tiny_overrides(app, "intra"))
+        native, intra = sweep_scenarios([native_s, intra_s])
+        eff_fn = (fixed_resource_efficiency if convention == "fixed"
+                  else doubled_resource_efficiency)
+        eff = eff_fn(native.wall_time, intra.wall_time)
+        gains[label] = eff / 0.5
+    return gains
+
+
+def main(tiny: bool = False):
+    intra_gain = measured_intra_gains(tiny)
+    rows_in = ccr_vs_replication(
+        proc_counts=(1_000, 10_000, 100_000, 1_000_000),
+        node_mtbf_years=NODE_MTBF_YEARS,
+        checkpoint_minutes=CHECKPOINT_MIN, restart_minutes=RESTART_MIN)
     rows = []
-    for n in (1_000, 10_000, 100_000, 1_000_000):
-        e_ccr = plain_ccr_efficiency(n, node_mtbf, delta, restart)
-        e_rep = replicated_ccr_efficiency(n // 2, node_mtbf, delta,
-                                          restart)
+    for r in rows_in:
         rows.append([
-            f"{n:,}", node_mtbf / n / 3600.0, e_ccr, e_rep,
-            e_rep * INTRA_GAIN["HPCCG (Fig 5b)"],
-            e_rep * INTRA_GAIN["GTC (Fig 6c)"],
+            f"{r.n_procs:,}", r.system_mtbf_hours, r.ccr_efficiency,
+            r.replication_efficiency,
+            r.replication_efficiency * intra_gain["HPCCG (Fig 5b)"],
+            r.replication_efficiency * intra_gain["GTC (Fig 6c)"],
         ])
     print(format_table(
         ["processes", "system MTBF (h)", "cCR", "replication",
@@ -47,7 +72,9 @@ def main():
         title=f"Workload efficiency vs machine size "
               f"({NODE_MTBF_YEARS:.0f}y node MTBF, "
               f"{CHECKPOINT_MIN:.0f}min checkpoints)"))
-    print(f"\nMean failures to interruption at 500k logical ranks "
+    print(f"\nmeasured intra gains over the 0.5 cap: "
+          + ", ".join(f"{k}: {v:.2f}x" for k, v in intra_gain.items()))
+    print(f"Mean failures to interruption at 500k logical ranks "
           f"(degree 2): {mnfti_degree2(500_000):,.0f} "
           f"(grows ~sqrt(N), per [16])")
     print("At exascale-like failure rates plain cCR collapses; "
@@ -56,4 +83,4 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv[1:])

@@ -13,17 +13,26 @@ We then run the identical scenario with protection disabled
 (CopyStrategy.NONE) to reproduce the *incorrect* execution of
 Figure 2b.
 
+The run configuration is a :class:`repro.scenarios.Scenario`; only the
+hook-precise crash trigger (which fires *between two protocol
+messages*, not at a virtual time) is attached imperatively through
+``run_scenario``'s ``before_run`` hook.  A declarative library twin —
+same section shape, time-triggered crash — is registered as
+``example:failure-injection``.
+
 Run:  python examples/failure_injection.py
 """
 
+import sys
+
 import numpy as np
 
+from repro.apps.common import finish
 from repro.intra import (CopyStrategy, Intra_Section_begin,
                          Intra_Section_end, Intra_Task_launch,
-                         Intra_Task_register, Tag, launch_intra_job)
-from repro.mpi import MpiWorld
-from repro.netmodel import GRID5000_MACHINE, GRID5000_NETWORK, Cluster
+                         Intra_Task_register, Tag)
 from repro.replication import FailureInjector
+from repro.scenarios import Scenario, run_scenario
 
 N = 8
 
@@ -42,43 +51,48 @@ def program(ctx, comm):
                               cost=lambda p, v: (100.0, 1e6))
     Intra_Task_launch(ctx, tid, [pos, vel])
     yield from Intra_Section_end(ctx)
-    return pos.copy(), vel.copy()
+    return finish(ctx, (pos.copy(), vel.copy()))
 
 
 def run(copy_strategy):
-    world = MpiWorld(Cluster(4, GRID5000_MACHINE), GRID5000_NETWORK)
-    job = launch_intra_job(world, program, 1, fd_delay=10e-6,
-                           copy_strategy=copy_strategy)
-    injector = FailureInjector(job.manager)
-    # kill the executing replica (replica 0 owns the single task) right
-    # after the `pos` update is injected, before the `vel` update
-    plan = injector.kill_on_hook(
-        0, 0, "update_injected", when=lambda task, arg, **kw: arg == 0)
-    world.run()
-    assert plan.fired, "the crash was injected"
-    survivor = job.manager.alive_replicas(0)[0]
-    pos, vel = survivor.app_process.value
-    stats = survivor.ctx.intra.stats
-    return pos, vel, stats
+    scenario = Scenario(app=f"{__name__}:program", n_logical=1,
+                        mode="intra", fd_delay=10e-6,
+                        copy_strategy=copy_strategy)
+    plans = []
+
+    def inject(world, job):
+        # kill the executing replica (replica 0 owns the single task)
+        # right after the `pos` update is injected, before `vel`'s
+        injector = FailureInjector(job.manager)
+        plans.append(injector.kill_on_hook(
+            0, 0, "update_injected",
+            when=lambda task, arg, **kw: arg == 0))
+
+    result = run_scenario(scenario, before_run=inject)
+    assert plans[0].fired, "the crash was injected"
+    pos, vel = result.value
+    return pos, vel, result
 
 
-def main():
+def main(tiny: bool = False):
+    del tiny  # this demo is already tiny (N = 8)
     expect_pos = np.arange(N) + 1.0
     expect_vel = np.full(N, 2.0)
 
     print("Crash scenario: executor dies after sending pos, before vel "
           "(Figure 2's partial update)\n")
 
-    pos, vel, stats = run(CopyStrategy.LAZY)
+    pos, vel, result = run(CopyStrategy.LAZY)
     ok = np.allclose(pos, expect_pos) and np.allclose(vel, expect_vel)
     print("with inout protection (Algorithm 1, LAZY copies):")
-    print(f"  survivor re-executed {stats.tasks_reexecuted} task(s), "
-          f"recoveries={stats.recoveries}")
+    print(f"  survivor re-executed "
+          f"{result.intra['tasks_reexecuted']:.0f} task(s), "
+          f"recoveries={result.intra['recoveries']:.0f}")
     print(f"  pos = {pos[:4]} ...  vel = {vel[:4]} ...  "
           f"-> {'CORRECT' if ok else 'WRONG'}")
     assert ok
 
-    pos, vel, _stats = run(CopyStrategy.NONE)
+    pos, vel, _result = run(CopyStrategy.NONE)
     wrong = not np.allclose(pos, expect_pos)
     print("\nwithout protection (Figure 2b's broken run):")
     print(f"  pos = {pos[:4]} ...  (expected {expect_pos[:4]})")
@@ -89,4 +103,4 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv[1:])

@@ -7,31 +7,40 @@ the textbook case for declaring variables ``inout`` (§IV): every update
 must be protected by an extra copy so a mid-update crash cannot create
 a true dependence between re-executions.
 
-This example runs the PIC stepper in the three modes, reports the
-Figure 6c efficiencies and the measured inout-copy overhead (paper:
-~6% on the affected tasks), and verifies the physics checksum matches
-across modes.
+This example runs the registered ``example:gtc:{native,sdr,intra}``
+scenarios, reports the Figure 6c efficiencies and the measured
+inout-copy overhead (paper: ~6% on the affected tasks), and verifies
+the physics checksum matches across modes.
 
-Run:  python examples/gtc_pic.py
+Run:  python examples/gtc_pic.py [--tiny]
 """
 
+import sys
+
 from repro.analysis import doubled_resource_efficiency, format_table
-from repro.apps.gtc import GtcConfig, gtc_program
-from repro.experiments import run_mode
+from repro.scenarios import get_scenario, sweep_scenarios
+from repro.scenarios.catalog import tiny_overrides
 
-CFG = GtcConfig(particles_per_rank=65536, cells_per_rank=64, steps=3)
-N_LOGICAL = 8
+MODES = ("native", "sdr", "intra")
 
 
-def main():
-    native = run_mode("native", gtc_program, N_LOGICAL, CFG)
-    sdr = run_mode("sdr", gtc_program, N_LOGICAL, CFG)
-    intra = run_mode("intra", gtc_program, N_LOGICAL, CFG)
+def scenarios(tiny: bool = False):
+    out = [get_scenario(f"example:gtc:{mode}") for mode in MODES]
+    if tiny:
+        out = [s.with_overrides(tiny_overrides("gtc", s.mode))
+               for s in out]
+    return out
+
+
+def main(tiny: bool = False):
+    ss = scenarios(tiny)
+    native, sdr, intra = sweep_scenarios(ss)
+    n_logical = ss[0].n_logical
 
     rows = []
-    for run, label, procs in ((native, "Open MPI", N_LOGICAL),
-                              (sdr, "SDR-MPI", 2 * N_LOGICAL),
-                              (intra, "intra", 2 * N_LOGICAL)):
+    for run, label, procs in ((native, "Open MPI", n_logical),
+                              (sdr, "SDR-MPI", 2 * n_logical),
+                              (intra, "intra", 2 * n_logical)):
         eff = (1.0 if run is native else
                doubled_resource_efficiency(native.wall_time,
                                            run.wall_time))
@@ -52,4 +61,4 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv[1:])

@@ -8,23 +8,37 @@ per-logical problem doubled — the paper's weak-scaling methodology.
 Intra-parallelization is applied to ddot and sparsemv only ("since it
 does not provide good performance with waxpby", §V-C).
 
-Run:  python examples/hpccg_modes.py
+The three configurations are the registered scenarios
+``example:hpccg:{native,sdr,intra}`` (shared — cache included — with
+``python -m repro.experiments run example:hpccg:intra``).
+
+Run:  python examples/hpccg_modes.py [--tiny]
 """
 
-from repro.apps.hpccg import HpccgConfig, hpccg_program
+import sys
+
 from repro.analysis import fixed_resource_efficiency, format_table
-from repro.experiments import run_mode
+from repro.scenarios import get_scenario, sweep_scenarios
+from repro.scenarios.catalog import tiny_overrides
 
-PHYSICAL_PROCS = 16
-BASE = HpccgConfig(nx=16, ny=16, nz=16, max_iter=8,
-                   intra_kernels=frozenset({"ddot", "spmv"}))
+MODES = ("native", "sdr", "intra")
 
 
-def main():
-    native = run_mode("native", hpccg_program, PHYSICAL_PROCS, BASE)
-    doubled = BASE.with_doubled_z()
-    sdr = run_mode("sdr", hpccg_program, PHYSICAL_PROCS // 2, doubled)
-    intra = run_mode("intra", hpccg_program, PHYSICAL_PROCS // 2, doubled)
+def scenarios(tiny: bool = False):
+    out = [get_scenario(f"example:hpccg:{mode}") for mode in MODES]
+    if tiny:
+        # shrunk but convention-preserving: native keeps 2x the ranks,
+        # the replicated runs keep the doubled per-logical problem
+        out = [s.with_overrides(tiny_overrides("hpccg", s.mode))
+               for s in out]
+    return out
+
+
+def main(tiny: bool = False):
+    ss = scenarios(tiny)
+    native, sdr, intra = sweep_scenarios(ss)
+    n_physical = ss[0].n_logical
+    max_iter = ss[0].config.max_iter
 
     rows = []
     for run, label in ((native, "Open MPI"), (sdr, "SDR-MPI"),
@@ -38,8 +52,8 @@ def main():
     print(format_table(
         ["mode", "CG solve (ms)", "efficiency", "final residual"],
         rows,
-        title=f"HPCCG, {PHYSICAL_PROCS} physical processes, "
-              f"{BASE.max_iter} CG iterations "
+        title=f"HPCCG, {n_physical} physical processes, "
+              f"{max_iter} CG iterations "
               "(paper Fig. 5b: SDR 0.5, intra ~0.8)"))
     print("\nPer-kernel breakdown (native):")
     for k in ("spmv", "ddot", "waxpby", "halo"):
@@ -49,4 +63,4 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv[1:])

@@ -1,38 +1,41 @@
 #!/usr/bin/env python
 """Quickstart: intra-parallelize the paper's waxpby kernel (Figure 3/4).
 
-Runs ``w = alpha*x + beta*y`` three ways on a simulated 4-node cluster —
+Runs ``w = alpha*x + beta*y`` three ways on a simulated cluster —
 plain MPI, classic state-machine replication (every replica recomputes
 everything), and intra-parallelization (replicas split the work and
 exchange results) — and prints the virtual execution times.
+
+The program below is the paper's Figure 4 in this library's API; the
+*same source* runs in all three modes because the mode lives in the
+:class:`repro.scenarios.Scenario` spec, not in the code.  (A library
+twin of this study is registered as ``example:waxpby:<mode>`` — see
+``python -m repro.experiments --list``.)
 
 The point the paper makes with this exact kernel: waxpby's *output is
 as large as its input*, so shipping updates costs more than recomputing
 — intra-parallelization is slower than plain replication here (compare
 with examples/hpccg_modes.py where ddot/sparsemv win big).
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--tiny]
 """
+
+import sys
 
 import numpy as np
 
 from repro.intra import (Intra_Section_begin, Intra_Section_end,
-                         Intra_Task_launch, Intra_Task_register, Tag,
-                         launch_mode)
+                         Intra_Task_launch, Intra_Task_register, Tag)
 from repro.kernels import split_range, waxpby, waxpby_cost
-from repro.mpi import MpiWorld
-from repro.netmodel import GRID5000_MACHINE, GRID5000_NETWORK, Cluster
+from repro.netmodel import GRID5000_MACHINE
+from repro.scenarios import Scenario, run_scenario
 
 N = 2_000_000          # vector length per logical process
 N_TASKS = 8            # paper §V-B: 8 tasks per section
 
 
 def program(ctx, comm):
-    """One MPI rank: a single intra-parallel waxpby section.
-
-    This is the paper's Figure 4, in this library's API.  The same
-    source runs in all three modes; only the launcher changes.
-    """
+    """One MPI rank: a single intra-parallel waxpby section."""
     x = np.arange(N, dtype=np.float64)
     y = np.ones(N, dtype=np.float64)
     w = np.zeros(N, dtype=np.float64)
@@ -51,32 +54,33 @@ def program(ctx, comm):
     return ctx.now
 
 
-def main():
+def main(tiny: bool = False):
+    global N
+    if tiny:
+        N = 20_000
     print(f"waxpby, n = {N:,} per logical process, {N_TASKS} tasks/section")
     print(f"machine: {GRID5000_MACHINE.name} "
           f"(paper's Grid'5000 testbed model)\n")
     times = {}
     for mode in ("native", "sdr", "intra"):
-        world = MpiWorld(Cluster(4, GRID5000_MACHINE), GRID5000_NETWORK)
-        job = launch_mode(mode, world, program, 4)
-        world.run()
-        if mode == "native":
-            t = max(job.results())
-        else:
-            t = max(max(row) for row in job.results())
-        times[mode] = t
+        # the scenario spec carries the whole configuration; the app
+        # reference points back at this module's program
+        scenario = Scenario(app=f"{__name__}:program", n_logical=4,
+                            mode=mode)
+        run = run_scenario(scenario)
+        times[mode] = run.wall_time
         # constant problem, doubled resources (Figure 6 convention):
         # replicated modes use 2x the hardware, so equal time = 50%.
         factor = 1.0 if mode == "native" else 0.5
         label = {"native": "Open MPI (no replication)",
                  "sdr": "SDR-MPI  (classic replication)",
                  "intra": "intra    (work sharing)"}[mode]
-        print(f"  {label:34s} {t * 1e3:8.2f} ms "
-              f"(efficiency {factor * times['native'] / t:.2f})")
+        print(f"  {label:34s} {run.wall_time * 1e3:8.2f} ms "
+              f"(efficiency {factor * times['native'] / run.wall_time:.2f})")
     print("\nAs in Figure 5a: for waxpby the update transfer outweighs "
           "the saved computation,\nso intra-parallelization loses to "
           "plain replication on this kernel.")
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv[1:])

@@ -13,17 +13,25 @@ kills one replica early, and shows the three regimes:
   crash + restart     — state handed over at the next step boundary,
                         work sharing resumes.
 
-Run:  python examples/replica_restart.py
+The crash-no-restart leg is a plain scenario with a declarative
+:class:`repro.scenarios.FixedFailures` schedule; the restartable legs
+use the restart coordinator (not yet scenario-expressible) on a world
+built from the same spec.
+
+Run:  python examples/replica_restart.py [--tiny]
 """
+
+import sys
 
 import numpy as np
 
-from repro.intra import Tag, launch_intra_job
+from repro.apps.common import finish
+from repro.intra import Tag
 from repro.kernels import split_range
-from repro.mpi import MpiWorld
-from repro.netmodel import GRID5000_MACHINE, GRID5000_NETWORK, Cluster
 from repro.replication import (FailureInjector, Restartable,
                                launch_restartable_job)
+from repro.scenarios import (FixedFailures, Scenario, make_world,
+                             run_scenario)
 
 N, N_TASKS, N_STEPS = 100_000, 8, 16
 CRASH_AT = 1e-3
@@ -61,43 +69,52 @@ class SumApp(Restartable):
         return state["totals"][-1]
 
 
-def world():
-    return MpiWorld(Cluster(4, GRID5000_MACHINE), GRID5000_NETWORK)
+def plain_program(ctx, comm):
+    """The same computation as a flat program (for the scenario legs)."""
+    app = SumApp()
+    state = app.init_state(ctx, comm)
+    for i in range(app.n_steps):
+        yield from app.step(ctx, comm, state, i)
+    return finish(ctx, app.finalize(ctx, comm, state))
 
 
-def main():
+#: the spec all three legs share (machine, placement, mode, size)
+BASE_SCENARIO = Scenario(app=f"{__name__}:plain_program", n_logical=1,
+                         mode="intra")
+
+
+def main(tiny: bool = False):
+    global N, CRASH_AT
+    restart_delay = 2e-4
+    if tiny:
+        # smaller vector, earlier crash, faster restart — the restart
+        # must still land well before the last step boundary
+        N, CRASH_AT, restart_delay = 20_000, 1e-4, 5e-5
+        SumApp.n_steps = 8
     expect = float(np.arange(N, dtype=np.float64).sum())
 
-    w = world()
+    w = make_world(BASE_SCENARIO)
     job, coord = launch_restartable_job(w, SumApp(), 1)
     w.run()
     t_clean = w.sim.now
 
-    app = SumApp()
+    # crash, no restart: declaratively — the base scenario plus a
+    # fixed-time failure schedule
+    run_nr = run_scenario(
+        BASE_SCENARIO.with_failures(FixedFailures(((0, 1, CRASH_AT),))))
+    t_norestart = run_nr.wall_time
+    assert run_nr.value == expect
 
-    def plain_program(ctx, comm):
-        state = app.init_state(ctx, comm)
-        for i in range(app.n_steps):
-            yield from app.step(ctx, comm, state, i)
-        return app.finalize(ctx, comm, state)
-
-    w = world()
-    job_nr = launch_intra_job(w, plain_program, 1)
-    FailureInjector(job_nr.manager).kill_at(0, 1, CRASH_AT)
-    w.run()
-    t_norestart = w.sim.now
-    assert job_nr.manager.alive_replicas(0)[0].app_process.value == expect
-
-    w = world()
+    w = make_world(BASE_SCENARIO)
     job_r, coord = launch_restartable_job(w, SumApp(), 1,
-                                          restart_delay=2e-4)
+                                          restart_delay=restart_delay)
     FailureInjector(job_r.manager).kill_at(0, 1, CRASH_AT)
     w.run()
     t_restart = w.sim.now
     for info in job_r.manager.replicas[0]:
         assert info.app_process.value == expect
 
-    print(f"{N_STEPS} steps of partial sums over {N:,} elements, "
+    print(f"{SumApp.n_steps} steps of partial sums over {N:,} elements, "
           f"crash at {CRASH_AT * 1e3:.1f} ms\n")
     print(f"  no crash           {t_clean * 1e3:7.2f} ms")
     print(f"  crash, no restart  {t_norestart * 1e3:7.2f} ms "
@@ -112,4 +129,4 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    main(tiny="--tiny" in sys.argv[1:])

@@ -1,18 +1,30 @@
-"""Regenerate the paper's tables from the command line.
+"""Regenerate the paper's tables — and run any registered scenario —
+from the command line.
 
 Usage::
 
-    python -m repro.experiments                 # everything (~1 min)
-    python -m repro.experiments fig5a fig6c     # selected figures
-    python -m repro.experiments --workers 4     # parallel sweep points
-    python -m repro.experiments --no-cache      # force recomputation
+    python -m repro.experiments                   # everything (~1 min)
+    python -m repro.experiments fig5a fig6c       # selected figures
+    python -m repro.experiments run fig5b --set degree=3 --set mode=intra
+    python -m repro.experiments run ext:poisson:intra
+    python -m repro.experiments --workers 4       # parallel sweep points
+    python -m repro.experiments --no-cache        # force recomputation
     python -m repro.experiments --list
+
+Names are figure experiments (``fig5b``, ``ablations``, ...) or
+registered scenario names (``fig5b:p16:intra``, ``example:gtc:sdr``,
+...); the optional leading ``run`` keyword is cosmetic.  ``--set
+key=value`` overrides scenario fields (``degree=3``, ``mode=intra``,
+``config.nx=8``, ``failures={"kind": "poisson", "rate": 400, "seed": 1,
+"horizon": 0.005}``) on every selected experiment/scenario; figure
+baselines keep their reference mode.  Unknown names exit non-zero with
+a close-match suggestion.
 
 Tables print to stdout in the same layout the benchmark harness saves
 under ``benchmarks/_results/``.  Sweep points fan out over ``--workers``
-processes and results are memoized under ``.perf_cache/`` (disable with
-``--no-cache``; delete the directory or bump
-``repro.perf.CACHE_VERSION`` after model changes).
+processes and results are memoized under ``.perf_cache/`` keyed by
+scenario hashes (disable with ``--no-cache``; delete the directory or
+bump ``repro.perf.CACHE_VERSION`` after model changes).
 """
 
 from __future__ import annotations
@@ -23,14 +35,25 @@ import typing as _t
 
 from ..analysis import format_table
 from ..perf import configure
+from ..scenarios import (get_entry, parse_override, scenario_entries,
+                         scenario_names, suggest_names, sweep_scenarios,
+                         UnknownScenarioError)
 from . import (ccr_vs_replication, copy_strategy_comparison, degree_sweep,
                failure_time_sweep, fig5a, fig5b, fig6a, fig6b, fig6c,
                fig6d, granularity_sweep, minighost_stencil_ablation,
-               placement_sweep, scheduler_comparison)
+               placement_sweep, poisson_failure_rows,
+               scheduler_comparison)
+from . import background as _bg
+from .ablations import DESCRIPTION as _ABLATIONS_DESC
+from .extensions import DESCRIPTION as _EXTENSIONS_DESC
+from .fig5 import DESCRIPTION_5A, DESCRIPTION_5B
+from .fig6 import DESCRIPTIONS as _FIG6_DESCS
+
+Overrides = _t.Mapping[str, _t.Any]
 
 
-def _fig5a() -> str:
-    rows = fig5a()
+def _fig5a(overrides: Overrides) -> str:
+    rows = fig5a(overrides=overrides)
     return format_table(
         ["kernel", "mode", "time (ms)", "normalized", "efficiency",
          "exposed updates (ms)"],
@@ -39,8 +62,8 @@ def _fig5a() -> str:
         title="Figure 5a — HPCCG kernels")
 
 
-def _fig5b() -> str:
-    rows = fig5b()
+def _fig5b(overrides: Overrides) -> str:
+    rows = fig5b(overrides=overrides)
     return format_table(
         ["physical procs", "mode", "time (ms)", "efficiency"],
         [[r.physical_processes, r.mode, r.time * 1e3, r.efficiency]
@@ -48,17 +71,23 @@ def _fig5b() -> str:
         title="Figure 5b — HPCCG weak scaling")
 
 
-def _fig6(fn, label: str) -> str:
-    rows = fn()
-    return format_table(
-        ["app", "mode", "procs", "time (ms)", "efficiency",
-         "sections frac"],
-        [[r.app, r.mode, r.physical_processes, r.time * 1e3,
-          r.efficiency, r.sections_fraction] for r in rows],
-        title=label)
+def _fig6(fn, label: str):
+    def render(overrides: Overrides) -> str:
+        rows = fn(overrides=overrides)
+        return format_table(
+            ["app", "mode", "procs", "time (ms)", "efficiency",
+             "sections frac"],
+            [[r.app, r.mode, r.physical_processes, r.time * 1e3,
+              r.efficiency, r.sections_fraction] for r in rows],
+            title=label)
+    return render
 
 
-def _ablations() -> str:
+def _ablations(overrides: Overrides) -> str:
+    if overrides:
+        raise ValueError("--set overrides are not supported for the "
+                         "ablation batch; run its scenarios "
+                         "individually (see --list)")
     parts = []
     parts.append(format_table(
         ["tasks/section", "intra efficiency"],
@@ -86,8 +115,8 @@ def _ablations() -> str:
     return "\n\n".join(parts)
 
 
-def _background() -> str:
-    rows = ccr_vs_replication()
+def _background(overrides: Overrides) -> str:
+    rows = ccr_vs_replication(**_bg.apply_overrides(overrides))
     return format_table(
         ["processes", "system MTBF (h)", "cCR", "replication"],
         [[r.n_procs, r.system_mtbf_hours, r.ccr_efficiency,
@@ -95,7 +124,11 @@ def _background() -> str:
         title="Background — cCR vs replication (§II)")
 
 
-def _extensions() -> str:
+def _extensions(overrides: Overrides) -> str:
+    if overrides:
+        raise ValueError("--set overrides are not supported for the "
+                         "extension batch; run its scenarios "
+                         "individually (see --list)")
     parts = []
     parts.append(format_table(
         ["crash at", "time (ms)", "efficiency", "re-executed"],
@@ -108,30 +141,74 @@ def _extensions() -> str:
         [[r.degree, r.time * 1e3, r.efficiency, r.update_bytes / 1e3]
          for r in degree_sweep()],
         title="Extension — replication degree sweep"))
+    parts.append(format_table(
+        ["mode", "time (ms)", "crashes", "crash times (ms)"],
+        [[r.mode, r.time * 1e3, r.crashes,
+          ", ".join(f"{t * 1e3:.3f}" for t in r.crash_times) or "-"]
+         for r in poisson_failure_rows()],
+        title="Extension — seeded Poisson failures (deterministic)"))
     return "\n\n".join(parts)
 
 
-EXPERIMENTS: _t.Dict[str, _t.Callable[[], str]] = {
-    "fig5a": _fig5a,
-    "fig5b": _fig5b,
-    "fig6a": lambda: _fig6(fig6a, "Figure 6a — AMG PCG 27pt"),
-    "fig6b": lambda: _fig6(fig6b, "Figure 6b — AMG GMRES 7pt"),
-    "fig6c": lambda: _fig6(fig6c, "Figure 6c — GTC"),
-    "fig6d": lambda: _fig6(fig6d, "Figure 6d — MiniGhost"),
-    "ablations": _ablations,
-    "background": _background,
-    "extensions": _extensions,
+EXPERIMENTS: _t.Dict[str, _t.Tuple[_t.Callable[[Overrides], str], str]] = {
+    "fig5a": (_fig5a, DESCRIPTION_5A),
+    "fig5b": (_fig5b, DESCRIPTION_5B),
+    "fig6a": (_fig6(fig6a, "Figure 6a — AMG PCG 27pt"),
+              _FIG6_DESCS["fig6a"]),
+    "fig6b": (_fig6(fig6b, "Figure 6b — AMG GMRES 7pt"),
+              _FIG6_DESCS["fig6b"]),
+    "fig6c": (_fig6(fig6c, "Figure 6c — GTC"), _FIG6_DESCS["fig6c"]),
+    "fig6d": (_fig6(fig6d, "Figure 6d — MiniGhost"),
+              _FIG6_DESCS["fig6d"]),
+    "ablations": (_ablations, _ABLATIONS_DESC),
+    "background": (_background, _bg.DESCRIPTION),
+    "extensions": (_extensions, _EXTENSIONS_DESC),
 }
+
+
+def _render_listing() -> str:
+    lines = ["experiments:"]
+    for name, (_fn, desc) in EXPERIMENTS.items():
+        lines.append(f"  {name:24s} {desc}")
+    lines.append("")
+    lines.append(f"registered scenarios ({len(scenario_names())}):")
+    for entry in scenario_entries():
+        desc = entry.description or entry.scenario.summary()
+        lines.append(f"  {entry.name:32s} {desc}")
+    return "\n".join(lines)
+
+
+def _run_single_scenario(name: str, overrides: Overrides) -> str:
+    entry = get_entry(name)
+    scenario = entry.scenario.with_overrides(overrides)
+    # through the sweep driver, so --workers/--no-cache apply and the
+    # result shares the scenario-hash cache with the figure sweeps
+    run, = sweep_scenarios([scenario])
+    rows = [["mode", run.mode],
+            ["wall time (ms)", run.wall_time * 1e3],
+            ["crashes", len(run.crashes) or "-"]]
+    rows += [[f"timer:{k} (ms)", v * 1e3]
+             for k, v in sorted(run.timers.items())]
+    return format_table(["field", "value"], rows,
+                        title=f"{name} — {scenario.summary()}")
 
 
 def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the paper's tables/figures.")
+        description="Regenerate the paper's tables/figures or run "
+                    "registered scenarios.")
     parser.add_argument("names", nargs="*",
-                        help="experiments to run (default: all)")
+                        help="experiments or scenario names to run "
+                             "(default: all experiments); an optional "
+                             "leading 'run' keyword is accepted")
     parser.add_argument("--list", action="store_true",
-                        help="list available experiments")
+                        help="list experiments and registered scenarios")
+    parser.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE", dest="overrides",
+                        help="override a scenario field on everything "
+                             "selected (repeatable); e.g. --set degree=3"
+                             " --set config.nx=8")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="process-pool width for sweep points "
                              "(default: 1, serial)")
@@ -139,18 +216,48 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
                         help="disable the on-disk sweep result cache")
     args = parser.parse_args(argv)
     if args.list:
-        print("\n".join(EXPERIMENTS))
+        print(_render_listing())
         return 0
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    try:
+        overrides = dict(parse_override(expr) for expr in args.overrides)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     configure(workers=args.workers, cache=not args.no_cache)
-    names = args.names or list(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        parser.error(f"unknown experiment(s): {', '.join(unknown)}; "
-                     f"choose from {', '.join(EXPERIMENTS)}")
+
+    names = list(args.names)
+    if names and names[0] == "run":
+        names = names[1:]
+        if not names:
+            print("error: 'run' needs an experiment or scenario name",
+                  file=sys.stderr)
+            return 2
+    if not names:
+        names = list(EXPERIMENTS)
+
     for name in names:
-        print(EXPERIMENTS[name]())
+        if name in EXPERIMENTS:
+            try:
+                print(EXPERIMENTS[name][0](overrides))
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            try:
+                print(_run_single_scenario(name, overrides))
+            except UnknownScenarioError as exc:
+                hints = suggest_names(name, extra=EXPERIMENTS)
+                hint = (f"; did you mean: {', '.join(hints)}?"
+                        if hints else "")
+                print(f"error: unknown experiment or scenario "
+                      f"{name!r}{hint}\n(see --list for everything "
+                      f"available)", file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         print()
     return 0
 

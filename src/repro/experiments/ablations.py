@@ -12,6 +12,8 @@
    "have a similar cost").
 5. **MiniGhost stencil** (§V-D: why the stencil was *not*
    intra-parallelized).
+
+Each study is a grid of registered scenarios (``ablation:*``).
 """
 
 from __future__ import annotations
@@ -20,13 +22,15 @@ import dataclasses
 import typing as _t
 
 from ..analysis import doubled_resource_efficiency, fixed_resource_efficiency
-from ..apps.gtc import GtcConfig, gtc_program
-from ..apps.hpccg import KernelBenchConfig, hpccg_kernel_bench
-from ..apps.minighost import MiniGhostConfig, minighost_program
-from ..intra import (CopyStrategy, Tag, launch_intra_job, make_scheduler)
+from ..apps.gtc import GtcConfig
+from ..apps.hpccg import KernelBenchConfig
+from ..apps.minighost import MiniGhostConfig
+from ..intra import CopyStrategy, Tag
 from ..netmodel import GRID5000_NETWORK
-from ..perf import run_sweep
-from .common import run_mode, sweep_modes
+from ..scenarios import (Scenario, register_scenario, run_scenario,
+                         sweep_scenarios)
+
+DESCRIPTION = "Ablations — granularity, scheduler, placement, copies"
 
 
 @dataclasses.dataclass
@@ -41,14 +45,7 @@ def granularity_sweep(task_counts: _t.Sequence[int] = (1, 2, 4, 8, 16,
                                                        32, 64),
                       n_logical: int = 8) -> _t.List[AblationRow]:
     """Intra efficiency of the sparsemv kernel vs tasks per section."""
-    base = KernelBenchConfig(nx=32, ny=32, nz=16, reps=3,
-                             kernels=("spmv",))
-    points = [("native", hpccg_kernel_bench, n_logical, base, {})]
-    points += [("intra", hpccg_kernel_bench, n_logical,
-                dataclasses.replace(base.with_doubled_z(),
-                                    tasks_per_section=nt), {})
-               for nt in task_counts]
-    runs = sweep_modes(points)
+    runs = sweep_scenarios(_granularity_scenarios(task_counts, n_logical))
     t_native = runs[0].timers["spmv"]
     rows = []
     for nt, intra in zip(task_counts, runs[1:]):
@@ -56,6 +53,21 @@ def granularity_sweep(task_counts: _t.Sequence[int] = (1, 2, 4, 8, 16,
         rows.append(AblationRow("tasks_per_section", nt, t,
                                 fixed_resource_efficiency(t_native, t)))
     return rows
+
+
+def _granularity_scenarios(task_counts: _t.Sequence[int],
+                           n_logical: int = 8) -> _t.List[Scenario]:
+    base = KernelBenchConfig(nx=32, ny=32, nz=16, reps=3,
+                             kernels=("spmv",))
+    points = [Scenario(app="hpccg_kernels", config=base,
+                       n_logical=n_logical, mode="native")]
+    points += [
+        Scenario(app="hpccg_kernels",
+                 config=dataclasses.replace(base.with_doubled_z(),
+                                            tasks_per_section=nt),
+                 n_logical=n_logical, mode="intra")
+        for nt in task_counts]
+    return points
 
 
 def imbalance_program(ctx, comm, n_tasks=8):
@@ -74,29 +86,23 @@ def imbalance_program(ctx, comm, n_tasks=8):
     return ctx.now
 
 
-def _scheduler_point(point: _t.Tuple[str, int]) -> float:
-    """Sweep point: section completion time under one scheduling policy
-    for the imbalanced workload."""
-    from ..mpi import MpiWorld
-    from ..netmodel import Cluster, GRID5000_MACHINE
-
-    name, n_tasks = point
-    world = MpiWorld(Cluster(2, GRID5000_MACHINE), GRID5000_NETWORK)
-    job = launch_intra_job(world, imbalance_program, 1,
-                           scheduler=make_scheduler(name),
-                           kwargs=dict(n_tasks=n_tasks))
-    world.run()
-    return max(max(row) for row in job.results())
+def _scheduler_scenarios(n_tasks: int = 8) -> _t.List[Scenario]:
+    """One single-logical-rank intra scenario per scheduling policy,
+    running the imbalanced synthetic section."""
+    return [
+        Scenario(app="repro.experiments.ablations:imbalance_program",
+                 config=n_tasks, n_logical=1, mode="intra",
+                 scheduler=name)
+        for name in ("static-block", "round-robin", "cost-balanced")]
 
 
 def scheduler_comparison(n_tasks: int = 8) -> _t.List[AblationRow]:
     """Section completion time under each scheduling policy for the
     imbalanced workload (lower is better)."""
-    names = ("static-block", "round-robin", "cost-balanced")
-    times = run_sweep([(name, n_tasks) for name in names],
-                      _scheduler_point, tag="scheduler_comparison")
-    rows = [AblationRow("scheduler", name, t, 0.0)
-            for name, t in zip(names, times)]
+    scenarios = _scheduler_scenarios(n_tasks)
+    runs = sweep_scenarios(scenarios)
+    rows = [AblationRow("scheduler", s.scheduler, run.wall_time, 0.0)
+            for s, run in zip(scenarios, runs)]
     # efficiency relative to the best policy
     best = min(r.time for r in rows)
     for r in rows:
@@ -104,21 +110,27 @@ def scheduler_comparison(n_tasks: int = 8) -> _t.List[AblationRow]:
     return rows
 
 
+def _placement_scenarios(spreads: _t.Sequence[int],
+                         n_logical: int = 8) -> _t.List[Scenario]:
+    hoppy = dataclasses.replace(GRID5000_NETWORK, hop_latency=2e-6)
+    base = KernelBenchConfig(nx=32, ny=32, nz=16, reps=3,
+                             kernels=("ddot",))
+    points = [Scenario(app="hpccg_kernels", config=base,
+                       n_logical=n_logical, mode="native", network=hoppy,
+                       distance_model="linear")]
+    points += [Scenario(app="hpccg_kernels",
+                        config=base.with_doubled_z(),
+                        n_logical=n_logical, mode="intra", network=hoppy,
+                        distance_model="linear", spread=spread)
+               for spread in spreads]
+    return points
+
+
 def placement_sweep(spreads: _t.Sequence[int] = (1, 4, 16),
                     n_logical: int = 8) -> _t.List[AblationRow]:
     """Intra kernel efficiency vs replica distance on a linear topology
     with per-hop latency (§VI's contention/correlation trade-off)."""
-    hoppy = dataclasses.replace(GRID5000_NETWORK, hop_latency=2e-6)
-    base = KernelBenchConfig(nx=32, ny=32, nz=16, reps=3,
-                             kernels=("ddot",))
-    points = [("native", hpccg_kernel_bench, n_logical, base,
-               dict(netspec=hoppy, distance_model="linear"))]
-    points += [("intra", hpccg_kernel_bench, n_logical,
-                base.with_doubled_z(),
-                dict(netspec=hoppy, distance_model="linear",
-                     spread=spread))
-               for spread in spreads]
-    runs = sweep_modes(points)
+    runs = sweep_scenarios(_placement_scenarios(spreads, n_logical))
     t_native = runs[0].timers["ddot"]
     rows = []
     for spread, intra in zip(spreads, runs[1:]):
@@ -128,35 +140,48 @@ def placement_sweep(spreads: _t.Sequence[int] = (1, 4, 16),
     return rows
 
 
+_COPY_STRATEGIES = (CopyStrategy.LAZY, CopyStrategy.EAGER,
+                    CopyStrategy.ATOMIC)
+
+
+def _copy_strategy_scenarios(n_logical: int = 4) -> _t.List[Scenario]:
+    cfg = GtcConfig(particles_per_rank=16384, cells_per_rank=64, steps=3)
+    return [Scenario(app="gtc", config=cfg, n_logical=n_logical,
+                     mode="intra", copy_strategy=strategy)
+            for strategy in _COPY_STRATEGIES]
+
+
 def copy_strategy_comparison(n_logical: int = 4) -> _t.List[AblationRow]:
     """GTC wall time under the three inout-protection strategies —
     §III-B2 predicts near-parity ("a similar cost")."""
-    cfg = GtcConfig(particles_per_rank=16384, cells_per_rank=64, steps=3)
-    strategies = (CopyStrategy.LAZY, CopyStrategy.EAGER,
-                  CopyStrategy.ATOMIC)
-    runs = sweep_modes([("intra", gtc_program, n_logical, cfg,
-                         dict(copy_strategy=strategy))
-                        for strategy in strategies])
+    runs = sweep_scenarios(_copy_strategy_scenarios(n_logical))
     rows = [AblationRow("copy_strategy", strategy.value, run.wall_time,
                         0.0)
-            for strategy, run in zip(strategies, runs)]
+            for strategy, run in zip(_COPY_STRATEGIES, runs)]
     best = min(r.time for r in rows)
     for r in rows:
         r.efficiency = best / r.time
     return rows
 
 
+def _minighost_scenarios(n_logical: int = 8) -> _t.List[Scenario]:
+    base = MiniGhostConfig(nx=32, ny=32, nz=16, steps=3)
+    points = [Scenario(app="minighost", config=base,
+                       n_logical=n_logical, mode="native")]
+    points += [
+        Scenario(app="minighost",
+                 config=dataclasses.replace(base,
+                                            stencil_in_section=stencil_in),
+                 n_logical=n_logical, mode="intra")
+        for stencil_in in (False, True)]
+    return points
+
+
 def minighost_stencil_ablation(n_logical: int = 8) -> _t.List[AblationRow]:
     """Put MiniGhost's stencil *into* sections and show it does not pay
     (§V-D: "the performance with intra-parallelization were around the
     same as without intra-parallelization")."""
-    base = MiniGhostConfig(nx=32, ny=32, nz=16, steps=3)
-    points = [("native", minighost_program, n_logical, base, {})]
-    points += [("intra", minighost_program, n_logical,
-                dataclasses.replace(base, stencil_in_section=stencil_in),
-                {})
-               for stencil_in in (False, True)]
-    runs = sweep_modes(points)
+    runs = sweep_scenarios(_minighost_scenarios(n_logical))
     native = runs[0]
     rows = []
     for stencil_in, intra in zip((False, True), runs[1:]):
@@ -172,8 +197,48 @@ def inout_overhead(n_logical: int = 4) -> float:
 
     Returns copy time as a fraction of section task-compute time."""
     cfg = GtcConfig(particles_per_rank=32768, cells_per_rank=64, steps=3)
-    run = run_mode("intra", gtc_program, n_logical, cfg,
-                   copy_strategy=CopyStrategy.LAZY)
+    run = run_scenario(Scenario(app="gtc", config=cfg,
+                                n_logical=n_logical, mode="intra",
+                                copy_strategy=CopyStrategy.LAZY))
     compute = run.intra.get("task_compute_time", 0.0)
     copy = run.intra.get("copy_time", 0.0)
     return copy / compute if compute else 0.0
+
+
+def _register_defaults() -> None:
+    gran = _granularity_scenarios((1, 2, 4, 8, 16, 32, 64))
+    register_scenario("ablation:granularity:native", gran[0],
+                      "Granularity ablation — sparsemv native reference")
+    for nt, s in zip((1, 2, 4, 8, 16, 32, 64), gran[1:]):
+        register_scenario(
+            f"ablation:granularity:nt{nt}", s,
+            f"Granularity ablation — sparsemv intra, {nt} tasks/section")
+    for s in _scheduler_scenarios():
+        register_scenario(
+            f"ablation:scheduler:{s.scheduler}", s,
+            f"Scheduler ablation — imbalanced section, {s.scheduler}")
+    place = _placement_scenarios((1, 4, 16))
+    register_scenario("ablation:placement:native", place[0],
+                      "Placement ablation — ddot native reference "
+                      "(linear topology)")
+    for spread, s in zip((1, 4, 16), place[1:]):
+        register_scenario(
+            f"ablation:placement:spread{spread}", s,
+            f"Placement ablation — ddot intra, replica spread {spread}")
+    for strategy, s in zip(_COPY_STRATEGIES, _copy_strategy_scenarios()):
+        register_scenario(
+            f"ablation:copy:{strategy.value}", s,
+            f"inout-protection ablation — GTC intra, {strategy.value} "
+            f"copies")
+    mg = _minighost_scenarios()
+    register_scenario("ablation:minighost-stencil:native", mg[0],
+                      "MiniGhost stencil ablation — native reference")
+    for stencil_in, s in zip((False, True), mg[1:]):
+        where = "in" if stencil_in else "out"
+        register_scenario(
+            f"ablation:minighost-stencil:{where}", s,
+            f"MiniGhost stencil ablation — intra, stencil "
+            f"{'inside' if stencil_in else 'outside'} sections")
+
+
+_register_defaults()

@@ -15,6 +15,31 @@ import typing as _t
 from ..analysis import plain_ccr_efficiency, replicated_ccr_efficiency
 from ..perf import run_sweep
 
+DESCRIPTION = "Background — cCR vs replication efficiency model (§II)"
+
+#: the analytic model's knobs, overridable from the CLI
+#: (``--set node_mtbf_years=3``); this study has no machine/program, so
+#: it is parameterized directly rather than through Scenario specs
+OVERRIDABLE = ("proc_counts", "node_mtbf_years", "checkpoint_minutes",
+               "restart_minutes")
+
+
+def apply_overrides(overrides: _t.Optional[_t.Mapping[str, _t.Any]]
+                    ) -> _t.Dict[str, _t.Any]:
+    """Map CLI ``--set`` overrides onto :func:`ccr_vs_replication`
+    keyword arguments (unknown keys raise, like scenario overrides)."""
+    kwargs: _t.Dict[str, _t.Any] = {}
+    for key, value in (overrides or {}).items():
+        if key not in OVERRIDABLE:
+            raise ValueError(
+                f"unknown background-model override {key!r}; expected "
+                f"one of {OVERRIDABLE}")
+        if key == "proc_counts":
+            kwargs[key] = tuple(int(v) for v in value)
+        else:
+            kwargs[key] = float(value)
+    return kwargs
+
 
 @dataclasses.dataclass
 class BackgroundRow:

@@ -1,4 +1,4 @@
-"""Experiment runner: one program, three modes, calibrated testbed.
+"""Experiment-harness glue over the scenario layer.
 
 Scale note: the paper runs 128–512 physical processes with 128³-per-
 process problems on real hardware; a pure-Python DES cannot hold that,
@@ -8,99 +8,58 @@ paper's claims rest on — flops-per-output-byte ratios, update-transfer
 overlap, replication protocol behaviour — are scale-free or verified to
 be rank-count invariant (Figure 5b shows flat efficiency across 128→512
 processes; our weak-scaling bench shows the same flatness at 8→32).
+
+Every figure point is a :class:`~repro.scenarios.Scenario`; the figure
+modules build scenario grids, register them, and evaluate them through
+:func:`repro.scenarios.sweep_scenarios` (process-pool fan-out, results
+memoized on scenario hashes so equal points dedupe across figures).
+:func:`run_mode` remains as the keyword-argument convenience wrapper for
+tests and interactive use; it builds a scenario under the hood.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import typing as _t
 
 from ..analysis import (doubled_resource_efficiency,
-                        fixed_resource_efficiency, mean)
-from ..intra import CopyStrategy, Scheduler, launch_mode
-from ..mpi import MpiWorld
-from ..netmodel import (GRID5000_MACHINE, GRID5000_NETWORK, Cluster,
-                        MachineSpec, NetworkSpec)
-from ..perf import run_sweep
+                        fixed_resource_efficiency)
+from ..intra import CopyStrategy, Scheduler
+from ..netmodel import (GRID5000_MACHINE, GRID5000_NETWORK, MachineSpec,
+                        NetworkSpec)
+from ..scenarios import (ModeRun, Scenario, app_ref, machine_name_for,
+                         network_name_for, nodes_for, run_scenario,
+                         sweep_scenarios)
+
+__all__ = ["ModeRun", "nodes_for", "run_mode", "scenario_for",
+           "sweep_scenarios", "three_mode_rows"]
 
 
-@dataclasses.dataclass
-class ModeRun:
-    """Aggregated outcome of one program in one mode."""
-
-    mode: str
-    #: max over ranks of the 'solve' region (app wall time)
-    wall_time: float
-    #: per-region wall time, averaged over ranks (replica 0 under
-    #: replication, matching the paper's per-process averages)
-    timers: _t.Dict[str, float]
-    #: averaged intra-runtime statistics
-    intra: _t.Dict[str, float]
-    #: rank-0 application value (correctness payload)
-    value: _t.Any
-
-
-def nodes_for(mode: str, n_logical: int, machine: MachineSpec,
-              degree: int = 2, spread: int = 1) -> int:
-    """Cluster size needed by each mode's placement."""
-    cores = machine.cores_per_node
-    group = -(-n_logical // cores)
-    if mode == "native":
-        return group
-    return group * (1 + (degree - 1) * spread)
+def scenario_for(mode: str, program: _t.Callable, n_logical: int,
+                 config: _t.Any, *,
+                 machine: MachineSpec = GRID5000_MACHINE,
+                 netspec: NetworkSpec = GRID5000_NETWORK, degree: int = 2,
+                 spread: int = 1, distance_model: str = "switch",
+                 scheduler: _t.Optional[_t.Union[str, Scheduler]] = None,
+                 copy_strategy: CopyStrategy = CopyStrategy.LAZY
+                 ) -> Scenario:
+    """Build the :class:`~repro.scenarios.Scenario` equivalent of the
+    historical ``run_mode`` keyword bundle."""
+    return Scenario(
+        app=app_ref(program), config=config, n_logical=n_logical,
+        mode=mode, degree=degree, spread=spread,
+        machine=machine_name_for(machine),
+        network=network_name_for(netspec),
+        distance_model=distance_model, scheduler=scheduler,
+        copy_strategy=copy_strategy)
 
 
 def run_mode(mode: str, program: _t.Callable, n_logical: int,
-             config: _t.Any, *, machine: MachineSpec = GRID5000_MACHINE,
-             netspec: NetworkSpec = GRID5000_NETWORK, degree: int = 2,
-             spread: int = 1, distance_model: str = "switch",
-             scheduler: _t.Optional[Scheduler] = None,
-             copy_strategy: CopyStrategy = CopyStrategy.LAZY) -> ModeRun:
+             config: _t.Any, **kw: _t.Any) -> ModeRun:
     """Run ``program(ctx, comm, config)`` in one of the paper's three
-    configurations and aggregate results."""
-    cluster = Cluster(nodes_for(mode, n_logical, machine, degree, spread),
-                      machine, distance_model=distance_model)
-    world = MpiWorld(cluster, netspec)
-    kw: _t.Dict[str, _t.Any] = dict(args=(config,))
-    if mode != "native":
-        kw.update(degree=degree, spread=spread)
-    if mode == "intra":
-        kw.update(scheduler=scheduler, copy_strategy=copy_strategy)
-    job = launch_mode(mode, world, program, n_logical, **kw)
-    world.run()
-
-    if mode == "native":
-        results = job.results()
-    else:
-        # replica 0 of each logical rank (paper: per-process averages;
-        # replicas are symmetric so either one works)
-        results = [row[0] for row in job.results()]
-    wall = max(r.timers.get("solve", r.end_time) for r in results)
-    timer_keys = set().union(*(r.timers.keys() for r in results))
-    timers = {k: mean([r.timers.get(k, 0.0) for r in results])
-              for k in timer_keys}
-    intra_keys = set().union(*(r.intra.keys() for r in results))
-    intra = {k: mean([float(r.intra.get(k, 0) or 0) for r in results])
-             for k in intra_keys}
-    return ModeRun(mode=mode, wall_time=wall, timers=timers, intra=intra,
-                   value=results[0].value)
-
-
-def run_mode_point(point: _t.Tuple[str, _t.Callable, int, _t.Any, dict]
-                   ) -> ModeRun:
-    """Evaluate one ``(mode, program, n_logical, config, kwargs)`` sweep
-    point — the module-level (hence picklable) unit of work every
-    experiment fans out through :func:`repro.perf.run_sweep`."""
-    mode, program, n_logical, config, kw = point
-    return run_mode(mode, program, n_logical, config, **kw)
-
-
-def sweep_modes(points: _t.Sequence[
-        _t.Tuple[str, _t.Callable, int, _t.Any, dict]],
-        **sweep_kw: _t.Any) -> _t.List[ModeRun]:
-    """Run a batch of :func:`run_mode` points through the sweep driver
-    (process-pool parallelism + on-disk caching per the perf config)."""
-    return run_sweep(points, run_mode_point, tag="run_mode", **sweep_kw)
+    configurations and aggregate results (compat/convenience wrapper
+    over :func:`repro.scenarios.run_scenario`)."""
+    return run_scenario(scenario_for(mode, program, n_logical, config,
+                                     **kw))
 
 
 def three_mode_rows(native: ModeRun, sdr: ModeRun, intra: ModeRun,

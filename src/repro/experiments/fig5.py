@@ -4,6 +4,10 @@ Methodology (paper §V-C): fixed physical resources; the native run uses
 the base per-process problem, the replicated runs double the per-
 logical-process problem (``with_doubled_z``).  Efficiency is therefore
 ``t_native / t_mode``.
+
+Every figure point is a :class:`~repro.scenarios.Scenario`; the default
+points are registered as ``fig5a:<kernel>:<mode>`` and
+``fig5b:p<procs>:<mode>``.
 """
 
 from __future__ import annotations
@@ -11,12 +15,17 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from ..apps.hpccg import (HpccgConfig, KernelBenchConfig,
-                          hpccg_kernel_bench, hpccg_program)
+from ..apps.hpccg import HpccgConfig, KernelBenchConfig
 from ..analysis import fixed_resource_efficiency, normalized_time
-from .common import sweep_modes
+from ..scenarios import (Scenario, baseline_overrides, register_scenario,
+                         sweep_scenarios)
 
 KERNELS = ("waxpby", "ddot", "spmv")
+MODES = ("native", "sdr", "intra")
+_LABELS = {"native": "Open MPI", "sdr": "SDR-MPI", "intra": "intra"}
+
+DESCRIPTION_5A = "Figure 5a — HPCCG kernels (per-kernel efficiency)"
+DESCRIPTION_5B = "Figure 5b — HPCCG weak scaling (full application)"
 
 
 @dataclasses.dataclass
@@ -31,33 +40,47 @@ class Fig5aRow:
     exposed_update_time: float    #: the dashed "intra updates" area
 
 
-def fig5a(n_logical: int = 8, base: _t.Optional[KernelBenchConfig] = None
-          ) -> _t.List[Fig5aRow]:
-    """Per-kernel normalized time + efficiency in the three modes.
+def fig5a_scenarios(n_logical: int = 8,
+                    base: _t.Optional[KernelBenchConfig] = None,
+                    overrides: _t.Optional[_t.Mapping[str, _t.Any]] = None
+                    ) -> _t.List[Scenario]:
+    """The Figure 5a grid: (kernel-major, mode-minor) scenario points.
 
     Each kernel is benchmarked in isolation (its own run) so the intra
     runtime's exposed-update statistic is attributable to it.
     """
     base = base or KernelBenchConfig(nx=32, ny=32, nz=16, reps=3)
+    ov = dict(overrides or {})
+    bov = baseline_overrides(ov)
     points = []
     for kernel in KERNELS:
         cfg_native = dataclasses.replace(base, kernels=(kernel,))
         cfg_repl = cfg_native.with_doubled_z()
-        points += [("native", hpccg_kernel_bench, n_logical, cfg_native, {}),
-                   ("sdr", hpccg_kernel_bench, n_logical, cfg_repl, {}),
-                   ("intra", hpccg_kernel_bench, n_logical, cfg_repl, {})]
-    runs = sweep_modes(points)
+        for mode in MODES:
+            s = Scenario(app="hpccg_kernels",
+                         config=cfg_native if mode == "native"
+                         else cfg_repl,
+                         n_logical=n_logical, mode=mode)
+            points.append(s.with_overrides(bov if mode == "native"
+                                           else ov))
+    return points
+
+
+def fig5a(n_logical: int = 8,
+          base: _t.Optional[KernelBenchConfig] = None,
+          overrides: _t.Optional[_t.Mapping[str, _t.Any]] = None
+          ) -> _t.List[Fig5aRow]:
+    """Per-kernel normalized time + efficiency in the three modes."""
+    runs = sweep_scenarios(fig5a_scenarios(n_logical, base, overrides))
     rows: _t.List[Fig5aRow] = []
     for k_idx, kernel in enumerate(KERNELS):
-        native, sdr, intra = runs[3 * k_idx:3 * k_idx + 3]
-        t_native = native.timers[kernel]
-        for run in (native, sdr, intra):
-            label = {"native": "Open MPI", "sdr": "SDR-MPI",
-                     "intra": "intra"}[run.mode]
+        group = runs[3 * k_idx:3 * k_idx + 3]
+        t_native = group[0].timers[kernel]
+        for run in group:
             t = run.timers[kernel]
             rows.append(Fig5aRow(
                 kernel=kernel if kernel != "spmv" else "sparsemv",
-                mode=label, time=t,
+                mode=_LABELS[run.mode], time=t,
                 normalized=normalized_time(t_native, t),
                 efficiency=fixed_resource_efficiency(t_native, t),
                 exposed_update_time=(run.intra.get("exposed_update_time",
@@ -76,12 +99,12 @@ class Fig5bRow:
     efficiency: float
 
 
-def fig5b(process_counts: _t.Sequence[int] = (8, 16, 32),
-          base: _t.Optional[HpccgConfig] = None) -> _t.List[Fig5bRow]:
-    """HPCCG full-application weak scaling.
+def fig5b_scenarios(process_counts: _t.Sequence[int] = (8, 16, 32),
+                    base: _t.Optional[HpccgConfig] = None,
+                    overrides: _t.Optional[_t.Mapping[str, _t.Any]] = None
+                    ) -> _t.List[Scenario]:
+    """The Figure 5b grid (process-count-major, mode-minor).
 
-    Intra-parallelization is applied only to ddot and sparsemv ("since
-    it does not provide good performance with waxpby", §V-C).
     ``process_counts`` are *physical* process counts; the native run
     uses that many ranks, the replicated runs half as many logical
     ranks with the doubled per-logical problem.
@@ -89,14 +112,35 @@ def fig5b(process_counts: _t.Sequence[int] = (8, 16, 32),
     base = base or HpccgConfig(nx=16, ny=16, nz=16, max_iter=6,
                                intra_kernels=frozenset({"ddot", "spmv"}))
     repl_cfg = base.with_doubled_z()
+    ov = dict(overrides or {})
+    bov = baseline_overrides(ov)
     points = []
     for procs in process_counts:
         if procs % 2:
             raise ValueError("physical process counts must be even")
-        points += [("native", hpccg_program, procs, base, {}),
-                   ("sdr", hpccg_program, procs // 2, repl_cfg, {}),
-                   ("intra", hpccg_program, procs // 2, repl_cfg, {})]
-    runs = sweep_modes(points)
+        for mode in MODES:
+            s = Scenario(app="hpccg",
+                         config=base if mode == "native" else repl_cfg,
+                         n_logical=procs if mode == "native"
+                         else procs // 2,
+                         mode=mode)
+            points.append(s.with_overrides(bov if mode == "native"
+                                           else ov))
+    return points
+
+
+def fig5b(process_counts: _t.Sequence[int] = (8, 16, 32),
+          base: _t.Optional[HpccgConfig] = None,
+          overrides: _t.Optional[_t.Mapping[str, _t.Any]] = None
+          ) -> _t.List[Fig5bRow]:
+    """HPCCG full-application weak scaling.
+
+    Intra-parallelization is applied only to ddot and sparsemv ("since
+    it does not provide good performance with waxpby", §V-C).
+    """
+    process_counts = tuple(process_counts)
+    runs = sweep_scenarios(fig5b_scenarios(process_counts, base,
+                                           overrides))
     rows: _t.List[Fig5bRow] = []
     for p_idx, procs in enumerate(process_counts):
         native, sdr, intra = runs[3 * p_idx:3 * p_idx + 3]
@@ -107,3 +151,23 @@ def fig5b(process_counts: _t.Sequence[int] = (8, 16, 32),
                 fixed_resource_efficiency(native.wall_time,
                                           run.wall_time)))
     return rows
+
+
+def _register_defaults() -> None:
+    for s, kernel, mode in zip(fig5a_scenarios(),
+                               [k for k in KERNELS for _ in MODES],
+                               list(MODES) * len(KERNELS)):
+        register_scenario(
+            f"fig5a:{kernel}:{mode}", s,
+            f"Figure 5a point — HPCCG {kernel} kernel, {mode} mode")
+    counts = (8, 16, 32)
+    for s, procs, mode in zip(fig5b_scenarios(counts),
+                              [p for p in counts for _ in MODES],
+                              list(MODES) * len(counts)):
+        register_scenario(
+            f"fig5b:p{procs}:{mode}", s,
+            f"Figure 5b point — HPCCG weak scaling, {procs} physical "
+            f"processes, {mode} mode")
+
+
+_register_defaults()

@@ -6,9 +6,10 @@ with optional on-disk memoization.  See :mod:`repro.perf.sweep`.
 """
 
 from .sweep import (CACHE_VERSION, SweepConfig, clear_result_cache,
-                    configure, get_config, run_sweep, stable_token)
+                    configure, get_config, point_cache_key, run_sweep,
+                    stable_token)
 
 __all__ = [
     "CACHE_VERSION", "SweepConfig", "clear_result_cache", "configure",
-    "get_config", "run_sweep", "stable_token",
+    "get_config", "point_cache_key", "run_sweep", "stable_token",
 ]

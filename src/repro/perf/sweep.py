@@ -29,7 +29,7 @@ import pickle
 import typing as _t
 
 #: bump to invalidate every cached result (e.g. on model changes)
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 _DEFAULT_CACHE_DIR = pathlib.Path(".perf_cache")
 
@@ -127,6 +127,14 @@ def stable_token(obj: _t.Any) -> str:
 def _point_key(fn: _t.Callable, point: _t.Any, tag: str) -> str:
     blob = f"v{CACHE_VERSION}|{tag or stable_token(fn)}|{stable_token(point)}"
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def point_cache_key(fn: _t.Callable, point: _t.Any, tag: str = "") -> str:
+    """The on-disk cache key :func:`run_sweep` uses for one point — a
+    stable hash of the point descriptor (and the tag namespace), so
+    callers can reason about result identity (e.g. scenario hashes: see
+    :func:`repro.scenarios.scenario_cache_key`)."""
+    return _point_key(fn, point, tag)
 
 
 # ------------------------------------------------------------- disk cache

@@ -114,6 +114,23 @@ class FailureInjector:
         self.manager.hooks.subscribe(hook, handler)
         return plan
 
+    def apply(self, events: _t.Iterable[_t.Any]) -> _t.List[CrashPlan]:
+        """Schedule a batch of time-triggered crashes.
+
+        ``events`` are ``(logical_rank, replica_id, time)`` triples or
+        any objects exposing those attributes (e.g. the materialized
+        events of a :class:`repro.scenarios.FailureSchedule`) — the
+        uniform installation path for declarative failure workloads.
+        """
+        plans = []
+        for ev in events:
+            if isinstance(ev, tuple):
+                lrank, rid, at = ev
+            else:
+                lrank, rid, at = ev.logical_rank, ev.replica_id, ev.time
+            plans.append(self.kill_at(lrank, rid, at))
+        return plans
+
     def _fire(self, plan: CrashPlan) -> None:
         if plan.fired:
             return

@@ -1,0 +1,52 @@
+"""Declarative scenario layer (system S15).
+
+One :class:`Scenario` = one program in one configuration: app + problem
+size, logical rank count, execution mode, replication degree/spread,
+scheduler and copy strategy, machine/network model, failure schedule.
+Scenarios are frozen, hashable, JSON-round-trippable values; the named
+registry makes every paper figure point and example discoverable and
+overridable from the CLI, and the sweep driver memoizes results on
+scenario hashes so equal scenarios dedupe across figures, examples and
+sweeps.
+
+Quickstart::
+
+    from repro.scenarios import Scenario, PoissonFailures, run_scenario
+
+    s = Scenario(app="hpccg", n_logical=8, mode="intra",
+                 failures=PoissonFailures(rate=2e3, seed=7,
+                                          horizon=5e-3))
+    result = run_scenario(s)              # ModeRun(..., crashes=(...))
+    twin = Scenario.from_json(s.to_json())   # == s, same cache key
+"""
+
+from .apps import (AppEntry, app_names, app_ref, get_app, register_app,
+                   resolve_program)
+from .failures import (NO_FAILURES, CrashEvent, FailureSchedule,
+                       FixedFailures, NoFailures, PoissonFailures,
+                       SCHEDULE_KINDS, WeibullFailures)
+from .registry import (RegisteredScenario, UnknownScenarioError,
+                       find_scenario_name, get_entry, get_scenario,
+                       register_scenario, scenario_entries,
+                       scenario_names, suggest_names)
+from .run import (ModeRun, SCENARIO_SWEEP_TAG, make_world, nodes_for,
+                  run_scenario, scenario_cache_key, sweep_scenarios)
+from .spec import (MACHINES, NETWORKS, Scenario, baseline_overrides,
+                   decode_value, encode_value, machine_name_for,
+                   network_name_for, parse_override, register_codec_type)
+from . import catalog  # registers the example scenarios  # noqa: F401
+
+__all__ = [
+    "AppEntry", "CrashEvent", "FailureSchedule", "FixedFailures",
+    "MACHINES", "ModeRun", "NETWORKS", "NO_FAILURES", "NoFailures",
+    "PoissonFailures", "RegisteredScenario", "SCENARIO_SWEEP_TAG",
+    "SCHEDULE_KINDS", "Scenario", "UnknownScenarioError",
+    "WeibullFailures", "app_names", "app_ref", "baseline_overrides",
+    "decode_value", "encode_value", "find_scenario_name", "get_app",
+    "get_entry", "get_scenario", "machine_name_for", "make_world",
+    "network_name_for", "nodes_for", "parse_override",
+    "register_app", "register_codec_type", "register_scenario",
+    "resolve_program", "run_scenario", "scenario_cache_key",
+    "scenario_entries", "scenario_names", "suggest_names",
+    "sweep_scenarios",
+]

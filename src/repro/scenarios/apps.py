@@ -1,0 +1,116 @@
+"""Application registry: the programs a scenario can name.
+
+Each entry binds a short app name to a program generator (``program(ctx,
+comm[, config])``) and its config dataclass, and registers the config
+class with the scenario codec so specs round-trip through JSON.
+
+A scenario may also reference *any* module-level program directly as
+``"module:qualname"`` (e.g. a custom program in an example script);
+:func:`app_ref` builds such references and :func:`resolve_program`
+resolves both forms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import sys
+import typing as _t
+
+from ..apps.amg import AmgConfig, amg_gmres_program, amg_pcg_program
+from ..apps.gtc import GtcConfig, gtc_program
+from ..apps.hpccg import (HpccgConfig, KernelBenchConfig,
+                          hpccg_kernel_bench, hpccg_program)
+from ..apps.minighost import MiniGhostConfig, minighost_program
+from .spec import register_codec_type
+
+
+@dataclasses.dataclass(frozen=True)
+class AppEntry:
+    """One registered application."""
+
+    name: str
+    program: _t.Callable[..., _t.Generator]
+    config_cls: _t.Optional[type]
+    description: str = ""
+
+
+_APPS: _t.Dict[str, AppEntry] = {}
+#: program object → registered name (for app_ref reverse lookup)
+_BY_PROGRAM: _t.Dict[_t.Any, str] = {}
+
+
+def register_app(name: str, program: _t.Callable,
+                 config_cls: _t.Optional[type] = None,
+                 description: str = "", overwrite: bool = False
+                 ) -> AppEntry:
+    """Register a program under a short scenario app name."""
+    if not overwrite and name in _APPS:
+        raise ValueError(f"app {name!r} is already registered")
+    entry = AppEntry(name, program, config_cls, description)
+    _APPS[name] = entry
+    _BY_PROGRAM.setdefault(program, name)
+    if config_cls is not None:
+        register_codec_type(config_cls)
+    return entry
+
+
+def app_names() -> _t.List[str]:
+    """Registered app names, sorted."""
+    return sorted(_APPS)
+
+
+def get_app(name: str) -> AppEntry:
+    if name not in _APPS:
+        raise KeyError(f"unknown app {name!r}; registered apps: "
+                       f"{app_names()}")
+    return _APPS[name]
+
+
+def app_ref(program: _t.Callable) -> str:
+    """The scenario ``app`` string for ``program``: its registered name
+    when it has one, else an importable ``module:qualname`` reference."""
+    name = _BY_PROGRAM.get(program)
+    if name is not None:
+        return name
+    module = getattr(program, "__module__", None)
+    qualname = getattr(program, "__qualname__", None)
+    if not module or not qualname or "<" in qualname:
+        raise ValueError(
+            f"cannot build an app reference for {program!r}: it must be "
+            f"a module-level callable (or a registered app)")
+    return f"{module}:{qualname}"
+
+
+def resolve_program(app: str) -> _t.Callable[..., _t.Generator]:
+    """The program generator behind an ``app`` string (registered name
+    or ``module:qualname``)."""
+    if app in _APPS:
+        return _APPS[app].program
+    if ":" in app:
+        module_name, _, qualname = app.partition(":")
+        module = sys.modules.get(module_name)
+        if module is None:
+            module = importlib.import_module(module_name)
+        obj: _t.Any = module
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        return obj
+    raise KeyError(
+        f"unknown app {app!r}; registered apps: {app_names()} "
+        f"(or use an importable 'module:qualname' reference)")
+
+
+# ------------------------------------------------- the paper's programs
+register_app("hpccg", hpccg_program, HpccgConfig,
+             "HPCCG conjugate-gradient mini-app (Figures 5b, extensions)")
+register_app("hpccg_kernels", hpccg_kernel_bench, KernelBenchConfig,
+             "HPCCG per-kernel microbenchmark (Figure 5a, ablations)")
+register_app("amg_pcg", amg_pcg_program, AmgConfig,
+             "AMG2013 27pt PCG solver (Figure 6a)")
+register_app("amg_gmres", amg_gmres_program, AmgConfig,
+             "AMG2013 7pt GMRES solver (Figure 6b)")
+register_app("gtc", gtc_program, GtcConfig,
+             "GTC-like particle-in-cell stepper (Figure 6c)")
+register_app("minighost", minighost_program, MiniGhostConfig,
+             "MiniGhost 27pt stencil stepper (Figure 6d)")

@@ -1,0 +1,98 @@
+"""Registered scenarios for the ``examples/`` scripts.
+
+Figure-point scenarios register where they are defined (the
+``repro.experiments`` figure modules, at import).  The example scripts
+are not importable library code, so their scenarios — or, for the
+examples built around custom didactic programs, their closest library
+twins — register here and the scripts fetch them by name.  This keeps
+``--list`` exhaustive and lets example runs share the sweep cache with
+the figures.
+"""
+
+from __future__ import annotations
+
+from ..apps.gtc import GtcConfig
+from ..apps.hpccg import HpccgConfig, KernelBenchConfig
+from .failures import FixedFailures
+from .registry import register_scenario
+from .spec import Scenario
+
+#: examples/hpccg_modes.py — fixed physical resources (16 processes)
+EXAMPLE_HPCCG_BASE = HpccgConfig(nx=16, ny=16, nz=16, max_iter=8,
+                                 intra_kernels=frozenset({"ddot", "spmv"}))
+
+#: examples/gtc_pic.py — constant problem, doubled resources
+EXAMPLE_GTC_CFG = GtcConfig(particles_per_rank=65536, cells_per_rank=64,
+                            steps=3)
+
+
+def tiny_overrides(app: str, mode: str) -> dict:
+    """``--tiny`` overrides for the ``example:*`` scenarios (shared by
+    the example scripts and their smoke tests) — scaled down while
+    preserving each figure's resource convention.
+
+    HPCCG follows the fixed-resource convention (Fig. 5b): the native
+    run keeps twice the ranks and the replicated runs keep the
+    *doubled* per-logical problem, so total work stays matched.  GTC
+    follows the doubled-resource convention (Fig. 6c): one config for
+    all modes.
+    """
+    if app == "hpccg":
+        base = {"config.nx": 8, "config.ny": 8, "config.max_iter": 2}
+        if mode == "native":
+            return dict(base, **{"config.nz": 8, "n_logical": 8})
+        return dict(base, **{"config.nz": 16, "n_logical": 4})
+    if app == "gtc":
+        return {"config.particles_per_rank": 2048, "config.steps": 2,
+                "n_logical": 2}
+    raise KeyError(f"no tiny overrides defined for app {app!r}")
+
+
+def _register_examples() -> None:
+    hpccg_doubled = EXAMPLE_HPCCG_BASE.with_doubled_z()
+    for mode in ("native", "sdr", "intra"):
+        register_scenario(
+            f"example:hpccg:{mode}",
+            Scenario(app="hpccg",
+                     config=(EXAMPLE_HPCCG_BASE if mode == "native"
+                             else hpccg_doubled),
+                     n_logical=16 if mode == "native" else 8, mode=mode),
+            f"examples/hpccg_modes.py — HPCCG CG solve, {mode} mode "
+            f"(16 physical processes, Fig. 5b methodology)")
+        register_scenario(
+            f"example:gtc:{mode}",
+            Scenario(app="gtc", config=EXAMPLE_GTC_CFG, n_logical=8,
+                     mode=mode),
+            f"examples/gtc_pic.py — GTC-like PIC stepper, {mode} mode "
+            f"(Fig. 6c methodology)")
+        register_scenario(
+            f"example:waxpby:{mode}",
+            Scenario(app="hpccg_kernels",
+                     config=KernelBenchConfig(nx=32, ny=32, nz=16, reps=3,
+                                              kernels=("waxpby",)),
+                     n_logical=4, mode=mode),
+            f"examples/quickstart.py library twin — waxpby kernel, "
+            f"{mode} mode (update transfer outweighs recomputation)")
+    register_scenario(
+        "example:failure-injection",
+        Scenario(app="gtc",
+                 config=GtcConfig(particles_per_rank=4096,
+                                  cells_per_rank=64, steps=3),
+                 n_logical=2, mode="intra", fd_delay=10e-6,
+                 failures=FixedFailures(((0, 1, 5e-5),))),
+        "examples/failure_injection.py library twin — GTC inout section "
+        "with an early replica crash (the script adds the "
+        "protocol-precise hook kill)")
+    register_scenario(
+        "example:replica-restart",
+        Scenario(app="hpccg",
+                 config=HpccgConfig(nx=16, ny=16, nz=16, max_iter=8,
+                                    intra_kernels=frozenset({"ddot",
+                                                             "spmv"})),
+                 n_logical=1, mode="intra",
+                 failures=FixedFailures(((0, 1, 1e-3),))),
+        "examples/replica_restart.py library twin — crash without "
+        "restart; the script contrasts the restartable-job path")
+
+
+_register_examples()

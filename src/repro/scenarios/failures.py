@@ -1,0 +1,273 @@
+"""Declarative failure schedules for scenarios.
+
+The paper's evaluation is failure-free; its §VI discussion (and every
+workload PR built on this layer) needs *reproducible* failure patterns.
+A :class:`FailureSchedule` is a frozen value object a
+:class:`~repro.scenarios.spec.Scenario` carries: it declares *when*
+replicas crash and *which* ones, without touching a live simulation.
+``materialize(n_logical, degree)`` expands it to concrete
+:class:`CrashEvent`\\ s — a pure function of the schedule (stochastic
+schedules derive everything from their seed), so the same scenario
+yields the same crashes in every process, on every host.
+
+Hierarchy:
+
+* :class:`NoFailures` — the failure-free runs of the paper's figures;
+* :class:`FixedFailures` — explicit ``(logical_rank, replica_id, time)``
+  crash times (the §VI restart/efficiency studies);
+* :class:`PoissonFailures` — seeded homogeneous Poisson arrivals, each
+  killing a random (or tagged) replica, in the spirit of the
+  inhomogeneous-Poisson simulation toolkits of PAPERS.md;
+* :class:`WeibullFailures` — seeded Weibull inter-arrival times, the
+  standard HPC failure-trace model (infant mortality / wear-out).
+
+Installation is uniform: the scenario runner hands the materialized
+events to :meth:`repro.replication.FailureInjector.apply`, which
+schedules the crash-stop kills on the
+:class:`~repro.replication.manager.ReplicationManager`'s
+:class:`~repro.replication.failures.HookBus`-instrumented machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing as _t
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashEvent:
+    """One materialized crash: replica ``replica_id`` of logical rank
+    ``logical_rank`` dies (crash-stop) at virtual ``time``."""
+
+    logical_rank: int
+    replica_id: int
+    time: float
+
+    def as_tuple(self) -> _t.Tuple[int, int, float]:
+        return (self.logical_rank, self.replica_id, self.time)
+
+
+#: kind tag → schedule class (populated by ``_schedule_kind``)
+SCHEDULE_KINDS: _t.Dict[str, type] = {}
+
+
+def _schedule_kind(kind: str):
+    """Class decorator registering a schedule under its ``kind`` tag."""
+
+    def wrap(cls):
+        cls.kind = kind
+        SCHEDULE_KINDS[kind] = cls
+        return cls
+
+    return wrap
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureSchedule:
+    """Base class: a declarative, hashable description of crash-stop
+    failures to inject into a replicated run."""
+
+    kind: _t.ClassVar[str] = "abstract"
+
+    def materialize(self, n_logical: int,
+                    degree: int) -> _t.Tuple[CrashEvent, ...]:
+        """Concrete crash events for a job of ``n_logical`` logical
+        ranks with ``degree`` replicas each.  Deterministic: equal
+        schedules (same seed) produce equal events."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------ round-trip
+    def to_dict(self) -> _t.Dict[str, _t.Any]:
+        """Plain-JSON representation (``{"kind": ..., ...fields}``)."""
+        out: _t.Dict[str, _t.Any] = {"kind": self.kind}
+        for f in dataclasses.fields(self):
+            out[f.name] = _encode_field(getattr(self, f.name))
+        return out
+
+    @staticmethod
+    def from_dict(data: _t.Mapping[str, _t.Any]) -> "FailureSchedule":
+        """Inverse of :meth:`to_dict`; dispatches on ``kind``."""
+        data = dict(data)
+        kind = data.pop("kind", None)
+        cls = SCHEDULE_KINDS.get(kind)
+        if cls is None:
+            raise ValueError(
+                f"unknown failure-schedule kind {kind!r}; expected one "
+                f"of {sorted(SCHEDULE_KINDS)}")
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"unknown fields for {kind!r} schedule: "
+                             f"{sorted(unknown)}")
+        return cls(**{k: _decode_field(cls, k, v) for k, v in data.items()})
+
+
+def _encode_field(value: _t.Any) -> _t.Any:
+    if isinstance(value, CrashEvent):
+        return list(value.as_tuple())
+    if isinstance(value, tuple):
+        return [_encode_field(v) for v in value]
+    return value
+
+
+def _decode_field(cls: type, name: str, value: _t.Any) -> _t.Any:
+    if name == "events" and value is not None:
+        return tuple(CrashEvent(int(e[0]), int(e[1]), float(e[2]))
+                     for e in value)
+    if name == "targets" and value is not None:
+        return tuple((int(l), int(r)) for l, r in value)
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+@_schedule_kind("none")
+@dataclasses.dataclass(frozen=True)
+class NoFailures(FailureSchedule):
+    """The failure-free schedule (the paper's §V evaluation)."""
+
+    def materialize(self, n_logical: int,
+                    degree: int) -> _t.Tuple[CrashEvent, ...]:
+        return ()
+
+
+#: shared default instance (schedules are immutable values)
+NO_FAILURES = NoFailures()
+
+
+@_schedule_kind("fixed")
+@dataclasses.dataclass(frozen=True)
+class FixedFailures(FailureSchedule):
+    """Crashes at explicit virtual times.
+
+    ``events`` is a tuple of :class:`CrashEvent` (or ``(lrank, rid,
+    time)`` triples, normalised at construction)."""
+
+    events: _t.Tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        norm = tuple(ev if isinstance(ev, CrashEvent)
+                     else CrashEvent(int(ev[0]), int(ev[1]), float(ev[2]))
+                     for ev in self.events)
+        object.__setattr__(self, "events", norm)
+        for ev in norm:
+            if ev.logical_rank < 0 or ev.replica_id < 0 or ev.time < 0:
+                raise ValueError(f"invalid crash event {ev}")
+
+    def materialize(self, n_logical: int,
+                    degree: int) -> _t.Tuple[CrashEvent, ...]:
+        for ev in self.events:
+            if not (0 <= ev.logical_rank < n_logical):
+                raise ValueError(
+                    f"crash event {ev} targets logical rank outside "
+                    f"[0, {n_logical})")
+            if not (0 <= ev.replica_id < degree):
+                raise ValueError(
+                    f"crash event {ev} targets replica outside "
+                    f"[0, {degree})")
+        return tuple(sorted(self.events, key=lambda e: e.time))
+
+
+@dataclasses.dataclass(frozen=True)
+class _SeededArrivals(FailureSchedule):
+    """Shared machinery for stochastic schedules: seeded arrival process
+    + deterministic victim selection.
+
+    ``targets`` restricts victims to tagged ``(logical_rank,
+    replica_id)`` replicas; ``None`` targets any replica.  By default at
+    least one replica of every logical rank is spared
+    (``spare_last=True``), so the job always completes — set it to
+    ``False`` to study logical-rank wipe-outs.
+    """
+
+    seed: int = 0
+    horizon: float = 0.0           #: arrivals strictly before this time
+    start: float = 0.0             #: arrivals begin after this time
+    max_failures: _t.Optional[int] = None
+    targets: _t.Optional[_t.Tuple[_t.Tuple[int, int], ...]] = None
+    spare_last: bool = True
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("start must be non-negative")
+        if self.horizon <= self.start:
+            raise ValueError(
+                "horizon must be > start (a stochastic schedule with an "
+                "empty arrival window would silently inject nothing)")
+        if self.targets is not None:
+            object.__setattr__(
+                self, "targets",
+                tuple((int(l), int(r)) for l, r in self.targets))
+
+    def _inter_arrival(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def materialize(self, n_logical: int,
+                    degree: int) -> _t.Tuple[CrashEvent, ...]:
+        rng = random.Random(self.seed)
+        alive = {(l, r) for l in range(n_logical) for r in range(degree)}
+        if self.targets is None:
+            pool: _t.Set[_t.Tuple[int, int]] = set(alive)
+        else:
+            pool = set(self.targets)
+            stray = pool - alive
+            if stray:
+                raise ValueError(
+                    f"tagged targets {sorted(stray)} outside the job "
+                    f"({n_logical} logical ranks x degree {degree})")
+        events: _t.List[CrashEvent] = []
+        t = self.start
+        limit = (len(pool) if self.max_failures is None
+                 else min(self.max_failures, len(pool)))
+        while len(events) < limit:
+            t += self._inter_arrival(rng)
+            if t >= self.horizon:
+                break
+            eligible = sorted(
+                p for p in pool & alive
+                if not self.spare_last
+                or sum(1 for q in alive if q[0] == p[0]) > 1)
+            if not eligible:
+                break
+            victim = eligible[rng.randrange(len(eligible))]
+            alive.discard(victim)
+            events.append(CrashEvent(victim[0], victim[1], t))
+        return tuple(events)
+
+
+@_schedule_kind("poisson")
+@dataclasses.dataclass(frozen=True)
+class PoissonFailures(_SeededArrivals):
+    """Homogeneous Poisson failure arrivals: exponential inter-arrival
+    times with rate ``rate`` (failures per second of virtual time), each
+    arrival killing one random (or tagged) replica."""
+
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+
+    def _inter_arrival(self, rng: random.Random) -> float:
+        return rng.expovariate(self.rate)
+
+
+@_schedule_kind("weibull")
+@dataclasses.dataclass(frozen=True)
+class WeibullFailures(_SeededArrivals):
+    """Weibull inter-arrival times (``scale`` in virtual seconds,
+    ``shape`` < 1 models the infant-mortality regime of HPC failure
+    traces; ``shape`` = 1 degenerates to Poisson)."""
+
+    scale: float = 1.0
+    shape: float = 0.7
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.scale <= 0 or self.shape <= 0:
+            raise ValueError("scale and shape must be positive")
+
+    def _inter_arrival(self, rng: random.Random) -> float:
+        return rng.weibullvariate(self.scale, self.shape)

@@ -1,0 +1,104 @@
+"""Named scenario registry.
+
+Every paper figure point and every example registers its scenario here
+(figure modules register at import; examples through
+:mod:`repro.scenarios.catalog`), making the full configuration space
+discoverable (``python -m repro.experiments --list``) and runnable /
+overridable by name (``python -m repro.experiments run
+fig5b:p16:intra --set degree=3``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import typing as _t
+
+from .spec import Scenario
+
+
+@dataclasses.dataclass(frozen=True)
+class RegisteredScenario:
+    """One registry entry."""
+
+    name: str
+    scenario: Scenario
+    description: str = ""
+
+
+class UnknownScenarioError(KeyError):
+    """Lookup of a name that is not registered; carries suggestions."""
+
+    def __init__(self, name: str, suggestions: _t.Sequence[str] = ()):
+        self.name = name
+        self.suggestions = list(suggestions)
+        msg = f"unknown scenario {name!r}"
+        if self.suggestions:
+            msg += f"; did you mean: {', '.join(self.suggestions)}?"
+        super().__init__(msg)
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it plain
+        return self.args[0]
+
+
+_REGISTRY: _t.Dict[str, RegisteredScenario] = {}
+
+
+def register_scenario(name: str, scenario: Scenario,
+                      description: str = "",
+                      overwrite: bool = False) -> RegisteredScenario:
+    """Register ``scenario`` under ``name``.
+
+    Re-registering an identical (scenario, description) pair is a no-op
+    so modules can register at import time without double-import
+    hazards; conflicting re-registration requires ``overwrite=True``.
+    """
+    if not isinstance(scenario, Scenario):
+        raise TypeError("register_scenario expects a Scenario")
+    entry = RegisteredScenario(name, scenario, description)
+    old = _REGISTRY.get(name)
+    if old is not None and old != entry and not overwrite:
+        raise ValueError(f"scenario {name!r} is already registered with "
+                         f"a different spec")
+    _REGISTRY[name] = entry
+    return entry
+
+
+def get_scenario(name: str) -> Scenario:
+    """The scenario registered under ``name``; raises
+    :class:`UnknownScenarioError` (with close-match suggestions)."""
+    return get_entry(name).scenario
+
+
+def get_entry(name: str) -> RegisteredScenario:
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise UnknownScenarioError(name, suggest_names(name))
+    return entry
+
+
+def scenario_names() -> _t.List[str]:
+    """All registered names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def scenario_entries() -> _t.List[RegisteredScenario]:
+    """All entries, sorted by name."""
+    return [_REGISTRY[n] for n in scenario_names()]
+
+
+def find_scenario_name(scenario: Scenario) -> _t.Optional[str]:
+    """The name under which an equal scenario is registered, if any."""
+    for name in scenario_names():
+        if _REGISTRY[name].scenario == scenario:
+            return name
+    return None
+
+
+def suggest_names(name: str, limit: int = 3,
+                  extra: _t.Iterable[str] = ()) -> _t.List[str]:
+    """Close matches for a mistyped name, over the registry plus any
+    ``extra`` candidate names (e.g. experiment names)."""
+    candidates = list(_REGISTRY) + list(extra)
+    return difflib.get_close_matches(name, candidates, n=limit,
+                                     cutoff=0.45)

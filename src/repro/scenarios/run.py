@@ -1,0 +1,156 @@
+"""Run scenarios: build the world, launch the mode, install failures,
+aggregate — the single execution path behind every experiment, example
+and sweep.
+
+:func:`run_scenario` is a *pure function of the scenario* (the
+simulation is deterministic), which is what makes
+:func:`sweep_scenarios` safe to memoize on scenario hashes: any two
+callers — different figures, an example, a CLI invocation — that
+evaluate an equal scenario share one cached simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..analysis import mean
+from ..intra import launch_mode
+from ..mpi import MpiWorld
+from ..netmodel import Cluster, MachineSpec
+from ..perf import point_cache_key, run_sweep
+from ..replication import FailureInjector, NoLiveReplicaError
+from .apps import resolve_program
+from .failures import CrashEvent
+from .spec import Scenario
+
+#: cache namespace shared by every scenario sweep (cross-figure dedupe)
+SCENARIO_SWEEP_TAG = "scenario"
+
+
+@dataclasses.dataclass
+class ModeRun:
+    """Aggregated outcome of one scenario (one program in one mode)."""
+
+    mode: str
+    #: max over ranks of the 'solve' region (app wall time)
+    wall_time: float
+    #: per-region wall time, averaged over ranks (lowest-id surviving
+    #: replica under replication, matching the paper's per-process
+    #: averages; replicas are symmetric while all are alive)
+    timers: _t.Dict[str, float]
+    #: averaged intra-runtime statistics
+    intra: _t.Dict[str, float]
+    #: rank-0 application value (correctness payload)
+    value: _t.Any
+    #: the crash events the scenario's failure schedule materialized
+    crashes: _t.Tuple[CrashEvent, ...] = ()
+
+
+def nodes_for(mode: str, n_logical: int, machine: MachineSpec,
+              degree: int = 2, spread: int = 1) -> int:
+    """Cluster size needed by each mode's placement."""
+    cores = machine.cores_per_node
+    group = -(-n_logical // cores)
+    if mode == "native":
+        return group
+    return group * (1 + (degree - 1) * spread)
+
+
+def make_world(scenario: Scenario) -> MpiWorld:
+    """A fresh simulated cluster sized for the scenario's placement."""
+    machine = scenario.resolved_machine()
+    cluster = Cluster(
+        nodes_for(scenario.mode, scenario.n_logical, machine,
+                  scenario.degree, scenario.spread),
+        machine, distance_model=scenario.distance_model)
+    return MpiWorld(cluster, scenario.resolved_network())
+
+
+def run_scenario(scenario: Scenario, *,
+                 before_run: _t.Optional[_t.Callable[[MpiWorld, _t.Any],
+                                                     None]] = None
+                 ) -> ModeRun:
+    """Execute one scenario end to end and aggregate its results.
+
+    ``before_run(world, job)`` is an advanced hook for callers that need
+    to instrument the live job before virtual time starts (e.g. the
+    protocol-precise hook-triggered crashes of
+    ``examples/failure_injection.py``); scenarios carrying such a hook
+    are no longer pure data, so cached sweeps must not use it.
+    """
+    world = make_world(scenario)
+    program = resolve_program(scenario.app)
+    kw: _t.Dict[str, _t.Any] = dict(
+        args=() if scenario.config is None else (scenario.config,))
+    if scenario.mode != "native":
+        kw.update(degree=scenario.degree, spread=scenario.spread,
+                  fd_delay=scenario.fd_delay)
+    if scenario.mode == "intra":
+        kw.update(scheduler=scenario.make_scheduler(),
+                  copy_strategy=scenario.copy_strategy)
+    job = launch_mode(scenario.mode, world, program, scenario.n_logical,
+                      **kw)
+
+    crashes: _t.Tuple[CrashEvent, ...] = ()
+    if scenario.mode != "native":
+        # Native jobs have no replicas to kill: a crash-stop failure of
+        # an unreplicated rank is fatal, which is the paper's point.
+        crashes = scenario.failures.materialize(scenario.n_logical,
+                                                scenario.degree)
+        if crashes:
+            FailureInjector(job.manager).apply(crashes)
+    if before_run is not None:
+        before_run(world, job)
+    world.run()
+
+    if scenario.mode == "native":
+        results = job.results()
+    else:
+        results = []
+        for lrank in range(job.manager.n_logical):
+            live = job.manager.alive_replicas(lrank)
+            if not live:
+                raise NoLiveReplicaError(lrank)
+            results.append(live[0].app_process.value)
+
+    if all(hasattr(r, "timers") and hasattr(r, "intra") for r in results):
+        wall = max(r.timers.get("solve", r.end_time) for r in results)
+        timer_keys = set().union(*(r.timers.keys() for r in results))
+        timers = {k: mean([r.timers.get(k, 0.0) for r in results])
+                  for k in timer_keys}
+        intra_keys = set().union(*(r.intra.keys() for r in results))
+        intra = {k: mean([float(r.intra.get(k, 0) or 0) for r in results])
+                 for k in intra_keys}
+        value = results[0].value
+    else:
+        # program did not return an AppResult (e.g. a didactic example
+        # returning raw arrays): report the end of virtual time
+        wall, timers, intra, value = world.sim.now, {}, {}, results[0]
+    return ModeRun(mode=scenario.mode, wall_time=wall, timers=timers,
+                   intra=intra, value=value, crashes=crashes)
+
+
+def sweep_scenarios(scenarios: _t.Sequence[Scenario],
+                    **sweep_kw: _t.Any) -> _t.List[ModeRun]:
+    """Evaluate a batch of scenarios through the sweep driver
+    (process-pool parallelism + on-disk caching per the perf config).
+
+    All scenario sweeps share one cache namespace keyed by the scenario
+    itself, so equal scenarios dedupe across figures, examples and CLI
+    runs.
+    """
+    scenarios = list(scenarios)
+    for s in scenarios:
+        if not isinstance(s, Scenario):
+            raise TypeError(f"sweep_scenarios expects Scenario points, "
+                            f"got {type(s).__name__}")
+    return run_sweep(scenarios, run_scenario, tag=SCENARIO_SWEEP_TAG,
+                     **sweep_kw)
+
+
+def scenario_cache_key(scenario: Scenario) -> str:
+    """The sweep-cache key under which this scenario's result is
+    memoized — a stable hash of the spec, identical across processes and
+    hosts."""
+    return point_cache_key(run_scenario, scenario, tag=SCENARIO_SWEEP_TAG)

@@ -1,0 +1,44 @@
+"""Smoke tests: every examples/*.py script imports and runs end-to-end
+at tiny sizes (each exposes ``main(tiny=True)`` for exactly this)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    """Import an example script as a module (examples/ is not a
+    package); registering it in sys.modules lets scenario app
+    references like ``"<name>:program"`` resolve."""
+    spec = importlib.util.spec_from_file_location(
+        name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(name, None)
+        raise
+    return module
+
+
+def test_example_set_is_what_we_expect():
+    assert EXAMPLES == ["exascale_model", "failure_injection", "gtc_pic",
+                       "hpccg_modes", "quickstart", "replica_restart"]
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_tiny(name, capsys):
+    module = _load(name)
+    try:
+        assert hasattr(module, "main"), f"{name}.py must define main()"
+        module.main(tiny=True)
+        out = capsys.readouterr().out
+        assert out.strip(), f"{name}.py printed nothing"
+    finally:
+        sys.modules.pop(name, None)

@@ -1,0 +1,115 @@
+"""FailureSchedule hierarchy: determinism, targeting, round-tripping."""
+
+import pytest
+
+from repro.scenarios import (CrashEvent, FailureSchedule, FixedFailures,
+                             NO_FAILURES, NoFailures, PoissonFailures,
+                             WeibullFailures)
+
+
+def test_no_failures_is_empty():
+    assert NO_FAILURES.materialize(8, 2) == ()
+    assert NoFailures() == NO_FAILURES
+
+
+def test_fixed_failures_normalise_and_sort():
+    sched = FixedFailures(((1, 0, 2e-3), CrashEvent(0, 1, 1e-3)))
+    events = sched.materialize(2, 2)
+    assert [e.time for e in events] == [1e-3, 2e-3]
+    assert events[0] == CrashEvent(0, 1, 1e-3)
+
+
+def test_fixed_failures_validate_bounds():
+    with pytest.raises(ValueError):
+        FixedFailures(((5, 0, 1e-3),)).materialize(2, 2)
+    with pytest.raises(ValueError):
+        FixedFailures(((0, 3, 1e-3),)).materialize(2, 2)
+
+
+def test_poisson_same_seed_same_events():
+    a = PoissonFailures(rate=500.0, seed=7, horizon=1e-2)
+    b = PoissonFailures(rate=500.0, seed=7, horizon=1e-2)
+    assert a == b
+    assert a.materialize(4, 2) == b.materialize(4, 2)
+    assert a.materialize(4, 2)  # non-empty at this rate/horizon
+
+
+def test_poisson_different_seed_different_events():
+    a = PoissonFailures(rate=500.0, seed=7, horizon=1e-2)
+    c = PoissonFailures(rate=500.0, seed=8, horizon=1e-2)
+    assert a.materialize(4, 2) != c.materialize(4, 2)
+
+
+def test_poisson_spares_one_replica_per_rank():
+    sched = PoissonFailures(rate=1e6, seed=1, horizon=10.0)
+    events = sched.materialize(3, 2)
+    # with an absurd rate every killable replica dies exactly once...
+    assert len(events) == 3
+    killed = {(e.logical_rank, e.replica_id) for e in events}
+    assert len(killed) == 3
+    # ...but each logical rank keeps one survivor
+    assert len({lr for lr, _ in killed}) == 3
+
+
+def test_poisson_tagged_targets_only():
+    sched = PoissonFailures(rate=1e6, seed=3, horizon=10.0,
+                            targets=((1, 0),))
+    events = sched.materialize(4, 2)
+    assert [(e.logical_rank, e.replica_id) for e in events] == [(1, 0)]
+    with pytest.raises(ValueError):
+        PoissonFailures(rate=1.0, seed=0, horizon=1.0,
+                        targets=((9, 0),)).materialize(2, 2)
+
+
+def test_poisson_max_failures_and_horizon():
+    sched = PoissonFailures(rate=1e6, seed=5, horizon=10.0,
+                            max_failures=1)
+    assert len(sched.materialize(4, 2)) == 1
+    nothing = PoissonFailures(rate=1e-9, seed=5, horizon=1e-6)
+    assert nothing.materialize(4, 2) == ()
+
+
+def test_weibull_deterministic_and_distinct_from_poisson():
+    w = WeibullFailures(scale=1e-3, shape=0.7, seed=11, horizon=1e-2)
+    assert w.materialize(4, 2) == w.materialize(4, 2)
+    p = PoissonFailures(rate=1e3, seed=11, horizon=1e-2)
+    assert w.materialize(4, 2) != p.materialize(4, 2)
+
+
+@pytest.mark.parametrize("sched", [
+    NO_FAILURES,
+    FixedFailures(((0, 1, 1e-3), (1, 0, 2e-3))),
+    PoissonFailures(rate=250.0, seed=9, horizon=5e-3,
+                    targets=((0, 0), (2, 1)), max_failures=3,
+                    spare_last=False),
+    WeibullFailures(scale=2e-3, shape=0.5, seed=4, horizon=1e-2),
+])
+def test_schedule_dict_round_trip(sched):
+    d = sched.to_dict()
+    twin = FailureSchedule.from_dict(d)
+    assert twin == sched
+    assert twin.to_dict() == d
+    # materialized events survive the round trip bit-for-bit
+    assert twin.materialize(3, 2) == sched.materialize(3, 2)
+
+
+def test_schedule_from_dict_rejects_unknown():
+    with pytest.raises(ValueError):
+        FailureSchedule.from_dict({"kind": "lightning"})
+    with pytest.raises(ValueError):
+        FailureSchedule.from_dict({"kind": "poisson", "voltage": 9})
+
+
+def test_rate_scale_validation():
+    with pytest.raises(ValueError):
+        PoissonFailures(rate=0.0, seed=0, horizon=1.0)
+    with pytest.raises(ValueError):
+        WeibullFailures(scale=-1.0, shape=1.0, seed=0, horizon=1.0)
+
+
+def test_empty_arrival_window_is_rejected():
+    # a forgotten horizon must not silently mean "no failures"
+    with pytest.raises(ValueError):
+        PoissonFailures(rate=2e3, seed=7)
+    with pytest.raises(ValueError):
+        PoissonFailures(rate=2e3, seed=7, horizon=1e-3, start=1e-3)

@@ -1,0 +1,112 @@
+"""Scenario registry + experiment CLI: discovery, overrides, unknown
+names."""
+
+import pytest
+
+import repro.experiments  # noqa: F401  (registers figure scenarios)
+from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.perf import configure, get_config
+
+
+@pytest.fixture(autouse=True)
+def _sandbox_perf_config(tmp_path):
+    """main() calls repro.perf.configure; keep the process-global sweep
+    config (and any cache writes) from leaking out of each test."""
+    cfg = get_config()
+    old = (cfg.workers, cfg.cache, cfg.cache_dir)
+    configure(cache_dir=tmp_path)
+    try:
+        yield
+    finally:
+        configure(workers=old[0], cache=old[1], cache_dir=old[2])
+from repro.experiments.fig5 import fig5a_scenarios, fig5b_scenarios
+from repro.scenarios import (Scenario, UnknownScenarioError,
+                             find_scenario_name, get_scenario,
+                             register_scenario, scenario_entries,
+                             scenario_names)
+
+
+def test_every_default_figure_point_is_registered():
+    """Acceptance: every figure experiment runs through a registered
+    Scenario — the default grids are all present in the registry."""
+    for s in fig5a_scenarios() + fig5b_scenarios():
+        assert find_scenario_name(s) is not None
+    for prefix in ("fig5a:", "fig5b:", "fig6a:", "fig6b:", "fig6c:",
+                   "fig6d:", "ablation:", "ext:", "example:"):
+        assert any(n.startswith(prefix) for n in scenario_names()), prefix
+
+
+def test_registry_lookup_and_descriptions():
+    s = get_scenario("fig5b:p16:intra")
+    assert isinstance(s, Scenario)
+    assert s.mode == "intra" and s.n_logical == 8
+    for entry in scenario_entries():
+        assert entry.description  # --list has a one-liner for each
+
+
+def test_unknown_scenario_raises_with_suggestions():
+    with pytest.raises(UnknownScenarioError) as exc:
+        get_scenario("fig5b:p16:intro")
+    assert "fig5b:p16:intra" in exc.value.suggestions
+
+
+def test_reregistering_identical_entry_is_noop():
+    entry = scenario_entries()[0]
+    register_scenario(entry.name, entry.scenario, entry.description)
+    with pytest.raises(ValueError):
+        register_scenario(entry.name,
+                          entry.scenario.replace(n_logical=99),
+                          entry.description)
+
+
+# ----------------------------------------------------------------- CLI
+def test_cli_list_shows_experiments_and_scenarios(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+    assert "registered scenarios" in out
+    assert "fig5b:p16:intra" in out
+    assert "ext:poisson:intra" in out
+
+
+def test_cli_unknown_name_exits_nonzero_with_suggestion(capsys):
+    assert main(["fig5x"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment or scenario" in err
+    assert "did you mean" in err
+    assert main(["run"]) == 2  # bare 'run' is an error too
+
+
+def test_cli_runs_single_scenario_with_overrides(capsys):
+    rc = main(["run", "fig5a:waxpby:native", "--set", "config.nx=8",
+               "--set", "config.ny=8", "--set", "config.reps=1",
+               "--set", "n_logical=2", "--no-cache"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fig5a:waxpby:native" in out
+    assert "wall time (ms)" in out
+
+
+def test_cli_single_scenario_shares_sweep_cache(tmp_path, capsys):
+    """`run NAME` goes through the sweep driver: the result lands in
+    (and on reruns comes from) the scenario-hash cache."""
+    args = ["run", "fig5a:waxpby:native", "--set", "config.nx=8",
+            "--set", "config.ny=8", "--set", "config.reps=1",
+            "--set", "n_logical=2"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    cached = list(get_config().cache_dir.rglob("*.pkl"))
+    assert len(cached) == 1
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cli_rejects_bad_override(capsys):
+    assert main(["run", "fig5a:waxpby:native", "--set", "degree"]) == 2
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_cli_rejects_unknown_background_override(capsys):
+    assert main(["background", "--set", "degree=3"]) == 2
+    assert "background-model override" in capsys.readouterr().err

@@ -1,0 +1,151 @@
+"""Scenario spec: validation, overrides, dict/JSON round-tripping and
+cross-process hash stability."""
+
+import dataclasses
+import json
+import subprocess
+import sys
+import pathlib
+
+import pytest
+
+from repro.apps.hpccg import HpccgConfig, KernelBenchConfig
+from repro.intra import CopyStrategy
+from repro.netmodel import GRID5000_MACHINE, MachineSpec
+from repro.scenarios import (FixedFailures, NO_FAILURES, PoissonFailures,
+                             Scenario, machine_name_for, parse_override,
+                             scenario_cache_key)
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+def _rich_scenario() -> Scenario:
+    """A scenario exercising every codec branch: nested dataclass config
+    with a frozenset and a tuple, enum, inline machine spec, stochastic
+    failure schedule with tagged targets."""
+    return Scenario(
+        app="hpccg_kernels",
+        config=KernelBenchConfig(nx=8, ny=8, nz=4, reps=2,
+                                 kernels=("ddot", "spmv"),
+                                 intra_kernels=frozenset({"ddot",
+                                                          "spmv"})),
+        n_logical=4, mode="intra", degree=3, spread=2,
+        machine=dataclasses.replace(GRID5000_MACHINE, cores_per_node=8),
+        distance_model="linear", scheduler="cost-balanced",
+        copy_strategy=CopyStrategy.ATOMIC, fd_delay=1e-5,
+        failures=PoissonFailures(rate=100.0, seed=42, horizon=1e-2,
+                                 targets=((0, 1), (1, 2)),
+                                 max_failures=2))
+
+
+def test_dict_round_trip_is_identity():
+    s = _rich_scenario()
+    d = s.to_dict()
+    assert Scenario.from_dict(d) == s
+    # and dict -> Scenario -> dict is an identity too
+    assert Scenario.from_dict(d).to_dict() == d
+
+
+def test_json_round_trip_is_identity():
+    s = _rich_scenario()
+    text = s.to_json()
+    json.loads(text)  # really is JSON
+    twin = Scenario.from_json(text)
+    assert twin == s
+    assert hash(twin) == hash(s)
+    assert twin.to_json() == text
+
+
+def test_round_trip_preserves_cache_key():
+    s = _rich_scenario()
+    assert (scenario_cache_key(Scenario.from_json(s.to_json()))
+            == scenario_cache_key(s))
+
+
+def test_cache_key_stable_across_processes():
+    s = _rich_scenario()
+    code = (
+        "import sys, json\n"
+        "from repro.scenarios import Scenario, scenario_cache_key\n"
+        "s = Scenario.from_json(sys.stdin.read())\n"
+        "print(scenario_cache_key(s))\n")
+    keys = set()
+    for _ in range(2):
+        out = subprocess.run(
+            [sys.executable, "-c", code], input=s.to_json(),
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": "random"})
+        keys.add(out.stdout.strip())
+    assert keys == {scenario_cache_key(s)}
+
+
+def test_named_machine_resolution_and_reverse_lookup():
+    s = Scenario(app="hpccg", machine="grid5000")
+    assert s.resolved_machine() == GRID5000_MACHINE
+    assert machine_name_for(GRID5000_MACHINE) == "grid5000"
+    inline = MachineSpec(name="weird", cores_per_node=2, flop_rate=1e9,
+                         mem_bandwidth=1e9)
+    assert machine_name_for(inline) is inline
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(app=""),
+    dict(app="hpccg", mode="turbo"),
+    dict(app="hpccg", n_logical=0),
+    dict(app="hpccg", degree=0),
+    dict(app="hpccg", spread=0),
+    dict(app="hpccg", machine="cray"),
+    dict(app="hpccg", scheduler="fifo"),
+    dict(app="hpccg", fd_delay=-1.0),
+    dict(app="hpccg", failures="soon"),
+])
+def test_validation_rejects_bad_specs(kwargs):
+    with pytest.raises(ValueError):
+        Scenario(**kwargs)
+
+
+def test_copy_strategy_coerces_from_string():
+    assert (Scenario(app="hpccg", copy_strategy="atomic").copy_strategy
+            is CopyStrategy.ATOMIC)
+
+
+def test_with_overrides_scenario_and_config_fields():
+    s = Scenario(app="hpccg", config=HpccgConfig(nx=16), n_logical=8)
+    t = s.with_overrides({"degree": 3, "mode": "intra",
+                          "config.nx": 8,
+                          "config.intra_kernels": ["ddot"]})
+    assert (t.degree, t.mode) == (3, "intra")
+    assert t.config.nx == 8
+    assert t.config.intra_kernels == frozenset({"ddot"})
+    # original untouched; unknown fields rejected
+    assert s.degree == 2 and s.config.nx == 16
+    with pytest.raises(ValueError):
+        s.with_overrides({"warp": 9})
+    with pytest.raises(ValueError):
+        s.with_overrides({"config.bogus": 1})
+
+
+def test_with_overrides_failures_from_dict():
+    s = Scenario(app="hpccg", mode="sdr")
+    t = s.with_overrides({"failures": {"kind": "fixed",
+                                       "events": [[0, 1, 1e-3]]}})
+    assert isinstance(t.failures, FixedFailures)
+    assert t.failures.events[0].time == 1e-3
+    assert s.failures == NO_FAILURES
+
+
+def test_parse_override_literals_and_strings():
+    assert parse_override("degree=3") == ("degree", 3)
+    assert parse_override("config.nx=8") == ("config.nx", 8)
+    assert parse_override("mode=intra") == ("mode", "intra")
+    assert parse_override("fractions=(0.1, 0.5)") == ("fractions",
+                                                      (0.1, 0.5))
+    with pytest.raises(ValueError):
+        parse_override("degree")
+
+
+def test_scenarios_are_hashable_and_picklable():
+    import pickle
+    s = _rich_scenario()
+    assert len({s, _rich_scenario()}) == 1
+    assert pickle.loads(pickle.dumps(s)) == s
