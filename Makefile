@@ -1,16 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-all profile figures clean
+.PHONY: test bench bench-all docs-check profile figures clean
 
 ## tier-1 test suite (what CI gates on)
 test:
 	$(PYTHON) -m pytest -x -q
 
-## regenerate benchmarks/BENCH_sim_core.json (engine events/sec +
-## fig5b sweep wall-time legs) and print the table
+## regenerate benchmarks/BENCH_sim_core.json (engine events/sec, fig5b
+## sweep wall-time legs, batched-dispatch legs) and print the tables;
+## test_perf_engine.py rewrites the JSON, test_perf_batch.py merges its
+## batched_dispatch leg in, so the order matters
 bench:
-	$(PYTHON) -m pytest benchmarks/test_perf_engine.py -q -s
+	$(PYTHON) -m pytest benchmarks/test_perf_engine.py \
+	    benchmarks/test_perf_batch.py -q -s
+
+## docs: executable snippets in docs/*.md + intra-repo markdown links
+docs-check:
+	$(PYTHON) -m pytest tests/docs -q
+	$(PYTHON) tools/check_md_links.py
 
 ## every figure-regeneration benchmark (tables under benchmarks/_results/)
 bench-all:

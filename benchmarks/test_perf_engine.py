@@ -145,7 +145,14 @@ def test_bench_sim_core(save_table):
     # reproducible baseline leg (see PINNED_BASELINE_S)
     seed_here = SEED_FIG5B_S * (baseline_sweep / PINNED_BASELINE_S)
     speedup_vs_seed = seed_here / optimized_serial
-    payload = {
+    # preserve legs other benchmark files maintain in the same JSON
+    # (test_perf_batch.py's "batched_dispatch"), so collection order
+    # never silently drops a recording
+    try:
+        payload = json.loads(BENCH_JSON.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    payload.update({
         "engine": {
             "workload": f"{PROCS} procs x {YIELDS} plain-timeout yields",
             "events": fast_engine["events"],
@@ -175,7 +182,7 @@ def test_bench_sim_core(save_table):
             "cpu_count": os.cpu_count(),
         },
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-    }
+    })
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
     lines = ["Simulation-core benchmark (BENCH_sim_core.json)",

@@ -17,6 +17,32 @@ Two implementations of one interface:
 Both are attached to ``ctx.intra`` by the job launchers in
 :mod:`repro.intra.api`, so application code is written once and runs in
 all three modes (Open MPI / SDR-MPI / intra of the paper's figures).
+
+Batched section execution
+-------------------------
+:class:`LocalIntraRuntime` sections are pure compute with no observable
+effects between tasks (no update messages, no hooks), so instead of one
+engine event + generator resume per task, the runtime emits one
+*multi-segment compute descriptor* — the per-task roofline costs — to
+:meth:`repro.mpi.world.ProcContext.compute_batch` and sleeps exactly
+once for the whole section.  Wake times, ``compute_time`` and
+``IntraStats`` accumulate with unchanged float arithmetic, so results
+are bit-identical to the task-by-task path (asserted by
+``tests/intra/test_batched_sections.py``).  Failure injection still
+lands mid-batch at the exact scheduled time: a crash-stop kill closes
+the process during the single wake, and segments past the crash point
+never execute — the "split on interrupt" contract of ``compute_batch``.
+The bit-identity guarantee is scoped to state observable from
+*survivors* (and to failure-free runs in full); a killed replica's own
+context accounting is not replayed segment by segment, and nothing in
+the repo reads it (see ``compute_batch``'s docstring).
+
+The task-by-task path is kept as the oracle: it runs when
+:func:`set_section_batching` disabled batching, when a trace hook is
+installed (trace-based tests pin seed-exact per-event streams), or for
+single-task sections (nothing to batch).  :class:`IntraRuntime` — the
+work-sharing mode — never batches: its tasks post update sends between
+segments, which are observable at precise times.
 """
 
 from __future__ import annotations
@@ -39,6 +65,26 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 
 #: update-message tag layout: tag = task_index * MAX_ARGS + arg_index
 MAX_ARGS = 64
+
+#: process-wide switch for batched section execution in
+#: :class:`LocalIntraRuntime` (the perf benchmark flips it to time the
+#: task-by-task oracle path; semantics are bit-identical either way)
+BATCH_SECTIONS = True
+
+
+def set_section_batching(enabled: bool) -> bool:
+    """Enable/disable batched section execution; returns the previous
+    setting.  Disabling routes :class:`LocalIntraRuntime` sections
+    through the task-by-task oracle path (one engine event per task)."""
+    global BATCH_SECTIONS
+    prev = BATCH_SECTIONS
+    BATCH_SECTIONS = bool(enabled)
+    return prev
+
+
+def section_batching_enabled() -> bool:
+    """Whether :class:`LocalIntraRuntime` sections run batched."""
+    return BATCH_SECTIONS
 
 
 class IntraError(RuntimeError):
@@ -82,6 +128,14 @@ class IntraRuntimeBase:
         arguments (:class:`~repro.intra.task.Tag` or the strings
         ``"in"/"out"/"inout"``); ``cost(*vars)`` returns the
         ``(flops, bytes_moved)`` the roofline model charges.
+
+        ``cost`` must be a pure function of its arguments' *shapes*
+        (sizes/dtypes), never of their values: batched section
+        execution (see the module docstring) evaluates all costs of a
+        section up front, before any task ``fn`` has run, so a
+        value-dependent cost would charge different virtual time than
+        the task-by-task oracle.  Every roofline model in
+        :mod:`repro.kernels` satisfies this by construction.
         """
         sec = self._require_section("Intra_Task_register")
         norm = [t if isinstance(t, Tag) else Tag(t) for t in tags]
@@ -157,11 +211,43 @@ class IntraRuntimeBase:
 
 class LocalIntraRuntime(IntraRuntimeBase):
     """Execute every task locally (native and classic-replication
-    modes): sections degenerate to plain sequential computation."""
+    modes): sections degenerate to plain sequential computation.
+
+    With :data:`BATCH_SECTIONS` enabled (the default), the whole section
+    is charged as one multi-segment compute descriptor — a single engine
+    wake instead of one event + generator resume per task (see the
+    module docstring for the exact-equivalence argument).
+    """
 
     def _run_section(self, sec: SectionState):
-        for task in sec.tasks:
-            yield from self._execute_fn(task)
+        tasks = sec.tasks
+        if (not BATCH_SECTIONS or len(tasks) < 2
+                or self.ctx.sim._trace is not None):
+            # oracle path: one engine event per task (also keeps
+            # trace-based tests on the seed-exact per-event stream)
+            for task in tasks:
+                yield from self._execute_fn(task)
+                task.executed_locally = True
+                task.done = True
+            return
+        ctx = self.ctx
+        stats = self.stats
+        # Roofline costs are pure functions of argument *shapes*, so
+        # evaluating them up front (before any task fn mutates data)
+        # matches the interleaved oracle path.
+        costs = [task.tdef.cost(*task.vars) for task in tasks]
+        t_prev = ctx.sim.now
+        event, stamps = ctx.compute_batch(costs)
+        if event is not None:
+            yield event
+        # a kill during the wake lands here as GeneratorExit: tasks past
+        # the crash point never execute (split on interrupt)
+        for task, (flops, nbytes), stamp in zip(tasks, costs, stamps):
+            if flops or nbytes:
+                stats.task_compute_time += stamp - t_prev
+                t_prev = stamp
+            task.tdef.fn(*task.vars)
+            stats.tasks_executed += 1
             task.executed_locally = True
             task.done = True
 

@@ -56,7 +56,8 @@ class CsrMatrix:
     col: np.ndarray      # int32, len nnz
     val: np.ndarray      # float64, len nnz
     #: per-row-block lookup cache: (lo, hi) -> (start, stop, boundaries,
-    #: empty_rows, nnz); see :meth:`row_block`
+    #: empty_rows, nnz, col_block, val_block, scratch); see
+    #: :meth:`row_block`
     _block_cache: _t.Dict[_t.Tuple[int, int], tuple] = dataclasses.field(
         default_factory=dict, repr=False, compare=False)
 
@@ -70,17 +71,22 @@ class CsrMatrix:
 
     def row_block(self, lo: int, hi: int) -> tuple:
         """Cached index data of the row block [lo, hi): a tuple
-        ``(start, stop, boundaries, empty_rows, nnz)`` where ``start`` /
-        ``stop`` delimit the block's nonzeros, ``boundaries`` are the
-        block-relative ``reduceat`` offsets, and ``empty_rows`` indexes
-        zero-nonzero rows (``None`` when there are none — the common
-        case for stencil operators).
+        ``(start, stop, boundaries, empty_rows, nnz, col_block,
+        val_block, scratch)`` where ``start`` / ``stop`` delimit the
+        block's nonzeros, ``boundaries`` are the block-relative
+        ``reduceat`` offsets, ``empty_rows`` indexes zero-nonzero rows
+        (``None`` when there are none — the common case for stencil
+        operators), ``col_block`` / ``val_block`` are the contiguous
+        indptr-sliced views of the block's column indices and values,
+        and ``scratch`` is a reusable float64 buffer of ``nnz`` entries
+        (the gather/product temporary of :func:`spmv_rows`).
 
         The intra runtime evaluates each task's cost several times per
         section (scheduling + roofline charging) and executes the same
         row blocks every iteration, so these lookups are worth caching.
         When kernel caching is disabled (:func:`set_csr_cache_enabled`),
-        the lookup is recomputed per call.
+        the lookup is recomputed per call and the slice/scratch entries
+        are ``None`` (the reference kernel path does not use them).
         """
         key = (lo, hi)
         blk = self._block_cache.get(key)
@@ -92,10 +98,16 @@ class CsrMatrix:
             boundaries = np.zeros(hi - lo, dtype=np.intp)
             np.cumsum(counts[:-1], out=boundaries[1:])
             empties = np.flatnonzero(counts == 0)
-            blk = (start, stop, boundaries,
-                   empties if empties.size else None, stop - start)
             if cachectl.enabled():
+                blk = (start, stop, boundaries,
+                       empties if empties.size else None, stop - start,
+                       self.col[start:stop], self.val[start:stop],
+                       np.empty(stop - start))
                 self._block_cache[key] = blk
+            else:
+                blk = (start, stop, boundaries,
+                       empties if empties.size else None, stop - start,
+                       None, None, None)
         return blk
 
     def row_nnz(self, lo: int, hi: int) -> int:
@@ -364,20 +376,30 @@ def spmv_rows(matrix: CsrMatrix, x_padded: np.ndarray, lo: int, hi: int,
               y_block: np.ndarray) -> None:
     """``y[lo:hi] = A[lo:hi, :] @ x_padded`` — one intra-parallel task.
 
-    Vectorised CSR row-block product (no Python-level row loop); the
-    row-boundary indices come from the matrix's block cache.
+    Vectorised CSR row-block product over the matrix's precomputed block
+    slices (no Python-level row loop, no per-call temporaries): the
+    gather runs through ``np.take`` into the block's reusable scratch
+    buffer, the product is formed in place, and the segmented sum
+    (``np.add.reduceat`` on the cached row boundaries) reduces straight
+    into ``y_block``.  The arithmetic — gather, multiply, left-to-right
+    segmented sum — is operation-for-operation the reference kernel's,
+    so results are bit-identical to :func:`_spmv_rows_reference`
+    (``tests/kernels/test_csr_cache.py`` asserts exact equality).
+
+    ``x_padded`` and ``y_block`` must be float64 (all kernel call sites
+    are); ``y_block`` must be a contiguous view of ``hi - lo`` entries.
     """
     if not cachectl.enabled():
         _spmv_rows_reference(matrix, x_padded, lo, hi, y_block)
         return
-    start, stop, boundaries, empty_rows, _nnz = matrix.row_block(lo, hi)
+    (start, stop, boundaries, empty_rows, _nnz,
+     col_block, val_block, scratch) = matrix.row_block(lo, hi)
     if stop > start:
-        prod = matrix.val[start:stop] * x_padded[matrix.col[start:stop]]
-        # segmented sum via reduceat on the cached row boundaries
-        sums = np.add.reduceat(prod, boundaries)
+        np.take(x_padded, col_block, out=scratch)
+        np.multiply(scratch, val_block, out=scratch)
+        np.add.reduceat(scratch, boundaries, out=y_block)
         if empty_rows is not None:
-            sums[empty_rows] = 0.0
-        np.copyto(y_block, sums)
+            y_block[empty_rows] = 0.0
     else:
         y_block.fill(0.0)
 

@@ -186,21 +186,45 @@ def run_sweep(points: _t.Sequence[_t.Any], fn: _t.Callable[[_t.Any], _t.Any],
               tag: str = "") -> _t.List[_t.Any]:
     """Evaluate ``fn(point)`` for every point, in order.
 
+    This is the single fan-out/caching choke point of the repo: every
+    figure, ablation, extension and CLI run routes its points through
+    here (scenario sweeps via
+    :func:`repro.scenarios.sweep_scenarios`), so ``--workers`` /
+    ``--no-cache`` behave uniformly everywhere.  See ``docs/cli.md``
+    for the user-facing semantics and ``docs/architecture.md`` for
+    where the driver sits in the stack.
+
     Parameters
     ----------
     points:
-        Picklable point descriptors.  Each must be a pure description of
-        the run (configs, mode names, counts) — results are memoized on
-        the descriptor.
+        Picklable point descriptors.  Each must be a *pure description*
+        of the run (configs, mode names, counts — no live objects):
+        results are memoized on the descriptor's stable serialization
+        (:func:`stable_token`), so anything that should invalidate a
+        cached result must be part of the descriptor.
     fn:
         Module-level callable (picklable by reference when
-        ``workers > 1``); must be deterministic in ``point``.
+        ``workers > 1``); must be deterministic in ``point`` — the
+        cache stores its first result forever (until
+        :data:`CACHE_VERSION` is bumped or the cache is cleared).
     workers:
-        Process-pool width; ``None`` uses the configured default.  With
-        1 worker everything runs inline (no pool, no pickling).
-    cache / cache_dir:
-        Override the configured on-disk memoization.  ``tag`` namespaces
-        the cache key (defaults to ``fn``'s qualified name).
+        Process-pool width; ``None`` uses the :func:`configure`\\ d
+        default (CLI ``--workers N``, env ``REPRO_WORKERS``).  With 1
+        worker — or a single pending point — everything runs inline in
+        this process (no pool, no pickling).  Cache hits never spawn
+        workers.
+    cache:
+        Override the configured on-disk memoization (CLI
+        ``--no-cache`` maps to ``False``; env ``REPRO_SWEEP_CACHE``
+        sets the default).  Caching is best-effort: unreadable or
+        corrupt entries recompute, write failures never fail the sweep.
+    cache_dir:
+        Cache root (default ``.perf_cache/``, env ``REPRO_CACHE_DIR``).
+    tag:
+        Cache-key namespace; defaults to ``fn``'s qualified name.
+        Scenario sweeps pass one shared tag so equal scenarios dedupe
+        *across* figures, examples and CLI runs (see
+        :func:`repro.scenarios.scenario_cache_key`).
 
     Returns results in the same order as ``points``.
     """

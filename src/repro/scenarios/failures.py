@@ -139,10 +139,22 @@ NO_FAILURES = NoFailures()
 @_schedule_kind("fixed")
 @dataclasses.dataclass(frozen=True)
 class FixedFailures(FailureSchedule):
-    """Crashes at explicit virtual times.
+    """Crashes at explicit virtual times (the §VI restart/efficiency
+    studies, and the exact-moment crashes of the Figure 2 hazards).
 
-    ``events`` is a tuple of :class:`CrashEvent` (or ``(lrank, rid,
-    time)`` triples, normalised at construction)."""
+    Parameters
+    ----------
+    events:
+        Tuple of :class:`CrashEvent` — or plain ``(logical_rank,
+        replica_id, time)`` triples, normalised at construction.
+        Validation is two-phase: construction rejects negative ranks,
+        replica ids and times; :meth:`materialize` additionally rejects
+        events outside the concrete job (rank ≥ ``n_logical`` or
+        replica ≥ ``degree``), since the job shape is only known then.
+
+    ``materialize`` returns the events sorted by crash time; two events
+    may share a time (both kills land at that instant, in tuple order).
+    """
 
     events: _t.Tuple[CrashEvent, ...] = ()
 
@@ -174,11 +186,35 @@ class _SeededArrivals(FailureSchedule):
     """Shared machinery for stochastic schedules: seeded arrival process
     + deterministic victim selection.
 
-    ``targets`` restricts victims to tagged ``(logical_rank,
-    replica_id)`` replicas; ``None`` targets any replica.  By default at
-    least one replica of every logical rank is spared
-    (``spare_last=True``), so the job always completes — set it to
-    ``False`` to study logical-rank wipe-outs.
+    Determinism contract (see ``docs/scenarios.md``): all randomness —
+    inter-arrival draws *and* victim picks — flows from one
+    ``random.Random(seed)``, victim candidates are sorted before the
+    pick, and :meth:`materialize` is a pure function of ``(schedule,
+    n_logical, degree)``.  Equal schedules therefore produce equal
+    crash events in every process and on every host, which is what
+    makes a stochastic scenario a valid sweep-cache key.
+
+    Parameters
+    ----------
+    seed:
+        The RNG seed; vary it (e.g. over a grid) to sample failure
+        patterns while keeping each point reproducible.
+    start / horizon:
+        Arrival window: arrivals accumulate from ``start`` and events
+        strictly before ``horizon`` are kept.  ``horizon`` must exceed
+        ``start`` — an empty window would silently inject nothing.
+    max_failures:
+        Hard cap on injected crashes (``None`` = bounded only by the
+        victim pool).
+    targets:
+        Restricts victims to tagged ``(logical_rank, replica_id)``
+        replicas; ``None`` targets any replica.  Tags outside the job
+        shape are rejected at ``materialize`` time.
+    spare_last:
+        By default at least one replica of every logical rank is spared
+        so the job always completes; set ``False`` to study
+        logical-rank wipe-outs (the run then raises
+        :class:`~repro.replication.NoLiveReplicaError`).
     """
 
     seed: int = 0
@@ -239,9 +275,23 @@ class _SeededArrivals(FailureSchedule):
 @_schedule_kind("poisson")
 @dataclasses.dataclass(frozen=True)
 class PoissonFailures(_SeededArrivals):
-    """Homogeneous Poisson failure arrivals: exponential inter-arrival
-    times with rate ``rate`` (failures per second of virtual time), each
-    arrival killing one random (or tagged) replica."""
+    """Homogeneous Poisson failure arrivals, each killing one random
+    (or tagged) replica — the memoryless MTBF model of §II, in the
+    spirit of the inhomogeneous-Poisson simulation toolkits of
+    PAPERS.md.
+
+    Parameters (on top of the seeded-arrival fields above)
+    ------------------------------------------------------
+    rate:
+        Failures per second of *virtual* time; inter-arrival times are
+        ``Expovariate(rate)`` draws, so the expected number of
+        arrivals in the window is ``rate * (horizon - start)``.  Must
+        be positive.
+
+    Example: ``PoissonFailures(rate=400.0, seed=2015, horizon=5e-3)``
+    expects ~2 crashes in the first 5 virtual milliseconds, identical
+    on every host for a given seed.
+    """
 
     rate: float = 1.0
 
@@ -257,9 +307,21 @@ class PoissonFailures(_SeededArrivals):
 @_schedule_kind("weibull")
 @dataclasses.dataclass(frozen=True)
 class WeibullFailures(_SeededArrivals):
-    """Weibull inter-arrival times (``scale`` in virtual seconds,
-    ``shape`` < 1 models the infant-mortality regime of HPC failure
-    traces; ``shape`` = 1 degenerates to Poisson)."""
+    """Weibull inter-arrival times — the standard HPC failure-trace
+    model.
+
+    Parameters (on top of the seeded-arrival fields above)
+    ------------------------------------------------------
+    scale:
+        The Weibull scale parameter λ, in virtual seconds (the
+        characteristic inter-arrival time).  Must be positive.
+    shape:
+        The Weibull shape parameter k: ``shape < 1`` models the
+        infant-mortality regime of HPC failure traces (bursts early,
+        long quiet tails), ``shape = 1`` degenerates to a Poisson
+        process with rate ``1/scale``, ``shape > 1`` models wear-out
+        (failures cluster late).  Must be positive.
+    """
 
     scale: float = 1.0
     shape: float = 0.7

@@ -151,6 +151,21 @@ def sweep_scenarios(scenarios: _t.Sequence[Scenario],
 
 def scenario_cache_key(scenario: Scenario) -> str:
     """The sweep-cache key under which this scenario's result is
-    memoized — a stable hash of the spec, identical across processes and
-    hosts."""
+    memoized: a SHA-256 hex digest of the scenario's stable
+    serialization, the cache namespace tag (:data:`SCENARIO_SWEEP_TAG`,
+    shared by *all* scenario sweeps so equal scenarios dedupe across
+    figures, examples and CLI runs) and
+    :data:`repro.perf.CACHE_VERSION`.
+
+    The key is identical across processes and hosts — it depends only
+    on the spec's field values, never on object identity or hash
+    seeds — so two runs anywhere that evaluate an equal scenario share
+    one on-disk result (``.perf_cache/<k[:2]>/<k>.pkl``).  Equal
+    scenarios (e.g. a JSON round-trip twin) always map to the same key;
+    any field change, including inside ``config`` or ``failures``,
+    re-keys.  Bumping ``CACHE_VERSION`` invalidates every stored
+    result after a model change; performance-only work (e.g. the PR 3
+    batched dispatch) is bit-result-identical by construction and
+    deliberately does *not* re-key.  See ``docs/scenarios.md``.
+    """
     return point_cache_key(run_scenario, scenario, tag=SCENARIO_SWEEP_TAG)

@@ -249,13 +249,40 @@ class Scenario:
 
     def with_overrides(self, overrides: _t.Mapping[str, _t.Any]
                        ) -> "Scenario":
-        """Apply ``--set``-style overrides.
+        """Apply ``--set``-style overrides; returns a new, re-validated
+        scenario (``self`` is never mutated — scenarios are frozen).
 
-        Keys are scenario field names (``degree``, ``mode``, ...) or
-        dotted config fields (``config.nx``).  Values are coerced toward
-        the type of the value they replace (lists become tuples or
-        frozensets where the target field holds one), so CLI strings
-        parsed by :func:`parse_override` land correctly.
+        Parameters
+        ----------
+        overrides:
+            Mapping of override keys to values, as produced by
+            :func:`parse_override` from CLI ``--set key=value``
+            expressions.  Keys are:
+
+            * scenario field names — ``degree``, ``mode``,
+              ``n_logical``, ``scheduler``, ... (see the class
+              docstring for the full list);
+            * dotted config fields — ``config.nx`` replaces one field
+              of the app's config dataclass;
+            * ``config`` — replaces the whole config (a codec dict from
+              :func:`encode_value` or a config instance);
+            * ``failures`` — a :class:`~repro.scenarios.failures.
+              FailureSchedule` or its ``to_dict`` form, e.g.
+              ``{"kind": "poisson", "rate": 400, "seed": 1,
+              "horizon": 0.005}``.
+
+        Values are coerced toward the type of the value they replace
+        (ints promote to floats, lists become tuples or frozensets,
+        ``"true"``/``"false"`` strings become bools, copy-strategy and
+        failure-schedule dicts are decoded), so CLI string literals land
+        correctly.
+
+        Raises
+        ------
+        ValueError
+            On an unknown scenario or config field — the message lists
+            the valid field names — and on values the target field's
+            validation rejects.
         """
         if not overrides:
             return self
@@ -269,10 +296,12 @@ class Scenario:
                     raise ValueError(
                         f"cannot set {key!r}: scenario has no structured "
                         f"config (config={cfg!r})")
-                if fname not in {f.name for f in dataclasses.fields(cfg)}:
+                cfg_fields = [f.name for f in dataclasses.fields(cfg)]
+                if fname not in cfg_fields:
                     raise ValueError(
                         f"unknown config field {fname!r} for "
-                        f"{type(cfg).__name__}")
+                        f"{type(cfg).__name__}; valid config fields: "
+                        f"{', '.join(sorted(cfg_fields))}")
                 cur = getattr(cfg, fname)
                 cfg = dataclasses.replace(
                     cfg, **{fname: _coerce_like(cur, raw)})
@@ -282,8 +311,12 @@ class Scenario:
                 scalar[key] = (FailureSchedule.from_dict(raw)
                                if isinstance(raw, dict) else raw)
             else:
-                if key not in {f.name for f in dataclasses.fields(self)}:
-                    raise ValueError(f"unknown scenario field {key!r}")
+                fields = [f.name for f in dataclasses.fields(self)]
+                if key not in fields:
+                    raise ValueError(
+                        f"unknown scenario field {key!r}; valid fields: "
+                        f"{', '.join(sorted(fields))} (config fields via "
+                        f"config.<name>)")
                 scalar[key] = _coerce_like(getattr(self, key), raw)
         return dataclasses.replace(self, config=cfg, **scalar)
 

@@ -26,6 +26,29 @@ and reused by the next :meth:`Simulator.sleep` call, making the
 "process sleeps for its compute time" hot path allocation-free.
 ``benchmarks/test_perf_engine.py`` tracks the resulting events/sec.
 
+Batched dispatch
+----------------
+Two batching levels sit on top of the fast path (see
+``docs/architecture.md`` for the design write-up):
+
+* :meth:`Simulator.step` drains *every* event scheduled for the head
+  timestamp in one pass — one ``until``-check and one clock write per
+  same-time batch instead of per event.  Processing order within the
+  batch is still the scheduling order (the heap's sequence numbers), so
+  semantics are unchanged.
+* :meth:`Simulator.run_batched` additionally coalesces consecutive
+  pure-:meth:`sleep` wakes that are strictly earlier than everything
+  else in the queue: the wake is parked in a one-slot *defer* cell
+  instead of round-tripping through the heap, cutting a
+  ``heappush``/``heappop`` pair per wake on compute-only stretches
+  (a process charging kernel segment after kernel segment while its
+  peers block on receives).  The deferred wake reserves its sequence
+  number at :meth:`sleep` time and is pushed back onto the heap the
+  moment anything else schedules at or before it, so the processed
+  event order is *identical* to :meth:`run` — the golden-trace tests in
+  ``tests/simulate/test_determinism.py`` pin this equivalence.
+  ``benchmarks/test_perf_batch.py`` gates the resulting speedup.
+
 Example
 -------
 >>> sim = Simulator()
@@ -61,6 +84,12 @@ _POOL_MAX = 256
 #: flips this to time the un-inlined baseline loop
 FAST_DEFAULT = True
 
+#: process-wide default for ``Simulator(batched=None)``: whether callers
+#: that dispatch on ``Simulator.batched`` (``MpiWorld.run``) should use
+#: :meth:`Simulator.run_batched` instead of :meth:`Simulator.run`.  The
+#: perf benchmark flips this to time the un-coalesced PR-1 fast path.
+BATCHED_DEFAULT = True
+
 _INF = float("inf")
 
 
@@ -79,10 +108,16 @@ class Simulator:
         Only the performance benchmarks use this (as the seed-equivalent
         baseline); semantics are identical either way.  ``None`` means
         "use :data:`FAST_DEFAULT`".
+    batched:
+        Whether callers that honor :attr:`batched` (``MpiWorld.run``)
+        drive this simulator through :meth:`run_batched`.  ``None``
+        means "use :data:`BATCHED_DEFAULT`"; the perf benchmarks flip it
+        to compare against the un-coalesced loop.
     """
 
     def __init__(self, trace: _t.Optional[_t.Callable[[float, Event], None]] = None,
-                 fast: _t.Optional[bool] = None):
+                 fast: _t.Optional[bool] = None,
+                 batched: _t.Optional[bool] = None):
         self.now: float = 0.0
         self._heap: _t.List[_t.Tuple[float, int, Event]] = []
         self._seq = 0
@@ -90,8 +125,15 @@ class Simulator:
         if fast is None:
             fast = FAST_DEFAULT
         self._fast = fast and _getrefcount is not None
+        #: whether run-dispatching callers should prefer run_batched()
+        self.batched = BATCHED_DEFAULT if batched is None else bool(batched)
         #: free list of recycled Timeout objects (see :meth:`sleep`)
         self._timeout_pool: _t.List[Timeout] = []
+        #: one-slot deferred-wake cell of :meth:`run_batched`:
+        #: ``(wake_time, reserved_seq, timeout)`` or ``None``
+        self._defer: _t.Optional[_t.Tuple[float, int, Timeout]] = None
+        #: True only while a run_batched() loop owns the defer slot
+        self._defer_armed = False
         #: live (not yet terminated) processes, used for deadlock detection
         self._active_processes: _t.Set["Process"] = set()
 
@@ -115,6 +157,25 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
+        return self._sleep_abs(self.now + delay, delay)
+
+    def sleep_until(self, time: float) -> Timeout:
+        """A plain timeout firing at absolute virtual ``time``.
+
+        Used by batched compute descriptors
+        (:meth:`repro.mpi.world.ProcContext.compute_batch`): the caller
+        accumulates per-segment wake times with exactly the float
+        arithmetic a chain of :meth:`sleep` calls would have performed,
+        then schedules the final wake directly — one engine event for
+        the whole stretch, bit-identical end time.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot sleep until {time} (now={self.now})")
+        return self._sleep_abs(time, time - self.now)
+
+    def _sleep_abs(self, wake: float, delay: float) -> Timeout:
+        """Shared body of :meth:`sleep` / :meth:`sleep_until`."""
         pool = self._timeout_pool
         if pool:
             t = pool.pop()
@@ -126,10 +187,22 @@ class Simulator:
             t.defused = False
             t.label = ""
             t.delay = delay
-            self._seq += 1
-            heapq.heappush(self._heap, (self.now + delay, self._seq, t))
-            return t
-        return Timeout(self, delay)
+        else:
+            t = Timeout._fresh(self, delay)
+        self._seq += 1
+        if self._defer_armed and self._defer is None:
+            heap = self._heap
+            if not heap or wake < heap[0][0]:
+                # Strictly earlier than everything queued: park the wake
+                # in the defer slot (run_batched consumes it without a
+                # heap round-trip).  The sequence number is reserved NOW
+                # so that, if a later schedule forces the wake back onto
+                # the heap, same-time ordering is identical to the
+                # unbatched engine.
+                self._defer = (wake, self._seq, t)
+                return t
+        heapq.heappush(self._heap, (wake, self._seq, t))
+        return t
 
     def all_of(self, events: _t.Sequence[Event], label: str = "") -> AllOf:
         """Fires when all ``events`` fired (cf. ``MPI_Waitall``)."""
@@ -152,17 +225,34 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else _INF
+        t = self._heap[0][0] if self._heap else _INF
+        d = self._defer
+        if d is not None and d[0] < t:
+            return d[0]
+        return t
 
     def step(self) -> None:
-        """Process exactly one event."""
-        time, _seq, event = heapq.heappop(self._heap)
+        """Process every event scheduled for the next timestamp.
+
+        One batch = all events sharing the head timestamp (including
+        zero-delay events they trigger at that same time), processed in
+        scheduling order — exactly the order a one-event-at-a-time loop
+        would have used, but with a single heap inspection, clock write
+        and ``until`` boundary per batch instead of per event.
+        """
+        heap = self._heap
+        trace = self._trace
+        time, _seq, event = heapq.heappop(heap)
         self.now = time
-        event._process()
-        if self._trace is not None:
-            self._trace(time, event)
-        if event._exc is not None and not event.defused:
-            raise UnhandledFailure(event._exc)
+        while True:
+            event._process()
+            if trace is not None:
+                trace(time, event)
+            if event._exc is not None and not event.defused:
+                raise UnhandledFailure(event._exc)
+            if not heap or heap[0][0] != time:
+                return
+            _t, _seq, event = heapq.heappop(heap)
 
     def run(self, until: _t.Optional[float] = None,
             detect_deadlock: bool = False) -> None:
@@ -194,7 +284,10 @@ class Simulator:
                     return
                 time, _seq, event = heappop(heap)
                 self.now = time
-                # -- inline Event._process (keep in sync) --------------
+                # -- inline Event._process; three copies exist (here,
+                #    run_batched, Event._process) — keep all in sync;
+                #    tests/simulate/test_determinism.py pins their
+                #    equivalence on a golden trace -------------------
                 event._state = _PROCESSED
                 waiter = event._waiter
                 if waiter is not None:
@@ -228,6 +321,119 @@ class Simulator:
                     trace(time, event)
                 if event._exc is not None and not event.defused:
                     raise UnhandledFailure(event._exc)
+        if until is not None:
+            self.now = until
+        if detect_deadlock and self._active_processes:
+            waiting = ", ".join(sorted(p.name for p in self._active_processes))
+            raise DeadlockError(
+                f"event queue drained but processes still waiting: {waiting}")
+
+    def run_batched(self, until: _t.Optional[float] = None,
+                    detect_deadlock: bool = False) -> None:
+        """Run like :meth:`run`, coalescing sole-earliest sleep wakes.
+
+        While this loop runs, :meth:`sleep` / :meth:`sleep_until` park a
+        wake that is strictly earlier than every queued event in a
+        one-slot defer cell instead of pushing it onto the heap; the
+        loop consumes the cell directly, saving the
+        ``heappush``/``heappop`` pair per wake.  This is the dominant
+        shape of a compute-only stretch: one process charges kernel
+        segment after kernel segment while its peers are blocked on
+        receives (no queued timeouts of their own).
+
+        The optimization is *order-exact*: the deferred wake reserves
+        its heap sequence number when the sleep is taken, and any
+        schedule landing at or before the parked time pushes the wake
+        back onto the heap before it is processed.  Event processing
+        order — and therefore every simulation result — is identical to
+        :meth:`run`; ``tests/simulate/test_determinism.py`` asserts
+        trace equality on a failure-injection scenario.
+
+        With ``fast=False`` this falls back to :meth:`run` (the
+        un-inlined oracle loop never batches).
+        """
+        if not self._fast:
+            return self.run(until=until, detect_deadlock=detect_deadlock)
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        heap = self._heap
+        pool = self._timeout_pool
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        trace = self._trace
+        getrefcount = _getrefcount
+        pool_append = pool.append
+        timeout_cls = Timeout
+        self._defer_armed = True
+        try:
+            while True:
+                d = self._defer
+                if d is not None:
+                    self._defer = None
+                    time, _seq, event = d
+                    if ((heap and heap[0][0] <= time)
+                            or (event._waiter is None
+                                and event.callbacks is None)):
+                        # Something scheduled at/before the parked wake,
+                        # or the sleep was never yielded: the reserved
+                        # sequence number restores exact heap order.
+                        heappush(heap, d)
+                        continue
+                    if until is not None and time > until:
+                        heappush(heap, d)
+                        self.now = until
+                        return
+                    # drop the cell tuple's reference so the free-list
+                    # refcount check below can still recycle the timeout
+                    d = None
+                else:
+                    if not heap:
+                        break
+                    if until is not None and heap[0][0] > until:
+                        self.now = until
+                        return
+                    time, _seq, event = heappop(heap)
+                self.now = time
+                # -- inline Event._process; three copies exist (here,
+                #    run's fast loop, Event._process) — keep all in
+                #    sync; the golden-trace + test_batched.py tests pin
+                #    their equivalence --------------------------------
+                event._state = _PROCESSED
+                waiter = event._waiter
+                if waiter is not None:
+                    event._waiter = None
+                    waiter(event)
+                    if event.callbacks is None:
+                        if (event._exc is None and trace is None
+                                and type(event) is timeout_cls
+                                and len(pool) < _POOL_MAX
+                                and getrefcount(event) == 2):
+                            pool_append(event)
+                            continue
+                    else:
+                        cbs = event.callbacks
+                        event.callbacks = None
+                        for cb in cbs:
+                            cb(event)
+                else:
+                    cbs = event.callbacks
+                    if cbs is not None:
+                        event.callbacks = None
+                        for cb in cbs:
+                            cb(event)
+                # ------------------------------------------------------
+                if trace is not None:
+                    trace(time, event)
+                if event._exc is not None and not event.defused:
+                    raise UnhandledFailure(event._exc)
+        finally:
+            self._defer_armed = False
+            d = self._defer
+            if d is not None:
+                # an exception (or ``until``) left a parked wake behind;
+                # put it back where an unbatched engine would have it
+                self._defer = None
+                heappush(heap, d)
         if until is not None:
             self.now = until
         if detect_deadlock and self._active_processes:

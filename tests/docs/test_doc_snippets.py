@@ -1,0 +1,72 @@
+"""Execute every fenced ``python`` block in ``docs/*.md``.
+
+The docs promise runnable examples; this test is what keeps that
+promise from rotting.  Conventions (documented in each guide):
+
+* blocks tagged exactly ```` ```python ```` execute, in order, sharing
+  one namespace per file (so guides can build up state progressively);
+* blocks tagged ``sh`` / ``text`` / anything else are illustrative and
+  are not executed;
+* snippet sizes are kept tiny, so this whole module runs in seconds.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.perf import configure, get_config
+
+DOCS_DIR = pathlib.Path(__file__).resolve().parents[2] / "docs"
+
+_FENCE = re.compile(
+    r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL)
+
+
+def extract_python_blocks(text: str):
+    """The source of every ```` ```python ```` fenced block, in order."""
+    return [m.group(1) for m in _FENCE.finditer(text)]
+
+
+def doc_files():
+    files = sorted(DOCS_DIR.glob("*.md"))
+    assert files, f"no markdown files under {DOCS_DIR}"
+    return files
+
+
+@pytest.fixture(autouse=True)
+def _sandbox_perf_config(tmp_path):
+    """Snippets may call the CLI main() or sweep_scenarios, which touch
+    the process-global sweep config and the on-disk cache; keep both
+    from leaking."""
+    cfg = get_config()
+    old = (cfg.workers, cfg.cache, cfg.cache_dir)
+    configure(workers=1, cache=False, cache_dir=tmp_path)
+    try:
+        yield
+    finally:
+        configure(workers=old[0], cache=old[1], cache_dir=old[2])
+
+
+def test_docs_exist_and_have_snippets():
+    names = {p.name for p in doc_files()}
+    assert {"architecture.md", "scenarios.md", "cli.md"} <= names
+    for required in ("architecture.md", "scenarios.md", "cli.md"):
+        text = (DOCS_DIR / required).read_text()
+        assert extract_python_blocks(text), \
+            f"{required} has no executable python snippets"
+
+
+@pytest.mark.parametrize("path", doc_files(), ids=lambda p: p.name)
+def test_doc_snippets_execute(path):
+    """Every python block in the file runs; blocks share a namespace."""
+    blocks = extract_python_blocks(path.read_text())
+    namespace = {"__name__": f"docsnippet:{path.name}"}
+    for i, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"{path.name}[python block {i}]",
+                         "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(
+                f"{path.name}, python block {i} failed: "
+                f"{type(exc).__name__}: {exc}\n--- block ---\n{block}")

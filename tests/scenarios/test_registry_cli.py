@@ -110,3 +110,31 @@ def test_cli_rejects_bad_override(capsys):
 def test_cli_rejects_unknown_background_override(capsys):
     assert main(["background", "--set", "degree=3"]) == 2
     assert "background-model override" in capsys.readouterr().err
+
+
+def test_cli_unknown_set_field_lists_valid_fields(capsys):
+    """An unknown --set field fails with the list of valid Scenario
+    field names (not just a bare 'unknown field' message)."""
+    assert main(["run", "fig5b:p16:intra", "--set", "degre=3"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario field 'degre'" in err
+    assert "valid fields:" in err
+    for field in ("degree", "mode", "n_logical", "scheduler"):
+        assert field in err
+    assert "config.<name>" in err
+
+
+def test_cli_unknown_config_field_lists_valid_fields(capsys):
+    assert main(["run", "fig5b:p16:intra", "--set", "config.nq=8"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown config field 'nq'" in err
+    assert "valid config fields:" in err
+    assert "nx" in err and "max_iter" in err
+
+
+def test_with_overrides_unknown_field_error_lists_fields():
+    from repro.scenarios import get_scenario
+
+    s = get_scenario("fig5b:p16:intra")
+    with pytest.raises(ValueError, match=r"valid fields: .*degree.*mode"):
+        s.with_overrides({"degre": 3})

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked ``*.md`` file for inline links/images
+(``[text](target)``) and verifies that relative targets resolve to an
+existing file or directory.  External schemes (``http(s)://``,
+``mailto:``) are ignored; ``#fragment`` suffixes are stripped (anchors
+are not validated); bare in-page anchors (``(#section)``) are skipped.
+
+Used by the CI docs job and ``make docs-check``::
+
+    python tools/check_md_links.py [root]
+
+Exit status: 0 when all links resolve, 1 otherwise (each broken link is
+reported as ``file:line: target``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: inline markdown link/image: [text](target) / ![alt](target);
+#: target ends at the first unescaped ')' or whitespace (titles like
+#: [t](url "title") keep only the url part)
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+#: fenced code block delimiter — links inside code blocks are examples,
+#: not navigation, so they are skipped
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+#: directories never worth scanning
+_SKIP_DIRS = {".git", "__pycache__", ".perf_cache", ".pytest_cache",
+              "node_modules", "_results"}
+
+
+def iter_markdown_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if not _SKIP_DIRS.intersection(p.name for p in path.parents):
+            yield path
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path):
+    """Yield ``(line_number, target)`` for each broken link in ``path``."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            base = root if rel.startswith("/") else path.parent
+            candidate = (base / rel.lstrip("/")).resolve()
+            if not candidate.exists():
+                yield lineno, target
+
+
+def main(argv):
+    root = pathlib.Path(argv[1] if len(argv) > 1 else ".").resolve()
+    broken = []
+    n_files = 0
+    for md in iter_markdown_files(root):
+        n_files += 1
+        for lineno, target in check_file(md, root):
+            broken.append(f"{md.relative_to(root)}:{lineno}: {target}")
+    if broken:
+        print(f"broken intra-repo markdown links ({len(broken)}):")
+        for entry in broken:
+            print(f"  {entry}")
+        return 1
+    print(f"checked {n_files} markdown files: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
