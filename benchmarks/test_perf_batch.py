@@ -14,6 +14,13 @@ to the PR 1 fast path — so this benchmark measures pure dispatch speed:
   but event dispatch, generator resumes and section bookkeeping.  The
   acceptance gate asserts the batched configuration is ≥ 1.3× faster
   than the PR 1 fast path (``Simulator.run`` + task-by-task sections).
+* **work-sharing section microbenchmark** (PR 4) — the same shape
+  through the *work-sharing* ``IntraRuntime`` (2 replicas of one
+  logical rank splitting each section): split-on-send batching
+  coalesces each replica's run of silent tasks into one wake, and
+  section-shape pooling recycles the ``LaunchedTask``/``TaskDef``
+  bookkeeping.  Gate: ≥ 1.3× vs the PR 3 state (task-by-task
+  work-sharing sections, per-section allocation).
 * **sleep coalescing microbenchmark** — a pure engine workload shaped
   like a compute-only stretch (one fast sleeper, peers on slow clocks),
   isolating the ``run`` vs ``run_batched`` heap-bypass win.
@@ -38,7 +45,8 @@ import numpy as np
 import repro.intra.runtime as runtime_mod
 import repro.simulate.engine as engine_mod
 from repro.experiments.fig5 import fig5b
-from repro.intra import Tag, launch_native_job, set_section_batching
+from repro.intra import (Tag, launch_intra_job, launch_native_job,
+                         set_section_batching, set_task_pooling)
 from repro.mpi import MpiWorld
 from repro.netmodel import GRID5000_MACHINE, GRID5000_NETWORK, Cluster
 from repro.simulate import Simulator
@@ -49,6 +57,14 @@ BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_sim_core.json"
 PROCS = 2
 SECTIONS = 3000
 TASKS = 16
+
+#: work-sharing microbenchmark shape: one logical rank, two replicas
+#: splitting WS_SECTIONS × WS_TASKS silent tasks (more tasks per
+#: section than the native shape — split-on-send coalescing and task
+#: pooling both scale with the per-section run length)
+WS_LOGICAL = 2
+WS_SECTIONS = 1000
+WS_TASKS = 32
 
 #: ``fig5b_sweep.optimized_serial_warm_s`` as recorded by
 #: ``test_perf_engine.py`` at the PR 1/PR 2 state of the tree (commit
@@ -95,6 +111,27 @@ def _time_section_workload(batched: bool) -> float:
     finally:
         engine_mod.BATCHED_DEFAULT = prev_engine
         set_section_batching(prev_sections)
+
+
+def _time_worksharing_workload(optimized: bool) -> float:
+    """The PR 4 gate workload: work-sharing sections of silent (IN-only)
+    costed tasks.  ``optimized`` enables split-on-send batching *and*
+    section-shape pooling; the baseline is the PR 3 state — task-by-task
+    `IntraRuntime` sections with per-section object allocation (engine
+    wake coalescing stays on in both: it predates this leg)."""
+    prev_sections = set_section_batching(optimized)
+    prev_pooling = set_task_pooling(optimized)
+    try:
+        world = MpiWorld(Cluster(WS_LOGICAL * 2, GRID5000_MACHINE),
+                         GRID5000_NETWORK)
+        launch_intra_job(world, _section_program, WS_LOGICAL,
+                         args=(WS_SECTIONS, WS_TASKS))
+        t0 = time.perf_counter()
+        world.run()
+        return time.perf_counter() - t0
+    finally:
+        set_section_batching(prev_sections)
+        set_task_pooling(prev_pooling)
 
 
 def _sleep_chain(sim, yields, dt):
@@ -155,8 +192,9 @@ def _fig5b_rows(batched: bool):
 
 
 def test_bench_batched_dispatch(save_table):
-    assert runtime_mod.BATCH_SECTIONS and engine_mod.BATCHED_DEFAULT, \
-        "batched dispatch must be the default configuration"
+    assert (runtime_mod.BATCH_SECTIONS and engine_mod.BATCHED_DEFAULT
+            and runtime_mod.POOL_TASKS), \
+        "batched dispatch + task pooling must be the default configuration"
 
     # ---- bit-identity: batched == PR 1 dispatch, row for row --------
     rows_batched = _fig5b_rows(batched=True)
@@ -175,6 +213,15 @@ def test_bench_batched_dispatch(save_table):
     pr1_section = statistics.median(sec_pr1_samples)
     batched_section = statistics.median(sec_batched_samples)
     section_speedup = pr1_section / batched_section
+
+    # ---- work-sharing section microbenchmark (the PR 4 gate) --------
+    ws_pr3_samples, ws_opt_samples = [], []
+    for _ in range(3):
+        ws_pr3_samples.append(_time_worksharing_workload(optimized=False))
+        ws_opt_samples.append(_time_worksharing_workload(optimized=True))
+    pr3_worksharing = statistics.median(ws_pr3_samples)
+    opt_worksharing = statistics.median(ws_opt_samples)
+    worksharing_speedup = pr3_worksharing / opt_worksharing
 
     # ---- pure sleep-coalescing microbenchmark -----------------------
     sleep_pr1_samples, sleep_batched_samples = [], []
@@ -195,6 +242,14 @@ def test_bench_batched_dispatch(save_table):
             "pr1_dispatch_s": round(pr1_section, 4),
             "batched_s": round(batched_section, 4),
             "speedup": round(section_speedup, 3),
+        },
+        "worksharing_section_microbench": {
+            "workload": f"{WS_LOGICAL} logical ranks x 2 replicas x "
+                        f"{WS_SECTIONS} work-shared sections x "
+                        f"{WS_TASKS} silent costed tasks",
+            "pr3_taskbytask_s": round(pr3_worksharing, 4),
+            "split_on_send_pooled_s": round(opt_worksharing, 4),
+            "speedup": round(worksharing_speedup, 3),
         },
         "sleep_microbench": {
             "workload": "1 fast sleeper x 200k wakes + 7 slow sleepers",
@@ -225,6 +280,9 @@ def test_bench_batched_dispatch(save_table):
              f"section microbench PR1        | {pr1_section:>10.3f} s",
              f"section microbench batched    | {batched_section:>10.3f} s",
              f"section dispatch speedup      | {section_speedup:>10.2f} x",
+             f"work-sharing microbench PR3   | {pr3_worksharing:>10.3f} s",
+             f"work-sharing split-on-send    | {opt_worksharing:>10.3f} s",
+             f"work-sharing section speedup  | {worksharing_speedup:>10.2f} x",
              f"sleep microbench PR1          | {pr1_sleep:>10.3f} s",
              f"sleep microbench batched      | {batched_sleep:>10.3f} s",
              f"sleep coalescing speedup      | {sleep_speedup:>10.2f} x",
@@ -238,6 +296,13 @@ def test_bench_batched_dispatch(save_table):
     assert section_speedup >= 1.3, (
         f"batched section dispatch is only {section_speedup:.2f}x faster "
         f"than the PR 1 fast path (need >= 1.3x)")
+    # acceptance gate: >= 1.3x on the work-sharing section
+    # microbenchmark (split-on-send batching + section-shape pooling
+    # vs the PR 3 task-by-task work-sharing path)
+    assert worksharing_speedup >= 1.3, (
+        f"split-on-send + pooling is only {worksharing_speedup:.2f}x "
+        f"faster than the PR 3 task-by-task work-sharing path "
+        f"(need >= 1.3x)")
     # the heap-bypass must help, never hurt, on its target shape
     assert sleep_speedup >= 1.0, (
         f"sleep coalescing regressed the engine: {sleep_speedup:.2f}x")

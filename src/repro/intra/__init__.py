@@ -9,7 +9,8 @@ from .api import (Intra_Section_begin, Intra_Section_end,
                   launch_mode, launch_native_job, launch_sdr_job, MODES)
 from .runtime import (IntraError, IntraRuntime, IntraRuntimeBase,
                       LocalIntraRuntime, MAX_ARGS,
-                      section_batching_enabled, set_section_batching)
+                      section_batching_enabled, set_section_batching,
+                      set_task_pooling, task_pooling_enabled)
 from .scheduler import (SCHEDULERS, CostBalancedScheduler,
                         RoundRobinScheduler, Scheduler,
                         StaticBlockScheduler, make_scheduler)
@@ -27,6 +28,6 @@ __all__ = [
     "StaticBlockScheduler", "Tag", "TaskDef", "launch_intra_job",
     "launch_mode", "launch_native_job", "launch_sdr_job",
     "make_scheduler", "section_batching_enabled", "set_section_batching",
-    "zero_cost",
+    "set_task_pooling", "task_pooling_enabled", "zero_cost",
     "IN", "INOUT", "OUT", "SectionBuilder", "parallel_for", "section",
 ]

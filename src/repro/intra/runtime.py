@@ -40,9 +40,41 @@ the repo reads it (see ``compute_batch``'s docstring).
 The task-by-task path is kept as the oracle: it runs when
 :func:`set_section_batching` disabled batching, when a trace hook is
 installed (trace-based tests pin seed-exact per-event streams), or for
-single-task sections (nothing to batch).  :class:`IntraRuntime` — the
-work-sharing mode — never batches: its tasks post update sends between
-segments, which are observable at precise times.
+single-task sections (nothing to batch).
+
+Split-on-send batching (work sharing)
+-------------------------------------
+:class:`IntraRuntime` — the work-sharing mode — *does* post observable
+effects between segments: each locally executed task ships its updates
+to the sibling replicas the moment it completes (§V-A overlap), and the
+``isend`` post time determines everything downstream (injection time,
+the ``update_injected`` crash window of Figure 2, when receivers apply).
+So its sections batch with a refinement: the run of consecutive local
+tasks is charged as multi-segment descriptors
+(:meth:`repro.mpi.world.ProcContext.charge_batch` — kernel segments
+interleaved with `inout`-restore memcpys), **split at every update
+send** so each sending task ends its sub-batch and posts its isends
+at the exact virtual time the task-by-task oracle would.  Tasks that
+send nothing — IN-only tasks, or any task once the last sibling died —
+coalesce with the tasks after them into a single wake.  Timing,
+statistics and results are bit-identical
+(``tests/intra/test_batched_worksharing.py`` proves it golden-trace
+style, crash injection included); the oracle additionally runs whenever
+a ``task_executed`` hook has subscribers or the hook bus is recording,
+because those observe per-task protocol points mid-stretch.
+
+Task/section pooling
+--------------------
+Independently of how sections are *charged*, the per-section
+bookkeeping — a fresh :class:`SectionState`, a
+:class:`~repro.intra.task.TaskDef` per register and a
+:class:`~repro.intra.task.LaunchedTask` per launch — costs as much as
+dispatch itself on fine-grained sections (the ROADMAP-flagged follow-up
+to PR 3).  Since applications run the same section shape step after
+step, :class:`IntraRuntimeBase` recycles all three across sections:
+task defs are cached per ``(fn, tags, cost)``, launched tasks and the
+section state are reset in place from per-runtime pools.  The unpooled
+path is kept as the oracle behind :func:`set_task_pooling`.
 """
 
 from __future__ import annotations
@@ -53,6 +85,7 @@ import numpy as np
 
 from ..mpi.errors import RankFailure
 from ..mpi.request import Request
+from ..mpi.world import SEG_COMPUTE, SEG_MEMCPY
 from ..simulate import ConditionError
 from .scheduler import Scheduler, StaticBlockScheduler
 from .stats import IntraStats
@@ -87,6 +120,40 @@ def section_batching_enabled() -> bool:
     return BATCH_SECTIONS
 
 
+#: process-wide switch for section-shape pooling of TaskDef /
+#: LaunchedTask / SectionState objects (the perf benchmark flips it to
+#: time the allocate-per-section oracle path; semantics are identical)
+POOL_TASKS = True
+
+#: retired LaunchedTask objects kept per runtime — far above any real
+#: section's task count, just a backstop against pathological shapes
+_TASK_POOL_MAX = 4096
+
+#: distinct (fn, tags, cost) signatures cached per runtime before the
+#: cache is flushed wholesale.  Far above any app's stable task-type
+#: count — but apps that register per-call *closures* (e.g.
+#: ``make_spmv_task(matrix)`` builds fresh fn/cost objects each
+#: section) miss the cache every time, and without the flush each miss
+#: would pin a dead TaskDef — and whatever the closure captures — for
+#: the life of the runtime.  Stable signatures re-warm in one section.
+_TDEF_CACHE_MAX = 256
+
+
+def set_task_pooling(enabled: bool) -> bool:
+    """Enable/disable section-shape object pooling; returns the previous
+    setting.  Disabling routes every section through the
+    allocate-fresh-objects oracle path."""
+    global POOL_TASKS
+    prev = POOL_TASKS
+    POOL_TASKS = bool(enabled)
+    return prev
+
+
+def task_pooling_enabled() -> bool:
+    """Whether section bookkeeping objects are pooled across sections."""
+    return POOL_TASKS
+
+
 class IntraError(RuntimeError):
     """Misuse of the intra-parallelization API."""
 
@@ -97,7 +164,11 @@ class SectionState:
     def __init__(self) -> None:
         self.task_defs: _t.Dict[int, TaskDef] = {}
         self.tasks: _t.List[LaunchedTask] = []
-        self.next_def_id = 0
+
+    def reset(self) -> None:
+        """Clear for reuse by the next section (object pooling)."""
+        self.task_defs.clear()
+        self.tasks.clear()
 
 
 class IntraRuntimeBase:
@@ -108,6 +179,16 @@ class IntraRuntimeBase:
         self.stats = IntraStats()
         self._section: _t.Optional[SectionState] = None
         self.section_index = -1
+        #: task-type cache for pooling: (fn, tags, cost) -> TaskDef
+        self._tdef_cache: _t.Dict[_t.Any, TaskDef] = {}
+        #: monotonic task-type ids (unique across the runtime's lifetime,
+        #: so cached and fresh defs can never collide within a section)
+        self._next_tdef_id = 0
+        #: retired LaunchedTask objects awaiting recycling
+        self._task_pool: _t.List[LaunchedTask] = []
+        #: retired SectionState awaiting reuse (sections never nest, so
+        #: one parked state is all a runtime can ever need)
+        self._section_pool: _t.List[SectionState] = []
 
     # ------------------------------------------------------------- API
     def section_begin(self) -> None:
@@ -115,7 +196,10 @@ class IntraRuntimeBase:
         if self._section is not None:
             raise IntraError("nested intra-parallel sections are not "
                              "allowed (Definition 1)")
-        self._section = SectionState()
+        if POOL_TASKS and self._section_pool:
+            self._section = self._section_pool.pop()
+        else:
+            self._section = SectionState()
         self.section_index += 1
         self.stats.sections += 1
 
@@ -141,8 +225,28 @@ class IntraRuntimeBase:
         norm = [t if isinstance(t, Tag) else Tag(t) for t in tags]
         if len(norm) > MAX_ARGS:
             raise IntraError(f"at most {MAX_ARGS} task arguments supported")
-        sec.next_def_id += 1
-        tdef = TaskDef(sec.next_def_id, fn, norm, cost)
+        tdef: _t.Optional[TaskDef] = None
+        key: _t.Optional[_t.Any] = None
+        if POOL_TASKS:
+            # Applications register the same task types section after
+            # section; cache the (immutable) TaskDef per signature so a
+            # re-register is one dict probe instead of a dataclass
+            # construction plus tag-derivation.
+            try:
+                key = (fn, tuple(norm), cost)
+                tdef = self._tdef_cache.get(key)
+            except TypeError:       # unhashable fn/cost: no caching
+                key = None
+        if tdef is None:
+            self._next_tdef_id += 1
+            tdef = TaskDef(self._next_tdef_id, fn, norm, cost)
+            if key is not None:
+                if len(self._tdef_cache) >= _TDEF_CACHE_MAX:
+                    # epoch flush: dead closure signatures dominate once
+                    # we get here; stable signatures re-warm in one
+                    # section each
+                    self._tdef_cache.clear()
+                self._tdef_cache[key] = tdef
         sec.task_defs[tdef.id] = tdef
         return tdef.id
 
@@ -154,8 +258,12 @@ class IntraRuntimeBase:
         except KeyError:
             raise IntraError(f"task id {task_id} was not registered in "
                              f"this section") from None
-        task = LaunchedTask(index=len(sec.tasks), tdef=tdef,
-                            vars=list(vars))
+        pool = self._task_pool
+        if POOL_TASKS and pool:
+            task = pool.pop().recycle(len(sec.tasks), tdef, list(vars))
+        else:
+            task = LaunchedTask(index=len(sec.tasks), tdef=tdef,
+                                vars=list(vars))
         sec.tasks.append(task)
         self.stats.tasks_launched += 1
 
@@ -168,6 +276,29 @@ class IntraRuntimeBase:
         with self.ctx.region("sections"):
             yield from self._run_section(sec)
         self.stats.section_time += self.ctx.now - t0
+        if POOL_TASKS:
+            self._recycle_section(sec)
+
+    def _recycle_section(self, sec: SectionState) -> None:
+        """Park a completed section's objects for the next same-shape
+        section.
+
+        Only reached on clean completion: a crash (``GeneratorExit``) or
+        an unrecovered failure unwinds past this point, so task objects
+        that might still be referenced by in-flight transfer closures
+        are simply dropped instead of recycled.  By section exit every
+        update request has completed (the section protocol ends in a
+        Waitall), so no completion callback can touch a recycled task.
+        """
+        pool = self._task_pool
+        for task in sec.tasks:
+            if len(pool) >= _TASK_POOL_MAX:
+                break
+            task.release()
+            pool.append(task)
+        sec.reset()
+        if not self._section_pool:
+            self._section_pool.append(sec)
 
     def run_local(self, fn: _t.Callable[..., _t.Any],
                   vars: _t.Sequence[_t.Any],
@@ -328,8 +459,11 @@ class IntraRuntime(IntraRuntimeBase):
         # -- ...execute local tasks in launch order, posting each task's
         #    update sends as soon as it completes...
         send_reqs: _t.List[Request] = []
-        for task in my_tasks:
-            send_reqs.extend((yield from self._execute_task(task)))
+        if self._batchable(my_tasks):
+            send_reqs = yield from self._execute_tasks_batched(my_tasks)
+        else:
+            for task in my_tasks:
+                send_reqs.extend((yield from self._execute_task(task)))
         t_local_done = ctx.now
         # -- ...and complete everything with one Waitall, recovering
         #    from replica failures as they surface.
@@ -338,6 +472,30 @@ class IntraRuntime(IntraRuntimeBase):
         self._emit("section_exit", n_tasks=len(sec.tasks))
 
     # ------------------------------------------------------ local tasks
+    def _batchable(self, my_tasks: _t.Sequence[LaunchedTask]) -> bool:
+        """Whether this replica's local run may batch (split on send).
+
+        Mirrors :class:`LocalIntraRuntime`'s oracle conditions (toggle,
+        nothing to batch, trace hook installed) plus one of its own: a
+        subscriber to the per-task ``task_executed`` hook — or a
+        recording hook bus — observes protocol points *inside* the local
+        stretch, whose interleaving only the task-by-task path
+        reproduces exactly.  ``update_injected`` subscribers are fine
+        either way: that hook fires from a transfer-completion callback
+        whose time is fixed by the ``isend`` post time, which
+        split-on-send keeps exact.
+        """
+        if not BATCH_SECTIONS or len(my_tasks) < 2:
+            return False
+        if self.ctx.sim._trace is not None:
+            return False
+        hooks = self.manager.hooks
+        return not (hooks.record or hooks.has_handlers("task_executed"))
+
+    def _has_live_peer(self) -> bool:
+        return any(r.replica_id != self.rid
+                   for r in self.manager.alive_replicas(self.lrank))
+
     def _execute_task(self, task: LaunchedTask):
         """Algorithm 1, ``execute_task`` (lines 29–35): restore inout
         copies, run, post updates to all other correct replicas."""
@@ -351,6 +509,14 @@ class IntraRuntime(IntraRuntimeBase):
         task.done = True
         task.applied.update(task.tdef.update_args)
         self._emit("task_executed", task=task.index)
+        return self._post_update_sends(task)
+
+    def _post_update_sends(self, task: LaunchedTask) -> _t.List[Request]:
+        """Post this task's update messages to every *currently* live
+        sibling (Algorithm 1, lines 33–35).  Shared by the task-by-task
+        and batched paths; the batched path calls it at exactly the
+        virtual time the oracle would (split on send), so re-reading the
+        live set here keeps mid-stretch sibling deaths exact too."""
         reqs: _t.List[Request] = []
         for rid in self._alive_rids():
             if rid == self.rid:
@@ -363,6 +529,89 @@ class IntraRuntime(IntraRuntimeBase):
                 self.stats.update_bytes_sent += int(task.vars[arg].nbytes)
                 reqs.append(req)
         return reqs
+
+    def _execute_tasks_batched(self, my_tasks: _t.Sequence[LaunchedTask]):
+        """Run the replica's local tasks as multi-segment charge
+        descriptors, **splitting the batch at every update send**.
+
+        Planning walks the launch-order run of local tasks, collecting
+        each task's segments — the `inout`-restore memcpy (if any
+        protection copy exists) followed by the roofline kernel — and
+        cuts the sub-batch *after* the first task that will post update
+        messages: its ``isend``\\ s must hit the transport at the exact
+        virtual time the task-by-task oracle posts them, because
+        everything downstream (injection time, the ``update_injected``
+        crash window of Figure 2, receiver apply times) is a function of
+        the post time.  Each sub-batch is then one
+        :meth:`~repro.mpi.world.ProcContext.charge_batch` wake instead
+        of up to two engine events per task.
+
+        All side effects — restores, task functions, hook emissions,
+        send posts — are deferred to the sub-batch wake and run in
+        oracle order; per-task statistics replay from the returned
+        stamps with unchanged float arithmetic, so results are
+        bit-identical.  A kill landing mid-wake behaves like
+        ``compute_batch``'s "split on interrupt": the sub-batch's side
+        effects never run, and none were observable before the wake —
+        its only sends *are* the split point.  Mid-stretch sibling
+        deaths are exact because :meth:`_post_update_sends` re-reads the
+        live set at post time; siblings cannot *join* mid-section
+        (restart handovers happen at step boundaries), so a "sends
+        nothing" plan never under-posts.
+        """
+        ctx = self.ctx
+        sim = ctx.sim
+        stats = self.stats
+        send_reqs: _t.List[Request] = []
+        n = len(my_tasks)
+        start = 0
+        while start < n:
+            segments: _t.List[_t.Tuple[int, float, float]] = []
+            plan: _t.List[_t.Tuple[LaunchedTask, int, int]] = []
+            sender: _t.Optional[LaunchedTask] = None
+            stop = start
+            while stop < n:
+                task = my_tasks[stop]
+                restore_seg = -1
+                restore_bytes = task.restore_nbytes()
+                if restore_bytes:
+                    restore_seg = len(segments)
+                    segments.append((SEG_MEMCPY, restore_bytes, 0.0))
+                flops, nbytes = task.tdef.cost(*task.vars)
+                compute_seg = -1
+                if flops or nbytes:
+                    compute_seg = len(segments)
+                    segments.append((SEG_COMPUTE, flops, nbytes))
+                plan.append((task, restore_seg, compute_seg))
+                stop += 1
+                if task.tdef.update_args and self._has_live_peer():
+                    sender = task
+                    break  # split on send
+            t_prev = sim.now
+            event, stamps = ctx.charge_batch(segments)
+            if event is not None:
+                yield event
+            # a kill during the wake lands here as GeneratorExit: the
+            # sub-batch's deferred effects never run — and none were due
+            # before the wake (its sends are exactly the split point)
+            for task, restore_seg, compute_seg in plan:
+                if restore_seg >= 0:
+                    task.restore_copies()
+                    stats.copy_time += stamps[restore_seg] - t_prev
+                    t_prev = stamps[restore_seg]
+                if compute_seg >= 0:
+                    stats.task_compute_time += stamps[compute_seg] - t_prev
+                    t_prev = stamps[compute_seg]
+                task.tdef.fn(*task.vars)
+                stats.tasks_executed += 1
+                task.executed_locally = True
+                task.done = True
+                task.applied.update(task.tdef.update_args)
+                self._emit("task_executed", task=task.index)
+            if sender is not None:
+                send_reqs.extend(self._post_update_sends(sender))
+            start = stop
+        return send_reqs
 
     def _update_tag(self, task: LaunchedTask, arg: int) -> int:
         # The section index is baked into the tag so a stale update from

@@ -23,6 +23,10 @@ from .errors import MpiError
 from .message import Envelope
 from .request import Request
 
+#: segment kinds for :meth:`ProcContext.charge_batch` descriptors
+SEG_COMPUTE = 0
+SEG_MEMCPY = 1
+
 
 class ProcContext:
     """Execution context of one simulated physical process.
@@ -125,6 +129,53 @@ class ProcContext:
         for flops, bytes_moved in costs:
             if flops or bytes_moved:
                 dt = kernel_time(flops, bytes_moved, active_cores)
+                compute_time += dt
+                t = t + dt
+            append(t)
+        self.compute_time = compute_time
+        if t > sim.now:
+            return sim.sleep_until(t), stamps
+        return None, stamps
+
+    def charge_batch(self, segments: _t.Sequence[_t.Tuple[int, float, float]],
+                     active_cores: _t.Optional[int] = None
+                     ) -> _t.Tuple[_t.Optional[Event], _t.List[float]]:
+        """:meth:`compute_batch` generalized to mixed segment kinds.
+
+        ``segments`` is a sequence of ``(kind, a, b)`` descriptors:
+        ``(SEG_COMPUTE, flops, bytes_moved)`` charges what one
+        :meth:`compute` call would, ``(SEG_MEMCPY, nbytes, 0.0)`` what
+        one :meth:`memcpy` call would.  The work-sharing runtime needs
+        the mix because a local task may restore an `inout` protection
+        copy (a memcpy) immediately before its kernel segment; batching
+        the stretch as one wake must accumulate both with the exact
+        float arithmetic of the interleaved call chain (``t = t + dt``
+        per segment, ``compute_time += dt`` in the same order).
+
+        Same return contract and same "split on interrupt" /
+        observability caveats as :meth:`compute_batch` — and one more
+        for callers: anything observable *between* segments (an update
+        send, a subscribed protocol hook) must terminate the batch so
+        it happens at its exact segment timestamp.  That split-on-send
+        protocol lives in
+        :meth:`repro.intra.runtime.IntraRuntime._execute_tasks_batched`.
+        """
+        machine = self.world.cluster.machine
+        kernel_time = machine.kernel_time
+        copy_time = machine.copy_time
+        sim = self.sim
+        t = sim.now
+        compute_time = self.compute_time
+        stamps: _t.List[float] = []
+        append = stamps.append
+        for kind, a, b in segments:
+            if kind == SEG_COMPUTE:
+                if a or b:
+                    dt = kernel_time(a, b, active_cores)
+                    compute_time += dt
+                    t = t + dt
+            else:
+                dt = copy_time(a)
                 compute_time += dt
                 t = t + dt
             append(t)

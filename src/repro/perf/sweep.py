@@ -27,6 +27,7 @@ import os
 import pathlib
 import pickle
 import typing as _t
+import warnings
 
 #: bump to invalidate every cached result (e.g. on model changes)
 CACHE_VERSION = 2
@@ -50,8 +51,35 @@ def _env_flag(name: str) -> bool:
         "", "0", "false", "no", "off")
 
 
+def _env_workers(name: str = "REPRO_WORKERS") -> int:
+    """Parse the worker-count env var defensively.
+
+    A garbage value must not make ``import repro.perf.sweep`` raise
+    (sweeps are imported by every experiment module), and a value the
+    :func:`configure` validation would reject (``workers < 1``) must not
+    sneak past it just because it arrived via the environment.  Either
+    way we warn and fall back to the serial default of 1.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        warnings.warn(f"ignoring {name}={raw!r}: not an integer; "
+                      f"running sweeps with workers=1", RuntimeWarning,
+                      stacklevel=2)
+        return 1
+    if workers < 1:
+        warnings.warn(f"ignoring {name}={workers}: workers must be >= 1; "
+                      f"running sweeps with workers=1", RuntimeWarning,
+                      stacklevel=2)
+        return 1
+    return workers
+
+
 _config = SweepConfig(
-    workers=int(os.environ.get("REPRO_WORKERS", "1") or 1),
+    workers=1,
     cache=_env_flag("REPRO_SWEEP_CACHE"),
     cache_dir=pathlib.Path(os.environ.get("REPRO_CACHE_DIR", "")
                            or _DEFAULT_CACHE_DIR),
@@ -77,6 +105,12 @@ def configure(workers: _t.Optional[int] = None,
 def get_config() -> SweepConfig:
     """The live process-wide sweep configuration."""
     return _config
+
+
+# The env default goes through the same validation as explicit callers
+# (``_env_workers`` already clamps to >= 1, so this cannot raise at
+# import time).
+configure(workers=_env_workers())
 
 
 # ------------------------------------------------------------ stable keys
@@ -165,7 +199,13 @@ def _cache_store(cache_dir: pathlib.Path, key: str, value: _t.Any) -> None:
 
 def clear_result_cache(cache_dir: _t.Optional[_t.Union[str, pathlib.Path]]
                        = None) -> int:
-    """Delete all cached sweep results; returns the number removed."""
+    """Delete all cached sweep results; returns the number removed.
+
+    Also sweeps the ``.tmp<pid>`` droppings a :func:`_cache_store`
+    writer that crashed between ``open`` and ``os.replace`` leaves
+    behind, and prunes shard directories emptied by the sweep (neither
+    counts toward the return value, which is cached *results* only).
+    """
     root = pathlib.Path(cache_dir) if cache_dir else _config.cache_dir
     removed = 0
     if root.is_dir():
@@ -173,6 +213,20 @@ def clear_result_cache(cache_dir: _t.Optional[_t.Union[str, pathlib.Path]]
             try:
                 p.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for p in root.rglob("*.tmp*"):
+            if p.is_file():
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
+        # deepest-first so nested shard dirs empty out bottom-up;
+        # rmdir refuses non-empty dirs, which is exactly what we want
+        for d in sorted((d for d in root.rglob("*") if d.is_dir()),
+                        reverse=True):
+            try:
+                d.rmdir()
             except OSError:
                 pass
     return removed
@@ -236,13 +290,23 @@ def run_sweep(points: _t.Sequence[_t.Any], fn: _t.Callable[[_t.Any], _t.Any],
     points = list(points)
     results: _t.List[_t.Any] = [None] * len(points)
     pending: _t.List[int] = []
+    duplicate_of: _t.Dict[int, int] = {}
     if use_cache:
         keys = [_point_key(fn, p, tag) for p in points]
+        # Dedupe pending work by cache key: duplicate points in one cold
+        # sweep compute once and fan the result out, matching the
+        # cross-run dedupe the shared cache namespace already provides.
+        first_with_key: _t.Dict[str, int] = {}
         for i, key in enumerate(keys):
+            owner = first_with_key.get(key)
+            if owner is not None:
+                duplicate_of[i] = owner
+                continue
             hit, value = _cache_load(root, key)
             if hit:
                 results[i] = value
             else:
+                first_with_key[key] = i
                 pending.append(i)
     else:
         keys = []
@@ -262,4 +326,6 @@ def run_sweep(points: _t.Sequence[_t.Any], fn: _t.Callable[[_t.Any], _t.Any],
         if use_cache:
             for i in pending:
                 _cache_store(root, keys[i], results[i])
+    for i, owner in duplicate_of.items():
+        results[i] = results[owner]
     return results

@@ -162,12 +162,15 @@ class Simulator:
     def sleep_until(self, time: float) -> Timeout:
         """A plain timeout firing at absolute virtual ``time``.
 
-        Used by batched compute descriptors
-        (:meth:`repro.mpi.world.ProcContext.compute_batch`): the caller
-        accumulates per-segment wake times with exactly the float
-        arithmetic a chain of :meth:`sleep` calls would have performed,
-        then schedules the final wake directly — one engine event for
-        the whole stretch, bit-identical end time.
+        Used by batched charge descriptors
+        (:meth:`repro.mpi.world.ProcContext.compute_batch` and its
+        mixed-segment generalization
+        :meth:`~repro.mpi.world.ProcContext.charge_batch`, which backs
+        the work-sharing runtime's split-on-send sub-batches): the
+        caller accumulates per-segment wake times with exactly the
+        float arithmetic a chain of :meth:`sleep` calls would have
+        performed, then schedules the final wake directly — one engine
+        event for the whole stretch, bit-identical end time.
         """
         if time < self.now:
             raise SimulationError(
