@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-all docs-check profile figures clean
+.PHONY: test bench bench-all docs-check api-check profile figures clean
 
 ## tier-1 test suite (what CI gates on)
 test:
@@ -19,6 +19,10 @@ bench:
 docs-check:
 	$(PYTHON) -m pytest tests/docs -q
 	$(PYTHON) tools/check_md_links.py
+
+## public API surface: repro.__all__ must match tools/public_api.txt
+api-check:
+	$(PYTHON) tools/check_public_api.py
 
 ## every figure-regeneration benchmark (tables under benchmarks/_results/)
 bench-all:

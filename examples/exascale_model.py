@@ -18,11 +18,12 @@ Run:  python examples/exascale_model.py [--tiny]
 
 import sys
 
+import repro
 from repro.analysis import (doubled_resource_efficiency,
                             fixed_resource_efficiency, format_table,
                             mnfti_degree2)
 from repro.experiments import ccr_vs_replication
-from repro.scenarios import get_scenario, sweep_scenarios
+from repro.scenarios import get_scenario
 from repro.scenarios.catalog import tiny_overrides
 
 NODE_MTBF_YEARS = 5.0
@@ -35,6 +36,7 @@ def measured_intra_gains(tiny: bool = False):
     cap, simulated from the registered example scenarios (cached by
     scenario hash, so re-runs are free)."""
     gains = {}
+    measured = repro.ResultSet()
     for label, app, convention in (("HPCCG (Fig 5b)", "hpccg", "fixed"),
                                    ("GTC (Fig 6c)", "gtc", "doubled")):
         native_s = get_scenario(f"example:{app}:native")
@@ -43,16 +45,18 @@ def measured_intra_gains(tiny: bool = False):
             native_s = native_s.with_overrides(
                 tiny_overrides(app, "native"))
             intra_s = intra_s.with_overrides(tiny_overrides(app, "intra"))
-        native, intra = sweep_scenarios([native_s, intra_s])
+        results = repro.sweep([native_s, intra_s])
+        native, intra = results
         eff_fn = (fixed_resource_efficiency if convention == "fixed"
                   else doubled_resource_efficiency)
         eff = eff_fn(native.wall_time, intra.wall_time)
         gains[label] = eff / 0.5
-    return gains
+        measured = measured + results
+    return gains, measured
 
 
 def main(tiny: bool = False):
-    intra_gain = measured_intra_gains(tiny)
+    intra_gain, measured = measured_intra_gains(tiny)
     rows_in = ccr_vs_replication(
         proc_counts=(1_000, 10_000, 100_000, 1_000_000),
         node_mtbf_years=NODE_MTBF_YEARS,
@@ -80,6 +84,7 @@ def main(tiny: bool = False):
     print("At exascale-like failure rates plain cCR collapses; "
           "replication holds ~50%;\nintra-parallelization is what "
           "pushes the replicated system beyond the wall.")
+    return measured
 
 
 if __name__ == "__main__":

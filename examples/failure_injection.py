@@ -16,9 +16,10 @@ Figure 2b.
 The run configuration is a :class:`repro.scenarios.Scenario`; only the
 hook-precise crash trigger (which fires *between two protocol
 messages*, not at a virtual time) is attached imperatively through
-``run_scenario``'s ``before_run`` hook.  A declarative library twin —
-same section shape, time-triggered crash — is registered as
-``example:failure-injection``.
+``repro.run``'s ``before_run`` hook (which therefore bypasses the
+sweep cache — a hooked run is not a pure function of the scenario).  A
+declarative library twin — same section shape, time-triggered crash —
+is registered as ``example:failure-injection``.
 
 Run:  python examples/failure_injection.py
 """
@@ -27,12 +28,13 @@ import sys
 
 import numpy as np
 
+import repro
 from repro.apps.common import finish
 from repro.intra import (CopyStrategy, Intra_Section_begin,
                          Intra_Section_end, Intra_Task_launch,
                          Intra_Task_register, Tag)
 from repro.replication import FailureInjector
-from repro.scenarios import Scenario, run_scenario
+from repro.scenarios import Scenario
 
 N = 8
 
@@ -68,7 +70,7 @@ def run(copy_strategy):
             0, 0, "update_injected",
             when=lambda task, arg, **kw: arg == 0))
 
-    result = run_scenario(scenario, before_run=inject)
+    result = repro.run(scenario, before_run=inject)
     assert plans[0].fired, "the crash was injected"
     pos, vel = result.value
     return pos, vel, result
@@ -92,7 +94,7 @@ def main(tiny: bool = False):
           f"-> {'CORRECT' if ok else 'WRONG'}")
     assert ok
 
-    pos, vel, _result = run(CopyStrategy.NONE)
+    pos, vel, unprotected = run(CopyStrategy.NONE)
     wrong = not np.allclose(pos, expect_pos)
     print("\nwithout protection (Figure 2b's broken run):")
     print(f"  pos = {pos[:4]} ...  (expected {expect_pos[:4]})")
@@ -100,6 +102,7 @@ def main(tiny: bool = False):
     assert wrong, "the unprotected run must corrupt pos"
     print("\nThe extra copy of inout variables is exactly what makes "
           "task re-execution safe.")
+    return repro.ResultSet([result, unprotected])
 
 
 if __name__ == "__main__":

@@ -17,8 +17,9 @@ Run:  python examples/gtc_pic.py [--tiny]
 
 import sys
 
+import repro
 from repro.analysis import doubled_resource_efficiency, format_table
-from repro.scenarios import get_scenario, sweep_scenarios
+from repro.scenarios import get_scenario
 from repro.scenarios.catalog import tiny_overrides
 
 MODES = ("native", "sdr", "intra")
@@ -34,7 +35,8 @@ def scenarios(tiny: bool = False):
 
 def main(tiny: bool = False):
     ss = scenarios(tiny)
-    native, sdr, intra = sweep_scenarios(ss)
+    results = repro.sweep(ss)
+    native, sdr, intra = results
     n_logical = ss[0].n_logical
 
     rows = []
@@ -58,6 +60,7 @@ def main(tiny: bool = False):
           f"{copy / compute:.1%} (paper: ~6%)")
     assert native.value == sdr.value == intra.value
     print(f"physics checksum identical in all modes: {native.value}")
+    return results
 
 
 if __name__ == "__main__":

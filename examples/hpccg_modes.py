@@ -17,8 +17,9 @@ Run:  python examples/hpccg_modes.py [--tiny]
 
 import sys
 
+import repro
 from repro.analysis import fixed_resource_efficiency, format_table
-from repro.scenarios import get_scenario, sweep_scenarios
+from repro.scenarios import get_scenario
 from repro.scenarios.catalog import tiny_overrides
 
 MODES = ("native", "sdr", "intra")
@@ -36,7 +37,8 @@ def scenarios(tiny: bool = False):
 
 def main(tiny: bool = False):
     ss = scenarios(tiny)
-    native, sdr, intra = sweep_scenarios(ss)
+    results = repro.sweep(ss)
+    native, sdr, intra = results
     n_physical = ss[0].n_logical
     max_iter = ss[0].config.max_iter
 
@@ -60,6 +62,7 @@ def main(tiny: bool = False):
         print(f"  {k:8s} {native.timers.get(k, 0.0) * 1e3:8.2f} ms")
     print("\nAll three modes computed the same residual — replication "
           "is numerically transparent.")
+    return results
 
 
 if __name__ == "__main__":

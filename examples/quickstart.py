@@ -24,27 +24,30 @@ import sys
 
 import numpy as np
 
+import repro
 from repro.intra import (Intra_Section_begin, Intra_Section_end,
                          Intra_Task_launch, Intra_Task_register, Tag)
 from repro.kernels import split_range, waxpby, waxpby_cost
 from repro.netmodel import GRID5000_MACHINE
-from repro.scenarios import Scenario, run_scenario
+from repro.scenarios import Scenario
 
 N = 2_000_000          # vector length per logical process
 N_TASKS = 8            # paper §V-B: 8 tasks per section
 
 
-def program(ctx, comm):
-    """One MPI rank: a single intra-parallel waxpby section."""
-    x = np.arange(N, dtype=np.float64)
-    y = np.ones(N, dtype=np.float64)
-    w = np.zeros(N, dtype=np.float64)
+def program(ctx, comm, n):
+    """One MPI rank: a single intra-parallel waxpby section over ``n``
+    elements (``n`` rides in the scenario config, so the spec fully
+    describes the run — and caches correctly)."""
+    x = np.arange(n, dtype=np.float64)
+    y = np.ones(n, dtype=np.float64)
+    w = np.zeros(n, dtype=np.float64)
 
     Intra_Section_begin(ctx)
     task_id = Intra_Task_register(
         ctx, waxpby, [Tag.IN, Tag.IN, Tag.IN, Tag.IN, Tag.OUT],
         cost=waxpby_cost)
-    for sl in split_range(N, N_TASKS):
+    for sl in split_range(n, N_TASKS):
         Intra_Task_launch(ctx, task_id,
                           [2.0, x[sl], 0.5, y[sl], w[sl]])
     yield from Intra_Section_end(ctx)
@@ -55,31 +58,29 @@ def program(ctx, comm):
 
 
 def main(tiny: bool = False):
-    global N
-    if tiny:
-        N = 20_000
-    print(f"waxpby, n = {N:,} per logical process, {N_TASKS} tasks/section")
+    n = 20_000 if tiny else N
+    print(f"waxpby, n = {n:,} per logical process, {N_TASKS} tasks/section")
     print(f"machine: {GRID5000_MACHINE.name} "
           f"(paper's Grid'5000 testbed model)\n")
-    times = {}
-    for mode in ("native", "sdr", "intra"):
-        # the scenario spec carries the whole configuration; the app
-        # reference points back at this module's program
-        scenario = Scenario(app=f"{__name__}:program", n_logical=4,
-                            mode=mode)
-        run = run_scenario(scenario)
-        times[mode] = run.wall_time
+    # the scenario spec carries the whole configuration (the app
+    # reference points back at this module's program); repro.compare
+    # derives the three modes and returns one ResultSet
+    base = Scenario(app=f"{__name__}:program", config=n, n_logical=4)
+    results = repro.compare(base)
+    t_native = results.filter(mode="native")[0].wall_time
+    for run in results:
         # constant problem, doubled resources (Figure 6 convention):
         # replicated modes use 2x the hardware, so equal time = 50%.
-        factor = 1.0 if mode == "native" else 0.5
+        factor = 1.0 if run.mode == "native" else 0.5
         label = {"native": "Open MPI (no replication)",
                  "sdr": "SDR-MPI  (classic replication)",
-                 "intra": "intra    (work sharing)"}[mode]
+                 "intra": "intra    (work sharing)"}[run.mode]
         print(f"  {label:34s} {run.wall_time * 1e3:8.2f} ms "
-              f"(efficiency {factor * times['native'] / run.wall_time:.2f})")
+              f"(efficiency {factor * t_native / run.wall_time:.2f})")
     print("\nAs in Figure 5a: for waxpby the update transfer outweighs "
           "the saved computation,\nso intra-parallelization loses to "
           "plain replication on this kernel.")
+    return results
 
 
 if __name__ == "__main__":

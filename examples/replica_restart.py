@@ -13,10 +13,11 @@ kills one replica early, and shows the three regimes:
   crash + restart     — state handed over at the next step boundary,
                         work sharing resumes.
 
-The crash-no-restart leg is a plain scenario with a declarative
-:class:`repro.scenarios.FixedFailures` schedule; the restartable legs
-use the restart coordinator (not yet scenario-expressible) on a world
-built from the same spec.
+The no-crash and crash-no-restart legs are plain scenarios run through
+the :mod:`repro.api` facade (the crash leg carries a declarative
+:class:`repro.scenarios.FixedFailures` schedule); the crash+restart
+leg uses the restart coordinator (not yet scenario-expressible) on a
+world built from the same spec.
 
 Run:  python examples/replica_restart.py [--tiny]
 """
@@ -25,13 +26,13 @@ import sys
 
 import numpy as np
 
+import repro
 from repro.apps.common import finish
 from repro.intra import Tag
 from repro.kernels import split_range
 from repro.replication import (FailureInjector, Restartable,
                                launch_restartable_job)
-from repro.scenarios import (FixedFailures, Scenario, make_world,
-                             run_scenario)
+from repro.scenarios import FixedFailures, Scenario, make_world
 
 N, N_TASKS, N_STEPS = 100_000, 8, 16
 CRASH_AT = 1e-3
@@ -93,17 +94,22 @@ def main(tiny: bool = False):
         SumApp.n_steps = 8
     expect = float(np.arange(N, dtype=np.float64).sum())
 
-    w = make_world(BASE_SCENARIO)
-    job, coord = launch_restartable_job(w, SumApp(), 1)
-    w.run()
-    t_clean = w.sim.now
+    # no crash: the base scenario through the facade.  cache=False on
+    # both facade legs because this didactic program reads module
+    # globals the --tiny flag mutates, so the spec alone does not
+    # describe the run.
+    run_clean = repro.run(BASE_SCENARIO, cache=False)
+    t_clean = run_clean.wall_time
+    assert run_clean.value == expect
 
     # crash, no restart: declaratively — the base scenario plus a
     # fixed-time failure schedule
-    run_nr = run_scenario(
-        BASE_SCENARIO.with_failures(FixedFailures(((0, 1, CRASH_AT),))))
+    run_nr = repro.run(
+        BASE_SCENARIO.with_failures(FixedFailures(((0, 1, CRASH_AT),))),
+        cache=False)
     t_norestart = run_nr.wall_time
     assert run_nr.value == expect
+    assert run_nr.n_crashes == 1
 
     w = make_world(BASE_SCENARIO)
     job_r, coord = launch_restartable_job(w, SumApp(), 1,
@@ -126,6 +132,9 @@ def main(tiny: bool = False):
     print(f"\nreplacement replica executed "
           f"{repl.ctx.intra.stats.tasks_executed} tasks after rejoining;"
           f"\nall replicas finished with the correct result ({expect:g}).")
+    # the facade-expressible legs, as structured results (the restart
+    # leg needs the coordinator, which is not yet scenario data)
+    return repro.ResultSet([run_clean, run_nr])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,34 @@
+"""Warn-once plumbing for the deprecation shims of the v1 API.
+
+Every legacy entry point that the :mod:`repro.api` facade replaces
+calls :func:`warn_once` and then delegates; the warning fires exactly
+once per process per entry point (not once per call), so a sweep that
+loops over a shim does not flood stderr.  ``reset()`` exists for tests
+that need to observe the first-call warning again.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+import warnings
+
+_WARNED: _t.Set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> bool:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is
+    seen in this process; later calls are silent.  Returns True when
+    the warning fired."""
+    if key in _WARNED:
+        return False
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset(key: _t.Optional[str] = None) -> None:
+    """Forget warn-once state (all keys, or just ``key``) — test use."""
+    if key is None:
+        _WARNED.clear()
+    else:
+        _WARNED.discard(key)

@@ -10,12 +10,14 @@ from .partial_replication import (mnfti_partial,
 from .efficiency import (doubled_resource_efficiency,
                          fixed_resource_efficiency, mean, normalized_time,
                          workload_efficiency)
-from .reporting import efficiency_label, format_table
+from .reporting import (efficiency_label, format_table,
+                        results_table)
 
 __all__ = [
     "ccr_efficiency", "daly_interval", "doubled_resource_efficiency",
     "efficiency_label", "expected_segment_time",
     "fixed_resource_efficiency", "format_table", "mean", "mnfti_degree2",
+    "results_table",
     "normalized_time", "plain_ccr_efficiency",
     "mnfti_partial", "partial_replication_efficiency",
     "partial_replication_sweep",

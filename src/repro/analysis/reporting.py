@@ -1,4 +1,9 @@
-"""Result tables for the benchmark harness (EXPERIMENTS.md source)."""
+"""Result tables for the benchmark harness (EXPERIMENTS.md source).
+
+:func:`format_table` renders any row list; :func:`results_table`
+renders a :class:`repro.results.ResultSet` directly from its flat
+records, so callers stop hand-rolling row lists from run objects.
+"""
 
 from __future__ import annotations
 
@@ -38,3 +43,19 @@ def format_table(headers: _t.Sequence[str],
 def efficiency_label(e: float) -> str:
     """The paper's above-the-bar annotation style (e.g. '0.34')."""
     return f"{e:.2f}"
+
+
+def results_table(results: _t.Any,
+                  columns: _t.Optional[_t.Sequence[str]] = None,
+                  title: str = "") -> str:
+    """Render a :class:`repro.results.ResultSet` as a fixed-width table.
+
+    ``columns`` defaults to the set's deterministic column order
+    (:meth:`~repro.results.ResultSet.columns`); names absent from a
+    record render as '-'.  This is the human-facing sibling of
+    ``ResultSet.to_csv`` — same records, same ordering guarantees.
+    """
+    cols = list(columns) if columns is not None else results.columns()
+    rows = [["-" if rec.get(c) is None else rec[c] for c in cols]
+            for rec in results.records()]
+    return format_table(cols, rows, title=title)

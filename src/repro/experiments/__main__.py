@@ -6,10 +6,11 @@ Usage::
     python -m repro.experiments                   # everything (~1 min)
     python -m repro.experiments fig5a fig6c       # selected figures
     python -m repro.experiments run fig5b --set degree=3 --set mode=intra
-    python -m repro.experiments run ext:poisson:intra
+    python -m repro.experiments run ext:poisson:intra --format json
     python -m repro.experiments --workers 4       # parallel sweep points
     python -m repro.experiments --no-cache        # force recomputation
-    python -m repro.experiments --list
+    python -m repro.experiments list              # everything available
+    python -m repro.experiments list 'fig5b*' --tag ext
 
 Names are figure experiments (``fig5b``, ``ablations``, ...) or
 registered scenario names (``fig5b:p16:intra``, ``example:gtc:sdr``,
@@ -19,6 +20,13 @@ key=value`` overrides scenario fields (``degree=3``, ``mode=intra``,
 "horizon": 0.005}``) on every selected experiment/scenario; figure
 baselines keep their reference mode.  Unknown names exit non-zero with
 a close-match suggestion.
+
+``list`` filters with shell globs (``list 'fig5a*'``) and/or ``--tag
+NAMESPACE`` (the part before the first colon: ``--tag ext``,
+``--tag example``); output is sorted and deterministic, and a
+pattern/tag matching nothing exits non-zero.  ``--format json|csv``
+turns scenario runs into machine-readable
+:class:`repro.results.ResultSet` output (``csv`` is run-only).
 
 Tables print to stdout in the same layout the benchmark harness saves
 under ``benchmarks/_results/``.  Sweep points fan out over ``--workers``
@@ -30,13 +38,17 @@ bump ``repro.perf.CACHE_VERSION`` after model changes).
 from __future__ import annotations
 
 import argparse
+import fnmatch
+import json
 import sys
 import typing as _t
 
 from ..analysis import format_table
+from ..api import sweep as api_sweep
 from ..perf import configure
+from ..results import ResultSet
 from ..scenarios import (get_entry, parse_override, scenario_entries,
-                         scenario_names, suggest_names, sweep_scenarios,
+                         scenario_names, suggest_names,
                          UnknownScenarioError)
 from . import (ccr_vs_replication, copy_strategy_comparison, degree_sweep,
                failure_time_sweep, fig5a, fig5b, fig6a, fig6b, fig6c,
@@ -166,13 +178,60 @@ EXPERIMENTS: _t.Dict[str, _t.Tuple[_t.Callable[[Overrides], str], str]] = {
 }
 
 
-def _render_listing() -> str:
-    lines = ["experiments:"]
-    for name, (_fn, desc) in EXPERIMENTS.items():
-        lines.append(f"  {name:24s} {desc}")
-    lines.append("")
-    lines.append(f"registered scenarios ({len(scenario_names())}):")
-    for entry in scenario_entries():
+class _ListingError(ValueError):
+    """A list pattern/tag that matched nothing (exit status 2)."""
+
+
+def _select_listing(patterns: _t.Sequence[str], tag: _t.Optional[str]
+                    ) -> _t.Tuple[_t.List[str], _t.List[_t.Any]]:
+    """(experiment names, scenario entries) surviving the filters, in
+    deterministic sorted order; raises :class:`_ListingError` on a
+    pattern or tag matching nothing."""
+    exp_names = sorted(EXPERIMENTS)
+    entries = scenario_entries()   # sorted by name already
+    if tag is not None:
+        exp_names = [n for n in exp_names if n == tag]
+        entries = [e for e in entries
+                   if e.name.split(":", 1)[0] == tag]
+        if not exp_names and not entries:
+            raise _ListingError(
+                f"--tag {tag!r} matches no experiment or scenario "
+                f"namespace (see `list` with no filters)")
+    for pattern in patterns:
+        if not (any(fnmatch.fnmatchcase(n, pattern) for n in exp_names)
+                or any(fnmatch.fnmatchcase(e.name, pattern)
+                       for e in entries)):
+            raise _ListingError(
+                f"pattern {pattern!r} matches no experiment or "
+                f"scenario name")
+    if patterns:
+        exp_names = [n for n in exp_names
+                     if any(fnmatch.fnmatchcase(n, p) for p in patterns)]
+        entries = [e for e in entries
+                   if any(fnmatch.fnmatchcase(e.name, p)
+                          for p in patterns)]
+    return exp_names, entries
+
+
+def _render_listing(patterns: _t.Sequence[str] = (),
+                    tag: _t.Optional[str] = None,
+                    fmt: str = "table") -> str:
+    exp_names, entries = _select_listing(patterns, tag)
+    if fmt == "json":
+        payload = (
+            [{"kind": "experiment", "name": n,
+              "description": EXPERIMENTS[n][1]} for n in exp_names]
+            + [{"kind": "scenario", "name": e.name,
+                "description": e.description or e.scenario.summary(),
+                "scenario": e.scenario.to_dict()} for e in entries])
+        return json.dumps(payload, sort_keys=True, indent=2)
+    lines = []
+    if exp_names:
+        lines.append("experiments:")
+        lines += [f"  {n:24s} {EXPERIMENTS[n][1]}" for n in exp_names]
+        lines.append("")
+    lines.append(f"registered scenarios ({len(entries)}):")
+    for entry in entries:
         desc = entry.description or entry.scenario.summary()
         lines.append(f"  {entry.name:32s} {desc}")
     return "\n".join(lines)
@@ -181,9 +240,9 @@ def _render_listing() -> str:
 def _run_single_scenario(name: str, overrides: Overrides) -> str:
     entry = get_entry(name)
     scenario = entry.scenario.with_overrides(overrides)
-    # through the sweep driver, so --workers/--no-cache apply and the
+    # through the facade sweep, so --workers/--no-cache apply and the
     # result shares the scenario-hash cache with the figure sweeps
-    run, = sweep_scenarios([scenario])
+    run, = api_sweep([scenario])
     rows = [["mode", run.mode],
             ["wall time (ms)", run.wall_time * 1e3],
             ["crashes", len(run.crashes) or "-"]]
@@ -191,6 +250,20 @@ def _run_single_scenario(name: str, overrides: Overrides) -> str:
              for k, v in sorted(run.timers.items())]
     return format_table(["field", "value"], rows,
                         title=f"{name} — {scenario.summary()}")
+
+
+def _run_scenarios_structured(names: _t.Sequence[str],
+                              overrides: Overrides,
+                              fmt: str) -> str:
+    """Evaluate scenario names as ONE facade sweep (equal points
+    dedupe against the result cache unless --no-cache) and render the
+    ResultSet machine-readably."""
+    scenarios = [get_entry(name).scenario.with_overrides(overrides)
+                 for name in names]
+    results: ResultSet = api_sweep(scenarios)
+    if fmt == "json":
+        return results.to_json(indent=2)
+    return results.to_csv()
 
 
 def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
@@ -201,23 +274,55 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
     parser.add_argument("names", nargs="*",
                         help="experiments or scenario names to run "
                              "(default: all experiments); an optional "
-                             "leading 'run' keyword is accepted")
+                             "leading 'run' keyword is accepted, and a "
+                             "leading 'list' keyword lists instead "
+                             "(with the names as glob patterns)")
     parser.add_argument("--list", action="store_true",
-                        help="list experiments and registered scenarios")
+                        help="list experiments and registered scenarios "
+                             "(same as the 'list' keyword)")
+    parser.add_argument("--tag", metavar="NAMESPACE", default=None,
+                        help="with list: only names in this namespace "
+                             "(the part before the first colon, e.g. "
+                             "ext, fig5b, example)")
     parser.add_argument("--set", action="append", default=[],
                         metavar="KEY=VALUE", dest="overrides",
                         help="override a scenario field on everything "
                              "selected (repeatable); e.g. --set degree=3"
                              " --set config.nx=8")
+    parser.add_argument("--format", choices=("table", "json", "csv"),
+                        default="table", dest="fmt",
+                        help="output format: human tables (default), or "
+                             "machine-readable ResultSet JSON/CSV for "
+                             "scenario runs ('list' supports json)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="process-pool width for sweep points "
                              "(default: 1, serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk sweep result cache")
     args = parser.parse_args(argv)
-    if args.list:
-        print(_render_listing())
+
+    names = list(args.names)
+    listing = args.list
+    if names and names[0] == "list":
+        listing = True
+        names = names[1:]
+    if listing:
+        if args.overrides or args.no_cache or args.workers != 1:
+            print("error: --set/--workers/--no-cache do not apply to "
+                  "list", file=sys.stderr)
+            return 2
+        if args.fmt == "csv":
+            print("error: --format csv applies to scenario runs, not "
+                  "list (use --format json)", file=sys.stderr)
+            return 2
+        try:
+            print(_render_listing(names, args.tag, args.fmt))
+        except _ListingError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return 0
+    if args.tag is not None:
+        parser.error("--tag only applies to list")
     if args.workers < 1:
         parser.error("--workers must be >= 1")
     try:
@@ -227,7 +332,6 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
         return 2
     configure(workers=args.workers, cache=not args.no_cache)
 
-    names = list(args.names)
     if names and names[0] == "run":
         names = names[1:]
         if not names:
@@ -236,6 +340,32 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
             return 2
     if not names:
         names = list(EXPERIMENTS)
+
+    def unknown(name: str) -> int:
+        hints = suggest_names(name, extra=EXPERIMENTS)
+        hint = f"; did you mean: {', '.join(hints)}?" if hints else ""
+        print(f"error: unknown experiment or scenario {name!r}{hint}\n"
+              f"(see `list` for everything available)", file=sys.stderr)
+        return 2
+
+    if args.fmt != "table":
+        # machine-readable output: all names must be scenarios; they
+        # run as ONE ResultSet so equal points dedupe in the sweep
+        bad = [n for n in names if n in EXPERIMENTS]
+        if bad:
+            print(f"error: --format {args.fmt} applies to scenario "
+                  f"runs; {', '.join(bad)} are whole experiments "
+                  f"(pick their scenario points — see `list`)",
+                  file=sys.stderr)
+            return 2
+        try:
+            print(_run_scenarios_structured(names, overrides, args.fmt))
+        except UnknownScenarioError as exc:
+            return unknown(exc.name)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
 
     for name in names:
         if name in EXPERIMENTS:
@@ -248,13 +378,7 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
             try:
                 print(_run_single_scenario(name, overrides))
             except UnknownScenarioError as exc:
-                hints = suggest_names(name, extra=EXPERIMENTS)
-                hint = (f"; did you mean: {', '.join(hints)}?"
-                        if hints else "")
-                print(f"error: unknown experiment or scenario "
-                      f"{name!r}{hint}\n(see --list for everything "
-                      f"available)", file=sys.stderr)
-                return 2
+                return unknown(name)
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2

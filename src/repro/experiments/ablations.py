@@ -26,9 +26,9 @@ from ..apps.gtc import GtcConfig
 from ..apps.hpccg import KernelBenchConfig
 from ..apps.minighost import MiniGhostConfig
 from ..intra import CopyStrategy, Tag
+from ..api import run as _run, sweep as _sweep
 from ..netmodel import GRID5000_NETWORK
-from ..scenarios import (Scenario, register_scenario, run_scenario,
-                         sweep_scenarios)
+from ..scenarios import Scenario, register_scenario
 
 DESCRIPTION = "Ablations — granularity, scheduler, placement, copies"
 
@@ -45,7 +45,7 @@ def granularity_sweep(task_counts: _t.Sequence[int] = (1, 2, 4, 8, 16,
                                                        32, 64),
                       n_logical: int = 8) -> _t.List[AblationRow]:
     """Intra efficiency of the sparsemv kernel vs tasks per section."""
-    runs = sweep_scenarios(_granularity_scenarios(task_counts, n_logical))
+    runs = _sweep(_granularity_scenarios(task_counts, n_logical))
     t_native = runs[0].timers["spmv"]
     rows = []
     for nt, intra in zip(task_counts, runs[1:]):
@@ -100,7 +100,7 @@ def scheduler_comparison(n_tasks: int = 8) -> _t.List[AblationRow]:
     """Section completion time under each scheduling policy for the
     imbalanced workload (lower is better)."""
     scenarios = _scheduler_scenarios(n_tasks)
-    runs = sweep_scenarios(scenarios)
+    runs = _sweep(scenarios)
     rows = [AblationRow("scheduler", s.scheduler, run.wall_time, 0.0)
             for s, run in zip(scenarios, runs)]
     # efficiency relative to the best policy
@@ -130,7 +130,7 @@ def placement_sweep(spreads: _t.Sequence[int] = (1, 4, 16),
                     n_logical: int = 8) -> _t.List[AblationRow]:
     """Intra kernel efficiency vs replica distance on a linear topology
     with per-hop latency (§VI's contention/correlation trade-off)."""
-    runs = sweep_scenarios(_placement_scenarios(spreads, n_logical))
+    runs = _sweep(_placement_scenarios(spreads, n_logical))
     t_native = runs[0].timers["ddot"]
     rows = []
     for spread, intra in zip(spreads, runs[1:]):
@@ -154,7 +154,7 @@ def _copy_strategy_scenarios(n_logical: int = 4) -> _t.List[Scenario]:
 def copy_strategy_comparison(n_logical: int = 4) -> _t.List[AblationRow]:
     """GTC wall time under the three inout-protection strategies —
     §III-B2 predicts near-parity ("a similar cost")."""
-    runs = sweep_scenarios(_copy_strategy_scenarios(n_logical))
+    runs = _sweep(_copy_strategy_scenarios(n_logical))
     rows = [AblationRow("copy_strategy", strategy.value, run.wall_time,
                         0.0)
             for strategy, run in zip(_COPY_STRATEGIES, runs)]
@@ -181,7 +181,7 @@ def minighost_stencil_ablation(n_logical: int = 8) -> _t.List[AblationRow]:
     """Put MiniGhost's stencil *into* sections and show it does not pay
     (§V-D: "the performance with intra-parallelization were around the
     same as without intra-parallelization")."""
-    runs = sweep_scenarios(_minighost_scenarios(n_logical))
+    runs = _sweep(_minighost_scenarios(n_logical))
     native = runs[0]
     rows = []
     for stencil_in, intra in zip((False, True), runs[1:]):
@@ -197,9 +197,9 @@ def inout_overhead(n_logical: int = 4) -> float:
 
     Returns copy time as a fraction of section task-compute time."""
     cfg = GtcConfig(particles_per_rank=32768, cells_per_rank=64, steps=3)
-    run = run_scenario(Scenario(app="gtc", config=cfg,
-                                n_logical=n_logical, mode="intra",
-                                copy_strategy=CopyStrategy.LAZY))
+    run = _run(Scenario(app="gtc", config=cfg,
+               n_logical=n_logical, mode="intra",
+               copy_strategy=CopyStrategy.LAZY))
     compute = run.intra.get("task_compute_time", 0.0)
     copy = run.intra.get("copy_time", 0.0)
     return copy / compute if compute else 0.0

@@ -19,7 +19,10 @@ DESCRIPTION = "Background — cCR vs replication efficiency model (§II)"
 
 #: the analytic model's knobs, overridable from the CLI
 #: (``--set node_mtbf_years=3``); this study has no machine/program, so
-#: it is parameterized directly rather than through Scenario specs
+#: it is parameterized directly rather than through Scenario specs —
+#: accordingly it rides :func:`repro.perf.run_sweep` below the
+#: :mod:`repro.api` facade (no scenario, no RunResult; the rows are
+#: its own :class:`BackgroundRow` model values)
 OVERRIDABLE = ("proc_counts", "node_mtbf_years", "checkpoint_minutes",
                "restart_minutes")
 

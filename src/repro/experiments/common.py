@@ -11,24 +11,26 @@ processes; our weak-scaling bench shows the same flatness at 8→32).
 
 Every figure point is a :class:`~repro.scenarios.Scenario`; the figure
 modules build scenario grids, register them, and evaluate them through
-:func:`repro.scenarios.sweep_scenarios` (process-pool fan-out, results
-memoized on scenario hashes so equal points dedupe across figures).
-:func:`run_mode` remains as the keyword-argument convenience wrapper for
-tests and interactive use; it builds a scenario under the hood.
+the :mod:`repro.api` facade (:func:`repro.sweep` — process-pool
+fan-out, results memoized on scenario hashes so equal points dedupe
+across figures).  :func:`run_mode` remains as a deprecated
+keyword-argument shim; it builds a scenario and delegates to
+:func:`repro.run`.
 """
 
 from __future__ import annotations
 
 import typing as _t
 
+from .._deprecation import warn_once
 from ..analysis import (doubled_resource_efficiency,
                         fixed_resource_efficiency)
+from ..results import RunResult
 from ..intra import CopyStrategy, Scheduler
 from ..netmodel import (GRID5000_MACHINE, GRID5000_NETWORK, MachineSpec,
                         NetworkSpec)
 from ..scenarios import (ModeRun, Scenario, app_ref, machine_name_for,
-                         network_name_for, nodes_for, run_scenario,
-                         sweep_scenarios)
+                         network_name_for, nodes_for, sweep_scenarios)
 
 __all__ = ["ModeRun", "nodes_for", "run_mode", "scenario_for",
            "sweep_scenarios", "three_mode_rows"]
@@ -54,12 +56,23 @@ def scenario_for(mode: str, program: _t.Callable, n_logical: int,
 
 
 def run_mode(mode: str, program: _t.Callable, n_logical: int,
-             config: _t.Any, **kw: _t.Any) -> ModeRun:
-    """Run ``program(ctx, comm, config)`` in one of the paper's three
-    configurations and aggregate results (compat/convenience wrapper
-    over :func:`repro.scenarios.run_scenario`)."""
-    return run_scenario(scenario_for(mode, program, n_logical, config,
-                                     **kw))
+             config: _t.Any, **kw: _t.Any) -> RunResult:
+    """Deprecated: build the scenario (:func:`scenario_for`) and use
+    :func:`repro.run` — the :mod:`repro.api` facade — instead.
+
+    Warns :class:`DeprecationWarning` once per process, then delegates
+    to the facade; the returned
+    :class:`~repro.results.RunResult` duck-types the historical
+    ``ModeRun`` (same ``mode``/``wall_time``/``timers``/``intra``/
+    ``value``/``crashes`` payload) and adds scenario + cache
+    provenance.
+    """
+    warn_once("repro.experiments.run_mode",
+              "repro.experiments.run_mode is deprecated; use "
+              "repro.run(repro.experiments.scenario_for(...)) or a "
+              "registered scenario name instead")
+    from ..api import run as api_run
+    return api_run(scenario_for(mode, program, n_logical, config, **kw))
 
 
 def three_mode_rows(native: ModeRun, sdr: ModeRun, intra: ModeRun,

@@ -30,8 +30,9 @@ import typing as _t
 
 from ..analysis import fixed_resource_efficiency
 from ..apps.hpccg import HpccgConfig
+from ..api import sweep as _sweep
 from ..scenarios import (FixedFailures, PoissonFailures, Scenario,
-                         register_scenario, sweep_scenarios)
+                         register_scenario)
 
 DESCRIPTION = ("Extensions — crash timing, replication degree, "
                "seeded Poisson failures")
@@ -79,12 +80,12 @@ def failure_time_sweep(
     # reference times: the native run and the clean (no-crash) intra run
     # are independent — one two-point sweep
     refs = _failure_refs(n_logical, config)
-    native_run, clean = sweep_scenarios(refs)
+    native_run, clean = _sweep(refs)
     t_clean = clean.wall_time
     # crash times depend on t_clean, so the crash batch is a second
     # sweep: the clean scenario with a FixedFailures schedule per point
     clean_scenario = refs[1]
-    crash_runs = sweep_scenarios([
+    crash_runs = _sweep([
         clean_scenario.with_failures(
             FixedFailures(((0, 1, frac * t_clean),)))
         for frac in fractions])
@@ -134,7 +135,7 @@ def degree_sweep(degrees: _t.Sequence[int] = (1, 2, 3),
     resources: degree d uses d replicas per logical rank, each with the
     per-logical problem scaled by d (the Figure 5 convention extended
     beyond 2)."""
-    runs = sweep_scenarios(_degree_scenarios(degrees, n_logical))
+    runs = _sweep(_degree_scenarios(degrees, n_logical))
     native = runs[0]
     rows = []
     for d, run in zip(degrees, runs[1:]):
@@ -171,7 +172,7 @@ def poisson_failure_rows(n_logical: int = 4) -> _t.List[PoissonRow]:
     motivation); the replicated modes absorb the same seeded crashes
     deterministically.
     """
-    runs = sweep_scenarios(_poisson_scenarios(n_logical))
+    runs = _sweep(_poisson_scenarios(n_logical))
     return [PoissonRow(run.mode, run.wall_time, len(run.crashes),
                        tuple(ev.time for ev in run.crashes))
             for run in runs]

@@ -15,10 +15,10 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from ..api import sweep as _sweep
 from ..apps.hpccg import HpccgConfig, KernelBenchConfig
 from ..analysis import fixed_resource_efficiency, normalized_time
-from ..scenarios import (Scenario, baseline_overrides, register_scenario,
-                         sweep_scenarios)
+from ..scenarios import Scenario, baseline_overrides, register_scenario
 
 KERNELS = ("waxpby", "ddot", "spmv")
 MODES = ("native", "sdr", "intra")
@@ -71,7 +71,7 @@ def fig5a(n_logical: int = 8,
           overrides: _t.Optional[_t.Mapping[str, _t.Any]] = None
           ) -> _t.List[Fig5aRow]:
     """Per-kernel normalized time + efficiency in the three modes."""
-    runs = sweep_scenarios(fig5a_scenarios(n_logical, base, overrides))
+    runs = _sweep(fig5a_scenarios(n_logical, base, overrides))
     rows: _t.List[Fig5aRow] = []
     for k_idx, kernel in enumerate(KERNELS):
         group = runs[3 * k_idx:3 * k_idx + 3]
@@ -139,8 +139,7 @@ def fig5b(process_counts: _t.Sequence[int] = (8, 16, 32),
     it does not provide good performance with waxpby", §V-C).
     """
     process_counts = tuple(process_counts)
-    runs = sweep_scenarios(fig5b_scenarios(process_counts, base,
-                                           overrides))
+    runs = _sweep(fig5b_scenarios(process_counts, base, overrides))
     rows: _t.List[Fig5bRow] = []
     for p_idx, procs in enumerate(process_counts):
         native, sdr, intra = runs[3 * p_idx:3 * p_idx + 3]

@@ -19,11 +19,11 @@ import dataclasses
 import typing as _t
 
 from ..analysis import doubled_resource_efficiency
+from ..api import sweep as _sweep
 from ..apps.amg import AmgConfig
 from ..apps.gtc import GtcConfig
 from ..apps.minighost import MiniGhostConfig
-from ..scenarios import (Scenario, baseline_overrides, register_scenario,
-                         sweep_scenarios)
+from ..scenarios import Scenario, baseline_overrides, register_scenario
 
 #: timer regions that correspond to intra-parallelized code per app
 SECTION_REGIONS = {
@@ -66,7 +66,7 @@ def _app_scenarios(app: str, n_logical: int, config: _t.Any,
 def _run_app(app: str, n_logical: int, config: _t.Any,
              overrides: _t.Optional[_t.Mapping[str, _t.Any]] = None
              ) -> _t.List[Fig6Row]:
-    native, sdr, intra = sweep_scenarios(
+    native, sdr, intra = _sweep(
         _app_scenarios(app, n_logical, config, overrides))
     section_time = sum(native.timers.get(r, 0.0)
                        for r in SECTION_REGIONS[app])

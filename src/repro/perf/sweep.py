@@ -233,6 +233,104 @@ def clear_result_cache(cache_dir: _t.Optional[_t.Union[str, pathlib.Path]]
 
 
 # ------------------------------------------------------------- the driver
+@dataclasses.dataclass
+class SweepItem:
+    """One completed sweep point, as yielded by :func:`iter_sweep`.
+
+    ``index`` is the point's position in the input sequence (yields
+    arrive in *completion* order, not input order).  ``cache_hit`` is
+    True when the value came from the on-disk cache or was deduped onto
+    an equal point in the same sweep; ``cache_key`` is the on-disk key
+    (``None`` when caching is disabled for the sweep).
+    """
+
+    index: int
+    point: _t.Any
+    value: _t.Any
+    cache_hit: bool
+    cache_key: _t.Optional[str]
+
+
+def iter_sweep(points: _t.Sequence[_t.Any],
+               fn: _t.Callable[[_t.Any], _t.Any],
+               workers: _t.Optional[int] = None,
+               cache: _t.Optional[bool] = None,
+               cache_dir: _t.Optional[_t.Union[str, pathlib.Path]] = None,
+               tag: str = "") -> _t.Iterator[SweepItem]:
+    """Streaming form of :func:`run_sweep`: yield a :class:`SweepItem`
+    per point *as results become available* instead of one ordered list
+    at the end.
+
+    Cache hits yield first (in input order, essentially instantly);
+    pending points follow as the pool completes them, each followed by
+    any same-key duplicates it resolves.  Caching semantics — keys,
+    stored bytes, the in-sweep duplicate dedupe — are byte-for-byte the
+    same as :func:`run_sweep` (which is implemented on this iterator),
+    so streaming consumers and batch consumers share one cache.
+
+    Parameters are those of :func:`run_sweep`.  The iterator is lazy:
+    nothing runs until the first ``next()``, and abandoning it mid-sweep
+    shuts the worker pool down cleanly.
+    """
+    cfg = _config
+    n_workers = cfg.workers if workers is None else workers
+    use_cache = cfg.cache if cache is None else cache
+    root = pathlib.Path(cache_dir) if cache_dir else cfg.cache_dir
+
+    points = list(points)
+    pending: _t.List[int] = []
+    duplicates: _t.Dict[int, _t.List[int]] = {}
+    keys: _t.List[_t.Optional[str]]
+    if use_cache:
+        keys = [_point_key(fn, p, tag) for p in points]
+        # Dedupe pending work by cache key: duplicate points in one cold
+        # sweep compute once and fan the result out, matching the
+        # cross-run dedupe the shared cache namespace already provides.
+        first_with_key: _t.Dict[str, int] = {}
+        for i, key in enumerate(keys):
+            owner = first_with_key.get(key)
+            if owner is not None:
+                duplicates.setdefault(owner, []).append(i)
+                continue
+            hit, value = _cache_load(root, key)
+            if hit:
+                yield SweepItem(i, points[i], value, True, key)
+            else:
+                first_with_key[key] = i
+                pending.append(i)
+    else:
+        keys = [None] * len(points)
+        pending = list(range(len(points)))
+
+    def finish(i: int, value: _t.Any) -> _t.Iterator[SweepItem]:
+        if use_cache:
+            _cache_store(root, keys[i], value)
+        yield SweepItem(i, points[i], value, False, keys[i])
+        for dup in duplicates.get(i, ()):
+            yield SweepItem(dup, points[dup], value, True, keys[dup])
+
+    if not pending:
+        return
+    if n_workers > 1 and len(pending) > 1:
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(n_workers, len(pending)))
+        drained = False
+        try:
+            futures = {pool.submit(fn, points[i]): i for i in pending}
+            for fut in concurrent.futures.as_completed(futures):
+                yield from finish(futures[fut], fut.result())
+            drained = True
+        finally:
+            # A consumer that abandons the stream (GeneratorExit) or a
+            # failed point must not block on the queued remainder:
+            # cancel it and return without waiting.  On a fully drained
+            # sweep every future is done, so waiting is free.
+            pool.shutdown(wait=drained, cancel_futures=not drained)
+    else:
+        for i in pending:
+            yield from finish(i, fn(points[i]))
+
+
 def run_sweep(points: _t.Sequence[_t.Any], fn: _t.Callable[[_t.Any], _t.Any],
               workers: _t.Optional[int] = None,
               cache: _t.Optional[bool] = None,
@@ -282,50 +380,9 @@ def run_sweep(points: _t.Sequence[_t.Any], fn: _t.Callable[[_t.Any], _t.Any],
 
     Returns results in the same order as ``points``.
     """
-    cfg = _config
-    n_workers = cfg.workers if workers is None else workers
-    use_cache = cfg.cache if cache is None else cache
-    root = pathlib.Path(cache_dir) if cache_dir else cfg.cache_dir
-
     points = list(points)
     results: _t.List[_t.Any] = [None] * len(points)
-    pending: _t.List[int] = []
-    duplicate_of: _t.Dict[int, int] = {}
-    if use_cache:
-        keys = [_point_key(fn, p, tag) for p in points]
-        # Dedupe pending work by cache key: duplicate points in one cold
-        # sweep compute once and fan the result out, matching the
-        # cross-run dedupe the shared cache namespace already provides.
-        first_with_key: _t.Dict[str, int] = {}
-        for i, key in enumerate(keys):
-            owner = first_with_key.get(key)
-            if owner is not None:
-                duplicate_of[i] = owner
-                continue
-            hit, value = _cache_load(root, key)
-            if hit:
-                results[i] = value
-            else:
-                first_with_key[key] = i
-                pending.append(i)
-    else:
-        keys = []
-        pending = list(range(len(points)))
-
-    if pending:
-        if n_workers > 1 and len(pending) > 1:
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=min(n_workers, len(pending))) as pool:
-                for i, value in zip(pending,
-                                    pool.map(fn, [points[i]
-                                                  for i in pending])):
-                    results[i] = value
-        else:
-            for i in pending:
-                results[i] = fn(points[i])
-        if use_cache:
-            for i in pending:
-                _cache_store(root, keys[i], results[i])
-    for i, owner in duplicate_of.items():
-        results[i] = results[owner]
+    for item in iter_sweep(points, fn, workers=workers, cache=cache,
+                           cache_dir=cache_dir, tag=tag):
+        results[item.index] = item.value
     return results

@@ -1,0 +1,390 @@
+"""First-class results: :class:`RunResult` and :class:`ResultSet`.
+
+The paper's artifacts are *comparisons* — native vs. SDR vs. intra
+work-sharing across failure scenarios — so results need to be more than
+loose dicts: a :class:`RunResult` binds one simulation outcome to the
+:class:`~repro.scenarios.Scenario` that produced it, together with its
+sweep-cache provenance (hit/miss and key), and round-trips through JSON
+losslessly (numpy payloads included).  A :class:`ResultSet` is an
+ordered, filterable, groupable collection of them — the common currency
+of :func:`repro.sweep`, :func:`repro.compare`, the figure modules and
+the CLI's ``--format json|csv`` output.
+
+``RunResult`` subsumes the scenario layer's
+:class:`~repro.scenarios.run.ModeRun` (same payload fields, same
+semantics); ``ModeRun`` remains the *stored* type in the on-disk sweep
+cache so cached bytes stay byte-identical across this API layer —
+provenance is attached outside the cache boundary by the facade.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+import typing as _t
+
+import numpy as np
+
+from .scenarios.failures import CrashEvent
+from .scenarios.spec import Scenario
+from .scenarios import spec as _spec
+
+__all__ = ["RunResult", "ResultSet", "decode_payload", "encode_payload",
+           "payload_equal"]
+
+
+# ------------------------------------------------------- payload codec
+def _np_encode(obj: _t.Any, recurse: _t.Callable[[_t.Any], _t.Any]
+               ) -> _t.Any:
+    """Scenario-codec extension: the two numpy cases, encode side."""
+    if isinstance(obj, np.ndarray):
+        return {"$ndarray": [obj.dtype.str, list(obj.shape),
+                             obj.ravel(order="C").tolist()]}
+    if isinstance(obj, np.generic):
+        return {"$npscalar": [obj.dtype.str, obj.item()]}
+    return NotImplemented
+
+
+def _np_decode(obj: _t.Any, recurse: _t.Callable[[_t.Any], _t.Any]
+               ) -> _t.Any:
+    """Scenario-codec extension: the two numpy markers, decode side."""
+    if isinstance(obj, dict):
+        if set(obj) == {"$ndarray"}:
+            dtype, shape, flat = obj["$ndarray"]
+            return np.array(flat, dtype=np.dtype(dtype)).reshape(shape)
+        if set(obj) == {"$npscalar"}:
+            dtype, item = obj["$npscalar"]
+            return np.dtype(dtype).type(item)
+    return NotImplemented
+
+
+def encode_payload(obj: _t.Any) -> _t.Any:
+    """Lower an arbitrary result payload to plain JSON types, reversibly.
+
+    The scenario codec (:func:`repro.scenarios.spec.encode_value` —
+    one shared ``$kind`` marker vocabulary and implementation) extended
+    with numpy arrays and scalars: application values (residuals,
+    checksums, raw arrays from didactic examples) must survive a
+    ``to_json``/``from_json`` round trip exactly.
+    """
+    return _spec.encode_value(obj, extension=_np_encode)
+
+
+def decode_payload(obj: _t.Any) -> _t.Any:
+    """Inverse of :func:`encode_payload`."""
+    return _spec.decode_value(obj, extension=_np_decode)
+
+
+def payload_equal(a: _t.Any, b: _t.Any) -> bool:
+    """Exact structural equality, numpy-aware (``==`` on arrays yields
+    arrays; this flattens that back to one bool, bit-exactly)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+                and a.dtype == b.dtype and a.shape == b.shape
+                and bool(np.array_equal(a, b)))
+    if isinstance(a, (list, tuple)):
+        return (type(a) is type(b) and len(a) == len(b)
+                and all(payload_equal(x, y) for x, y in zip(a, b)))
+    if isinstance(a, dict):
+        return (isinstance(b, dict) and set(a) == set(b)
+                and all(payload_equal(v, b[k]) for k, v in a.items()))
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b
+    return bool(a == b)
+
+
+_MISSING = object()
+
+
+# ------------------------------------------------------------ RunResult
+@dataclasses.dataclass(eq=False)
+class RunResult:
+    """One simulation outcome, bound to the scenario that produced it.
+
+    The payload fields (``mode``, ``wall_time``, ``timers``, ``intra``,
+    ``value``, ``crashes``) carry exactly the semantics of the scenario
+    layer's :class:`~repro.scenarios.run.ModeRun`; on top of those, a
+    ``RunResult`` knows *which* :class:`~repro.scenarios.Scenario` ran
+    and how the sweep cache treated it:
+
+    ``cache_key``
+        The scenario-hash key under which the result is (or would be)
+        memoized on disk — ``None`` only for impure runs that bypass
+        the cache (a ``before_run`` hook).
+    ``cache_hit``
+        ``True`` when the result was loaded from the cache (or deduped
+        onto an equal point in the same sweep), ``False`` when it was
+        freshly simulated, ``None`` when caching was disabled, so
+        hit/miss is not meaningful.
+
+    ``to_json``/``from_json`` round-trip losslessly, numpy payloads
+    included.  Equality is numpy-aware full-field equality.
+    """
+
+    scenario: Scenario
+    mode: str
+    #: max over ranks of the 'solve' region (app wall time)
+    wall_time: float
+    #: per-region wall time, averaged over ranks
+    timers: _t.Dict[str, float]
+    #: averaged intra-runtime statistics
+    intra: _t.Dict[str, float]
+    #: rank-0 application value (correctness payload)
+    value: _t.Any
+    #: the crash events the scenario's failure schedule materialized
+    crashes: _t.Tuple[CrashEvent, ...] = ()
+    cache_key: _t.Optional[str] = None
+    cache_hit: _t.Optional[bool] = None
+
+    @classmethod
+    def from_mode_run(cls, run: _t.Any, scenario: Scenario,
+                      cache_key: _t.Optional[str] = None,
+                      cache_hit: _t.Optional[bool] = None) -> "RunResult":
+        """Attach scenario + cache provenance to a scenario-layer
+        :class:`~repro.scenarios.run.ModeRun` (the cached type)."""
+        return cls(scenario=scenario, mode=run.mode,
+                   wall_time=run.wall_time, timers=dict(run.timers),
+                   intra=dict(run.intra), value=run.value,
+                   crashes=tuple(run.crashes), cache_key=cache_key,
+                   cache_hit=cache_hit)
+
+    # -------------------------------------------------------- accessors
+    @property
+    def n_crashes(self) -> int:
+        return len(self.crashes)
+
+    def get(self, name: str, default: _t.Any = _MISSING) -> _t.Any:
+        """Look ``name`` up on the result, then its scenario, then the
+        scenario's config — the resolution order ``ResultSet.filter``
+        and ``ResultSet.group_by`` use, so ``degree`` or ``config.nx``
+        -style field names work without spelling the path out."""
+        for obj in (self, self.scenario, self.scenario.config):
+            if obj is None:
+                continue
+            try:
+                return getattr(obj, name)
+            except AttributeError:
+                continue
+        if default is _MISSING:
+            raise AttributeError(
+                f"{name!r} is neither a result, scenario nor config "
+                f"field")
+        return default
+
+    def __eq__(self, other: _t.Any) -> bool:
+        if not isinstance(other, RunResult):
+            return NotImplemented
+        return (self.scenario == other.scenario
+                and self.mode == other.mode
+                and self.wall_time == other.wall_time
+                and self.timers == other.timers
+                and self.intra == other.intra
+                and payload_equal(self.value, other.value)
+                and self.crashes == other.crashes
+                and self.cache_key == other.cache_key
+                and self.cache_hit == other.cache_hit)
+
+    # ------------------------------------------------------- round-trip
+    def to_dict(self) -> _t.Dict[str, _t.Any]:
+        """Plain-JSON-types dict; :meth:`from_dict` is its exact
+        inverse."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "mode": self.mode,
+            "wall_time": self.wall_time,
+            "timers": {k: self.timers[k] for k in sorted(self.timers)},
+            "intra": {k: self.intra[k] for k in sorted(self.intra)},
+            "value": encode_payload(self.value),
+            "crashes": [list(ev.as_tuple()) for ev in self.crashes],
+            "cache": {"key": self.cache_key, "hit": self.cache_hit},
+        }
+
+    @classmethod
+    def from_dict(cls, data: _t.Mapping[str, _t.Any]) -> "RunResult":
+        cache = data.get("cache") or {}
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            mode=data["mode"],
+            wall_time=data["wall_time"],
+            timers=dict(data["timers"]),
+            intra=dict(data["intra"]),
+            value=decode_payload(data["value"]),
+            crashes=tuple(CrashEvent(int(r), int(p), float(at))
+                          for r, p, at in data["crashes"]),
+            cache_key=cache.get("key"),
+            cache_hit=cache.get("hit"))
+
+    def to_json(self, **dumps_kw: _t.Any) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kw)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
+
+    # ----------------------------------------------------------- record
+    #: flat-record columns always present, in order (before the sorted
+    #: ``timer:*`` / ``intra:*`` columns)
+    BASE_COLUMNS: _t.ClassVar[_t.Tuple[str, ...]] = (
+        "app", "mode", "n_logical", "degree", "spread", "scheduler",
+        "wall_time", "n_crashes", "cache_hit", "value")
+
+    def record(self) -> _t.Dict[str, _t.Any]:
+        """One flat row: the :data:`BASE_COLUMNS` plus a ``timer:<k>``
+        and ``intra:<k>`` column per payload entry.  Non-scalar values
+        flatten to ``None`` (CSV is the lossy path; use ``to_json`` for
+        lossless)."""
+        s = self.scenario
+        value = self.value if isinstance(
+            self.value, (int, float, str, bool, type(None))) else None
+        row: _t.Dict[str, _t.Any] = {
+            "app": s.app, "mode": self.mode, "n_logical": s.n_logical,
+            "degree": s.degree, "spread": s.spread,
+            "scheduler": s.scheduler, "wall_time": self.wall_time,
+            "n_crashes": self.n_crashes, "cache_hit": self.cache_hit,
+            "value": value,
+        }
+        for k in sorted(self.timers):
+            row[f"timer:{k}"] = self.timers[k]
+        for k in sorted(self.intra):
+            row[f"intra:{k}"] = self.intra[k]
+        return row
+
+    def __repr__(self) -> str:  # keep huge payloads out of tracebacks
+        return (f"RunResult({self.scenario.summary()}, "
+                f"wall_time={self.wall_time:.6g}, "
+                f"crashes={self.n_crashes}, cache_hit={self.cache_hit})")
+
+
+# ------------------------------------------------------------ ResultSet
+class ResultSet(_t.Sequence):
+    """An ordered, filterable, groupable collection of
+    :class:`RunResult`\\ s — what :func:`repro.sweep` and
+    :func:`repro.compare` return, and what the reporting layer
+    consumes.
+
+    Behaves as an immutable sequence (index, slice, iterate, ``+``),
+    with relational verbs::
+
+        rs.filter(mode="intra")          # field match (result,
+                                         # scenario or config fields)
+        rs.filter(lambda r: r.wall_time < 1e-3)
+        rs.group_by("degree")            # ordered {key: ResultSet}
+        rs.records()                     # flat dict rows
+        rs.to_json() / ResultSet.from_json(text)   # lossless
+        rs.to_csv()                      # deterministic columns
+    """
+
+    def __init__(self, results: _t.Iterable[RunResult] = ()):
+        self._results: _t.List[RunResult] = list(results)
+        for r in self._results:
+            if not isinstance(r, RunResult):
+                raise TypeError(f"ResultSet holds RunResults, got "
+                                f"{type(r).__name__}")
+
+    # ------------------------------------------------- sequence protocol
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> _t.Iterator[RunResult]:
+        return iter(self._results)
+
+    @_t.overload
+    def __getitem__(self, index: int) -> RunResult: ...
+
+    @_t.overload
+    def __getitem__(self, index: slice) -> "ResultSet": ...
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self._results[index])
+        return self._results[index]
+
+    def __add__(self, other: "ResultSet") -> "ResultSet":
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return ResultSet(self._results + other._results)
+
+    def __eq__(self, other: _t.Any) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self._results == other._results
+
+    def __repr__(self) -> str:
+        modes = [r.mode for r in self._results[:6]]
+        more = "..." if len(self) > 6 else ""
+        return f"ResultSet({len(self)} results: {modes}{more})"
+
+    # -------------------------------------------------- relational verbs
+    def filter(self, pred: _t.Optional[_t.Callable[[RunResult], bool]]
+               = None, **fields: _t.Any) -> "ResultSet":
+        """Results matching the predicate and every ``field=value``
+        (fields resolve through :meth:`RunResult.get`, so scenario and
+        config fields match too; missing fields never match)."""
+        absent = object()
+
+        def keep(r: RunResult) -> bool:
+            if pred is not None and not pred(r):
+                return False
+            for name, want in fields.items():
+                got = r.get(name, absent)
+                if got is absent or not payload_equal(got, want):
+                    return False
+            return True
+        return ResultSet(r for r in self._results if keep(r))
+
+    def group_by(self, key: _t.Union[str, _t.Callable[[RunResult],
+                                                      _t.Any]]
+                 ) -> "_t.Dict[_t.Any, ResultSet]":
+        """Ordered mapping of group key → :class:`ResultSet`, grouped
+        by a field name (via :meth:`RunResult.get`) or a callable;
+        groups appear in first-occurrence order."""
+        fn = key if callable(key) else (lambda r: r.get(key, None))
+        groups: _t.Dict[_t.Any, _t.List[RunResult]] = {}
+        for r in self._results:
+            groups.setdefault(fn(r), []).append(r)
+        return {k: ResultSet(v) for k, v in groups.items()}
+
+    def scenarios(self) -> _t.List[Scenario]:
+        return [r.scenario for r in self._results]
+
+    def records(self) -> _t.List[_t.Dict[str, _t.Any]]:
+        """One flat dict per result (see :meth:`RunResult.record`)."""
+        return [r.record() for r in self._results]
+
+    def columns(self) -> _t.List[str]:
+        """Deterministic column order for tabular output: the base
+        columns, then the sorted union of ``timer:*`` / ``intra:*``
+        columns over all results."""
+        extra: _t.Set[str] = set()
+        for r in self._results:
+            extra.update(f"timer:{k}" for k in r.timers)
+            extra.update(f"intra:{k}" for k in r.intra)
+        return list(RunResult.BASE_COLUMNS) + sorted(extra)
+
+    # ------------------------------------------------------- round-trip
+    def to_json(self, **dumps_kw: _t.Any) -> str:
+        return json.dumps([r.to_dict() for r in self._results],
+                          sort_keys=True, **dumps_kw)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        return cls(RunResult.from_dict(d) for d in json.loads(text))
+
+    def to_csv(self) -> str:
+        """CSV with the deterministic :meth:`columns` header; cells
+        missing on a row render empty, floats render via ``repr`` (so
+        they round-trip through ``float()``)."""
+        cols = self.columns()
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(cols)
+        for rec in self.records():
+            # float() first: np.float64 IS-A float but (numpy >= 2)
+            # reprs as 'np.float64(...)', which float() cannot read back
+            writer.writerow(["" if rec.get(c) is None
+                             else repr(float(rec[c]))
+                             if isinstance(rec[c], float)
+                             else rec[c] for c in cols])
+        return buf.getvalue()

@@ -9,14 +9,15 @@ overridable from the CLI, and the sweep driver memoizes results on
 scenario hashes so equal scenarios dedupe across figures, examples and
 sweeps.
 
-Quickstart::
+Quickstart (through the :mod:`repro.api` facade)::
 
-    from repro.scenarios import Scenario, PoissonFailures, run_scenario
+    import repro
+    from repro.scenarios import Scenario, PoissonFailures
 
     s = Scenario(app="hpccg", n_logical=8, mode="intra",
                  failures=PoissonFailures(rate=2e3, seed=7,
                                           horizon=5e-3))
-    result = run_scenario(s)              # ModeRun(..., crashes=(...))
+    result = repro.run(s)              # RunResult(..., crashes=(...))
     twin = Scenario.from_json(s.to_json())   # == s, same cache key
 """
 

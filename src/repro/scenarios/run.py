@@ -2,11 +2,18 @@
 aggregate — the single execution path behind every experiment, example
 and sweep.
 
-:func:`run_scenario` is a *pure function of the scenario* (the
+:func:`_run_scenario` is a *pure function of the scenario* (the
 simulation is deterministic), which is what makes
 :func:`sweep_scenarios` safe to memoize on scenario hashes: any two
 callers — different figures, an example, a CLI invocation — that
 evaluate an equal scenario share one cached simulation.
+
+This module is the *execution* layer; the public entry points live in
+:mod:`repro.api` (``repro.run`` / ``repro.sweep`` / ``repro.compare``),
+which wrap the :class:`ModeRun` payload in a provenance-carrying
+:class:`repro.results.RunResult`.  ``ModeRun`` itself stays the type
+stored in the sweep cache, so cached bytes are unchanged by the facade.
+:func:`run_scenario` remains as a deprecated shim.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from .._deprecation import warn_once
 from ..analysis import mean
 from ..intra import launch_mode
 from ..mpi import MpiWorld
@@ -67,10 +75,10 @@ def make_world(scenario: Scenario) -> MpiWorld:
     return MpiWorld(cluster, scenario.resolved_network())
 
 
-def run_scenario(scenario: Scenario, *,
-                 before_run: _t.Optional[_t.Callable[[MpiWorld, _t.Any],
-                                                     None]] = None
-                 ) -> ModeRun:
+def _run_scenario(scenario: Scenario, *,
+                  before_run: _t.Optional[_t.Callable[[MpiWorld, _t.Any],
+                                                      None]] = None
+                  ) -> ModeRun:
     """Execute one scenario end to end and aggregate its results.
 
     ``before_run(world, job)`` is an advanced hook for callers that need
@@ -131,6 +139,23 @@ def run_scenario(scenario: Scenario, *,
                    intra=intra, value=value, crashes=crashes)
 
 
+def run_scenario(scenario: Scenario, *,
+                 before_run: _t.Optional[_t.Callable[[MpiWorld, _t.Any],
+                                                     None]] = None
+                 ) -> ModeRun:
+    """Deprecated: use :func:`repro.run` (the :mod:`repro.api` facade).
+
+    Warns :class:`DeprecationWarning` once per process and delegates to
+    the same execution path the facade uses; the returned
+    :class:`ModeRun` carries the identical payload (the facade adds
+    scenario + cache provenance on top).
+    """
+    warn_once("repro.scenarios.run_scenario",
+              "repro.scenarios.run_scenario is deprecated; use "
+              "repro.run(scenario) — the repro.api facade — instead")
+    return _run_scenario(scenario, before_run=before_run)
+
+
 def sweep_scenarios(scenarios: _t.Sequence[Scenario],
                     **sweep_kw: _t.Any) -> _t.List[ModeRun]:
     """Evaluate a batch of scenarios through the sweep driver
@@ -145,7 +170,7 @@ def sweep_scenarios(scenarios: _t.Sequence[Scenario],
         if not isinstance(s, Scenario):
             raise TypeError(f"sweep_scenarios expects Scenario points, "
                             f"got {type(s).__name__}")
-    return run_sweep(scenarios, run_scenario, tag=SCENARIO_SWEEP_TAG,
+    return run_sweep(scenarios, _run_scenario, tag=SCENARIO_SWEEP_TAG,
                      **sweep_kw)
 
 
@@ -168,4 +193,5 @@ def scenario_cache_key(scenario: Scenario) -> str:
     batched dispatch) is bit-result-identical by construction and
     deliberately does *not* re-key.  See ``docs/scenarios.md``.
     """
-    return point_cache_key(run_scenario, scenario, tag=SCENARIO_SWEEP_TAG)
+    return point_cache_key(_run_scenario, scenario,
+                           tag=SCENARIO_SWEEP_TAG)

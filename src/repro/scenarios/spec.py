@@ -68,13 +68,30 @@ for _cls in (MachineSpec, NetworkSpec, CopyStrategy):
     register_codec_type(_cls)
 
 
-def encode_value(obj: _t.Any) -> _t.Any:
+#: an extension hook for the codec: ``hook(obj, recurse)`` returns the
+#: encoding/decoding of a type the base codec does not know, or
+#: ``NotImplemented`` to fall through (``recurse`` re-enters the full
+#: codec, extension included).  :mod:`repro.results` layers its numpy
+#: payload support on this — one marker vocabulary, one implementation.
+CodecExtension = _t.Callable[[_t.Any, _t.Callable[[_t.Any], _t.Any]],
+                             _t.Any]
+
+
+def encode_value(obj: _t.Any, *,
+                 extension: _t.Optional[CodecExtension] = None) -> _t.Any:
     """Lower ``obj`` to plain JSON types, reversibly.
 
     Tuples, frozensets, enums and (registered) dataclasses are wrapped
     in single-key ``{"$kind": ...}`` markers so :func:`decode_value`
     restores the exact Python value — the round-trip is an identity.
     """
+    def rec(v: _t.Any) -> _t.Any:
+        return encode_value(v, extension=extension)
+
+    if extension is not None:
+        out = extension(obj, rec)
+        if out is not NotImplemented:
+            return out
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
     if isinstance(obj, enum.Enum):
@@ -87,29 +104,38 @@ def encode_value(obj: _t.Any) -> _t.Any:
             raise TypeError(
                 f"cannot serialize {name}: call "
                 f"repro.scenarios.register_codec_type({name}) first")
-        fields = {f.name: encode_value(getattr(obj, f.name))
+        fields = {f.name: rec(getattr(obj, f.name))
                   for f in dataclasses.fields(obj)}
         return {"$dc": [name, fields]}
     if isinstance(obj, tuple):
-        return {"$tuple": [encode_value(v) for v in obj]}
+        return {"$tuple": [rec(v) for v in obj]}
     if isinstance(obj, (set, frozenset)):
         items = sorted(obj, key=lambda v: (type(v).__name__, repr(v)))
-        return {"$frozenset": [encode_value(v) for v in items]}
+        return {"$frozenset": [rec(v) for v in items]}
     if isinstance(obj, list):
-        return [encode_value(v) for v in obj]
+        return [rec(v) for v in obj]
     if isinstance(obj, dict):
         bad = [k for k in obj if not isinstance(k, str)]
         if bad:
             raise TypeError(f"only str dict keys serialize; got {bad!r}")
-        return {k: encode_value(v) for k, v in obj.items()}
+        return {k: rec(v) for k, v in obj.items()}
     raise TypeError(f"cannot serialize {type(obj).__name__} "
                     f"({obj!r}) into a scenario")
 
 
-def decode_value(obj: _t.Any) -> _t.Any:
-    """Inverse of :func:`encode_value`."""
+def decode_value(obj: _t.Any, *,
+                 extension: _t.Optional[CodecExtension] = None) -> _t.Any:
+    """Inverse of :func:`encode_value` (pass the matching
+    ``extension``)."""
+    def rec(v: _t.Any) -> _t.Any:
+        return decode_value(v, extension=extension)
+
+    if extension is not None:
+        out = extension(obj, rec)
+        if out is not NotImplemented:
+            return out
     if isinstance(obj, list):
-        return [decode_value(v) for v in obj]
+        return [rec(v) for v in obj]
     if not isinstance(obj, dict):
         return obj
     if set(obj) == {"$enum"}:
@@ -119,13 +145,13 @@ def decode_value(obj: _t.Any) -> _t.Any:
         return FailureSchedule.from_dict(obj["$failures"])
     if set(obj) == {"$dc"}:
         name, fields = obj["$dc"]
-        return _codec_type(name)(**{k: decode_value(v)
+        return _codec_type(name)(**{k: rec(v)
                                     for k, v in fields.items()})
     if set(obj) == {"$tuple"}:
-        return tuple(decode_value(v) for v in obj["$tuple"])
+        return tuple(rec(v) for v in obj["$tuple"])
     if set(obj) == {"$frozenset"}:
-        return frozenset(decode_value(v) for v in obj["$frozenset"])
-    return {k: decode_value(v) for k, v in obj.items()}
+        return frozenset(rec(v) for v in obj["$frozenset"])
+    return {k: rec(v) for k, v in obj.items()}
 
 
 def _codec_type(name: str) -> type:

@@ -1,0 +1,9 @@
+"""Facade tests run with the shared sandboxed sweep config (see
+tests/conftest.py) so cache writes and config changes never leak."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _sandbox(sandbox_perf_config):
+    yield

@@ -1,0 +1,60 @@
+"""Cache compatibility across the API redesign: scenario-hash keys are
+pinned, the stored type stays the scenario layer's ModeRun (never the
+facade's RunResult), and entries written by the pre-facade code are
+served warm, byte-untouched."""
+
+import pickle
+
+import pytest
+
+import repro
+from repro.apps.hpccg import KernelBenchConfig
+from repro.scenarios import Scenario, scenario_cache_key
+from repro.scenarios.run import ModeRun
+
+TINY = Scenario(app="hpccg_kernels",
+                config=KernelBenchConfig(nx=8, ny=8, nz=8, reps=1),
+                n_logical=2, mode="native")
+
+#: the key this exact scenario hashed to before the repro.api facade
+#: existed — any change here silently orphans every user's .perf_cache
+PINNED_KEY = ("37a6013e3f6f34ca63015aebcf6185219c2cf8816"
+              "7fd930750128cfc70ef9a94")
+
+
+def test_scenario_cache_key_is_pinned_across_the_redesign():
+    assert scenario_cache_key(TINY) == PINNED_KEY
+
+
+def test_facade_stores_mode_run_not_run_result(tmp_path):
+    result = repro.run(TINY, cache=True, cache_dir=tmp_path)
+    assert result.cache_key == PINNED_KEY
+    path = tmp_path / PINNED_KEY[:2] / f"{PINNED_KEY}.pkl"
+    assert path.is_file()
+    stored = pickle.loads(path.read_bytes())
+    assert type(stored) is ModeRun            # the pre-facade cache type
+    assert stored.wall_time == result.wall_time
+    assert stored.value == result.value
+
+
+def test_pre_facade_cache_entry_served_warm_and_untouched(tmp_path):
+    # plant an entry exactly as the pre-facade sweep driver stored it:
+    # a pickled ModeRun under the scenario-hash shard path
+    planted = ModeRun(mode="native", wall_time=123.25,
+                      timers={"solve": 123.25}, intra={}, value=42.0)
+    path = tmp_path / PINNED_KEY[:2] / f"{PINNED_KEY}.pkl"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps(planted,
+                                  protocol=pickle.HIGHEST_PROTOCOL))
+    before = path.read_bytes()
+
+    result = repro.run(TINY, cache=True, cache_dir=tmp_path)
+    assert result.cache_hit is True
+    assert result.wall_time == 123.25 and result.value == 42.0
+    assert path.read_bytes() == before        # hits never rewrite bytes
+
+    # the scenario-layer sweep path reads the same entry identically
+    from repro.scenarios import sweep_scenarios
+    legacy, = sweep_scenarios([TINY], cache=True, cache_dir=tmp_path)
+    assert legacy == planted
+    assert path.read_bytes() == before

@@ -1,0 +1,164 @@
+"""The repro.api facade: run/sweep/iter_sweep/compare/scenario, cache
+provenance, streaming order, the lazy top-level surface."""
+
+import pytest
+
+import repro
+from repro.apps.hpccg import KernelBenchConfig
+from repro.results import ResultSet, RunResult
+from repro.scenarios import (Scenario, UnknownScenarioError,
+                             scenario_cache_key)
+
+TINY_KB = KernelBenchConfig(nx=8, ny=8, nz=8, reps=1)
+TINY = Scenario(app="hpccg_kernels", config=TINY_KB, n_logical=2,
+                mode="native")
+
+
+# ------------------------------------------------------------ surface
+def test_top_level_surface_is_lazy_and_curated():
+    for name in ("run", "sweep", "iter_sweep", "compare", "scenario"):
+        assert name in repro.__all__ and callable(getattr(repro, name))
+    for name in ("RunResult", "ResultSet", "Scenario"):
+        assert name in repro.__all__ and isinstance(getattr(repro, name),
+                                                    type)
+    assert isinstance(repro.__version__, str)
+    assert repro.api.run is repro.run     # facade re-exported lazily
+    with pytest.raises(AttributeError):
+        repro.no_such_name
+    assert set(repro.__all__) <= set(dir(repro))
+
+
+def test_scenario_resolves_names_and_applies_overrides():
+    s = repro.scenario("fig5b:p16:intra", degree=3)
+    assert isinstance(s, Scenario)
+    assert s.mode == "intra" and s.degree == 3
+    assert repro.scenario(TINY) is TINY
+    with pytest.raises(UnknownScenarioError):
+        repro.scenario("no:such:scenario")
+    with pytest.raises(TypeError):
+        repro.scenario(42)
+
+
+# ---------------------------------------------------------------- run
+def test_run_returns_provenanced_result(tmp_path):
+    first = repro.run(TINY, cache=True, cache_dir=tmp_path)
+    assert isinstance(first, RunResult)
+    assert first.scenario == TINY
+    assert first.mode == "native" and first.wall_time > 0
+    assert first.cache_hit is False
+    assert first.cache_key == scenario_cache_key(TINY)
+    again = repro.run(TINY, cache=True, cache_dir=tmp_path)
+    assert again.cache_hit is True
+    for field in ("mode", "wall_time", "timers", "intra", "value"):
+        assert getattr(again, field) == getattr(first, field)
+
+
+def test_run_without_cache_reports_unknown_hit():
+    r = repro.run(TINY, cache=False)
+    assert r.cache_hit is None
+    assert r.cache_key == scenario_cache_key(TINY)  # still computable
+
+
+def test_run_with_before_run_hook_bypasses_cache(tmp_path):
+    seen = []
+
+    def hook(world, job):
+        seen.append((world, job))
+
+    r = repro.run(TINY, before_run=hook)
+    assert seen, "the hook must run"
+    assert r.cache_key is None and r.cache_hit is None
+    assert not list(tmp_path.rglob("*.pkl"))  # impure: never cached
+
+
+def test_run_accepts_registered_names_with_field_overrides():
+    r = repro.run("fig5a:waxpby:native",
+                  **{"config.nx": 8, "config.ny": 8, "config.reps": 1,
+                     "n_logical": 2})
+    assert r.scenario.config.nx == 8 and r.scenario.n_logical == 2
+    assert r.wall_time > 0
+
+
+# -------------------------------------------------------------- sweep
+def test_sweep_preserves_input_order_and_streams_progress(tmp_path):
+    ss = [TINY.replace(mode=m) for m in ("native", "sdr", "intra")]
+    order = []
+    rs = repro.sweep(ss, cache=True, cache_dir=tmp_path,
+                     on_result=lambda r: order.append(r.mode))
+    assert isinstance(rs, ResultSet)
+    assert [r.mode for r in rs] == ["native", "sdr", "intra"]
+    assert sorted(order) == ["intra", "native", "sdr"]
+    assert all(r.cache_hit is False for r in rs)
+    warm = repro.sweep(ss, cache=True, cache_dir=tmp_path)
+    assert all(r.cache_hit is True for r in warm)
+    assert [r.wall_time for r in warm] == [r.wall_time for r in rs]
+
+
+def test_sweep_dedupes_equal_scenarios(tmp_path):
+    twin = Scenario.from_json(TINY.to_json())
+    rs = repro.sweep([TINY, twin], cache=True, cache_dir=tmp_path)
+    assert len(rs) == 2
+    assert rs[0].cache_hit is False
+    assert rs[1].cache_hit is True          # deduped onto the first
+    assert rs[0].wall_time == rs[1].wall_time
+    assert len(list(tmp_path.rglob("*.pkl"))) == 1
+
+
+def test_iter_sweep_yields_cache_hits_first(tmp_path):
+    a = TINY
+    b = TINY.replace(mode="sdr")
+    repro.run(b, cache=True, cache_dir=tmp_path)      # prewarm b only
+    seen = [r for r in repro.iter_sweep([a, b], cache=True,
+                                        cache_dir=tmp_path)]
+    assert [r.scenario.mode for r in seen] == ["sdr", "native"]
+    assert seen[0].cache_hit is True and seen[1].cache_hit is False
+
+
+def test_iter_sweep_is_lazy(monkeypatch):
+    import repro.api as api_mod
+
+    calls = []
+    real = api_mod._run_scenario
+
+    def counting(scenario, **kw):
+        calls.append(scenario)
+        return real(scenario, **kw)
+
+    monkeypatch.setattr(api_mod, "_run_scenario", counting)
+    it = repro.iter_sweep([TINY, TINY.replace(mode="sdr")])
+    assert calls == []          # nothing simulated before first next()
+    first = next(it)
+    assert first.wall_time > 0
+    assert len(calls) == 1      # and only the yielded point so far
+
+
+# ------------------------------------------------------------ compare
+def test_compare_derives_modes_from_a_scenario():
+    rs = repro.compare(TINY, modes=("native", "sdr"))
+    assert [r.mode for r in rs] == ["native", "sdr"]
+    assert rs[0].scenario.config == rs[1].scenario.config
+
+
+def test_compare_uses_registered_family_points():
+    ov = {"config.nx": 8, "config.ny": 8, "config.reps": 1,
+          "n_logical": 2}
+    rs = repro.compare("example:waxpby", **ov)
+    assert [r.mode for r in rs] == ["native", "sdr", "intra"]
+    # family lookup pulled the registered per-mode points
+    assert all(r.scenario.app == "hpccg_kernels" for r in rs)
+    assert all(r.scenario.n_logical == 2 for r in rs)
+
+
+def test_compare_falls_back_to_mode_replacement_for_plain_names():
+    ov = {"config.nx": 8, "config.ny": 8, "config.reps": 1,
+          "n_logical": 2}
+    rs = repro.compare("fig5a:waxpby:native", modes=("native", "sdr"),
+                       **ov)
+    assert [r.mode for r in rs] == ["native", "sdr"]
+
+
+# ------------------------------------------------- experiments harness
+def test_figure_harness_runs_on_the_facade():
+    rows = repro.experiments.fig5a(n_logical=2, base=TINY_KB)
+    assert len(rows) == 9
+    assert {r.mode for r in rows} == {"Open MPI", "SDR-MPI", "intra"}

@@ -1,0 +1,146 @@
+"""RunResult/ResultSet: lossless JSON round-trips, CSV golden output,
+relational verbs, numpy-aware payload codec."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import results_table
+from repro.intra import CopyStrategy
+from repro.results import (ResultSet, RunResult, decode_payload,
+                           encode_payload, payload_equal)
+from repro.scenarios import CrashEvent, Scenario
+
+S_NATIVE = Scenario(app="demo:prog", n_logical=2, mode="native")
+S_INTRA = S_NATIVE.replace(mode="intra")
+
+
+def _r_native() -> RunResult:
+    return RunResult(scenario=S_NATIVE, mode="native", wall_time=0.25,
+                     timers={"solve": 0.25, "spmv": 0.1}, intra={},
+                     value=3.5, crashes=(), cache_key="00" * 32,
+                     cache_hit=False)
+
+
+def _r_intra() -> RunResult:
+    return RunResult(scenario=S_INTRA, mode="intra", wall_time=0.125,
+                     timers={"solve": 0.125},
+                     intra={"tasks_executed": 8.0}, value=3.5,
+                     crashes=(CrashEvent(0, 1, 1e-3),),
+                     cache_key="11" * 32, cache_hit=True)
+
+
+# ------------------------------------------------------- payload codec
+@pytest.mark.parametrize("payload", [
+    None, True, 3, 2.5, "text",
+    (1.5, "a", None),
+    [1, [2, 3]],
+    {"k": (1, 2), "j": frozenset({"x", "y"})},
+    np.float64(1.25),
+    np.int32(-7),
+    np.arange(6, dtype=np.float64).reshape(2, 3),
+    (np.arange(4, dtype=np.float64), np.ones(3, dtype=np.int64)),
+    CopyStrategy.ATOMIC,
+])
+def test_payload_round_trips_exactly(payload):
+    back = decode_payload(encode_payload(payload))
+    assert payload_equal(back, payload)
+    if isinstance(payload, np.ndarray):
+        assert back.dtype == payload.dtype and back.shape == payload.shape
+    if isinstance(payload, np.generic):
+        assert type(back) is type(payload)
+
+
+def test_payload_rejects_unserializable():
+    with pytest.raises(TypeError):
+        encode_payload(object())
+
+
+def test_payload_equal_is_type_strict():
+    assert not payload_equal(True, 1)
+    assert not payload_equal((1, 2), [1, 2])
+    assert payload_equal({"a": np.ones(2)}, {"a": np.ones(2)})
+    assert not payload_equal(np.ones(2), np.ones(3))
+    assert not payload_equal(np.ones(2, dtype=np.float32),
+                             np.ones(2, dtype=np.float64))
+
+
+# ----------------------------------------------------------- RunResult
+def test_run_result_json_round_trip_is_lossless():
+    r = _r_intra()
+    twin = RunResult.from_json(r.to_json())
+    assert twin == r
+    assert twin.scenario == r.scenario
+    assert twin.crashes == (CrashEvent(0, 1, 1e-3),)
+    assert twin.cache_key == r.cache_key and twin.cache_hit is True
+
+
+def test_run_result_numpy_value_round_trips():
+    value = (np.arange(5, dtype=np.float64), np.full(3, 2.0))
+    r = RunResult(scenario=S_INTRA, mode="intra", wall_time=1e-3,
+                  timers={}, intra={}, value=value)
+    twin = RunResult.from_json(r.to_json())
+    assert twin == r
+    assert payload_equal(twin.value, value)
+
+
+def test_run_result_get_resolves_result_scenario_config_fields():
+    r = _r_intra()
+    assert r.get("wall_time") == 0.125          # result field
+    assert r.get("degree") == 2                 # scenario field
+    assert r.get("n_crashes") == 1              # derived
+    assert r.get("nope", default=None) is None
+    with pytest.raises(AttributeError):
+        r.get("nope")
+
+
+# ----------------------------------------------------------- ResultSet
+def test_result_set_orders_filters_groups_slices():
+    rs = ResultSet([_r_native(), _r_intra()])
+    assert len(rs) == 2
+    assert [r.mode for r in rs] == ["native", "intra"]
+    assert rs.filter(mode="intra")[0] == _r_intra()
+    assert len(rs.filter(lambda r: r.wall_time < 0.2)) == 1
+    assert rs.filter(mode="intra", n_logical=2)[0].mode == "intra"
+    assert len(rs.filter(no_such_field=1)) == 0
+    groups = rs.group_by("mode")
+    assert list(groups) == ["native", "intra"]
+    assert groups["native"][0] == _r_native()
+    assert isinstance(rs[0:1], ResultSet) and len(rs[0:1]) == 1
+    assert (rs[0:1] + rs[1:2]) == rs
+
+
+def test_result_set_json_round_trip():
+    rs = ResultSet([_r_native(), _r_intra()])
+    twin = ResultSet.from_json(rs.to_json())
+    assert twin == rs
+
+
+def test_result_set_rejects_non_results():
+    with pytest.raises(TypeError):
+        ResultSet([42])
+
+
+GOLDEN_CSV = """\
+app,mode,n_logical,degree,spread,scheduler,wall_time,n_crashes,cache_hit,value,intra:tasks_executed,timer:solve,timer:spmv
+demo:prog,native,2,2,1,,0.25,0,False,3.5,,0.25,0.1
+demo:prog,intra,2,2,1,,0.125,1,True,3.5,8.0,0.125,
+"""
+
+
+def test_result_set_to_csv_golden():
+    rs = ResultSet([_r_native(), _r_intra()])
+    assert rs.to_csv() == GOLDEN_CSV
+    # deterministic column order: base columns then sorted extras
+    assert rs.columns()[-3:] == ["intra:tasks_executed", "timer:solve",
+                                 "timer:spmv"]
+
+
+def test_results_table_renders_from_records():
+    rs = ResultSet([_r_native(), _r_intra()])
+    table = results_table(rs, columns=("mode", "wall_time", "n_crashes"),
+                          title="demo")
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "mode" in lines[1] and "wall_time" in lines[1]
+    assert any("native" in ln for ln in lines)
+    assert any("intra" in ln for ln in lines)

@@ -1,0 +1,25 @@
+"""Repo-wide fixtures.
+
+``sandbox_perf_config`` is the single implementation of the
+save/override/restore dance around the process-global sweep config;
+suites whose tests touch it (the CLI, doc snippets, the facade) opt in
+with a one-line autouse stub so the knobs stay in one place.
+"""
+
+import pytest
+
+from repro.perf import configure, get_config
+
+
+@pytest.fixture
+def sandbox_perf_config(tmp_path):
+    """Pin the process-global sweep config to (serial, uncached,
+    tmp_path cache dir) for the test, restoring the caller's config —
+    every field of :class:`repro.perf.SweepConfig` — afterwards."""
+    cfg = get_config()
+    old = (cfg.workers, cfg.cache, cfg.cache_dir)
+    configure(workers=1, cache=False, cache_dir=tmp_path)
+    try:
+        yield cfg
+    finally:
+        configure(workers=old[0], cache=old[1], cache_dir=old[2])

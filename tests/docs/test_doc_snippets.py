@@ -15,8 +15,6 @@ import re
 
 import pytest
 
-from repro.perf import configure, get_config
-
 DOCS_DIR = pathlib.Path(__file__).resolve().parents[2] / "docs"
 
 _FENCE = re.compile(
@@ -35,23 +33,19 @@ def doc_files():
 
 
 @pytest.fixture(autouse=True)
-def _sandbox_perf_config(tmp_path):
-    """Snippets may call the CLI main() or sweep_scenarios, which touch
-    the process-global sweep config and the on-disk cache; keep both
-    from leaking."""
-    cfg = get_config()
-    old = (cfg.workers, cfg.cache, cfg.cache_dir)
-    configure(workers=1, cache=False, cache_dir=tmp_path)
-    try:
-        yield
-    finally:
-        configure(workers=old[0], cache=old[1], cache_dir=old[2])
+def _sandbox(sandbox_perf_config):
+    """Snippets may call the CLI main() or the facade, which touch the
+    process-global sweep config and the on-disk cache; the shared
+    sandbox fixture (tests/conftest.py) keeps both from leaking."""
+    yield
 
 
 def test_docs_exist_and_have_snippets():
     names = {p.name for p in doc_files()}
-    assert {"architecture.md", "scenarios.md", "cli.md"} <= names
-    for required in ("architecture.md", "scenarios.md", "cli.md"):
+    required_docs = ("architecture.md", "scenarios.md", "cli.md",
+                     "api.md")
+    assert set(required_docs) <= names
+    for required in required_docs:
         text = (DOCS_DIR / required).read_text()
         assert extract_python_blocks(text), \
             f"{required} has no executable python snippets"

@@ -1,11 +1,17 @@
-"""Smoke tests: every examples/*.py script imports and runs end-to-end
-at tiny sizes (each exposes ``main(tiny=True)`` for exactly this)."""
+"""Example tests: every examples/*.py script runs end-to-end at tiny
+sizes through the :mod:`repro.api` facade and hands back *structured*
+results — ``main(tiny=True)`` returns a
+:class:`~repro.results.ResultSet`, so the suite asserts on real
+:class:`~repro.results.RunResult` fields instead of just exit status
+and stdout."""
 
 import importlib.util
 import pathlib
 import sys
 
 import pytest
+
+from repro.results import ResultSet, RunResult, payload_equal
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
@@ -33,12 +39,27 @@ def test_example_set_is_what_we_expect():
 
 
 @pytest.mark.parametrize("name", EXAMPLES)
-def test_example_runs_tiny(name, capsys):
+def test_example_returns_structured_results(name, capsys):
     module = _load(name)
     try:
         assert hasattr(module, "main"), f"{name}.py must define main()"
-        module.main(tiny=True)
+        results = module.main(tiny=True)
         out = capsys.readouterr().out
         assert out.strip(), f"{name}.py printed nothing"
+
+        # every example routes through the facade and returns the
+        # ResultSet it computed
+        assert isinstance(results, ResultSet), \
+            f"{name}.main(tiny=True) must return a ResultSet"
+        assert len(results) > 0
+        for run in results:
+            assert isinstance(run, RunResult)
+            assert run.mode in ("native", "sdr", "intra")
+            assert run.wall_time > 0
+            assert run.scenario.mode == run.mode
+            # lossless JSON round-trip, numpy payloads included
+            twin = RunResult.from_json(run.to_json())
+            assert payload_equal(twin.value, run.value)
+            assert twin == run
     finally:
         sys.modules.pop(name, None)

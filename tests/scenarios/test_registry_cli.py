@@ -5,20 +5,15 @@ import pytest
 
 import repro.experiments  # noqa: F401  (registers figure scenarios)
 from repro.experiments.__main__ import EXPERIMENTS, main
-from repro.perf import configure, get_config
+from repro.perf import get_config
 
 
 @pytest.fixture(autouse=True)
-def _sandbox_perf_config(tmp_path):
-    """main() calls repro.perf.configure; keep the process-global sweep
-    config (and any cache writes) from leaking out of each test."""
-    cfg = get_config()
-    old = (cfg.workers, cfg.cache, cfg.cache_dir)
-    configure(cache_dir=tmp_path)
-    try:
-        yield
-    finally:
-        configure(workers=old[0], cache=old[1], cache_dir=old[2])
+def _sandbox(sandbox_perf_config):
+    """main() calls repro.perf.configure; the shared sandbox fixture
+    (tests/conftest.py) keeps the process-global sweep config (and any
+    cache writes) from leaking out of each test."""
+    yield
 from repro.experiments.fig5 import fig5a_scenarios, fig5b_scenarios
 from repro.scenarios import (Scenario, UnknownScenarioError,
                              find_scenario_name, get_scenario,
@@ -100,6 +95,107 @@ def test_cli_single_scenario_shares_sweep_cache(tmp_path, capsys):
     assert len(cached) == 1
     assert main(args) == 0
     assert capsys.readouterr().out == first
+
+
+def test_cli_list_keyword_matches_list_flag(capsys):
+    assert main(["list"]) == 0
+    via_keyword = capsys.readouterr().out
+    assert main(["--list"]) == 0
+    via_flag = capsys.readouterr().out
+    assert via_keyword == via_flag
+    assert "fig5b:p16:intra" in via_keyword
+
+
+def test_cli_list_glob_filters_and_sorts(capsys):
+    assert main(["list", "fig5a:ddot*"]) == 0
+    out = capsys.readouterr().out
+    names = [ln.split()[0] for ln in out.splitlines()
+             if ln.startswith("  fig5a")]
+    assert names == ["fig5a:ddot:intra", "fig5a:ddot:native",
+                     "fig5a:ddot:sdr"]      # deterministic sorted order
+    assert "fig5b" not in out
+    # repeat runs are byte-identical
+    assert main(["list", "fig5a:ddot*"]) == 0
+    assert capsys.readouterr().out == out
+
+
+def test_cli_list_tag_filters_namespace(capsys):
+    assert main(["list", "--tag", "ext"]) == 0
+    out = capsys.readouterr().out
+    assert "ext:poisson:intra" in out
+    assert "fig5b:p16:intra" not in out
+    assert "experiments:" not in out      # no experiment named 'ext'
+
+
+def test_cli_list_pattern_matching_nothing_exits_nonzero(capsys):
+    assert main(["list", "zz-nothing*"]) == 2
+    assert "matches no experiment or scenario" in capsys.readouterr().err
+    assert main(["list", "--tag", "zz-nothing"]) == 2
+    assert "matches no experiment or scenario" in capsys.readouterr().err
+
+
+def test_cli_list_format_json_is_machine_readable(capsys):
+    import json
+
+    assert main(["list", "fig5a:ddot*", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [e["name"] for e in payload] == [
+        "fig5a:ddot:intra", "fig5a:ddot:native", "fig5a:ddot:sdr"]
+    assert all(e["kind"] == "scenario" and "scenario" in e
+               for e in payload)
+
+
+_TINY_ARGS = ["--set", "config.nx=8", "--set", "config.ny=8",
+              "--set", "config.reps=1", "--set", "n_logical=2",
+              "--no-cache"]
+
+
+def test_cli_run_format_json_routes_through_result_set(capsys):
+    import json
+
+    from repro.results import ResultSet
+
+    rc = main(["run", "fig5a:waxpby:native", *_TINY_ARGS,
+               "--format", "json"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    rs = ResultSet.from_json(out)
+    assert len(rs) == 1
+    assert rs[0].mode == "native" and rs[0].wall_time > 0
+    assert rs[0].scenario.config.nx == 8
+    assert json.loads(out)  # plain JSON, no table furniture
+
+
+def test_cli_run_format_csv_has_deterministic_header(capsys):
+    rc = main(["run", "fig5a:waxpby:native", *_TINY_ARGS,
+               "--format", "csv"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    header = out.splitlines()[0]
+    assert header.startswith("app,mode,n_logical,degree,spread,"
+                             "scheduler,wall_time,n_crashes,cache_hit,"
+                             "value")
+    assert len(out.splitlines()) >= 2
+
+
+def test_cli_format_json_rejects_whole_experiments(capsys):
+    assert main(["fig5b", "--format", "json"]) == 2
+    assert "whole experiments" in capsys.readouterr().err
+
+
+def test_cli_format_csv_rejected_for_list(capsys):
+    assert main(["list", "--format", "csv"]) == 2
+    assert "csv" in capsys.readouterr().err
+
+
+def test_cli_list_rejects_run_only_flags(capsys):
+    """list must not silently swallow run flags (a typo'd run command
+    should not degrade into a successful listing)."""
+    assert main(["list", "--set", "degree=3"]) == 2
+    assert "do not apply to list" in capsys.readouterr().err
+    assert main(["list", "--workers", "2"]) == 2
+    capsys.readouterr()
+    assert main(["list", "--no-cache"]) == 2
 
 
 def test_cli_rejects_bad_override(capsys):

@@ -84,10 +84,17 @@ def test_sweep_scenarios_rejects_non_scenarios():
 
 
 def test_run_mode_wrapper_matches_scenario_path():
-    """The compat wrapper and the spec path are the same computation."""
+    """The deprecated wrapper and the spec path are the same
+    computation (the wrapper returns a RunResult carrying the identical
+    ModeRun payload)."""
     from repro.apps.hpccg import hpccg_kernel_bench
     from repro.experiments import run_mode, scenario_for
     via_wrapper = run_mode("intra", hpccg_kernel_bench, 4, TINY_KB)
     via_scenario = run_scenario(
         scenario_for("intra", hpccg_kernel_bench, 4, TINY_KB))
-    assert via_wrapper == via_scenario
+    for field in ("mode", "wall_time", "timers", "intra", "value",
+                  "crashes"):
+        assert getattr(via_wrapper, field) == getattr(via_scenario,
+                                                      field)
+    assert via_wrapper.scenario == scenario_for(
+        "intra", hpccg_kernel_bench, 4, TINY_KB)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fail if ``repro.__all__`` drifts from the checked-in manifest.
+
+The public surface of the package is a contract: ``tools/public_api.txt``
+holds the agreed ``repro.__all__`` (sorted, one name per line), and this
+check — wired into ``make api-check`` and CI — fails on any drift in
+either direction, with a diff.  It also verifies every exported name
+actually resolves (the lazy ``__getattr__`` of ``repro/__init__.py``
+must be able to import each one).
+
+To change the public API intentionally: update ``repro.__all__``, rerun
+``make api-check``, and commit the updated manifest alongside the code
+(and a version bump per the stability policy in ``repro``'s docstring).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]
+                       / "src"))
+
+MANIFEST = pathlib.Path(__file__).resolve().parent / "public_api.txt"
+
+
+def main() -> int:
+    import repro
+
+    actual = sorted(repro.__all__)
+    if actual != sorted(set(actual)):
+        print("error: repro.__all__ contains duplicates",
+              file=sys.stderr)
+        return 1
+
+    expected = [ln.strip() for ln in MANIFEST.read_text().splitlines()
+                if ln.strip() and not ln.startswith("#")]
+    if actual != expected:
+        missing = sorted(set(expected) - set(actual))
+        extra = sorted(set(actual) - set(expected))
+        print(f"error: repro.__all__ drifted from {MANIFEST}",
+              file=sys.stderr)
+        for name in missing:
+            print(f"  - {name}  (in manifest, not exported)",
+                  file=sys.stderr)
+        for name in extra:
+            print(f"  + {name}  (exported, not in manifest)",
+                  file=sys.stderr)
+        print("update tools/public_api.txt deliberately if this is an "
+              "intentional API change", file=sys.stderr)
+        return 1
+
+    broken = []
+    for name in actual:
+        try:
+            getattr(repro, name)
+        except Exception as exc:   # noqa: BLE001 - report, don't crash
+            broken.append((name, exc))
+    if broken:
+        print("error: exported names that do not resolve:",
+              file=sys.stderr)
+        for name, exc in broken:
+            print(f"  {name}: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+        return 1
+
+    print(f"public API OK: {len(actual)} names match {MANIFEST.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
