@@ -1,140 +1,81 @@
 #!/usr/bin/env python
-"""Replica restart in action (the §VI extension).
+"""Replica restart in action (the §VI extension) — now fully
+declarative.
 
 The paper's discussion: "it is important to restart failed replicas as
 soon as possible, since speed-up of a logical process execution can
 only be achieved if tasks are shared among multiple replicas."
 
-This example runs a step-structured intra-parallelized computation,
-kills one replica early, and shows the three regimes:
+Restart is scenario-expressible: a
+:class:`repro.scenarios.RestartPolicy` on the scenario tells the
+runner to respawn dead replicas and hand application state over at the
+next step boundary — no imperative coordinator wiring in user code.
+This example runs the step-structured ``stepsum`` library app through
+the :mod:`repro.api` facade in three regimes:
 
   no crash            — full work sharing throughout,
   crash, no restart   — the survivor computes everything alone,
   crash + restart     — state handed over at the next step boundary,
                         work sharing resumes.
 
-The no-crash and crash-no-restart legs are plain scenarios run through
-the :mod:`repro.api` facade (the crash leg carries a declarative
-:class:`repro.scenarios.FixedFailures` schedule); the crash+restart
-leg uses the restart coordinator (not yet scenario-expressible) on a
-world built from the same spec.
+All three legs are plain scenarios: the crash is a declarative
+:class:`repro.scenarios.FixedFailures` schedule and the healing a
+declarative policy, so every leg runs (and caches, and sweeps) like
+any other scenario.  A whole storm × policy grid is registered as the
+``restart:*`` scenarios — see ``docs/scenarios.md``.
 
 Run:  python examples/replica_restart.py [--tiny]
 """
 
 import sys
 
-import numpy as np
-
 import repro
-from repro.apps.common import finish
-from repro.intra import Tag
-from repro.kernels import split_range
-from repro.replication import (FailureInjector, Restartable,
-                               launch_restartable_job)
-from repro.scenarios import FixedFailures, Scenario, make_world
-
-N, N_TASKS, N_STEPS = 100_000, 8, 16
-CRASH_AT = 1e-3
-
-
-class SumApp(Restartable):
-    """Each step: partial sums of a large vector in an intra section."""
-
-    n_steps = N_STEPS
-
-    def init_state(self, ctx, comm):
-        return {"x": np.arange(N, dtype=np.float64),
-                "totals": []}
-
-    def step(self, ctx, comm, state, step_index):
-        acc = np.zeros(N_TASKS)
-        rt = ctx.intra
-        rt.section_begin()
-        tid = rt.task_register(
-            lambda v, o: np.copyto(o, v.sum()), [Tag.IN, Tag.OUT],
-            cost=lambda v, o: (2.0 * v.size, 16.0 * v.size))
-        for i, sl in enumerate(split_range(N, N_TASKS)):
-            rt.task_launch(tid, [state["x"][sl], acc[i:i + 1]])
-        yield from rt.section_end()
-        state["totals"].append(float(acc.sum()))
-
-    def snapshot(self, state):
-        return {"x": state["x"].copy(), "totals": list(state["totals"])}
-
-    def restore(self, payload):
-        return {"x": payload["x"].copy(),
-                "totals": list(payload["totals"])}
-
-    def finalize(self, ctx, comm, state):
-        return state["totals"][-1]
-
-
-def plain_program(ctx, comm):
-    """The same computation as a flat program (for the scenario legs)."""
-    app = SumApp()
-    state = app.init_state(ctx, comm)
-    for i in range(app.n_steps):
-        yield from app.step(ctx, comm, state, i)
-    return finish(ctx, app.finalize(ctx, comm, state))
-
+from repro.apps.steploop import StepSumConfig
+from repro.scenarios import FixedFailures, RestartPolicy, Scenario
 
 #: the spec all three legs share (machine, placement, mode, size)
-BASE_SCENARIO = Scenario(app=f"{__name__}:plain_program", n_logical=1,
-                         mode="intra")
+BASE_SCENARIO = Scenario(app="stepsum", config=StepSumConfig(),
+                         n_logical=1, mode="intra")
+CRASH_AT = 1e-3
+RESTART = RestartPolicy(delay=2e-4)
 
 
 def main(tiny: bool = False):
-    global N, CRASH_AT
-    restart_delay = 2e-4
+    base, crash_at, policy = BASE_SCENARIO, CRASH_AT, RESTART
     if tiny:
         # smaller vector, earlier crash, faster restart — the restart
         # must still land well before the last step boundary
-        N, CRASH_AT, restart_delay = 20_000, 1e-4, 5e-5
-        SumApp.n_steps = 8
-    expect = float(np.arange(N, dtype=np.float64).sum())
+        base = base.replace(config=StepSumConfig(n=20_000, n_steps=8))
+        crash_at, policy = 1e-4, RestartPolicy(delay=5e-5)
+    cfg = base.config
 
-    # no crash: the base scenario through the facade.  cache=False on
-    # both facade legs because this didactic program reads module
-    # globals the --tiny flag mutates, so the spec alone does not
-    # describe the run.
-    run_clean = repro.run(BASE_SCENARIO, cache=False)
+    run_clean = repro.run(base)
+    run_norestart = repro.run(
+        base.with_failures(FixedFailures(((0, 1, crash_at),))))
+    run_restart = repro.run(run_norestart.scenario.with_restart(policy))
+
+    expect = float(cfg.n) * (cfg.n - 1) / 2.0   # sum of arange(n)
+    for run in (run_clean, run_norestart, run_restart):
+        assert run.value == expect
+    assert run_norestart.n_crashes == run_restart.n_crashes == 1
+    assert run_restart.intra["restarts_completed"] == 1.0
+
     t_clean = run_clean.wall_time
-    assert run_clean.value == expect
-
-    # crash, no restart: declaratively — the base scenario plus a
-    # fixed-time failure schedule
-    run_nr = repro.run(
-        BASE_SCENARIO.with_failures(FixedFailures(((0, 1, CRASH_AT),))),
-        cache=False)
-    t_norestart = run_nr.wall_time
-    assert run_nr.value == expect
-    assert run_nr.n_crashes == 1
-
-    w = make_world(BASE_SCENARIO)
-    job_r, coord = launch_restartable_job(w, SumApp(), 1,
-                                          restart_delay=restart_delay)
-    FailureInjector(job_r.manager).kill_at(0, 1, CRASH_AT)
-    w.run()
-    t_restart = w.sim.now
-    for info in job_r.manager.replicas[0]:
-        assert info.app_process.value == expect
-
-    print(f"{SumApp.n_steps} steps of partial sums over {N:,} elements, "
-          f"crash at {CRASH_AT * 1e3:.1f} ms\n")
+    t_norestart = run_norestart.wall_time
+    t_restart = run_restart.wall_time
+    print(f"{cfg.n_steps} steps of partial sums over {cfg.n:,} "
+          f"elements, crash at {crash_at * 1e3:.1f} ms\n")
     print(f"  no crash           {t_clean * 1e3:7.2f} ms")
     print(f"  crash, no restart  {t_norestart * 1e3:7.2f} ms "
           f"({t_norestart / t_clean:.2f}x)")
     print(f"  crash + restart    {t_restart * 1e3:7.2f} ms "
           f"({t_restart / t_clean:.2f}x, "
-          f"{coord.restarts_completed} restart)")
-    repl = job_r.manager.replica(0, 1)
-    print(f"\nreplacement replica executed "
-          f"{repl.ctx.intra.stats.tasks_executed} tasks after rejoining;"
-          f"\nall replicas finished with the correct result ({expect:g}).")
-    # the facade-expressible legs, as structured results (the restart
-    # leg needs the coordinator, which is not yet scenario data)
-    return repro.ResultSet([run_clean, run_nr])
+          f"{run_restart.intra['restarts_completed']:.0f} restart, "
+          f"policy: respawn after {policy.delay * 1e6:.0f} µs)")
+    print(f"\nall legs finished with the correct result ({expect:g});")
+    print("the restart leg is pure scenario data — sweep the "
+          "registered restart:* grid for whole failure storms.")
+    return repro.ResultSet([run_clean, run_norestart, run_restart])
 
 
 if __name__ == "__main__":

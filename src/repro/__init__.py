@@ -61,7 +61,7 @@ from __future__ import annotations
 import importlib
 import typing as _t
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: lazily-importable subsystem modules
 _SUBSYSTEMS = ("analysis", "api", "apps", "experiments", "intra",
@@ -73,7 +73,8 @@ _FACADE = ("compare", "iter_sweep", "run", "scenario", "sweep")
 
 #: result/spec types re-exported at the top level
 _TYPES = {"RunResult": "results", "ResultSet": "results",
-          "Scenario": "scenarios"}
+          "Scenario": "scenarios", "RestartPolicy": "scenarios",
+          "PointFailure": "perf"}
 
 __all__ = sorted(("__version__",) + _SUBSYSTEMS + _FACADE
                  + tuple(_TYPES))
@@ -83,8 +84,9 @@ if _t.TYPE_CHECKING:  # pragma: no cover - static import surface
                    netmodel, perf, replication, results, scenarios,
                    simulate)
     from .api import compare, iter_sweep, run, scenario, sweep
+    from .perf import PointFailure
     from .results import ResultSet, RunResult
-    from .scenarios import Scenario
+    from .scenarios import RestartPolicy, Scenario
 
 
 def __getattr__(name: str) -> _t.Any:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import typing as _t
 
+from .perf import PointFailure
 from .perf import iter_sweep as _perf_iter_sweep
 from .results import ResultSet, RunResult
 from .scenarios import Scenario, scenario_cache_key
@@ -77,12 +78,21 @@ def run(name_or_scenario: ScenarioLike, *,
         cache: _t.Optional[bool] = None,
         cache_dir: _t.Optional[_t.Any] = None,
         before_run: _t.Optional[_t.Callable[..., None]] = None,
+        retries: int = 0,
+        backoff: float = 0.5,
+        on_error: str = "raise",
         **overrides: _t.Any) -> RunResult:
     """Run one scenario end to end; returns a :class:`RunResult`.
 
     ``cache``/``cache_dir`` override the process-wide sweep-cache
     config (:func:`repro.perf.configure`); the result's ``cache_key`` /
     ``cache_hit`` report how the cache treated this run.
+
+    ``retries``/``backoff``/``on_error`` are the robustness knobs of
+    :func:`repro.perf.iter_sweep`; under ``on_error="return"`` a run
+    that keeps failing comes back as a failed :class:`RunResult`
+    (``result.ok`` False, the failure in ``result.error``) instead of
+    raising.
 
     ``before_run(world, job)`` is the advanced instrumentation hook of
     the scenario runner (e.g. protocol-precise hook-triggered crashes);
@@ -94,14 +104,20 @@ def run(name_or_scenario: ScenarioLike, *,
     if before_run is not None:
         mode_run = _run_scenario(s, before_run=before_run)
         return RunResult.from_mode_run(mode_run, s)
-    result, = iter_sweep([s], cache=cache, cache_dir=cache_dir)
+    result, = iter_sweep([s], cache=cache, cache_dir=cache_dir,
+                         retries=retries, backoff=backoff,
+                         on_error=on_error)
     return result
 
 
 def iter_sweep(scenarios: _t.Iterable[ScenarioLike], *,
                workers: _t.Optional[int] = None,
                cache: _t.Optional[bool] = None,
-               cache_dir: _t.Optional[_t.Any] = None
+               cache_dir: _t.Optional[_t.Any] = None,
+               timeout: _t.Optional[float] = None,
+               retries: int = 0,
+               backoff: float = 0.5,
+               on_error: str = "raise"
                ) -> _t.Iterator[RunResult]:
     """Streaming sweep: yield a :class:`RunResult` per scenario *as the
     pool completes them* (cache hits first, then fresh simulations in
@@ -111,28 +127,44 @@ def iter_sweep(scenarios: _t.Iterable[ScenarioLike], *,
     Layered on :func:`repro.perf.iter_sweep` with the shared scenario
     cache namespace, so streaming consumers, :func:`sweep` and the
     figure harness all dedupe onto the same scenario-hash keys and
-    cached bytes.
+    cached bytes.  ``timeout``/``retries``/``backoff``/``on_error``
+    are the sweep driver's robustness knobs: with
+    ``on_error="return"`` a scenario that exhausts its attempts yields
+    a failed :class:`RunResult` (``.ok`` False) and the sweep keeps
+    going.
     """
     for _i, result in _iter_indexed([scenario(s) for s in scenarios],
                                     workers=workers, cache=cache,
-                                    cache_dir=cache_dir):
+                                    cache_dir=cache_dir, timeout=timeout,
+                                    retries=retries, backoff=backoff,
+                                    on_error=on_error):
         yield result
 
 
 def _iter_indexed(resolved: _t.Sequence[Scenario], *,
                   workers: _t.Optional[int] = None,
                   cache: _t.Optional[bool] = None,
-                  cache_dir: _t.Optional[_t.Any] = None
+                  cache_dir: _t.Optional[_t.Any] = None,
+                  timeout: _t.Optional[float] = None,
+                  retries: int = 0,
+                  backoff: float = 0.5,
+                  on_error: str = "raise"
                   ) -> _t.Iterator[_t.Tuple[int, RunResult]]:
     """(input index, RunResult) pairs in completion order — the shared
     core of :func:`iter_sweep` and :func:`sweep`."""
     for item in _perf_iter_sweep(resolved, _run_scenario,
                                  workers=workers, cache=cache,
                                  cache_dir=cache_dir,
-                                 tag=SCENARIO_SWEEP_TAG):
-        hit = item.cache_hit if item.cache_key is not None else None
+                                 tag=SCENARIO_SWEEP_TAG,
+                                 timeout=timeout, retries=retries,
+                                 backoff=backoff, on_error=on_error):
         key = (item.cache_key if item.cache_key is not None
                else scenario_cache_key(item.point))
+        if isinstance(item.value, PointFailure):
+            yield item.index, RunResult.from_failure(
+                item.value, item.point, cache_key=key)
+            continue
+        hit = item.cache_hit if item.cache_key is not None else None
         yield item.index, RunResult.from_mode_run(
             item.value, item.point, cache_key=key, cache_hit=hit)
 
@@ -141,6 +173,10 @@ def sweep(scenarios: _t.Iterable[ScenarioLike], *,
           workers: _t.Optional[int] = None,
           cache: _t.Optional[bool] = None,
           cache_dir: _t.Optional[_t.Any] = None,
+          timeout: _t.Optional[float] = None,
+          retries: int = 0,
+          backoff: float = 0.5,
+          on_error: str = "raise",
           on_result: _t.Optional[_t.Callable[[RunResult], None]] = None
           ) -> ResultSet:
     """Evaluate a batch of scenarios; returns a :class:`ResultSet` in
@@ -150,12 +186,18 @@ def sweep(scenarios: _t.Iterable[ScenarioLike], *,
     memoized on scenario hashes per the perf config.  ``on_result`` is
     invoked once per result *as it completes* (completion order — the
     streaming progress hook), while the returned set is always ordered
-    like the input.
+    like the input.  The robustness knobs
+    (``timeout``/``retries``/``backoff``/``on_error``) pass through to
+    :func:`repro.perf.iter_sweep`; under ``on_error="return"`` failed
+    points appear in the set as failed :class:`RunResult`\\ s
+    (``.ok`` False) rather than aborting the sweep.
     """
     resolved = [scenario(s) for s in scenarios]
     ordered: _t.List[_t.Optional[RunResult]] = [None] * len(resolved)
     for i, result in _iter_indexed(resolved, workers=workers,
-                                   cache=cache, cache_dir=cache_dir):
+                                   cache=cache, cache_dir=cache_dir,
+                                   timeout=timeout, retries=retries,
+                                   backoff=backoff, on_error=on_error):
         ordered[i] = result
         if on_result is not None:
             on_result(result)
@@ -167,6 +209,10 @@ def compare(name_or_scenario: ScenarioLike,
             workers: _t.Optional[int] = None,
             cache: _t.Optional[bool] = None,
             cache_dir: _t.Optional[_t.Any] = None,
+            timeout: _t.Optional[float] = None,
+            retries: int = 0,
+            backoff: float = 0.5,
+            on_error: str = "raise",
             **overrides: _t.Any) -> ResultSet:
     """The paper's headline artifact as one call: the same workload in
     several execution modes, returned as a :class:`ResultSet` ordered
@@ -189,8 +235,11 @@ def compare(name_or_scenario: ScenarioLike,
             points = [get_scenario(f"{name_or_scenario}:{m}")
                       .with_overrides(overrides) for m in modes]
             return sweep(points, workers=workers, cache=cache,
-                         cache_dir=cache_dir)
+                         cache_dir=cache_dir, timeout=timeout,
+                         retries=retries, backoff=backoff,
+                         on_error=on_error)
     base = scenario(name_or_scenario, **overrides)
     points = [base.replace(mode=m) for m in modes]
     return sweep(points, workers=workers, cache=cache,
-                 cache_dir=cache_dir)
+                 cache_dir=cache_dir, timeout=timeout, retries=retries,
+                 backoff=backoff, on_error=on_error)

@@ -1,0 +1,103 @@
+"""StepSum — the step-structured restartable mini-app.
+
+The restart extension (§VI) needs an application shaped as a *step
+loop* with a snapshot at every boundary.  StepSum is the smallest such
+app that still exercises the intra machinery the restart exists for:
+each step computes partial sums of a large vector inside one intra
+section (8 tasks, the paper's granularity), so work sharing — and its
+loss and recovery around a crash — is visible in the wall time.
+
+It ships in both shapes every scenario path needs:
+
+* :func:`stepsum_program` — the flat ``program(ctx, comm, config)``
+  generator the registry binds to app name ``"stepsum"``; runs in all
+  three modes like any other app.
+* :class:`StepSumApp` — the :class:`~repro.replication.restart.
+  Restartable` twin (same arithmetic, same section shape) built by
+  :func:`make_stepsum`, which the scenario runner launches when a
+  scenario carries a :class:`~repro.scenarios.policies.RestartPolicy`.
+
+Both produce the same per-rank value (the final step's total), so the
+restart legs of a sweep are directly comparable to the plain legs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..intra import Tag
+from ..kernels import split_range
+from ..replication.restart import Restartable
+from .common import DEFAULT_TASKS_PER_SECTION, finish
+
+
+@dataclasses.dataclass(frozen=True)
+class StepSumConfig:
+    """Problem configuration for StepSum."""
+
+    n: int = 100_000                          #: vector length per rank
+    n_steps: int = 16                         #: step-loop length
+    n_tasks: int = DEFAULT_TASKS_PER_SECTION  #: tasks per section
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.n_steps < 1 or self.n_tasks < 1:
+            raise ValueError("StepSumConfig fields must be >= 1")
+
+
+def _sum_section(ctx, x: np.ndarray, n_tasks: int):
+    """One intra section of partial sums over ``x``; yields, returns
+    the total."""
+    acc = np.zeros(n_tasks)
+    rt = ctx.intra
+    rt.section_begin()
+    tid = rt.task_register(
+        lambda v, o: np.copyto(o, v.sum()), [Tag.IN, Tag.OUT],
+        cost=lambda v, o: (2.0 * v.size, 16.0 * v.size))
+    for i, sl in enumerate(split_range(x.size, n_tasks)):
+        rt.task_launch(tid, [x[sl], acc[i:i + 1]])
+    yield from rt.section_end()
+    return float(acc.sum())
+
+
+class StepSumApp(Restartable):
+    """The restartable shape: init/step/snapshot/restore/finalize."""
+
+    def __init__(self, config: StepSumConfig = StepSumConfig()):
+        self.config = config
+        self.n_steps = config.n_steps
+
+    def init_state(self, ctx, comm):
+        return {"x": np.arange(self.config.n, dtype=np.float64),
+                "totals": []}
+
+    def step(self, ctx, comm, state, step_index):
+        with ctx.region("stepsum"):
+            total = yield from _sum_section(ctx, state["x"],
+                                            self.config.n_tasks)
+        state["totals"].append(total)
+
+    def snapshot(self, state):
+        return {"x": state["x"].copy(), "totals": list(state["totals"])}
+
+    def restore(self, payload):
+        return {"x": payload["x"].copy(),
+                "totals": list(payload["totals"])}
+
+    def finalize(self, ctx, comm, state):
+        return finish(ctx, state["totals"][-1])
+
+
+def make_stepsum(config=None) -> StepSumApp:
+    """Restartable factory for the app registry (``restartable=``)."""
+    return StepSumApp(config if config is not None else StepSumConfig())
+
+
+def stepsum_program(ctx, comm, config: StepSumConfig = StepSumConfig()):
+    """The flat program twin (native / sdr / plain intra runs)."""
+    app = StepSumApp(config)
+    state = app.init_state(ctx, comm)
+    for step_index in range(app.n_steps):
+        yield from app.step(ctx, comm, state, step_index)
+    return app.finalize(ctx, comm, state)

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments                   # everything (~1 min)
     python -m repro.experiments fig5a fig6c       # selected figures
     python -m repro.experiments run fig5b --set degree=3 --set mode=intra
+    python -m repro.experiments fig5b --format csv     # table rows as CSV
     python -m repro.experiments run ext:poisson:intra --format json
     python -m repro.experiments --workers 4       # parallel sweep points
     python -m repro.experiments --no-cache        # force recomputation
@@ -25,8 +26,9 @@ a close-match suggestion.
 NAMESPACE`` (the part before the first colon: ``--tag ext``,
 ``--tag example``); output is sorted and deterministic, and a
 pattern/tag matching nothing exits non-zero.  ``--format json|csv``
-turns scenario runs into machine-readable
-:class:`repro.results.ResultSet` output (``csv`` is run-only).
+turns runs machine-readable: experiment names render their table rows
+(flat records tagged with experiment + table), scenario names a
+:class:`repro.results.ResultSet` (``csv`` is run-only).
 
 Tables print to stdout in the same layout the benchmark harness saves
 under ``benchmarks/_results/``.  Sweep points fan out over ``--workers``
@@ -38,7 +40,10 @@ bump ``repro.perf.CACHE_VERSION`` after model changes).
 from __future__ import annotations
 
 import argparse
+import csv
+import dataclasses
 import fnmatch
+import io
 import json
 import sys
 import typing as _t
@@ -252,6 +257,91 @@ def _run_single_scenario(name: str, overrides: Overrides) -> str:
                         title=f"{name} — {scenario.summary()}")
 
 
+#: rows-providers behind ``--format json|csv`` on whole experiments:
+#: experiment name -> list of (table label, row-dataclass list) pairs.
+#: The same row objects feed the human tables, so both formats always
+#: agree; composite experiments contribute one labelled block per table.
+def _experiment_tables(name: str, overrides: Overrides
+                       ) -> _t.List[_t.Tuple[str, _t.List[_t.Any]]]:
+    if name == "fig5a":
+        return [("fig5a", fig5a(overrides=overrides))]
+    if name == "fig5b":
+        return [("fig5b", fig5b(overrides=overrides))]
+    if name in ("fig6a", "fig6b", "fig6c", "fig6d"):
+        fn = {"fig6a": fig6a, "fig6b": fig6b, "fig6c": fig6c,
+              "fig6d": fig6d}[name]
+        return [(name, fn(overrides=overrides))]
+    if name == "background":
+        return [("ccr_vs_replication",
+                 ccr_vs_replication(**_bg.apply_overrides(overrides)))]
+    if name == "ablations":
+        if overrides:
+            raise ValueError("--set overrides are not supported for "
+                             "the ablation batch; run its scenarios "
+                             "individually (see --list)")
+        return [("granularity", granularity_sweep()),
+                ("scheduler", scheduler_comparison()),
+                ("placement", placement_sweep()),
+                ("copy_strategy", copy_strategy_comparison()),
+                ("minighost_stencil", minighost_stencil_ablation())]
+    if name == "extensions":
+        if overrides:
+            raise ValueError("--set overrides are not supported for "
+                             "the extension batch; run its scenarios "
+                             "individually (see --list)")
+        return [("failure_time", failure_time_sweep()),
+                ("degree", degree_sweep()),
+                ("poisson", poisson_failure_rows())]
+    raise KeyError(name)
+
+
+def _experiment_records(name: str, overrides: Overrides
+                        ) -> _t.List[_t.Dict[str, _t.Any]]:
+    """One flat dict per experiment-table row, tagged with the
+    experiment and table it belongs to."""
+    records = []
+    for table, rows in _experiment_tables(name, overrides):
+        for row in rows:
+            rec: _t.Dict[str, _t.Any] = {"experiment": name,
+                                         "table": table}
+            rec.update(dataclasses.asdict(row))
+            records.append(rec)
+    return records
+
+
+def _render_experiments_structured(names: _t.Sequence[str],
+                                   overrides: Overrides,
+                                   fmt: str) -> str:
+    """Machine-readable experiment tables: JSON rows, or one CSV whose
+    header is the first-appearance union of row fields (cells missing
+    on a row render empty; floats via ``repr`` so they round-trip)."""
+    records: _t.List[_t.Dict[str, _t.Any]] = []
+    for name in names:
+        records += _experiment_records(name, overrides)
+    if fmt == "json":
+        return json.dumps(records, sort_keys=True, indent=2)
+    cols: _t.List[str] = []
+    for rec in records:
+        for k in rec:
+            if k not in cols:
+                cols.append(k)
+
+    def cell(v: _t.Any) -> _t.Any:
+        if v is None:
+            return ""
+        if isinstance(v, float):
+            return repr(float(v))
+        if isinstance(v, (list, tuple)):
+            return json.dumps(list(v))
+        return v
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(cols)
+    for rec in records:
+        writer.writerow([cell(rec.get(c)) for c in cols])
+    return buf.getvalue()
+
+
 def _run_scenarios_structured(names: _t.Sequence[str],
                               overrides: Overrides,
                               fmt: str) -> str:
@@ -292,8 +382,9 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
     parser.add_argument("--format", choices=("table", "json", "csv"),
                         default="table", dest="fmt",
                         help="output format: human tables (default), or "
-                             "machine-readable ResultSet JSON/CSV for "
-                             "scenario runs ('list' supports json)")
+                             "machine-readable JSON/CSV — experiment "
+                             "names render their table rows, scenario "
+                             "names a ResultSet ('list' supports json)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="process-pool width for sweep points "
                              "(default: 1, serial)")
@@ -349,17 +440,23 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
         return 2
 
     if args.fmt != "table":
-        # machine-readable output: all names must be scenarios; they
-        # run as ONE ResultSet so equal points dedupe in the sweep
-        bad = [n for n in names if n in EXPERIMENTS]
-        if bad:
-            print(f"error: --format {args.fmt} applies to scenario "
-                  f"runs; {', '.join(bad)} are whole experiments "
-                  f"(pick their scenario points — see `list`)",
+        # machine-readable output: either whole experiments (flat
+        # table rows) or scenario names (a ResultSet), not a mix —
+        # their record schemas are different currencies
+        exp = [n for n in names if n in EXPERIMENTS]
+        if exp and len(exp) != len(names):
+            print(f"error: --format {args.fmt} cannot mix whole "
+                  f"experiments ({', '.join(exp)}) with scenario "
+                  f"names in one invocation; run them separately",
                   file=sys.stderr)
             return 2
         try:
-            print(_run_scenarios_structured(names, overrides, args.fmt))
+            if exp:
+                print(_render_experiments_structured(names, overrides,
+                                                     args.fmt))
+            else:
+                print(_run_scenarios_structured(names, overrides,
+                                                args.fmt))
         except UnknownScenarioError as exc:
             return unknown(exc.name)
         except ValueError as exc:

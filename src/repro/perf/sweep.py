@@ -26,8 +26,10 @@ import hashlib
 import os
 import pathlib
 import pickle
+import time
 import typing as _t
 import warnings
+from concurrent.futures.process import BrokenProcessPool
 
 #: bump to invalidate every cached result (e.g. on model changes)
 CACHE_VERSION = 2
@@ -132,9 +134,15 @@ def stable_token(obj: _t.Any) -> str:
     if isinstance(obj, enum.Enum):
         return f"enum:{type(obj).__qualname__}.{obj.name}"
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # Fields flagged ``omit_if_default`` are skipped while at their
+        # default value, so adding such a field to a descriptor (e.g.
+        # ``Scenario.restart``) leaves every pre-existing cache key —
+        # where the field necessarily holds its default — unchanged.
         fields = ", ".join(
             f"{f.name}={stable_token(getattr(obj, f.name))}"
-            for f in dataclasses.fields(obj))
+            for f in dataclasses.fields(obj)
+            if not (f.metadata.get("omit_if_default")
+                    and getattr(obj, f.name) == f.default))
         return f"dc:{type(obj).__qualname__}({fields})"
     if isinstance(obj, (list, tuple)):
         kind = "list" if isinstance(obj, list) else "tuple"
@@ -181,7 +189,24 @@ def _cache_load(cache_dir: pathlib.Path, key: str) -> _t.Tuple[bool, _t.Any]:
     try:
         with open(path, "rb") as fh:
             return True, pickle.load(fh)
-    except (OSError, pickle.PickleError, EOFError, AttributeError):
+    except FileNotFoundError:
+        return False, None          # an ordinary miss: nothing stored
+    except Exception as exc:        # noqa: BLE001 — unpickling corrupt
+        # bytes can raise nearly anything; none of it may fail the sweep
+        # Quarantine: an unreadable/corrupt entry must neither crash the
+        # sweep nor shadow its slot forever.  Move it aside (kept for
+        # post-mortems, ignored by loads), warn, and report a miss — the
+        # point recomputes and _cache_store rewrites the entry.
+        quarantined = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, quarantined)
+            note = f"; entry quarantined to {quarantined.name}"
+        except OSError:
+            note = ""
+        warnings.warn(
+            f"ignoring corrupt sweep-cache entry {path.name} "
+            f"({type(exc).__name__}: {exc}){note}; recomputing the "
+            f"point", RuntimeWarning, stacklevel=3)
         return False, None
 
 
@@ -203,8 +228,9 @@ def clear_result_cache(cache_dir: _t.Optional[_t.Union[str, pathlib.Path]]
 
     Also sweeps the ``.tmp<pid>`` droppings a :func:`_cache_store`
     writer that crashed between ``open`` and ``os.replace`` leaves
-    behind, and prunes shard directories emptied by the sweep (neither
-    counts toward the return value, which is cached *results* only).
+    behind, the ``.corrupt`` files :func:`_cache_load` quarantined, and
+    prunes shard directories emptied by the sweep (none of which count
+    toward the return value, which is cached *results* only).
     """
     root = pathlib.Path(cache_dir) if cache_dir else _config.cache_dir
     removed = 0
@@ -215,12 +241,13 @@ def clear_result_cache(cache_dir: _t.Optional[_t.Union[str, pathlib.Path]]
                 removed += 1
             except OSError:
                 pass
-        for p in root.rglob("*.tmp*"):
-            if p.is_file():
-                try:
-                    p.unlink()
-                except OSError:
-                    pass
+        for pattern in ("*.tmp*", "*.corrupt"):
+            for p in root.rglob(pattern):
+                if p.is_file():
+                    try:
+                        p.unlink()
+                    except OSError:
+                        pass
         # deepest-first so nested shard dirs empty out bottom-up;
         # rmdir refuses non-empty dirs, which is exactly what we want
         for d in sorted((d for d in root.rglob("*") if d.is_dir()),
@@ -233,6 +260,36 @@ def clear_result_cache(cache_dir: _t.Optional[_t.Union[str, pathlib.Path]]
 
 
 # ------------------------------------------------------------- the driver
+#: upper bound on one retry-backoff sleep, seconds
+_MAX_BACKOFF = 30.0
+
+
+@dataclasses.dataclass
+class PointFailure:
+    """Structured outcome of a sweep point that exhausted its retries.
+
+    Yielded as a :class:`SweepItem`'s ``value`` under
+    ``on_error="return"`` instead of raising, so one pathological point
+    cannot take down a long sweep.  Failures are never written to the
+    cache — the point recomputes on the next sweep.
+
+    ``kind`` is ``"error"`` (``fn`` raised), ``"timeout"`` (the point
+    exceeded the per-point budget) or ``"worker-lost"`` (the pool
+    worker running — or queued to run — the point died).
+    """
+
+    error: str
+    kind: str = "error"
+    attempts: int = 1
+
+
+# This module is importlib.reload()-ed by tests to re-run the
+# import-time env parsing; pin one canonical class object across
+# reloads so isinstance checks on previously-imported references and
+# previously-created failures stay true.
+PointFailure = globals().setdefault("_PointFailure", PointFailure)
+
+
 @dataclasses.dataclass
 class SweepItem:
     """One completed sweep point, as yielded by :func:`iter_sweep`.
@@ -256,7 +313,11 @@ def iter_sweep(points: _t.Sequence[_t.Any],
                workers: _t.Optional[int] = None,
                cache: _t.Optional[bool] = None,
                cache_dir: _t.Optional[_t.Union[str, pathlib.Path]] = None,
-               tag: str = "") -> _t.Iterator[SweepItem]:
+               tag: str = "",
+               timeout: _t.Optional[float] = None,
+               retries: int = 0,
+               backoff: float = 0.5,
+               on_error: str = "raise") -> _t.Iterator[SweepItem]:
     """Streaming form of :func:`run_sweep`: yield a :class:`SweepItem`
     per point *as results become available* instead of one ordered list
     at the end.
@@ -268,10 +329,35 @@ def iter_sweep(points: _t.Sequence[_t.Any],
     same as :func:`run_sweep` (which is implemented on this iterator),
     so streaming consumers and batch consumers share one cache.
 
-    Parameters are those of :func:`run_sweep`.  The iterator is lazy:
-    nothing runs until the first ``next()``, and abandoning it mid-sweep
-    shuts the worker pool down cleanly.
+    Parameters are those of :func:`run_sweep` plus the robustness
+    knobs (also accepted by :func:`run_sweep`):
+
+    * ``timeout`` — soft per-point wall-clock budget in seconds (pool
+      runs only; inline execution cannot be preempted).  A round of
+      pool work is abandoned once it exceeds one budget per submission
+      wave; unfinished points count a ``"timeout"`` attempt.
+    * ``retries`` — how many times a failed point (exception, timeout,
+      dead worker) is re-attempted, with exponential backoff
+      (``backoff * 2**k`` seconds before retry round ``k``, capped at
+      30 s).  Worker death never poisons the sweep: completed points
+      keep their results and the survivors retry on a fresh pool.
+    * ``on_error`` — ``"raise"`` (default) re-raises the first point
+      that exhausts its attempts; ``"return"`` yields it as a
+      :class:`SweepItem` whose value is a structured
+      :class:`PointFailure` (never cached) and keeps sweeping.
+
+    The iterator is lazy: nothing runs until the first ``next()``, and
+    abandoning it mid-sweep shuts the worker pool down cleanly.
     """
+    if on_error not in ("raise", "return"):
+        raise ValueError(f"on_error must be 'raise' or 'return', got "
+                         f"{on_error!r}")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive (or None)")
+    if backoff < 0:
+        raise ValueError("backoff must be non-negative")
     cfg = _config
     n_workers = cfg.workers if workers is None else workers
     use_cache = cfg.cache if cache is None else cache
@@ -309,33 +395,169 @@ def iter_sweep(points: _t.Sequence[_t.Any],
         for dup in duplicates.get(i, ()):
             yield SweepItem(dup, points[dup], value, True, keys[dup])
 
+    def fail(i: int, failure: PointFailure) -> _t.Iterator[SweepItem]:
+        # failures are never cached: the point recomputes next sweep,
+        # and duplicates share the failure (same key, same outcome)
+        yield SweepItem(i, points[i], failure, False, keys[i])
+        for dup in duplicates.get(i, ()):
+            yield SweepItem(dup, points[dup], failure, False, keys[dup])
+
     if not pending:
         return
     if n_workers > 1 and len(pending) > 1:
-        pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(n_workers, len(pending)))
+        yield from _pool_rounds(points, fn, pending, n_workers, timeout,
+                                retries, backoff, on_error, finish, fail)
+    else:
+        yield from _serial_rounds(points, fn, pending, retries, backoff,
+                                  on_error, finish, fail)
+
+
+def _serial_rounds(points: _t.List[_t.Any], fn: _t.Callable,
+                   pending: _t.List[int], retries: int, backoff: float,
+                   on_error: str, finish: _t.Callable,
+                   fail: _t.Callable) -> _t.Iterator[SweepItem]:
+    """Inline execution with bounded retry (no pool, no preemption —
+    ``timeout`` does not apply here)."""
+    for i in pending:
+        for attempt in range(retries + 1):
+            try:
+                value = fn(points[i])
+            except Exception as exc:
+                if attempt < retries:
+                    time.sleep(min(backoff * (2 ** attempt),
+                                   _MAX_BACKOFF))
+                    continue
+                if on_error == "raise":
+                    raise
+                yield from fail(i, PointFailure(
+                    f"{type(exc).__name__}: {exc}", "error",
+                    attempt + 1))
+                break
+            else:
+                yield from finish(i, value)
+                break
+
+
+def _pool_rounds(points: _t.List[_t.Any], fn: _t.Callable,
+                 pending: _t.List[int], n_workers: int,
+                 timeout: _t.Optional[float], retries: int,
+                 backoff: float, on_error: str, finish: _t.Callable,
+                 fail: _t.Callable) -> _t.Iterator[SweepItem]:
+    """Pool execution in rounds: each round runs the still-pending
+    points on a *fresh* pool, so a worker death (which poisons a
+    :class:`~concurrent.futures.ProcessPoolExecutor`) costs one attempt
+    for the in-flight points — never the results already completed, and
+    never the sweep."""
+    attempts: _t.Dict[int, int] = {i: 0 for i in pending}
+    failures: _t.Dict[int, PointFailure] = {}
+    raisable: _t.Dict[int, BaseException] = {}
+    todo = list(pending)
+    round_no = 0
+    while todo:
+        if round_no:
+            time.sleep(min(backoff * (2 ** (round_no - 1)),
+                           _MAX_BACKOFF))
+        round_no += 1
+        width = min(n_workers, len(todo))
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=width)
+        retry: _t.List[int] = []
         drained = False
+        abandoned = False
         try:
-            futures = {pool.submit(fn, points[i]): i for i in pending}
-            for fut in concurrent.futures.as_completed(futures):
-                yield from finish(futures[fut], fut.result())
+            futures = {pool.submit(fn, points[i]): i for i in todo}
+            waiting = set(futures)
+            deadline = None
+            if timeout is not None:
+                # soft per-point budget: the round gets one timeout per
+                # submission wave (queued points have not started yet)
+                deadline = time.monotonic() + timeout * -(-len(todo)
+                                                          // width)
+            while waiting:
+                wait_for = None if deadline is None else max(
+                    0.0, deadline - time.monotonic())
+                done, waiting = concurrent.futures.wait(
+                    waiting, timeout=wait_for,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+                if not done:
+                    # budget exhausted: every straggler counts a
+                    # timeout attempt; its worker is abandoned (a
+                    # running future cannot be killed, only orphaned)
+                    for fut in waiting:
+                        i = futures[fut]
+                        fut.cancel()
+                        attempts[i] += 1
+                        failures[i] = PointFailure(
+                            f"timed out after {timeout}s", "timeout",
+                            attempts[i])
+                        retry.append(i)
+                    waiting = set()
+                    abandoned = True
+                    break
+                broken = False
+                for fut in done:
+                    i = futures[fut]
+                    try:
+                        value = fut.result()
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        attempts[i] += 1
+                        failures[i] = PointFailure(
+                            f"worker died ({exc})", "worker-lost",
+                            attempts[i])
+                        retry.append(i)
+                    except Exception as exc:
+                        attempts[i] += 1
+                        failures[i] = PointFailure(
+                            f"{type(exc).__name__}: {exc}", "error",
+                            attempts[i])
+                        raisable[i] = exc
+                        retry.append(i)
+                    else:
+                        yield from finish(i, value)
+                if broken:
+                    # the pool is poisoned: in-flight siblings are lost
+                    # with it; charge them one attempt and rebuild
+                    for fut in waiting:
+                        i = futures[fut]
+                        attempts[i] += 1
+                        failures[i] = PointFailure(
+                            "worker died (pool broken)", "worker-lost",
+                            attempts[i])
+                        retry.append(i)
+                    waiting = set()
             drained = True
         finally:
-            # A consumer that abandons the stream (GeneratorExit) or a
-            # failed point must not block on the queued remainder:
-            # cancel it and return without waiting.  On a fully drained
-            # sweep every future is done, so waiting is free.
-            pool.shutdown(wait=drained, cancel_futures=not drained)
-    else:
-        for i in pending:
-            yield from finish(i, fn(points[i]))
+            # A consumer that abandons the stream (GeneratorExit) must
+            # not block on the queued remainder, and neither may a
+            # timed-out round; a fully drained round has every future
+            # done, so waiting is free.
+            pool.shutdown(wait=drained and not abandoned,
+                          cancel_futures=True)
+        todo = []
+        for i in retry:
+            if attempts[i] <= retries:
+                todo.append(i)
+                continue
+            failure = failures[i]
+            if on_error == "raise":
+                exc = raisable.get(i)
+                if exc is not None:
+                    raise exc
+                raise RuntimeError(
+                    f"sweep point {i} failed after {failure.attempts} "
+                    f"attempt(s): {failure.error}")
+            yield from fail(i, failure)
 
 
 def run_sweep(points: _t.Sequence[_t.Any], fn: _t.Callable[[_t.Any], _t.Any],
               workers: _t.Optional[int] = None,
               cache: _t.Optional[bool] = None,
               cache_dir: _t.Optional[_t.Union[str, pathlib.Path]] = None,
-              tag: str = "") -> _t.List[_t.Any]:
+              tag: str = "",
+              timeout: _t.Optional[float] = None,
+              retries: int = 0,
+              backoff: float = 0.5,
+              on_error: str = "raise") -> _t.List[_t.Any]:
     """Evaluate ``fn(point)`` for every point, in order.
 
     This is the single fan-out/caching choke point of the repo: every
@@ -377,12 +599,19 @@ def run_sweep(points: _t.Sequence[_t.Any], fn: _t.Callable[[_t.Any], _t.Any],
         Scenario sweeps pass one shared tag so equal scenarios dedupe
         *across* figures, examples and CLI runs (see
         :func:`repro.scenarios.scenario_cache_key`).
+    timeout, retries, backoff, on_error:
+        Robustness knobs, as documented on :func:`iter_sweep`.  Under
+        ``on_error="return"`` a point that exhausts its attempts shows
+        up in the result list as a :class:`PointFailure` instead of
+        raising.
 
     Returns results in the same order as ``points``.
     """
     points = list(points)
     results: _t.List[_t.Any] = [None] * len(points)
     for item in iter_sweep(points, fn, workers=workers, cache=cache,
-                           cache_dir=cache_dir, tag=tag):
+                           cache_dir=cache_dir, tag=tag, timeout=timeout,
+                           retries=retries, backoff=backoff,
+                           on_error=on_error):
         results[item.index] = item.value
     return results

@@ -77,10 +77,18 @@ class Restartable:
 
 
 class RestartCoordinator:
-    """Manager-side restart orchestration (degree 2 only)."""
+    """Manager-side restart orchestration (degree 2 only).
+
+    ``policy`` is an optional *declarative* restart policy — any object
+    with ``trigger`` / ``delay`` / ``backoff`` / ``max_restarts`` /
+    ``checkpoint_interval`` attributes, canonically a
+    :class:`repro.scenarios.RestartPolicy` (duck-typed: this layer never
+    imports the scenarios layer).  Without one, behaviour is the
+    original restart-every-death with a fixed ``restart_delay``.
+    """
 
     def __init__(self, manager: ReplicationManager, app: Restartable,
-                 restart_delay: float = 1e-3):
+                 restart_delay: float = 1e-3, policy: _t.Any = None):
         if manager.degree != 2:
             raise ReplicationError(
                 "replica restart is implemented for replication degree 2 "
@@ -88,12 +96,17 @@ class RestartCoordinator:
                 "there is no schedule-agreement race")
         self.manager = manager
         self.app = app
+        self.policy = policy
         #: spawn cost for the replacement process (job launch, binary
         #: load — [19] reports this is low; configurable)
-        self.restart_delay = restart_delay
+        self.restart_delay = (restart_delay if policy is None
+                              else policy.delay)
         #: lrank -> replacement ReplicaInfo awaiting state
         self.pending: _t.Dict[int, ReplicaInfo] = {}
         self.restarts_completed = 0
+        #: restarts *scheduled* (pending + completed + abandoned):
+        #: what the policy's max_restarts budget counts
+        self.restarts_started = 0
         manager.on_death(self._on_death)
 
     # ----------------------------------------------------------- death
@@ -102,10 +115,22 @@ class RestartCoordinator:
             return  # one restart at a time per logical rank
         if not self.manager.alive_replicas(lrank):
             return  # rank wiped out; nothing to restart from
+        pol = self.policy
+        delay = self.restart_delay
+        if pol is not None:
+            if (pol.max_restarts is not None
+                    and self.restarts_started >= pol.max_restarts):
+                return  # restart budget exhausted
+            if (pol.trigger == "on-degree-loss"
+                    and len(self.manager.alive_replicas(lrank))
+                    >= self.manager.degree):
+                return  # the rank is still at full degree
+            delay = pol.delay * (pol.backoff ** self.restarts_started)
+        self.restarts_started += 1
         sim = self.manager.world.sim
 
         def spawn_later():
-            yield sim.timeout(self.restart_delay)
+            yield sim.timeout(delay)
             self._spawn_replacement(lrank, rid)
 
         sim.process(spawn_later(), name=f"respawn:{lrank}.{rid}")
@@ -141,10 +166,20 @@ class RestartCoordinator:
             mgr._service_program(info), name=f"svc:{ctx.name}")
 
     # -------------------------------------------------------- handover
-    def wants_handover(self, lrank: int, rid: int) -> bool:
-        """Should the (cover) replica serve a restart at this boundary?"""
+    def wants_handover(self, lrank: int, rid: int,
+                       boundary: _t.Optional[int] = None) -> bool:
+        """Should the (cover) replica serve a restart at this boundary?
+
+        ``boundary`` is the 1-based step boundary the caller just
+        reached; under a policy with ``checkpoint_interval = k``,
+        handovers are served only at boundaries divisible by ``k``
+        (``None`` — a caller without step context — serves at any
+        boundary)."""
         info = self.pending.get(lrank)
         if info is None:
+            return False
+        if (self.policy is not None and boundary is not None
+                and boundary % self.policy.checkpoint_interval != 0):
             return False
         cover = self.manager.cover_of(lrank)
         return cover.replica_id == rid
@@ -239,7 +274,8 @@ def _step_loop(coord: RestartCoordinator, ctx, comm, state,
     app = coord.app
     for step_index in range(first_step, app.n_steps):
         yield from app.step(ctx, comm, state, step_index)
-        if coord.wants_handover(comm.lrank, comm.rid):
+        if coord.wants_handover(comm.lrank, comm.rid,
+                                boundary=step_index + 1):
             yield from coord.serve_handover(
                 ctx, comm, state, next_step=step_index + 1,
                 intra_section_index=ctx.intra.section_index)
@@ -269,13 +305,17 @@ def launch_restartable_job(world, app: Restartable, n_logical: int,
                            fd_delay: float = 50e-6,
                            restart_delay: float = 1e-3,
                            spread: int = 1,
-                           scheduler=None):
+                           scheduler=None,
+                           policy=None):
     """Launch an intra-parallelized replicated job with replica restart.
 
     Returns ``(ReplicatedJob, RestartCoordinator)``.  Inject crashes via
     :class:`~repro.replication.failures.FailureInjector` as usual — dead
     replicas respawn automatically after ``restart_delay`` and rejoin
-    work sharing at the survivor's next step boundary.
+    work sharing at the survivor's next step boundary.  ``policy`` (a
+    declarative restart policy, see :class:`RestartCoordinator`)
+    overrides ``restart_delay`` and adds trigger/budget/backoff/
+    checkpoint-cadence semantics — the scenario runner's path.
     """
     from ..intra.runtime import IntraRuntime
     from ..netmodel import replica_placement
@@ -286,7 +326,8 @@ def launch_restartable_job(world, app: Restartable, n_logical: int,
     placements = replica_placement(world.cluster, n_logical, degree=2,
                                    spread=spread)
     manager.build(placements)
-    coord = RestartCoordinator(manager, app, restart_delay=restart_delay)
+    coord = RestartCoordinator(manager, app, restart_delay=restart_delay,
+                               policy=policy)
     base_program = run_restartable(coord)
 
     def wrapped(ctx, comm):

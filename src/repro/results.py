@@ -121,6 +121,12 @@ class RunResult:
 
     ``to_json``/``from_json`` round-trip losslessly, numpy payloads
     included.  Equality is numpy-aware full-field equality.
+
+    A sweep run under ``on_error="return"`` may deliver a *failed*
+    result (the point exhausted its retries): ``error`` then carries
+    the structured failure description (kind, message, attempt count)
+    and the payload fields are empty — check :attr:`ok` before trusting
+    ``wall_time``/``value``.  Failed results are never cached.
     """
 
     scenario: Scenario
@@ -137,6 +143,8 @@ class RunResult:
     crashes: _t.Tuple[CrashEvent, ...] = ()
     cache_key: _t.Optional[str] = None
     cache_hit: _t.Optional[bool] = None
+    #: ``None`` on success; "<kind>: <message> (N attempts)" on failure
+    error: _t.Optional[str] = None
 
     @classmethod
     def from_mode_run(cls, run: _t.Any, scenario: Scenario,
@@ -150,7 +158,26 @@ class RunResult:
                    crashes=tuple(run.crashes), cache_key=cache_key,
                    cache_hit=cache_hit)
 
+    @classmethod
+    def from_failure(cls, failure: _t.Any, scenario: Scenario,
+                     cache_key: _t.Optional[str] = None) -> "RunResult":
+        """A failed result from a sweep-layer
+        :class:`~repro.perf.PointFailure` (the point exhausted its
+        retries under ``on_error="return"``): empty payload, the
+        failure summarized in :attr:`error`."""
+        return cls(scenario=scenario, mode=scenario.mode, wall_time=0.0,
+                   timers={}, intra={}, value=None, crashes=(),
+                   cache_key=cache_key, cache_hit=False,
+                   error=(f"{failure.kind}: {failure.error} "
+                          f"({failure.attempts} attempt"
+                          f"{'s' if failure.attempts != 1 else ''})"))
+
     # -------------------------------------------------------- accessors
+    @property
+    def ok(self) -> bool:
+        """True unless this is a failed sweep point (see ``error``)."""
+        return self.error is None
+
     @property
     def n_crashes(self) -> int:
         return len(self.crashes)
@@ -184,13 +211,14 @@ class RunResult:
                 and payload_equal(self.value, other.value)
                 and self.crashes == other.crashes
                 and self.cache_key == other.cache_key
-                and self.cache_hit == other.cache_hit)
+                and self.cache_hit == other.cache_hit
+                and self.error == other.error)
 
     # ------------------------------------------------------- round-trip
     def to_dict(self) -> _t.Dict[str, _t.Any]:
         """Plain-JSON-types dict; :meth:`from_dict` is its exact
         inverse."""
-        return {
+        data = {
             "scenario": self.scenario.to_dict(),
             "mode": self.mode,
             "wall_time": self.wall_time,
@@ -200,6 +228,9 @@ class RunResult:
             "crashes": [list(ev.as_tuple()) for ev in self.crashes],
             "cache": {"key": self.cache_key, "hit": self.cache_hit},
         }
+        if self.error is not None:   # successful dicts stay unchanged
+            data["error"] = self.error
+        return data
 
     @classmethod
     def from_dict(cls, data: _t.Mapping[str, _t.Any]) -> "RunResult":
@@ -214,7 +245,8 @@ class RunResult:
             crashes=tuple(CrashEvent(int(r), int(p), float(at))
                           for r, p, at in data["crashes"]),
             cache_key=cache.get("key"),
-            cache_hit=cache.get("hit"))
+            cache_hit=cache.get("hit"),
+            error=data.get("error"))
 
     def to_json(self, **dumps_kw: _t.Any) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, **dumps_kw)
@@ -245,6 +277,8 @@ class RunResult:
             "n_crashes": self.n_crashes, "cache_hit": self.cache_hit,
             "value": value,
         }
+        if self.error is not None:  # column appears only on failed rows
+            row["error"] = self.error
         for k in sorted(self.timers):
             row[f"timer:{k}"] = self.timers[k]
         for k in sorted(self.intra):
@@ -252,6 +286,9 @@ class RunResult:
         return row
 
     def __repr__(self) -> str:  # keep huge payloads out of tracebacks
+        if self.error is not None:
+            return (f"RunResult({self.scenario.summary()}, "
+                    f"FAILED: {self.error})")
         return (f"RunResult({self.scenario.summary()}, "
                 f"wall_time={self.wall_time:.6g}, "
                 f"crashes={self.n_crashes}, cache_hit={self.cache_hit})")
@@ -356,9 +393,12 @@ class ResultSet(_t.Sequence):
     def columns(self) -> _t.List[str]:
         """Deterministic column order for tabular output: the base
         columns, then the sorted union of ``timer:*`` / ``intra:*``
-        columns over all results."""
+        columns over all results (plus ``error``, only when some result
+        failed — all-success sets keep their historical header)."""
         extra: _t.Set[str] = set()
         for r in self._results:
+            if r.error is not None:
+                extra.add("error")
             extra.update(f"timer:{k}" for k in r.timers)
             extra.update(f"intra:{k}" for k in r.intra)
         return list(RunResult.BASE_COLUMNS) + sorted(extra)

@@ -23,9 +23,14 @@ Quickstart (through the :mod:`repro.api` facade)::
 
 from .apps import (AppEntry, app_names, app_ref, get_app, register_app,
                    resolve_program)
-from .failures import (NO_FAILURES, CrashEvent, FailureSchedule,
-                       FixedFailures, NoFailures, PoissonFailures,
-                       SCHEDULE_KINDS, WeibullFailures)
+from .failures import (NO_FAILURES, CascadingFailures, ConstantRate,
+                       CrashEvent, FailureSchedule, FixedFailures,
+                       InhomogeneousPoissonFailures,
+                       MaintenanceWindowFailures, NoFailures,
+                       PiecewiseRate, PoissonFailures, RATE_TERM_KINDS,
+                       RateSpec, RateTerm, SCHEDULE_KINDS, SinusoidRate,
+                       WeibullFailures, WindowRate)
+from .policies import RESTART_TRIGGERS, RestartPolicy
 from .registry import (RegisteredScenario, UnknownScenarioError,
                        find_scenario_name, get_entry, get_scenario,
                        register_scenario, scenario_entries,
@@ -38,11 +43,15 @@ from .spec import (MACHINES, NETWORKS, Scenario, baseline_overrides,
 from . import catalog  # registers the example scenarios  # noqa: F401
 
 __all__ = [
-    "AppEntry", "CrashEvent", "FailureSchedule", "FixedFailures",
-    "MACHINES", "ModeRun", "NETWORKS", "NO_FAILURES", "NoFailures",
-    "PoissonFailures", "RegisteredScenario", "SCENARIO_SWEEP_TAG",
-    "SCHEDULE_KINDS", "Scenario", "UnknownScenarioError",
-    "WeibullFailures", "app_names", "app_ref", "baseline_overrides",
+    "AppEntry", "CascadingFailures", "ConstantRate", "CrashEvent",
+    "FailureSchedule", "FixedFailures", "InhomogeneousPoissonFailures",
+    "MACHINES", "MaintenanceWindowFailures", "ModeRun", "NETWORKS",
+    "NO_FAILURES", "NoFailures", "PiecewiseRate", "PoissonFailures",
+    "RATE_TERM_KINDS", "RESTART_TRIGGERS", "RateSpec", "RateTerm",
+    "RegisteredScenario", "RestartPolicy",
+    "SCENARIO_SWEEP_TAG", "SCHEDULE_KINDS", "Scenario", "SinusoidRate",
+    "UnknownScenarioError", "WeibullFailures", "WindowRate",
+    "app_names", "app_ref", "baseline_overrides",
     "decode_value", "encode_value", "find_scenario_name", "get_app",
     "get_entry", "get_scenario", "machine_name_for", "make_world",
     "network_name_for", "nodes_for", "parse_override",

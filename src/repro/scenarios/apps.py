@@ -22,6 +22,7 @@ from ..apps.gtc import GtcConfig, gtc_program
 from ..apps.hpccg import (HpccgConfig, KernelBenchConfig,
                           hpccg_kernel_bench, hpccg_program)
 from ..apps.minighost import MiniGhostConfig, minighost_program
+from ..apps.steploop import StepSumConfig, make_stepsum, stepsum_program
 from .spec import register_codec_type
 
 
@@ -33,6 +34,11 @@ class AppEntry:
     program: _t.Callable[..., _t.Generator]
     config_cls: _t.Optional[type]
     description: str = ""
+    #: optional factory ``restartable(config) -> Restartable`` — the
+    #: step-loop shape the restart coordinator drives; required for
+    #: scenarios carrying a :class:`~repro.scenarios.policies.
+    #: RestartPolicy`
+    restartable: _t.Optional[_t.Callable[..., _t.Any]] = None
 
 
 _APPS: _t.Dict[str, AppEntry] = {}
@@ -42,12 +48,13 @@ _BY_PROGRAM: _t.Dict[_t.Any, str] = {}
 
 def register_app(name: str, program: _t.Callable,
                  config_cls: _t.Optional[type] = None,
-                 description: str = "", overwrite: bool = False
+                 description: str = "", overwrite: bool = False,
+                 restartable: _t.Optional[_t.Callable[..., _t.Any]] = None
                  ) -> AppEntry:
     """Register a program under a short scenario app name."""
     if not overwrite and name in _APPS:
         raise ValueError(f"app {name!r} is already registered")
-    entry = AppEntry(name, program, config_cls, description)
+    entry = AppEntry(name, program, config_cls, description, restartable)
     _APPS[name] = entry
     _BY_PROGRAM.setdefault(program, name)
     if config_cls is not None:
@@ -114,3 +121,6 @@ register_app("gtc", gtc_program, GtcConfig,
              "GTC-like particle-in-cell stepper (Figure 6c)")
 register_app("minighost", minighost_program, MiniGhostConfig,
              "MiniGhost 27pt stencil stepper (Figure 6d)")
+register_app("stepsum", stepsum_program, StepSumConfig,
+             "StepSum step-loop partial sums (§VI restart extension)",
+             restartable=make_stepsum)

@@ -13,7 +13,10 @@ from __future__ import annotations
 
 from ..apps.gtc import GtcConfig
 from ..apps.hpccg import HpccgConfig, KernelBenchConfig
-from .failures import FixedFailures
+from ..apps.steploop import StepSumConfig
+from .failures import (CascadingFailures, FixedFailures,
+                       MaintenanceWindowFailures)
+from .policies import RestartPolicy
 from .registry import register_scenario
 from .spec import Scenario
 
@@ -45,7 +48,54 @@ def tiny_overrides(app: str, mode: str) -> dict:
     if app == "gtc":
         return {"config.particles_per_rank": 2048, "config.steps": 2,
                 "n_logical": 2}
+    if app == "stepsum":
+        return {"config.n": 20_000, "config.n_steps": 8}
     raise KeyError(f"no tiny overrides defined for app {app!r}")
+
+
+# ------------------------------------------- the restart:* storm grid
+#: failure storms of the ``restart:*`` grid (full-size stepsum runs
+#: ~4.4 ms of virtual time, so a 3.5 ms storm horizon sits inside it)
+RESTART_STORMS = {
+    "cascade": CascadingFailures(
+        rate=120.0, multiplier=25.0, window=8e-4, neighbor_distance=1,
+        base=FixedFailures(((0, 1, 1e-3),)), seed=2015, horizon=3.5e-3),
+    "maintenance": MaintenanceWindowFailures(
+        base_rate=40.0, window_rate=1.5e3, period=1.5e-3, window=2.5e-4,
+        offset=8e-4, seed=2015, horizon=3.5e-3),
+}
+
+#: restart policies of the grid (``None`` = crashes stay permanent)
+RESTART_POLICIES = {
+    "eager": RestartPolicy(delay=2e-4),
+    "checkpointed": RestartPolicy(trigger="on-degree-loss", delay=4e-4,
+                                  backoff=2.0, max_restarts=4,
+                                  checkpoint_interval=2),
+    "none": None,
+}
+
+
+def restart_grid_names() -> list:
+    """The registered names of the ``restart:*`` grid, sorted — the
+    storm × policy cross the docs snippet and the robustness tests
+    sweep."""
+    return sorted(f"restart:{storm}:{policy}"
+                  for storm in RESTART_STORMS
+                  for policy in RESTART_POLICIES)
+
+
+def _register_restart_grid() -> None:
+    base = Scenario(app="stepsum", config=StepSumConfig(), n_logical=2,
+                    mode="intra")
+    for storm_name, storm in RESTART_STORMS.items():
+        for policy_name, policy in RESTART_POLICIES.items():
+            register_scenario(
+                f"restart:{storm_name}:{policy_name}",
+                base.replace(failures=storm, restart=policy),
+                f"§VI restart extension — {storm_name} failure storm "
+                + (f"under the {policy_name!r} restart policy"
+                   if policy is not None else "without restart "
+                   "(crashes permanent; the survivor computes alone)"))
 
 
 def _register_examples() -> None:
@@ -85,14 +135,13 @@ def _register_examples() -> None:
         "protocol-precise hook kill)")
     register_scenario(
         "example:replica-restart",
-        Scenario(app="hpccg",
-                 config=HpccgConfig(nx=16, ny=16, nz=16, max_iter=8,
-                                    intra_kernels=frozenset({"ddot",
-                                                             "spmv"})),
-                 n_logical=1, mode="intra",
-                 failures=FixedFailures(((0, 1, 1e-3),))),
-        "examples/replica_restart.py library twin — crash without "
-        "restart; the script contrasts the restartable-job path")
+        Scenario(app="stepsum", config=StepSumConfig(), n_logical=1,
+                 mode="intra", failures=FixedFailures(((0, 1, 1e-3),)),
+                 restart=RestartPolicy(delay=2e-4)),
+        "examples/replica_restart.py — StepSum with an early replica "
+        "crash healed by a declarative restart policy (the script "
+        "contrasts no-crash / no-restart / restart)")
 
 
 _register_examples()
+_register_restart_grid()

@@ -19,7 +19,19 @@ Hierarchy:
   killing a random (or tagged) replica, in the spirit of the
   inhomogeneous-Poisson simulation toolkits of PAPERS.md;
 * :class:`WeibullFailures` — seeded Weibull inter-arrival times, the
-  standard HPC failure-trace model (infant mortality / wear-out).
+  standard HPC failure-trace model (infant mortality / wear-out);
+* :class:`InhomogeneousPoissonFailures` — time-varying Poisson arrivals
+  simulated by seeded *thinning* against the rate function's upper
+  bound (the IPPP algorithm of PAPERS.md, arXiv:1901.10754), with the
+  rate declared through the small :class:`RateSpec` codec
+  (piecewise-constant / sinusoidal / maintenance-window terms);
+* :class:`MaintenanceWindowFailures` — periodic elevated-rate windows
+  (the "patch Tuesday" shape of production failure traces), a
+  pre-packaged inhomogeneous process;
+* :class:`CascadingFailures` — correlated failures: every materialized
+  crash multiplies the hazard of topology-neighbor logical ranks for a
+  decay window, so one crash seeds a burst (exact piecewise-constant
+  hazard simulation, deterministic from the seed).
 
 Installation is uniform: the scenario runner hands the materialized
 events to :meth:`repro.replication.FailureInjector.apply`, which
@@ -31,6 +43,7 @@ schedules the crash-stop kills on the
 from __future__ import annotations
 
 import dataclasses
+import math
 import random
 import typing as _t
 
@@ -87,14 +100,19 @@ class FailureSchedule:
 
     @staticmethod
     def from_dict(data: _t.Mapping[str, _t.Any]) -> "FailureSchedule":
-        """Inverse of :meth:`to_dict`; dispatches on ``kind``."""
+        """Inverse of :meth:`to_dict`; dispatches on ``kind``.
+
+        An unknown ``kind`` raises :class:`ValueError` listing every
+        *registered* kind (the live :data:`SCHEDULE_KINDS` table, so
+        the message always includes schedule kinds added after this
+        module was written)."""
         data = dict(data)
         kind = data.pop("kind", None)
         cls = SCHEDULE_KINDS.get(kind)
         if cls is None:
             raise ValueError(
-                f"unknown failure-schedule kind {kind!r}; expected one "
-                f"of {sorted(SCHEDULE_KINDS)}")
+                f"unknown failure-schedule kind {kind!r}; registered "
+                f"kinds: {', '.join(sorted(SCHEDULE_KINDS))}")
         fields = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - fields
         if unknown:
@@ -106,6 +124,10 @@ class FailureSchedule:
 def _encode_field(value: _t.Any) -> _t.Any:
     if isinstance(value, CrashEvent):
         return list(value.as_tuple())
+    if isinstance(value, FailureSchedule):
+        return value.to_dict()           # nested schedule (cascade base)
+    if isinstance(value, RateSpec):
+        return value.to_dict()
     if isinstance(value, tuple):
         return [_encode_field(v) for v in value]
     return value
@@ -117,8 +139,33 @@ def _decode_field(cls: type, name: str, value: _t.Any) -> _t.Any:
                      for e in value)
     if name == "targets" and value is not None:
         return tuple((int(l), int(r)) for l, r in value)
+    if name == "base" and isinstance(value, _t.Mapping):
+        return FailureSchedule.from_dict(value)
+    if name == "rates" and isinstance(value, (_t.Mapping, list, tuple)):
+        return RateSpec.from_dict(value)
     if isinstance(value, list):
         return tuple(value)
+    return value
+
+
+def _check_finite(field: str, value: _t.Any, *,
+                  positive: bool = False) -> float:
+    """Validate one numeric schedule field; the error names the field
+    (matching the CLI ``--set`` error style, so a bad
+    ``--set failures={...}`` points at exactly the offending key)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"failure-schedule field {field!r} must be a "
+                         f"number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"failure-schedule field {field!r} must be "
+                         f"finite, got {value!r}")
+    if positive and value <= 0:
+        raise ValueError(f"failure-schedule field {field!r} must be "
+                         f"positive, got {value!r}")
+    if not positive and value < 0:
+        raise ValueError(f"failure-schedule field {field!r} must be "
+                         f"non-negative, got {value!r}")
     return value
 
 
@@ -225,12 +272,16 @@ class _SeededArrivals(FailureSchedule):
     spare_last: bool = True
 
     def __post_init__(self) -> None:
-        if self.start < 0:
-            raise ValueError("start must be non-negative")
+        _check_finite("start", self.start)
+        _check_finite("horizon", self.horizon)
         if self.horizon <= self.start:
             raise ValueError(
                 "horizon must be > start (a stochastic schedule with an "
                 "empty arrival window would silently inject nothing)")
+        if self.max_failures is not None and self.max_failures < 0:
+            raise ValueError("failure-schedule field 'max_failures' "
+                             "must be non-negative or None, got "
+                             f"{self.max_failures!r}")
         if self.targets is not None:
             object.__setattr__(
                 self, "targets",
@@ -239,9 +290,16 @@ class _SeededArrivals(FailureSchedule):
     def _inter_arrival(self, rng: random.Random) -> float:
         raise NotImplementedError
 
-    def materialize(self, n_logical: int,
-                    degree: int) -> _t.Tuple[CrashEvent, ...]:
-        rng = random.Random(self.seed)
+    def _next_arrival(self, rng: random.Random, t: float) -> float:
+        """The next arrival strictly after ``t`` (homogeneous default:
+        one inter-arrival draw; thinned schedules override this)."""
+        return t + self._inter_arrival(rng)
+
+    def _victim_pool(self, n_logical: int, degree: int
+                     ) -> _t.Tuple[_t.Set[_t.Tuple[int, int]],
+                                   _t.Set[_t.Tuple[int, int]]]:
+        """(alive, pool) sets for a concrete job shape, with tagged
+        targets validated against it."""
         alive = {(l, r) for l in range(n_logical) for r in range(degree)}
         if self.targets is None:
             pool: _t.Set[_t.Tuple[int, int]] = set(alive)
@@ -252,18 +310,31 @@ class _SeededArrivals(FailureSchedule):
                 raise ValueError(
                     f"tagged targets {sorted(stray)} outside the job "
                     f"({n_logical} logical ranks x degree {degree})")
+        return alive, pool
+
+    def _eligible(self, alive: _t.Set[_t.Tuple[int, int]],
+                  pool: _t.Set[_t.Tuple[int, int]]
+                  ) -> _t.List[_t.Tuple[int, int]]:
+        """Sorted killable victims (the sort is part of the determinism
+        contract: the rng picks an index into a canonical order)."""
+        return sorted(
+            p for p in pool & alive
+            if not self.spare_last
+            or sum(1 for q in alive if q[0] == p[0]) > 1)
+
+    def materialize(self, n_logical: int,
+                    degree: int) -> _t.Tuple[CrashEvent, ...]:
+        rng = random.Random(self.seed)
+        alive, pool = self._victim_pool(n_logical, degree)
         events: _t.List[CrashEvent] = []
         t = self.start
         limit = (len(pool) if self.max_failures is None
                  else min(self.max_failures, len(pool)))
         while len(events) < limit:
-            t += self._inter_arrival(rng)
+            t = self._next_arrival(rng, t)
             if t >= self.horizon:
                 break
-            eligible = sorted(
-                p for p in pool & alive
-                if not self.spare_last
-                or sum(1 for q in alive if q[0] == p[0]) > 1)
+            eligible = self._eligible(alive, pool)
             if not eligible:
                 break
             victim = eligible[rng.randrange(len(eligible))]
@@ -297,8 +368,7 @@ class PoissonFailures(_SeededArrivals):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if self.rate <= 0:
-            raise ValueError("rate must be positive")
+        _check_finite("rate", self.rate, positive=True)
 
     def _inter_arrival(self, rng: random.Random) -> float:
         return rng.expovariate(self.rate)
@@ -328,8 +398,494 @@ class WeibullFailures(_SeededArrivals):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if self.scale <= 0 or self.shape <= 0:
-            raise ValueError("scale and shape must be positive")
+        _check_finite("scale", self.scale, positive=True)
+        _check_finite("shape", self.shape, positive=True)
 
     def _inter_arrival(self, rng: random.Random) -> float:
         return rng.weibullvariate(self.scale, self.shape)
+
+
+# ---------------------------------------------------------------------
+# Rate-spec codec: a tiny declarative language for time-varying failure
+# rates.  A RateSpec is a sum of terms; every term is frozen, hashable
+# and JSON-round-trippable exactly like the schedules that carry it.
+# ---------------------------------------------------------------------
+
+#: kind tag → rate-term class (populated by ``_rate_term``)
+RATE_TERM_KINDS: _t.Dict[str, type] = {}
+
+
+def _rate_term(kind: str):
+    """Class decorator registering a rate term under its ``kind`` tag."""
+
+    def wrap(cls):
+        cls.kind = kind
+        RATE_TERM_KINDS[kind] = cls
+        return cls
+
+    return wrap
+
+
+@dataclasses.dataclass(frozen=True)
+class RateTerm:
+    """One additive component of a time-varying failure rate λ(t)."""
+
+    kind: _t.ClassVar[str] = "abstract"
+
+    def rate_at(self, t: float) -> float:
+        """This term's contribution to λ(t), in failures per virtual
+        second.  Always ≥ 0."""
+        raise NotImplementedError
+
+    def upper_bound(self) -> float:
+        """A finite bound ≥ ``max_t rate_at(t)`` (the thinning
+        majorant)."""
+        raise NotImplementedError
+
+    def to_dict(self) -> _t.Dict[str, _t.Any]:
+        out: _t.Dict[str, _t.Any] = {"kind": self.kind}
+        for f in dataclasses.fields(self):
+            out[f.name] = _encode_field(getattr(self, f.name))
+        return out
+
+    @staticmethod
+    def from_dict(data: _t.Mapping[str, _t.Any]) -> "RateTerm":
+        data = dict(data)
+        kind = data.pop("kind", None)
+        cls = RATE_TERM_KINDS.get(kind)
+        if cls is None:
+            raise ValueError(
+                f"unknown rate-term kind {kind!r}; registered kinds: "
+                f"{', '.join(sorted(RATE_TERM_KINDS))}")
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"unknown fields for {kind!r} rate term: "
+                             f"{sorted(unknown)}")
+        return cls(**{k: (tuple(v) if isinstance(v, list) else v)
+                      for k, v in data.items()})
+
+
+@_rate_term("const")
+@dataclasses.dataclass(frozen=True)
+class ConstantRate(RateTerm):
+    """A flat baseline rate (the homogeneous-Poisson floor)."""
+
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_finite("rate", self.rate)
+
+    def rate_at(self, t: float) -> float:
+        return self.rate
+
+    def upper_bound(self) -> float:
+        return self.rate
+
+
+@_rate_term("steps")
+@dataclasses.dataclass(frozen=True)
+class PiecewiseRate(RateTerm):
+    """Piecewise-constant rate: ``steps`` is a tuple of ``(time,
+    rate)`` pairs with strictly increasing times; the rate from the
+    last step at or before ``t`` applies (0 before the first step)."""
+
+    steps: _t.Tuple[_t.Tuple[float, float], ...] = ((0.0, 1.0),)
+
+    def __post_init__(self) -> None:
+        norm = tuple((_check_finite("steps[].time", s[0]),
+                      _check_finite("steps[].rate", s[1]))
+                     for s in self.steps)
+        if not norm:
+            raise ValueError("failure-schedule field 'steps' must hold "
+                             "at least one (time, rate) pair")
+        for (t0, _), (t1, _) in zip(norm, norm[1:]):
+            if t1 <= t0:
+                raise ValueError(
+                    "failure-schedule field 'steps' must have strictly "
+                    f"increasing times, got {t0!r} then {t1!r}")
+        object.__setattr__(self, "steps", norm)
+
+    def rate_at(self, t: float) -> float:
+        current = 0.0
+        for when, rate in self.steps:
+            if when > t:
+                break
+            current = rate
+        return current
+
+    def upper_bound(self) -> float:
+        return max(rate for _, rate in self.steps)
+
+
+@_rate_term("sine")
+@dataclasses.dataclass(frozen=True)
+class SinusoidRate(RateTerm):
+    """Diurnal-style sinusoidal rate ``mean + amplitude *
+    sin(2π·t/period + phase)``.  ``amplitude ≤ mean`` keeps λ(t) ≥ 0."""
+
+    mean: float = 1.0
+    amplitude: float = 0.5
+    period: float = 1.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_finite("mean", self.mean)
+        _check_finite("amplitude", self.amplitude)
+        _check_finite("period", self.period, positive=True)
+        _check_finite("phase", abs(self.phase))
+        if self.amplitude > self.mean:
+            raise ValueError(
+                "failure-schedule field 'amplitude' must be <= 'mean' "
+                "(a sinusoidal rate must stay non-negative), got "
+                f"amplitude={self.amplitude!r} mean={self.mean!r}")
+
+    def rate_at(self, t: float) -> float:
+        return self.mean + self.amplitude * math.sin(
+            2.0 * math.pi * t / self.period + self.phase)
+
+    def upper_bound(self) -> float:
+        return self.mean + self.amplitude
+
+
+@_rate_term("window")
+@dataclasses.dataclass(frozen=True)
+class WindowRate(RateTerm):
+    """Periodic maintenance window: ``rate`` is added while ``(t -
+    offset) mod period < duration`` and 0 otherwise (the "patch
+    Tuesday" shape of production failure traces)."""
+
+    rate: float = 1.0
+    period: float = 1.0
+    duration: float = 0.1
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_finite("rate", self.rate)
+        _check_finite("period", self.period, positive=True)
+        _check_finite("duration", self.duration, positive=True)
+        _check_finite("offset", self.offset)
+        if self.duration > self.period:
+            raise ValueError(
+                "failure-schedule field 'duration' must be <= 'period', "
+                f"got duration={self.duration!r} period={self.period!r}")
+
+    def rate_at(self, t: float) -> float:
+        return self.rate if (t - self.offset) % self.period \
+            < self.duration else 0.0
+
+    def upper_bound(self) -> float:
+        return self.rate
+
+
+@dataclasses.dataclass(frozen=True)
+class RateSpec:
+    """A declarative failure-rate function: the sum of its terms.
+
+    Frozen and hashable like the schedules that embed it, with the same
+    exact ``to_dict``/``from_dict`` round-trip.  ``upper_bound()`` is
+    the thinning majorant: a constant ≥ λ(t) for all t, which is what
+    lets :class:`InhomogeneousPoissonFailures` simulate exactly by
+    seeded thinning (PAPERS.md, arXiv:1901.10754)."""
+
+    terms: _t.Tuple[RateTerm, ...] = (ConstantRate(1.0),)
+
+    def __post_init__(self) -> None:
+        norm = tuple(term if isinstance(term, RateTerm)
+                     else RateTerm.from_dict(term)
+                     for term in self.terms)
+        if not norm:
+            raise ValueError("failure-schedule field 'terms' must hold "
+                             "at least one rate term")
+        object.__setattr__(self, "terms", norm)
+
+    def rate_at(self, t: float) -> float:
+        return sum(term.rate_at(t) for term in self.terms)
+
+    def upper_bound(self) -> float:
+        return sum(term.upper_bound() for term in self.terms)
+
+    def to_dict(self) -> _t.Dict[str, _t.Any]:
+        return {"terms": [term.to_dict() for term in self.terms]}
+
+    @staticmethod
+    def from_dict(data: _t.Union[_t.Mapping[str, _t.Any],
+                                 _t.Sequence[_t.Any]]) -> "RateSpec":
+        """Inverse of :meth:`to_dict`; also accepts a bare list of
+        term dicts for hand-written ``--set`` overrides."""
+        if isinstance(data, RateSpec):
+            return data
+        if isinstance(data, _t.Mapping):
+            terms = data.get("terms", ())
+        else:
+            terms = data
+        return RateSpec(tuple(
+            term if isinstance(term, RateTerm) else RateTerm.from_dict(term)
+            for term in terms))
+
+
+@dataclasses.dataclass(frozen=True)
+class _ThinnedArrivals(_SeededArrivals):
+    """Inhomogeneous arrivals by seeded thinning (Lewis–Shedler): draw
+    homogeneous candidates at the rate function's upper bound λ*, keep
+    each candidate at time t with probability λ(t)/λ*.  Exact, and —
+    because every draw flows from the one seeded rng in a fixed order
+    (one expovariate + one uniform per candidate) — bit-deterministic
+    like every other schedule here."""
+
+    def _rate_spec(self) -> RateSpec:
+        raise NotImplementedError
+
+    def _next_arrival(self, rng: random.Random, t: float) -> float:
+        spec = self._rate_spec()
+        bound = spec.upper_bound()
+        while True:
+            t += rng.expovariate(bound)
+            if t >= self.horizon:
+                return t            # caller discards past-horizon times
+            if rng.random() * bound <= spec.rate_at(t):
+                return t
+
+
+@_schedule_kind("ipoisson")
+@dataclasses.dataclass(frozen=True)
+class InhomogeneousPoissonFailures(_ThinnedArrivals):
+    """Time-varying Poisson failure arrivals — bursty and diurnal
+    production failure patterns the homogeneous kinds cannot express.
+
+    Parameters (on top of the seeded-arrival fields above)
+    ------------------------------------------------------
+    rates:
+        A :class:`RateSpec` (or its ``to_dict()`` form) declaring λ(t)
+        as a sum of constant / piecewise-step / sinusoidal /
+        maintenance-window terms.  Its ``upper_bound()`` must be
+        positive — that is the thinning majorant.
+
+    Example::
+
+        InhomogeneousPoissonFailures(
+            rates=RateSpec((ConstantRate(50.0),
+                            WindowRate(rate=2e3, period=2e-3,
+                                       duration=2e-4))),
+            seed=2015, horizon=8e-3)
+    """
+
+    rates: RateSpec = RateSpec((ConstantRate(1.0),))
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.rates, RateSpec):
+            object.__setattr__(self, "rates",
+                               RateSpec.from_dict(self.rates))
+        _check_finite("rates.upper_bound", self.rates.upper_bound(),
+                      positive=True)
+
+    def _rate_spec(self) -> RateSpec:
+        return self.rates
+
+
+@_schedule_kind("maintenance")
+@dataclasses.dataclass(frozen=True)
+class MaintenanceWindowFailures(_ThinnedArrivals):
+    """Periodic elevated-rate windows: a quiet ``base_rate`` floor with
+    the rate raised to ``window_rate`` for ``window`` virtual seconds
+    every ``period`` (starting at ``offset``).  A pre-packaged
+    inhomogeneous process — sugar over the :class:`RateSpec` codec.
+
+    Parameters (on top of the seeded-arrival fields above)
+    ------------------------------------------------------
+    base_rate:
+        Failures/second outside maintenance windows (≥ 0; 0 means
+        failures *only* inside windows).
+    window_rate:
+        Failures/second inside a window; must be ≥ ``base_rate``.
+    period / window / offset:
+        Window cadence: one ``window``-long window per ``period``,
+        first window opening at ``offset``.
+    """
+
+    base_rate: float = 1.0
+    window_rate: float = 10.0
+    period: float = 1.0
+    window: float = 0.1
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_finite("base_rate", self.base_rate)
+        _check_finite("window_rate", self.window_rate, positive=True)
+        _check_finite("period", self.period, positive=True)
+        _check_finite("window", self.window, positive=True)
+        _check_finite("offset", self.offset)
+        if self.window_rate < self.base_rate:
+            raise ValueError(
+                "failure-schedule field 'window_rate' must be >= "
+                f"'base_rate', got window_rate={self.window_rate!r} "
+                f"base_rate={self.base_rate!r}")
+        if self.window > self.period:
+            raise ValueError(
+                "failure-schedule field 'window' must be <= 'period', "
+                f"got window={self.window!r} period={self.period!r}")
+
+    def _rate_spec(self) -> RateSpec:
+        terms: _t.List[RateTerm] = []
+        if self.base_rate > 0:
+            terms.append(ConstantRate(self.base_rate))
+        terms.append(WindowRate(rate=self.window_rate - self.base_rate
+                                if self.window_rate > self.base_rate
+                                else 0.0,
+                                period=self.period, duration=self.window,
+                                offset=self.offset))
+        return RateSpec(tuple(terms))
+
+
+@_schedule_kind("cascade")
+@dataclasses.dataclass(frozen=True)
+class CascadingFailures(_SeededArrivals):
+    """Correlated failures: every materialized crash multiplies the
+    hazard of topology-neighbor logical ranks for a decay ``window``,
+    so one crash seeds a burst (the failure *waves* of production
+    traces, which independent-arrival models cannot produce).
+
+    The process is an exact piecewise-constant-hazard simulation: every
+    alive replica carries a baseline hazard ``rate``; a crash of
+    logical rank *l* multiplies the hazard of all replicas whose
+    logical rank is within ``neighbor_distance`` of *l* (including
+    *l*'s own survivors) by ``multiplier`` until the boost expires
+    ``window`` later.  Boosts stack multiplicatively.  Between change
+    points (a crash, a boost expiry, the window ``start``, a ``base``
+    event) the total hazard is constant, so one exponential draw per
+    segment is exact — and, with victim selection by a deterministic
+    weighted walk over the sorted candidates, bit-deterministic from
+    the seed.
+
+    Parameters (on top of the seeded-arrival fields above)
+    ------------------------------------------------------
+    rate:
+        Baseline per-replica hazard (failures/second); must be
+        positive.
+    multiplier:
+        Hazard multiplier a crash applies to its neighborhood (≥ 1;
+        boosts from overlapping crashes stack multiplicatively).
+    window:
+        How long each boost lasts, in virtual seconds.
+    neighbor_distance:
+        Crash of logical rank *l* boosts logical ranks in
+        ``[l - d, l + d]`` (a 1-D topology; distance 0 boosts only the
+        crashed rank's surviving replicas).
+    base:
+        A nested :class:`FailureSchedule` of *definite* trigger crashes
+        (e.g. :class:`FixedFailures`) seeding cascades on top of the
+        spontaneous baseline.  Base events past ``horizon`` are
+        dropped; ones targeting dead replicas are skipped; ones that
+        would violate ``spare_last`` are skipped when it is set.
+        ``targets`` restricts only the *stochastic* victims.
+
+    ``max_failures`` caps the total (base + cascade) event count.
+    """
+
+    rate: float = 1.0
+    multiplier: float = 8.0
+    window: float = 1e-3
+    neighbor_distance: int = 1
+    base: FailureSchedule = NO_FAILURES
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if isinstance(self.base, _t.Mapping):
+            object.__setattr__(self, "base",
+                               FailureSchedule.from_dict(self.base))
+        if not isinstance(self.base, FailureSchedule):
+            raise ValueError(
+                "failure-schedule field 'base' must be a "
+                f"FailureSchedule (or its to_dict() mapping), got "
+                f"{self.base!r}")
+        _check_finite("rate", self.rate, positive=True)
+        if _check_finite("multiplier", self.multiplier,
+                         positive=True) < 1.0:
+            raise ValueError(
+                "failure-schedule field 'multiplier' must be >= 1, got "
+                f"{self.multiplier!r}")
+        _check_finite("window", self.window, positive=True)
+        if isinstance(self.neighbor_distance, bool) \
+                or not isinstance(self.neighbor_distance, int) \
+                or self.neighbor_distance < 0:
+            raise ValueError(
+                "failure-schedule field 'neighbor_distance' must be a "
+                f"non-negative integer, got {self.neighbor_distance!r}")
+
+    def materialize(self, n_logical: int,
+                    degree: int) -> _t.Tuple[CrashEvent, ...]:
+        rng = random.Random(self.seed)
+        alive, pool = self._victim_pool(n_logical, degree)
+        base_events = sorted(
+            (ev for ev in self.base.materialize(n_logical, degree)
+             if ev.time < self.horizon),
+            key=lambda e: (e.time, e.logical_rank, e.replica_id))
+        limit = (len(alive) if self.max_failures is None
+                 else self.max_failures)
+        events: _t.List[CrashEvent] = []
+        boosts: _t.List[_t.Tuple[float, _t.FrozenSet[int]]] = []
+
+        def hazard(p: _t.Tuple[int, int]) -> float:
+            h = self.rate
+            for _, ranks in boosts:
+                if p[0] in ranks:
+                    h *= self.multiplier
+            return h
+
+        def kill(lrank: int, rid: int, at: float) -> None:
+            alive.discard((lrank, rid))
+            events.append(CrashEvent(lrank, rid, at))
+            lo = max(0, lrank - self.neighbor_distance)
+            hi = min(n_logical, lrank + self.neighbor_distance + 1)
+            boosts.append((at + self.window, frozenset(range(lo, hi))))
+
+        t = 0.0
+        bi = 0
+        while len(events) < limit:
+            boosts[:] = [b for b in boosts if b[0] > t]
+            next_base = (base_events[bi].time if bi < len(base_events)
+                         else math.inf)
+            next_expire = min((b[0] for b in boosts), default=math.inf)
+            next_start = self.start if t < self.start else math.inf
+            eligible = (self._eligible(alive, pool)
+                        if t >= self.start else [])
+            total = sum(hazard(p) for p in eligible)
+            t_arr = t + rng.expovariate(total) if total > 0 else math.inf
+            t_change = min(next_base, next_expire, next_start)
+            if t_arr < min(t_change, self.horizon):
+                # a spontaneous/cascade crash fires inside this segment
+                t = t_arr
+                pick = rng.random() * total
+                acc = 0.0
+                victim = eligible[-1]
+                for p in eligible:
+                    acc += hazard(p)
+                    if pick <= acc:
+                        victim = p
+                        break
+                kill(victim[0], victim[1], t)
+                continue
+            if t_change >= self.horizon:
+                break
+            # advance to the change point; the discarded exponential
+            # draw is safe to redraw (memorylessness), and the fresh
+            # draw next iteration uses the segment's new total hazard
+            t = t_change
+            while bi < len(base_events) and base_events[bi].time <= t:
+                ev = base_events[bi]
+                bi += 1
+                victim = (ev.logical_rank, ev.replica_id)
+                if victim not in alive:
+                    continue        # crashes don't stack on the dead
+                if self.spare_last and sum(
+                        1 for q in alive
+                        if q[0] == ev.logical_rank) <= 1:
+                    continue        # the composite honours spare_last
+                if len(events) >= limit:
+                    break
+                kill(ev.logical_rank, ev.replica_id, ev.time)
+        return tuple(sorted(events,
+                            key=lambda e: (e.time, e.logical_rank,
+                                           e.replica_id)))

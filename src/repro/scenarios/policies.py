@@ -1,0 +1,109 @@
+"""The :class:`RestartPolicy` value object — scenario-expressible
+replica restart.
+
+PR 2 made *failures* declarative data on the scenario; this makes the
+*response* to failures declarative too.  A policy describes when and
+how dead replicas respawn — trigger condition, delay model, restart
+budget, handover cadence — without naming any live object, so a
+scenario carrying one stays pure data: frozen, hashable,
+JSON-round-trippable, and a valid sweep-cache key.
+
+The scenario runner (:mod:`repro.scenarios.run`) installs the policy on
+a :class:`~repro.replication.restart.RestartCoordinator`, which reads
+it duck-typed — the replication layer never imports the scenarios
+layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+#: the restart trigger conditions a policy may declare
+RESTART_TRIGGERS = ("on-crash", "on-degree-loss")
+
+
+@dataclasses.dataclass(frozen=True)
+class RestartPolicy:
+    """Declarative replica-restart behaviour for one scenario.
+
+    Attributes
+    ----------
+    trigger:
+        ``"on-crash"`` respawns after every replica death;
+        ``"on-degree-loss"`` respawns only while the logical rank's
+        alive count is below the scenario degree when the death lands
+        (at the paper's degree 2 the two differ only when a respawned
+        replacement has already re-covered the rank).
+    delay:
+        Respawn delay of the first restart, in virtual seconds (the
+        job-launch/binary-load cost the paper's [19] reports is low).
+    backoff:
+        Delay multiplier per *subsequent* restart: the k-th restart
+        (0-based) waits ``delay * backoff**k``.  ``1.0`` = fixed delay.
+    max_restarts:
+        Total restart budget across the job (``None`` = unbounded).
+    checkpoint_interval:
+        Handovers are served every this-many step boundaries (the
+        snapshot cadence): ``1`` hands over at the next boundary,
+        ``k`` only at boundaries divisible by ``k`` — cheaper
+        checkpoints, longer solo stretches for the survivor.
+    """
+
+    trigger: str = "on-crash"
+    delay: float = 1e-3
+    backoff: float = 1.0
+    max_restarts: _t.Optional[int] = None
+    checkpoint_interval: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trigger not in RESTART_TRIGGERS:
+            raise ValueError(
+                f"restart-policy field 'trigger' must be one of "
+                f"{RESTART_TRIGGERS}, got {self.trigger!r}")
+        for name, value, positive in (("delay", self.delay, True),
+                                      ("backoff", self.backoff, True)):
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise ValueError(f"restart-policy field {name!r} must "
+                                 f"be a number, got {value!r}")
+            if not math.isfinite(value) or (positive and value <= 0):
+                raise ValueError(f"restart-policy field {name!r} must "
+                                 f"be positive and finite, got "
+                                 f"{value!r}")
+        if self.backoff < 1.0:
+            raise ValueError(
+                "restart-policy field 'backoff' must be >= 1 (delays "
+                f"may not shrink), got {self.backoff!r}")
+        if self.max_restarts is not None and (
+                isinstance(self.max_restarts, bool)
+                or not isinstance(self.max_restarts, int)
+                or self.max_restarts < 0):
+            raise ValueError(
+                "restart-policy field 'max_restarts' must be a "
+                f"non-negative integer or None, got "
+                f"{self.max_restarts!r}")
+        if isinstance(self.checkpoint_interval, bool) \
+                or not isinstance(self.checkpoint_interval, int) \
+                or self.checkpoint_interval < 1:
+            raise ValueError(
+                "restart-policy field 'checkpoint_interval' must be a "
+                f"positive integer, got {self.checkpoint_interval!r}")
+
+    # ------------------------------------------------------ round-trip
+    def to_dict(self) -> _t.Dict[str, _t.Any]:
+        """Plain-JSON representation; :meth:`from_dict` is its exact
+        inverse."""
+        return {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: _t.Mapping[str, _t.Any]) -> "RestartPolicy":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown restart-policy fields: "
+                             f"{sorted(unknown)}; valid fields: "
+                             f"{', '.join(sorted(known))}")
+        return cls(**dict(data))

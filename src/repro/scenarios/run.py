@@ -88,17 +88,41 @@ def _run_scenario(scenario: Scenario, *,
     are no longer pure data, so cached sweeps must not use it.
     """
     world = make_world(scenario)
-    program = resolve_program(scenario.app)
-    kw: _t.Dict[str, _t.Any] = dict(
-        args=() if scenario.config is None else (scenario.config,))
-    if scenario.mode != "native":
-        kw.update(degree=scenario.degree, spread=scenario.spread,
-                  fd_delay=scenario.fd_delay)
-    if scenario.mode == "intra":
-        kw.update(scheduler=scenario.make_scheduler(),
-                  copy_strategy=scenario.copy_strategy)
-    job = launch_mode(scenario.mode, world, program, scenario.n_logical,
-                      **kw)
+    coord = None
+    if scenario.restart is not None:
+        # Scenario-expressible restart (§VI): launch the app's
+        # Restartable shape under a policy-driven coordinator instead
+        # of the flat program.  Scenario validation already pinned
+        # mode="intra" and degree=2.
+        from ..replication.restart import launch_restartable_job
+        from .apps import get_app
+        try:
+            entry = get_app(scenario.app)
+        except KeyError:
+            entry = None
+        if entry is None or entry.restartable is None:
+            raise ValueError(
+                f"scenario carries a restart policy but app "
+                f"{scenario.app!r} has no registered restartable "
+                f"factory; register_app(..., restartable=...) one "
+                f"(e.g. app 'stepsum')")
+        app = entry.restartable(scenario.config)
+        job, coord = launch_restartable_job(
+            world, app, scenario.n_logical, fd_delay=scenario.fd_delay,
+            spread=scenario.spread, scheduler=scenario.make_scheduler(),
+            policy=scenario.restart)
+    else:
+        program = resolve_program(scenario.app)
+        kw: _t.Dict[str, _t.Any] = dict(
+            args=() if scenario.config is None else (scenario.config,))
+        if scenario.mode != "native":
+            kw.update(degree=scenario.degree, spread=scenario.spread,
+                      fd_delay=scenario.fd_delay)
+        if scenario.mode == "intra":
+            kw.update(scheduler=scenario.make_scheduler(),
+                      copy_strategy=scenario.copy_strategy)
+        job = launch_mode(scenario.mode, world, program,
+                          scenario.n_logical, **kw)
 
     crashes: _t.Tuple[CrashEvent, ...] = ()
     if scenario.mode != "native":
@@ -135,6 +159,12 @@ def _run_scenario(scenario: Scenario, *,
         # program did not return an AppResult (e.g. a didactic example
         # returning raw arrays): report the end of virtual time
         wall, timers, intra, value = world.sim.now, {}, {}, results[0]
+    if coord is not None:
+        # surface restart activity through the intra stats channel so
+        # the cached ModeRun layout (and old cached bytes) stay intact
+        intra = dict(intra)
+        intra["restarts_completed"] = float(coord.restarts_completed)
+        intra["restarts_started"] = float(coord.restarts_started)
     return ModeRun(mode=scenario.mode, wall_time=wall, timers=timers,
                    intra=intra, value=value, crashes=crashes)
 

@@ -29,6 +29,7 @@ from ..intra import MODES, SCHEDULERS, CopyStrategy, Scheduler, make_scheduler
 from ..netmodel import (GRID5000_MACHINE, GRID5000_NETWORK, MachineSpec,
                         NetworkSpec, TESTBENCH_MACHINE, TESTBENCH_NETWORK)
 from .failures import NO_FAILURES, FailureSchedule
+from .policies import RESTART_TRIGGERS, RestartPolicy
 
 #: named machine models a scenario can reference (extensible)
 MACHINES: _t.Dict[str, MachineSpec] = {
@@ -48,7 +49,8 @@ NETWORKS: _t.Dict[str, NetworkSpec] = {
 #: by :func:`baseline_overrides` so a figure-wide ``--set mode=intra``
 #: does not destroy the figure's reference run
 _REPLICATION_ONLY = frozenset({"mode", "degree", "spread", "scheduler",
-                               "copy_strategy", "failures", "fd_delay"})
+                               "copy_strategy", "failures", "fd_delay",
+                               "restart"})
 
 
 # --------------------------------------------------------------- codec
@@ -64,7 +66,7 @@ def register_codec_type(cls: type) -> type:
     return cls
 
 
-for _cls in (MachineSpec, NetworkSpec, CopyStrategy):
+for _cls in (MachineSpec, NetworkSpec, CopyStrategy, RestartPolicy):
     register_codec_type(_cls)
 
 
@@ -202,6 +204,14 @@ class Scenario:
         Declarative :class:`~repro.scenarios.failures.FailureSchedule`.
         Installed on replicated runs; native runs have no replicas to
         kill, so the schedule is vacuous there.
+    restart:
+        Optional :class:`~repro.scenarios.policies.RestartPolicy`: dead
+        replicas respawn and rejoin work sharing per the policy (§VI
+        restart extension; requires ``mode="intra"``, ``degree=2`` and
+        an app registered with a ``restartable`` factory).  ``None``
+        (the default) leaves crashes permanent.  The field is omitted
+        from serialization and cache keys while at its default, so
+        every pre-existing scenario keeps its exact cache key.
     """
 
     app: str
@@ -217,6 +227,8 @@ class Scenario:
     copy_strategy: CopyStrategy = CopyStrategy.LAZY
     fd_delay: float = 50e-6
     failures: FailureSchedule = NO_FAILURES
+    restart: _t.Optional[RestartPolicy] = dataclasses.field(
+        default=None, metadata={"omit_if_default": True})
 
     def __post_init__(self) -> None:
         if not isinstance(self.app, str) or not self.app:
@@ -245,6 +257,23 @@ class Scenario:
                                FailureSchedule.from_dict(self.failures))
         if not isinstance(self.failures, FailureSchedule):
             raise ValueError("failures must be a FailureSchedule")
+        if isinstance(self.restart, dict):
+            object.__setattr__(self, "restart",
+                               RestartPolicy.from_dict(self.restart))
+        if self.restart is not None:
+            if not isinstance(self.restart, RestartPolicy):
+                raise ValueError("restart must be a RestartPolicy, its "
+                                 "to_dict() mapping, or None")
+            if self.mode != "intra":
+                raise ValueError(
+                    f"restart policies require mode='intra' (work "
+                    f"sharing is what a restart recovers), got mode="
+                    f"{self.mode!r}")
+            if self.degree != 2:
+                raise ValueError(
+                    "restart policies require degree=2 (the paper's "
+                    "configuration; with a single survivor there is no "
+                    f"schedule-agreement race), got degree={self.degree}")
         self.resolved_machine()   # validates names / types
         self.resolved_network()
 
@@ -272,6 +301,12 @@ class Scenario:
     def with_failures(self, schedule: FailureSchedule) -> "Scenario":
         """A copy carrying ``schedule`` as its failure workload."""
         return self.replace(failures=schedule)
+
+    def with_restart(self, policy: _t.Optional[RestartPolicy]
+                     ) -> "Scenario":
+        """A copy carrying ``policy`` as its restart behaviour
+        (``None`` makes crashes permanent again)."""
+        return self.replace(restart=policy)
 
     def with_overrides(self, overrides: _t.Mapping[str, _t.Any]
                        ) -> "Scenario":
@@ -336,6 +371,9 @@ class Scenario:
             elif key == "failures":
                 scalar[key] = (FailureSchedule.from_dict(raw)
                                if isinstance(raw, dict) else raw)
+            elif key == "restart":
+                scalar[key] = (RestartPolicy.from_dict(raw)
+                               if isinstance(raw, dict) else raw)
             else:
                 fields = [f.name for f in dataclasses.fields(self)]
                 if key not in fields:
@@ -349,9 +387,16 @@ class Scenario:
     # ------------------------------------------------------ round-trip
     def to_dict(self) -> _t.Dict[str, _t.Any]:
         """Plain-JSON-types dict; ``Scenario.from_dict`` is its exact
-        inverse."""
+        inverse.
+
+        Fields flagged ``omit_if_default`` (e.g. ``restart``) are
+        skipped while at their default, so dicts — and the cache keys
+        hashed from them — written before such a field existed stay
+        byte-identical."""
         return {f.name: encode_value(getattr(self, f.name))
-                for f in dataclasses.fields(self)}
+                for f in dataclasses.fields(self)
+                if not (f.metadata.get("omit_if_default")
+                        and getattr(self, f.name) == f.default)}
 
     @classmethod
     def from_dict(cls, data: _t.Mapping[str, _t.Any]) -> "Scenario":
@@ -379,6 +424,8 @@ class Scenario:
             bits.append(self.scheduler)
         if self.failures != NO_FAILURES:
             bits.append(f"failures={self.failures.kind}")
+        if self.restart is not None:
+            bits.append(f"restart={self.restart.trigger}")
         return " ".join(bits)
 
 

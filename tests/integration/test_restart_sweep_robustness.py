@@ -1,0 +1,94 @@
+"""The PR's headline robustness scenario, end to end: a ``restart:*``
+failure-storm sweep survives a pool-worker death *and* a corrupted
+cache entry, and the surviving results are bit-identical to a clean
+serial run.
+
+The sabotage function is module-level (pool workers unpickle it by
+reference) and flows through the real scenario execution path
+(:func:`repro.scenarios.run._run_scenario`) with the real scenario
+cache namespace, so what is being exercised is exactly what
+``repro.sweep`` runs in production."""
+
+import os
+import signal
+
+import pytest
+
+from repro.perf import run_sweep
+from repro.scenarios import get_scenario, scenario_cache_key
+from repro.scenarios.catalog import restart_grid_names
+from repro.scenarios.run import SCENARIO_SWEEP_TAG, _run_scenario
+
+STORM_NAMES = [n for n in restart_grid_names()
+               if n.startswith("restart:cascade:")]
+
+
+def _sabotaged_run(scenario):
+    """Kill this pool worker once (first un-marked call), then behave
+    exactly like the production scenario runner."""
+    d = os.environ.get("REPRO_TEST_SABOTAGE_DIR")
+    if d:
+        marker = os.path.join(d, "killed")
+        if not os.path.exists(marker):
+            open(marker, "w").close()
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _run_scenario(scenario)
+
+
+@pytest.fixture
+def storm_scenarios():
+    assert len(STORM_NAMES) == 3    # eager / checkpointed / none
+    return [get_scenario(n) for n in STORM_NAMES]
+
+
+def test_registered_grid_covers_storms_and_policies():
+    names = restart_grid_names()
+    assert len(names) == 6
+    assert {n.split(":")[1] for n in names} == {"cascade", "maintenance"}
+    assert {n.split(":")[2] for n in names} == {"eager", "checkpointed",
+                                                "none"}
+
+
+def test_storm_sweep_survives_worker_death_and_corrupt_cache(
+        tmp_path, monkeypatch):
+    scenarios = [get_scenario(n) for n in STORM_NAMES]
+    # the ground truth: a clean, serial, uncached sweep
+    baseline = run_sweep(scenarios, _run_scenario,
+                         tag=SCENARIO_SWEEP_TAG)
+
+    # pre-corrupt one scenario's cache slot (a truncated writer)
+    cache = tmp_path / "cache"
+    run_sweep([scenarios[0]], _run_scenario, cache=True, cache_dir=cache,
+              tag=SCENARIO_SWEEP_TAG)
+    key = scenario_cache_key(scenarios[0])
+    slot = cache / key[:2] / f"{key}.pkl"
+    slot.write_bytes(slot.read_bytes()[:slot.stat().st_size // 2])
+
+    # the hostile sweep: parallel + cached, one worker SIGKILLed
+    monkeypatch.setenv("REPRO_TEST_SABOTAGE_DIR", str(tmp_path))
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        survived = run_sweep(scenarios, _sabotaged_run, workers=2,
+                             cache=True, cache_dir=cache,
+                             tag=SCENARIO_SWEEP_TAG, retries=2,
+                             backoff=0.0)
+    assert (tmp_path / "killed").exists()   # the kill actually fired
+
+    # every point completed, bit-identical to the clean serial run
+    assert survived == baseline
+    # the quarantined entry was rewritten: a fresh sweep is all hits
+    rerun = run_sweep(scenarios, _run_scenario, cache=True,
+                      cache_dir=cache, tag=SCENARIO_SWEEP_TAG)
+    assert rerun == baseline
+
+
+def test_restart_policies_actually_heal_the_storm(storm_scenarios):
+    """Sanity on the grid's semantics, not just its plumbing: the
+    no-restart leg completes on the survivor, the restart legs record
+    completed restarts and the same application answer."""
+    runs = {s.restart.trigger if s.restart else "none":
+            _run_scenario(s) for s in storm_scenarios}
+    values = {run.value for run in runs.values()}
+    assert len(values) == 1              # one correct answer everywhere
+    assert runs["none"].intra.get("restarts_completed") is None
+    assert runs["on-crash"].intra["restarts_completed"] >= 1.0
+    assert runs["on-degree-loss"].intra["restarts_completed"] >= 1.0

@@ -1,0 +1,206 @@
+"""The self-healing sweep runtime: retry, timeout, dead workers,
+structured failures, cache quarantine.
+
+The pool-path functions here are module-level so the worker processes
+can unpickle them by reference; cross-attempt state lives in marker
+files under a directory encoded in the point (worker processes share
+no memory with the sweep)."""
+
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.perf import (PointFailure, clear_result_cache, iter_sweep,
+                        point_cache_key, run_sweep)
+
+
+def _square(x):
+    return x * x
+
+
+def _blob(x):
+    return {"x": x, "pad": list(range(64))}
+
+
+def _fail_if_negative(x):
+    if x < 0:
+        raise RuntimeError(f"bad point {x}")
+    return x * 10
+
+
+def _flaky(point):
+    """(x, marker_dir): raises on the first call per x, succeeds after."""
+    x, d = point
+    marker = os.path.join(d, f"flaky-{x}")
+    if os.path.exists(marker):
+        return x * 10
+    open(marker, "w").close()
+    raise RuntimeError(f"flaky {x}")
+
+
+def _suicidal(point):
+    """(x, marker_dir): x == 2 SIGKILLs its own pool worker once."""
+    x, d = point
+    marker = os.path.join(d, "killed")
+    if x == 2 and not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x + 100
+
+
+def _slow(point):
+    x, _ = point
+    if x == 1:
+        time.sleep(8.0)
+    return x
+
+
+# ----------------------------------------------------------- serial retry
+def test_serial_retry_recovers(tmp_path):
+    out = run_sweep([(5, str(tmp_path))], _flaky, retries=1, backoff=0.0)
+    assert out == [50]
+
+
+def test_serial_exhausted_retries_raise_original(tmp_path):
+    with pytest.raises(RuntimeError, match="flaky 7"):
+        run_sweep([(7, str(tmp_path))], _flaky, retries=0)
+
+
+def test_serial_on_error_return_yields_point_failure():
+    out = run_sweep([-9, 5], _fail_if_negative, backoff=0.0,
+                    retries=1, on_error="return")
+    assert isinstance(out[0], PointFailure)
+    assert out[0].kind == "error" and out[0].attempts == 2
+    assert "bad point -9" in out[0].error
+    assert out[1] == 50      # the sweep carried on past the failure
+
+
+# ------------------------------------------------------------- pool rounds
+def test_pool_survives_worker_death_and_retries(tmp_path):
+    points = [(x, str(tmp_path)) for x in range(1, 5)]
+    out = run_sweep(points, _suicidal, workers=3, retries=1, backoff=0.0)
+    assert out == [101, 102, 103, 104]
+
+
+def test_pool_worker_death_without_retries_reports_structured(tmp_path):
+    points = [(x, str(tmp_path)) for x in range(1, 5)]
+    out = run_sweep(points, _suicidal, workers=3, retries=0,
+                    on_error="return")
+    assert isinstance(out[1], PointFailure)
+    assert out[1].kind == "worker-lost"
+    # in-flight siblings lost with the broken pool are also structured,
+    # never silently dropped — and the completed ones keep their values
+    for v in out:
+        assert v in (101, 102, 103, 104) or (
+            isinstance(v, PointFailure) and v.kind == "worker-lost")
+
+
+def test_pool_worker_death_on_error_raise(tmp_path):
+    points = [(x, str(tmp_path)) for x in range(1, 5)]
+    with pytest.raises(RuntimeError, match="worker died"):
+        run_sweep(points, _suicidal, workers=3, retries=0)
+
+
+def test_pool_timeout_reports_straggler(tmp_path):
+    points = [(0, str(tmp_path)), (1, str(tmp_path))]
+    out = run_sweep(points, _slow, workers=2, timeout=1.0,
+                    on_error="return")
+    assert out[0] == 0
+    assert isinstance(out[1], PointFailure) and out[1].kind == "timeout"
+
+
+def test_pool_matches_serial_under_retries(tmp_path):
+    points = list(range(6))
+    assert (run_sweep(points, _square, workers=3, retries=2)
+            == run_sweep(points, _square))
+
+
+# ----------------------------------------------------- failures vs. cache
+def test_failures_are_never_cached(tmp_path):
+    d = tmp_path / "markers"
+    d.mkdir()
+    cache = tmp_path / "cache"
+    point = (11, str(d))
+    out = run_sweep([point], _flaky, cache=True, cache_dir=cache,
+                    tag="rob", on_error="return")
+    assert isinstance(out[0], PointFailure)
+    key = point_cache_key(_flaky, point, tag="rob")
+    assert not (cache / key[:2] / f"{key}.pkl").exists()
+    # next sweep recomputes (marker now set -> success) and caches
+    out = run_sweep([point], _flaky, cache=True, cache_dir=cache,
+                    tag="rob")
+    assert out == [110]
+    assert (cache / key[:2] / f"{key}.pkl").exists()
+
+
+def test_duplicate_points_share_one_failure(tmp_path):
+    d = tmp_path / "markers"
+    d.mkdir()
+    point = (13, str(d))
+    items = list(iter_sweep([point, point], _flaky, cache=True,
+                            cache_dir=tmp_path / "cache", tag="dup",
+                            on_error="return"))
+    assert len(items) == 2
+    assert all(isinstance(it.value, PointFailure) for it in items)
+    assert not any(it.cache_hit for it in items)
+
+
+# -------------------------------------------------------- cache quarantine
+def _poison(cache, key, payload):
+    path = cache / key[:2] / f"{key}.pkl"
+    assert path.exists()
+    path.write_bytes(payload)
+    return path
+
+
+def test_corrupt_cache_entry_quarantined_and_recomputed(tmp_path):
+    run_sweep([4], _square, cache=True, cache_dir=tmp_path, tag="q")
+    key = point_cache_key(_square, 4, tag="q")
+    path = _poison(tmp_path, key, b"definitely not a pickle")
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        out = run_sweep([4], _square, cache=True, cache_dir=tmp_path,
+                        tag="q")
+    assert out == [16]
+    quarantined = path.with_suffix(".corrupt")
+    assert quarantined.exists()          # kept for post-mortems
+    with open(path, "rb") as fh:         # slot rewritten with the value
+        assert pickle.load(fh) == 16
+
+
+def test_truncated_cache_shard_is_a_miss(tmp_path):
+    """A writer killed mid-write (or disk-full) leaves a truncated
+    pickle; loading it must warn and recompute, not crash the sweep."""
+    first, = run_sweep([6], _blob, cache=True, cache_dir=tmp_path,
+                       tag="t")
+    key = point_cache_key(_blob, 6, tag="t")
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.write_bytes(path.read_bytes()[:path.stat().st_size // 2])
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        assert run_sweep([6], _blob, cache=True, cache_dir=tmp_path,
+                         tag="t") == [first]
+
+
+def test_clear_cache_sweeps_quarantined_entries(tmp_path):
+    run_sweep([3], _square, cache=True, cache_dir=tmp_path, tag="c")
+    key = point_cache_key(_square, 3, tag="c")
+    _poison(tmp_path, key, b"junk")
+    with pytest.warns(RuntimeWarning):
+        run_sweep([3], _square, cache=True, cache_dir=tmp_path, tag="c")
+    assert clear_result_cache(tmp_path) == 1   # results only
+    assert list(tmp_path.rglob("*")) == []     # .corrupt swept too
+
+
+# ------------------------------------------------------------- validation
+@pytest.mark.parametrize("kwargs", [
+    {"on_error": "explode"},
+    {"retries": -1},
+    {"timeout": 0.0},
+    {"timeout": -1.0},
+    {"backoff": -0.5},
+])
+def test_robustness_knob_validation(kwargs):
+    with pytest.raises(ValueError):
+        list(iter_sweep([1], _square, **kwargs))

@@ -1,0 +1,271 @@
+"""Production failure universes: property-style determinism checks for
+the inhomogeneous / maintenance / cascading schedules, the RateSpec
+codec and the declarative RestartPolicy.
+
+The load-bearing contract is the one every sweep-cache key relies on:
+``materialize`` is a *pure function of (schedule, job shape)* — equal
+seeds give bit-equal events in any process, under any hash seed.
+"""
+
+import dataclasses
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.scenarios import (CascadingFailures, ConstantRate,
+                             FixedFailures, InhomogeneousPoissonFailures,
+                             MaintenanceWindowFailures, PiecewiseRate,
+                             RateSpec, RestartPolicy, Scenario,
+                             SinusoidRate, WindowRate)
+from repro.scenarios.failures import FailureSchedule, RateTerm
+
+SEEDS = range(40)
+
+IPOISSON = InhomogeneousPoissonFailures(
+    rates=RateSpec((ConstantRate(30.0),
+                    SinusoidRate(mean=40.0, amplitude=40.0, period=2e-3),
+                    WindowRate(rate=500.0, period=2e-3, duration=3e-4,
+                               offset=5e-4))),
+    seed=7, horizon=8e-3)
+MAINTENANCE = MaintenanceWindowFailures(
+    base_rate=20.0, window_rate=800.0, period=2e-3, window=3e-4,
+    offset=5e-4, seed=7, horizon=8e-3)
+CASCADE = CascadingFailures(
+    rate=60.0, multiplier=20.0, window=1e-3, neighbor_distance=1,
+    base=FixedFailures(((1, 0, 1e-3),)), seed=7, horizon=8e-3)
+
+
+# ------------------------------------------------- cross-process bit-equality
+@pytest.mark.parametrize("sched", [IPOISSON, MAINTENANCE, CASCADE],
+                         ids=lambda s: s.kind)
+def test_equal_seeds_bit_equal_across_processes(sched):
+    """The cache-key contract: a fresh interpreter with a different
+    hash seed materializes the identical event tuple from the
+    schedule's JSON twin."""
+    here = json.dumps([ev.as_tuple()
+                       for ev in sched.materialize(4, 2)])
+    src_dir = str(pathlib.Path(repro.__file__).parents[1])
+    env = dict(os.environ, PYTHONHASHSEED="12345")
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    code = (
+        "import json, sys\n"
+        "from repro.scenarios.failures import FailureSchedule\n"
+        "s = FailureSchedule.from_dict(json.loads(sys.argv[1]))\n"
+        "print(json.dumps([list(e.as_tuple())"
+        " for e in s.materialize(4, 2)]))\n")
+    proc = subprocess.run(
+        [sys.executable, "-c", code, json.dumps(sched.to_dict())],
+        env=env, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout) == json.loads(here)
+
+
+@pytest.mark.parametrize("sched", [IPOISSON, MAINTENANCE, CASCADE],
+                         ids=lambda s: s.kind)
+def test_round_trip_twin_materializes_identically(sched):
+    twin = FailureSchedule.from_dict(json.loads(
+        json.dumps(sched.to_dict())))
+    assert twin == sched
+    assert twin.materialize(4, 2) == sched.materialize(4, 2)
+
+
+# ------------------------------------------------------- thinning properties
+def test_thinned_events_only_where_rate_is_positive():
+    """Window-only spec: every accepted arrival falls inside a window."""
+    sched = InhomogeneousPoissonFailures(
+        rates=RateSpec((WindowRate(rate=2e3, period=2e-3, duration=3e-4,
+                                   offset=4e-4),)),
+        horizon=10e-3)
+    hits = 0
+    for seed in SEEDS:
+        for ev in dataclasses.replace(sched, seed=seed).materialize(4, 2):
+            assert (ev.time - 4e-4) % 2e-3 < 3e-4
+            hits += 1
+    assert hits > 0          # the property must actually be exercised
+
+
+def test_thinned_events_respect_piecewise_quiet_prefix():
+    """Zero rate before the first step: nothing ever fires there."""
+    sched = InhomogeneousPoissonFailures(
+        rates=RateSpec((PiecewiseRate(((3e-3, 1500.0),)),)),
+        horizon=6e-3)
+    hits = 0
+    for seed in SEEDS:
+        events = dataclasses.replace(sched, seed=seed).materialize(4, 2)
+        assert all(ev.time >= 3e-3 for ev in events)
+        hits += len(events)
+    assert hits > 0
+
+
+def test_thinned_mean_count_bounded_by_majorant():
+    """λ(t) ≤ upper_bound everywhere, so the mean accepted-arrival
+    count over seeds cannot exceed upper_bound × horizon (law of the
+    thinned process; victim-pool exhaustion only lowers it)."""
+    sched = MAINTENANCE
+    bound = (sched._rate_spec().upper_bound()
+             * (sched.horizon - sched.start))
+    counts = [len(MaintenanceWindowFailures(
+        base_rate=sched.base_rate, window_rate=sched.window_rate,
+        period=sched.period, window=sched.window, offset=sched.offset,
+        seed=seed, horizon=sched.horizon,
+        max_failures=10**6, spare_last=False).materialize(50, 2))
+        for seed in SEEDS]
+    assert sum(counts) / len(counts) <= bound
+
+
+# -------------------------------------------------------- cascade properties
+def test_cascade_never_targets_dead_replicas():
+    for seed in SEEDS:
+        sched = CascadingFailures(
+            rate=200.0, multiplier=30.0, window=2e-3,
+            base=FixedFailures(((0, 0, 1e-3), (0, 0, 2e-3))),
+            seed=seed, horizon=8e-3, spare_last=False)
+        events = sched.materialize(4, 2)
+        seen = set()
+        for ev in events:
+            victim = (ev.logical_rank, ev.replica_id)
+            assert victim not in seen   # a replica dies at most once
+            seen.add(victim)
+        # the duplicate base event on an already-dead replica is skipped
+        assert sum(1 for ev in events
+                   if (ev.logical_rank, ev.replica_id) == (0, 0)) <= 1
+
+
+def test_cascade_spare_last_keeps_every_rank_alive():
+    for seed in SEEDS:
+        events = CascadingFailures(
+            rate=500.0, multiplier=30.0, window=5e-3, seed=seed,
+            horizon=20e-3).materialize(3, 2)
+        dead_per_rank = {}
+        for ev in events:
+            dead_per_rank[ev.logical_rank] = \
+                dead_per_rank.get(ev.logical_rank, 0) + 1
+        assert all(n < 2 for n in dead_per_rank.values())
+
+
+def test_cascade_events_sorted_and_inside_horizon():
+    events = CASCADE.materialize(4, 2)
+    assert events == tuple(sorted(
+        events, key=lambda e: (e.time, e.logical_rank, e.replica_id)))
+    assert all(0.0 <= ev.time < CASCADE.horizon for ev in events)
+
+
+def test_cascade_base_trigger_is_included():
+    events = CASCADE.materialize(4, 2)
+    assert any((ev.logical_rank, ev.replica_id, ev.time) == (1, 0, 1e-3)
+               for ev in events)
+
+
+def test_cascade_multiplier_amplifies_burstiness():
+    """Same baseline, same seeds: a strong multiplier must produce more
+    crashes on average than multiplier=1 (which degenerates to the
+    independent baseline)."""
+    def mean_count(multiplier):
+        counts = [len(CascadingFailures(
+            rate=120.0, multiplier=multiplier, window=3e-3, seed=seed,
+            horizon=10e-3, spare_last=False).materialize(6, 2))
+            for seed in SEEDS]
+        return sum(counts) / len(counts)
+    assert mean_count(40.0) > mean_count(1.0)
+
+
+def test_cascade_max_failures_caps_total():
+    for seed in SEEDS:
+        events = CascadingFailures(
+            rate=2e3, multiplier=10.0, window=5e-3,
+            base=FixedFailures(((0, 0, 1e-4),)), seed=seed,
+            horizon=20e-3, max_failures=3,
+            spare_last=False).materialize(4, 2)
+        assert len(events) <= 3
+
+
+# ------------------------------------------------------ codec + validation
+def test_unknown_kind_error_lists_registered_kinds():
+    with pytest.raises(ValueError) as err:
+        FailureSchedule.from_dict({"kind": "solar-flare"})
+    msg = str(err.value)
+    for kind in ("cascade", "ipoisson", "maintenance", "poisson",
+                 "weibull", "fixed", "none"):
+        assert kind in msg
+
+
+def test_unknown_rate_term_kind_lists_registered_kinds():
+    with pytest.raises(ValueError) as err:
+        RateTerm.from_dict({"kind": "lunar"})
+    msg = str(err.value)
+    for kind in ("const", "sine", "steps", "window"):
+        assert kind in msg
+
+
+@pytest.mark.parametrize("ctor,field", [
+    (lambda: CascadingFailures(rate=-1.0, horizon=1.0), "rate"),
+    (lambda: CascadingFailures(multiplier=0.5, horizon=1.0),
+     "multiplier"),
+    (lambda: CascadingFailures(window=float("nan"), horizon=1.0),
+     "window"),
+    (lambda: CascadingFailures(neighbor_distance=-1, horizon=1.0),
+     "neighbor_distance"),
+    (lambda: MaintenanceWindowFailures(window_rate=0.5, base_rate=1.0,
+                                       horizon=1.0), "window_rate"),
+    (lambda: MaintenanceWindowFailures(window=2.0, period=1.0,
+                                       horizon=1.0), "window"),
+    (lambda: SinusoidRate(mean=1.0, amplitude=2.0), "amplitude"),
+    (lambda: WindowRate(duration=2.0, period=1.0), "duration"),
+    (lambda: PiecewiseRate(((1.0, 2.0), (1.0, 3.0))), "steps"),
+    (lambda: InhomogeneousPoissonFailures(
+        rates=RateSpec((ConstantRate(0.0),)), horizon=1.0),
+     "rates.upper_bound"),
+])
+def test_validation_errors_name_the_field(ctor, field):
+    with pytest.raises(ValueError) as err:
+        ctor()
+    assert field in str(err.value)
+
+
+def test_rate_spec_round_trips_and_accepts_bare_lists():
+    spec = IPOISSON.rates
+    assert RateSpec.from_dict(spec.to_dict()) == spec
+    assert RateSpec.from_dict(spec.to_dict()["terms"]) == spec
+
+
+def test_scenario_round_trip_with_new_schedules_and_restart():
+    s = Scenario(app="stepsum", n_logical=2, mode="intra",
+                 failures=CASCADE, restart=RestartPolicy(delay=2e-4))
+    twin = Scenario.from_json(s.to_json())
+    assert twin == s
+    assert twin.failures.materialize(2, 2) == s.failures.materialize(2, 2)
+
+
+# ----------------------------------------------------------- restart policy
+def test_restart_policy_round_trip_and_defaults():
+    pol = RestartPolicy(trigger="on-degree-loss", delay=4e-4,
+                        backoff=2.0, max_restarts=4,
+                        checkpoint_interval=2)
+    assert RestartPolicy.from_dict(pol.to_dict()) == pol
+
+
+@pytest.mark.parametrize("kwargs,field", [
+    ({"trigger": "on-coffee"}, "trigger"),
+    ({"delay": 0.0}, "delay"),
+    ({"backoff": 0.5}, "backoff"),
+    ({"max_restarts": -1}, "max_restarts"),
+    ({"checkpoint_interval": 0}, "checkpoint_interval"),
+])
+def test_restart_policy_validation_names_the_field(kwargs, field):
+    with pytest.raises(ValueError) as err:
+        RestartPolicy(**kwargs)
+    assert field in str(err.value)
+
+
+def test_restart_requires_intra_degree_two():
+    with pytest.raises(ValueError):
+        Scenario(app="stepsum", n_logical=2, mode="native",
+                 restart=RestartPolicy())
+    with pytest.raises(ValueError):
+        Scenario(app="stepsum", n_logical=2, mode="intra", degree=3,
+                 restart=RestartPolicy())

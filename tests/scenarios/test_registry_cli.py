@@ -178,9 +178,21 @@ def test_cli_run_format_csv_has_deterministic_header(capsys):
     assert len(out.splitlines()) >= 2
 
 
-def test_cli_format_json_rejects_whole_experiments(capsys):
-    assert main(["fig5b", "--format", "json"]) == 2
-    assert "whole experiments" in capsys.readouterr().err
+def test_cli_format_json_emits_experiment_table_rows(capsys):
+    import json
+
+    assert main(["fig5a", "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows and all(r["experiment"] == "fig5a" for r in rows)
+    assert {r["table"] for r in rows} == {"fig5a"}
+    assert all("kernel" in r for r in rows)
+
+
+def test_cli_format_rejects_mixed_currencies(capsys):
+    """Experiment rows and scenario ResultSets are different record
+    shapes; one machine-readable invocation cannot mix them."""
+    assert main(["fig5a", "ext:poisson:intra", "--format", "json"]) == 2
+    assert "mix" in capsys.readouterr().err
 
 
 def test_cli_format_csv_rejected_for_list(capsys):
