@@ -13,7 +13,7 @@ test:
 ## batched_dispatch leg in, so the order matters
 bench:
 	$(PYTHON) -m pytest benchmarks/test_perf_engine.py \
-	    benchmarks/test_perf_batch.py -q -s
+	    benchmarks/test_perf_batch.py benchmarks/test_perf_backend.py -q -s
 
 ## docs: executable snippets in docs/*.md + intra-repo markdown links
 docs-check:

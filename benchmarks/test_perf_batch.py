@@ -71,6 +71,14 @@ WS_TASKS = 32
 #: 14384c8, same container family, 2026-07-30).  The improvement gate
 #: below asserts the batched+vectorized tree beats it with margin.
 PR1_RECORDED_WARM_S = 0.7101
+#: the fig5b PR-1-dispatch leg (``fig5b_warm_serial.pr1_dispatch_s``)
+#: measured by *this* file in the same 2026-07-30 session.  The gate
+#: scales PR1_RECORDED_WARM_S by (pr1-dispatch-now / this), so the
+#: improvement assertion tracks the host's speed — an absolute pinned
+#: second count fails on a slower box and passes regressions on a
+#: faster one (the same calibration ``test_perf_engine.py`` applies to
+#: its seed gate via ``PINNED_BASELINE_S``).
+PINNED_PR1_DISPATCH_S = 0.5707
 
 FIG5B_POINTS = (8, 16)
 
@@ -234,6 +242,9 @@ def test_bench_batched_dispatch(save_table):
 
     # ---- fig5b warm serial ------------------------------------------
     fig5b_pr1, fig5b_batched = _time_fig5b_pair()
+    # calibrate the pinned PR 1 recording to this host's current speed
+    pr1_recorded_here = PR1_RECORDED_WARM_S * (fig5b_pr1
+                                               / PINNED_PR1_DISPATCH_S)
 
     leg = {
         "section_microbench": {
@@ -262,8 +273,9 @@ def test_bench_batched_dispatch(save_table):
             "batched_s": round(fig5b_batched, 4),
             "speedup": round(fig5b_pr1 / fig5b_batched, 3),
             "pr1_recorded_warm_s": PR1_RECORDED_WARM_S,
+            "pr1_recorded_host_calibrated_s": round(pr1_recorded_here, 4),
             "improvement_vs_pr1_recording": round(
-                PR1_RECORDED_WARM_S / fig5b_batched, 3),
+                pr1_recorded_here / fig5b_batched, 3),
             "results_bit_identical": True,
         },
     }
@@ -289,7 +301,7 @@ def test_bench_batched_dispatch(save_table):
              f"fig5b warm PR1 dispatch       | {fig5b_pr1:>10.3f} s",
              f"fig5b warm batched            | {fig5b_batched:>10.3f} s",
              f"fig5b vs PR1 recording        | "
-             f"{PR1_RECORDED_WARM_S / fig5b_batched:>10.2f} x"]
+             f"{pr1_recorded_here / fig5b_batched:>10.2f} x"]
     save_table("bench_batched_dispatch", "\n".join(lines))
 
     # acceptance gate: >= 1.3x on the batched-dispatch microbenchmark
@@ -311,7 +323,8 @@ def test_bench_batched_dispatch(save_table):
     # the microbenchmarks, the end-to-end win in the vectorized kernels)
     assert fig5b_pr1 / fig5b_batched >= 0.90, (
         f"batched dispatch slowed fig5b: {fig5b_pr1 / fig5b_batched:.2f}x")
-    # ...and the PR 3 tree must beat the PR 1 warm-serial recording
-    assert PR1_RECORDED_WARM_S / fig5b_batched >= 1.05, (
+    # ...and the tree must beat the PR 1 warm-serial recording, with
+    # the pinned time scaled to this host's speed (PINNED_PR1_DISPATCH_S)
+    assert pr1_recorded_here / fig5b_batched >= 1.05, (
         f"fig5b warm serial ({fig5b_batched:.3f}s) does not improve on "
-        f"the PR 1 recording ({PR1_RECORDED_WARM_S}s)")
+        f"the host-calibrated PR 1 recording ({pr1_recorded_here:.3f}s)")

@@ -61,7 +61,7 @@ from __future__ import annotations
 import importlib
 import typing as _t
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: lazily-importable subsystem modules
 _SUBSYSTEMS = ("analysis", "api", "apps", "experiments", "intra",
@@ -71,10 +71,12 @@ _SUBSYSTEMS = ("analysis", "api", "apps", "experiments", "intra",
 #: facade callables re-exported from :mod:`repro.api`
 _FACADE = ("compare", "iter_sweep", "run", "scenario", "sweep")
 
-#: result/spec types re-exported at the top level
+#: result/spec types and engine toggles re-exported at the top level
 _TYPES = {"RunResult": "results", "ResultSet": "results",
           "Scenario": "scenarios", "RestartPolicy": "scenarios",
-          "PointFailure": "perf"}
+          "PointFailure": "perf",
+          "get_engine_backend": "simulate",
+          "set_engine_backend": "simulate"}
 
 __all__ = sorted(("__version__",) + _SUBSYSTEMS + _FACADE
                  + tuple(_TYPES))
@@ -87,6 +89,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover - static import surface
     from .perf import PointFailure
     from .results import ResultSet, RunResult
     from .scenarios import RestartPolicy, Scenario
+    from .simulate import get_engine_backend, set_engine_backend
 
 
 def __getattr__(name: str) -> _t.Any:

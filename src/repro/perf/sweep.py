@@ -264,6 +264,20 @@ def clear_result_cache(cache_dir: _t.Optional[_t.Union[str, pathlib.Path]]
 _MAX_BACKOFF = 30.0
 
 
+def _worker_init(engine_backend: str) -> None:
+    """Pool-worker initializer: mirror the parent's engine backend.
+
+    Freshly spawned workers re-read ``REPRO_ENGINE`` on import, so
+    env-var users inherit the backend for free — but a backend selected
+    programmatically via :func:`repro.simulate.set_engine_backend`
+    lives only in the parent process.  Pinning it here keeps sweeps
+    backend-faithful either way (results are bit-identical across
+    backends regardless; this preserves the *performance* choice).
+    """
+    from repro.simulate import set_engine_backend
+    set_engine_backend(engine_backend)
+
+
 @dataclasses.dataclass
 class PointFailure:
     """Structured outcome of a sweep point that exhausted its retries.
@@ -459,7 +473,10 @@ def _pool_rounds(points: _t.List[_t.Any], fn: _t.Callable,
                            _MAX_BACKOFF))
         round_no += 1
         width = min(n_workers, len(todo))
-        pool = concurrent.futures.ProcessPoolExecutor(max_workers=width)
+        from repro.simulate import get_engine_backend
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=width, initializer=_worker_init,
+            initargs=(get_engine_backend(),))
         retry: _t.List[int] = []
         drained = False
         abandoned = False

@@ -6,7 +6,11 @@ and sweep.
 simulation is deterministic), which is what makes
 :func:`sweep_scenarios` safe to memoize on scenario hashes: any two
 callers — different figures, an example, a CLI invocation — that
-evaluate an equal scenario share one cached simulation.
+evaluate an equal scenario share one cached simulation.  The engine
+backend (``REPRO_ENGINE`` / :func:`repro.simulate.set_engine_backend`)
+is deliberately *not* part of the scenario: both backends produce
+bit-identical :class:`ModeRun` payloads, so it stays out of the cache
+key and cached bytes are backend-interchangeable.
 
 This module is the *execution* layer; the public entry points live in
 :mod:`repro.api` (``repro.run`` / ``repro.sweep`` / ``repro.compare``),

@@ -4,8 +4,17 @@ This package is the foundation of the reproduction: simulated MPI ranks,
 replicas and the intra-parallelization runtime are all generator-based
 :class:`~repro.simulate.engine.Process` coroutines advancing a shared
 virtual clock.
+
+The event queue executes on a pluggable *backend* — the heap-based
+``python`` oracle or the vectorized ``array`` core — selected per
+simulator (``Simulator(backend=...)``), process-wide
+(:func:`set_engine_backend`) or from the environment (``REPRO_ENGINE``).
+Backends are bit-identical by construction and differential tests; see
+:mod:`repro.simulate.backends`.
 """
 
+from .backends import (ENGINE_BACKENDS, get_engine_backend,
+                       set_engine_backend)
 from .engine import Process, Simulator
 from .errors import (DeadlockError, NotProcessError, ProcessKilled,
                      SimulationError, StaleEventError, UnhandledFailure)
@@ -13,8 +22,9 @@ from .events import AllOf, AnyOf, ConditionError, Event, Timeout
 from .resources import Resource, Store
 
 __all__ = [
-    "AllOf", "AnyOf", "ConditionError", "DeadlockError", "Event",
-    "NotProcessError", "Process", "ProcessKilled", "Resource",
-    "SimulationError", "Simulator", "StaleEventError", "Store", "Timeout",
-    "UnhandledFailure",
+    "AllOf", "AnyOf", "ConditionError", "DeadlockError",
+    "ENGINE_BACKENDS", "Event", "NotProcessError", "Process",
+    "ProcessKilled", "Resource", "SimulationError", "Simulator",
+    "StaleEventError", "Store", "Timeout", "UnhandledFailure",
+    "get_engine_backend", "set_engine_backend",
 ]

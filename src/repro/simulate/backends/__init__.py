@@ -1,0 +1,121 @@
+"""Pluggable engine backends for the simulation kernel.
+
+The :class:`~repro.simulate.Simulator` executes its event queue through
+one of two interchangeable *backends*:
+
+``python`` (the default)
+    The heap-based engine of :mod:`repro.simulate.engine` — the
+    bit-exact oracle every optimization in this repo is proven against.
+    ``Simulator(fast=False)`` is always this backend (the un-inlined
+    seed-equivalent loop *is* the oracle, so it cannot be swapped out).
+
+``array``
+    :class:`repro.simulate.backends.array.ArrayEngine` — a vectorized
+    event-loop core that replaces the per-event ``heapq`` round-trip
+    with a staged event table and same-timestamp batch firing, and the
+    per-wake callback scheduling with direct generator resumption.  It
+    is bit-identical to the python oracle (event order, timestamps,
+    traces, results, cache keys) and ≥5× faster on the plain-timeout
+    engine microbench; ``benchmarks/test_perf_backend.py`` gates both
+    claims.
+
+Selection mirrors the repo's other engine toggles
+(:data:`repro.simulate.engine.BATCHED_DEFAULT` /
+``set_section_batching``): per-instance via ``Simulator(backend=...)``,
+process-wide via :func:`set_engine_backend`, and from the environment
+via ``REPRO_ENGINE`` (parsed defensively at import — a garbage value
+warns and falls back to ``python``, same contract as ``REPRO_WORKERS``).
+The backend is an *execution detail*: scenario cache keys and cached
+result bytes are identical under either backend, so sweeps mix cached
+python-backend results with fresh array-backend runs freely.
+"""
+
+from __future__ import annotations
+
+import os
+import typing as _t
+import warnings
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import Simulator
+
+#: the recognized backend names, in documentation order
+ENGINE_BACKENDS: _t.Tuple[str, ...] = ("python", "array")
+
+_ENV_VAR = "REPRO_ENGINE"
+
+
+def _env_engine(name: str = _ENV_VAR) -> str:
+    """Parse the engine-backend env var defensively.
+
+    A garbage value must not make ``import repro.simulate`` raise (the
+    kernel is imported by everything); we warn and fall back to the
+    ``python`` oracle, matching the ``REPRO_WORKERS`` contract in
+    :mod:`repro.perf.sweep`.
+    """
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return "python"
+    if raw not in ENGINE_BACKENDS:
+        warnings.warn(
+            f"ignoring {name}={raw!r}: unknown engine backend (choose "
+            f"from {', '.join(ENGINE_BACKENDS)}); using the 'python' "
+            f"oracle backend", RuntimeWarning, stacklevel=2)
+        return "python"
+    return raw
+
+
+#: process-wide default for ``Simulator(backend=None)``
+ENGINE_DEFAULT: str = _env_engine()
+
+
+def get_engine_backend() -> str:
+    """The process-wide default engine backend name."""
+    return ENGINE_DEFAULT
+
+
+def set_engine_backend(name: str) -> str:
+    """Set the process-wide default engine backend; returns the
+    previous default (so callers can restore it), mirroring
+    ``set_section_batching``.
+
+    Only affects simulators constructed afterwards with
+    ``backend=None``; an explicit ``Simulator(backend=...)`` always
+    wins.  Unknown names raise ``ValueError`` — only the *environment*
+    path is forgiving.
+    """
+    global ENGINE_DEFAULT
+    resolve_backend(name)
+    previous = ENGINE_DEFAULT
+    ENGINE_DEFAULT = name
+    return previous
+
+
+def resolve_backend(name: _t.Optional[str]) -> str:
+    """Validate an explicit backend name; ``None`` means "use the
+    process-wide default"."""
+    if name is None:
+        return ENGINE_DEFAULT
+    if name not in ENGINE_BACKENDS:
+        raise ValueError(
+            f"unknown engine backend {name!r}; choose from "
+            f"{', '.join(ENGINE_BACKENDS)}")
+    return name
+
+
+def install_backend(sim: "Simulator", name: str) -> None:
+    """Attach the named backend to a freshly constructed simulator.
+
+    The ``python`` backend is the Simulator's own class methods, so
+    installing it is a no-op; the ``array`` backend shadows the queue
+    entry points (``sleep``/``_enqueue``/``peek``/``step``/``run``/
+    ``run_batched``) with bound methods of an :class:`ArrayEngine`,
+    which keeps per-call dispatch overhead at zero.
+    """
+    if name == "array":
+        from .array import ArrayEngine
+        ArrayEngine(sim).install()
+
+
+__all__ = ["ENGINE_BACKENDS", "ENGINE_DEFAULT", "get_engine_backend",
+           "install_backend", "resolve_backend", "set_engine_backend"]

@@ -1,0 +1,722 @@
+"""The ``array`` engine backend: a staged event table with batched,
+heap-free firing and direct generator resumption.
+
+Design
+------
+The python oracle keeps a ``heapq`` of ``(time, seq, event)`` tuples and
+routes every wake through ``Event._process`` → a bound-method callback →
+``Process._resume``.  This backend replaces both halves on the hot path:
+
+* **Event table instead of a heap.**  Every schedule — a ``sleep`` wake,
+  an ``_enqueue``'d protocol event — *appends* to a staged table (a
+  parallel pair of time/payload columns).  Append order **is** the
+  oracle's sequence-number order, so ordering ties are exact for free.
+  When the loop needs the next batch it *consolidates*: the staged
+  columns are merged with the sorted pending remainder by a stable sort
+  on time (vectorized through ``numpy.argsort`` above
+  :data:`_VEC_MIN` rows, plain ``sorted`` below it — numpy's per-call
+  overhead loses on small merges), and the batch is every leading row
+  sharing the head timestamp.  The dominant shape — lockstep processes
+  whose staged wakes all share one timestamp while nothing is pending —
+  skips the sort entirely (one ``min``/``max`` scan proves uniformity).
+
+* **Pooled wake rows instead of Timeout callbacks.**  ``sleep`` /
+  ``sleep_until`` return a :class:`_Wake` — a pooled
+  :class:`~repro.simulate.events.Timeout` subclass whose ``_waiter``
+  slot stores the waiting :class:`~repro.simulate.engine.Process`
+  *object* (not a bound callback).  The fire loop resumes the generator
+  directly — no ``_process``, no bound-method call, no heap push for
+  the next wake — and recycles the row through a free list when the
+  CPython refcount proves nothing else observes it.  Real ``Event``
+  machinery (conditions, protocol hooks, extra callbacks, failed
+  events) is detected per row and falls back to the oracle-equivalent
+  generic path, so semantics never change — only the common case gets
+  cheaper.
+
+Equivalence with the oracle is pinned three ways: golden-trace replay
+(``tests/simulate/test_determinism.py`` fingerprints survive backend
+swap), differential scenario runs (``tests/simulate/
+test_backend_differential.py``, ``tests/scenarios/test_backend_fuzz.py``)
+and the unit suite run under ``REPRO_ENGINE=array`` in CI.
+
+One acknowledged introspection divergence: a wake row handed straight
+back through the *sticky* fast path (fire → ``sleep()`` in the same
+resume) keeps its ``_waiter`` binding, so ``Timeout.has_waiters`` can
+read True between the ``sleep()`` call and the ``yield`` where the
+oracle would read False.  The binding is only presumptuous for that
+instant — it is corrected after the send if the process yields anything
+else — and no model in the repo inspects an unyielded token.  Event
+*semantics* (who wakes, when, in what order) are unaffected.  When a
+``trace`` hook is installed the backend stages real ``Timeout`` objects
+and fires everything through the generic path, so traces are
+byte-identical to the oracle's (same event types, labels and order).
+
+Keep :func:`_bind_slow` and the generic fire path in sync with
+``Process._resume`` / ``Event._process`` in :mod:`repro.simulate.engine`
+— the differential tests exist to catch drift.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from bisect import bisect_right as _bisect_right
+from types import MethodType
+
+import numpy as np
+
+from ..engine import Process
+from ..errors import (DeadlockError, ProcessKilled, SimulationError,
+                      UnhandledFailure)
+from ..events import (_PENDING, _PROCESSED, _TRIGGERED, Event, Timeout)
+
+try:  # CPython: enables wake-row recycling in the fire loop
+    from sys import getrefcount as _getrefcount
+except ImportError:  # pragma: no cover - non-refcounting interpreters
+    _getrefcount = None
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..engine import Simulator
+
+_INF = float("inf")
+
+#: cap on the wake-row free list (a handful per live process is plenty)
+_POOL_MAX = 256
+
+#: consolidations at or above this many rows use ``numpy.argsort``;
+#: below it, numpy's fixed per-call cost (~µs) loses to ``sorted``
+_VEC_MIN = 64
+
+#: staged sets at or below this size merge into a live pending table by
+#: binary insertion instead of a full rebuild
+_INSORT_MAX = 8
+
+#: the resume function, for recognizing ``Process._resume`` bound
+#: methods handed to :meth:`_Wake.add_callback`
+_RESUME = Process._resume
+
+
+class _Wake(Timeout):
+    """A pooled wake row of the array backend.
+
+    A :class:`Timeout` in every observable way (state, ``delay``,
+    ``value``, condition membership), with one twist: when the *first*
+    waiter registered is a ``Process._resume`` bound method — the way
+    ``Process`` binds to any yielded event — the row stores the process
+    object itself in the ``_waiter`` slot.  The fire loop recognizes
+    that shape and resumes the generator directly instead of paying the
+    ``_process`` → callback → ``_resume`` chain.  Any other registration
+    (conditions, protocol hooks, a second waiter) goes through the
+    stock :class:`Event` machinery and the row fires on the oracle-
+    equivalent generic path.
+    """
+
+    __slots__ = ()
+
+    def add_callback(self, cb):
+        if (self._state != _PROCESSED and self._waiter is None
+                and self.callbacks is None and cb.__class__ is MethodType
+                and cb.__func__ is _RESUME):
+            self._waiter = cb.__self__
+            return
+        Event.add_callback(self, cb)  # raises StaleEventError when stale
+
+    def remove_callback(self, cb):
+        # the kill path cancels a pending wake by its resume callback;
+        # translate that to the directly-bound process object so a
+        # killed sleeper leaves an orphan row, exactly like the oracle
+        # leaves a waiterless timeout in the heap
+        w = self._waiter
+        if (w is not None and cb.__class__ is MethodType
+                and cb.__func__ is _RESUME and cb.__self__ is w):
+            cbs = self.callbacks
+            self._waiter = cbs.pop(0) if cbs else None
+            return True
+        return Event.remove_callback(self, cb)
+
+
+def _bind_slow(proc: Process, target: _t.Any) -> None:
+    """Suspend ``proc`` on a non-wake yield target.
+
+    Mirror of the post-``send`` dispatch in ``Process._resume``
+    (``engine.py``) — keep the two in sync; the golden-trace and
+    differential tests pin their equivalence.
+    """
+    if (type(target) is Timeout and target._state == _TRIGGERED
+            and target._waiter is None):
+        target._waiter = proc._resume_cb
+        proc._waiting_on = target
+        return
+    if not isinstance(target, Event):
+        raise SimulationError(
+            f"process {proc.name!r} yielded {target!r}; processes must "
+            f"yield Event objects (did you forget a .request()/.recv()?)")
+    if target._state == _PROCESSED:
+        bounce = Event(proc.sim, label=f"bounce:{proc.name}")
+        bounce._waiter = proc._resume_cb
+        if target._exc is not None:
+            target.defused = True
+            bounce.defused = True
+            bounce.fail(target._exc)
+        else:
+            bounce.succeed(target._value)
+        proc._waiting_on = bounce
+    else:
+        target.add_callback(proc._resume_cb)
+        proc._waiting_on = target
+
+
+class ArrayEngine:
+    """The vectorized event-loop core behind ``Simulator(backend="array")``.
+
+    Holds the staged/pending event table and shadows the simulator's
+    queue entry points with its own bound methods (see :meth:`install`).
+    The simulator object stays the public handle — ``sim.now``,
+    ``sim.peek()``, ``sim.run()`` etc. all keep their contracts.
+    """
+
+    __slots__ = ("sim", "_trace", "_tok_cls", "_stage_d", "_stage_o",
+                 "_pend_t", "_pend_o", "_pend_head", "_pool", "_fire")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._trace = sim._trace
+        # with a trace hook installed, stage real Timeouts and fire
+        # everything generically: traces then match the oracle's
+        # byte-for-byte (including event type names)
+        self._tok_cls = Timeout if sim._trace is not None else _Wake
+        #: staged schedule, in scheduling order (== oracle seq order).
+        #: Times are stored as *delays relative to ``sim.now``* — the
+        #: loop consolidates before the clock ever advances while rows
+        #: are staged, so all staged rows share one ``now`` epoch and
+        #: the hot path never pays the absolute-time float add
+        self._stage_d: _t.List[float] = []
+        self._stage_o: _t.List[Event] = []
+        #: consolidated pending table, absolute-time-sorted, already-
+        #: fired prefix cleared to None up to ``_pend_head``
+        self._pend_t: _t.List[float] = []
+        self._pend_o: _t.List[Event] = []
+        self._pend_head = 0
+        #: free list of recycled wake rows
+        self._pool: _t.List[_Wake] = []
+
+    def install(self) -> None:
+        """Shadow the simulator's queue entry points (instance
+        attributes win over class methods, so dispatch costs nothing
+        per call).  The scheduling entry points and the batch-fire loop
+        are *closures* built together by :meth:`_make_runtime` — they
+        share a one-row hand-off cell and pre-bound locals, because
+        ``sleep`` and the fire loop are the two hottest code paths of a
+        simulation and every saved attribute lookup or C call counts."""
+        sim = self.sim
+        sim._engine = self
+        sleep, sleep_until, enqueue, fire = self._make_runtime()
+        self._fire = fire
+        sim.sleep = sleep
+        sim.sleep_until = sleep_until
+        sim._enqueue = enqueue
+        sim.peek = self.peek
+        sim.step = self.step
+        sim.run = self.run
+        # batching is inherent here: run IS the batched loop, and the
+        # defer-cell machinery of the oracle's run_batched is subsumed
+        # by staged-table consolidation
+        sim.run_batched = self.run
+
+    # -- the hot closures ----------------------------------------------
+    def _make_runtime(self):
+        """Build ``sleep`` / ``sleep_until`` / ``_enqueue`` and the
+        batch-fire loop as closures over shared cells.
+
+        Two things make this worth the indirection:
+
+        * the staged columns, free list and simulator are captured as
+          cells (mutated in place, never rebound), so each call costs a
+          handful of cell loads instead of attribute chains;
+        * ``free`` — a one-row hand-off register shared between the
+          fire loop and ``sleep``.  In the dominant steady state each
+          fired wake row is immediately re-slept by the process it just
+          resumed, so the row alternates fire → ``free`` → next
+          ``sleep`` with *zero* list traffic; ``pool.pop``/``append``
+          and the ``len`` cap check only run on the rare spill.
+        """
+        self_ = self
+        sim = self.sim
+        pool = self._pool
+        pool_pop = pool.pop
+        pool_append = pool.append
+        stage_delay = self._stage_d.append
+        stage_obj = self._stage_o.append
+        fresh = self._tok_cls._fresh
+        getrefcount = _getrefcount or (lambda _o: 0)  # no recycling off-CPython
+        wake_cls = _Wake
+        proc_cls = Process
+        discard = sim._active_processes.discard
+        # state constants as cells — marginally cheaper than cached
+        # global loads in the per-event loop
+        PENDING = _PENDING
+        TRIGGERED = _TRIGGERED
+        PROCESSED = _PROCESSED
+        free = None  # the spill hand-off row
+        # ``cur`` is the *sticky* hand-off: the wake row being fired
+        # right now, offered to the sleep() call the resumed process is
+        # about to make.  A sticky reuse keeps the row's ``_waiter``
+        # binding intact — when the process yields the row back
+        # (``yield sim.sleep(dt)``, the dominant pattern), the fire loop
+        # recognizes it by identity and has NOTHING left to do: no
+        # unbind, no rebind, no recycle bookkeeping.  If the process
+        # does anything else, the fire loop repairs the presumptuous
+        # binding after the send (see the ``cur is None`` branch).
+        cur = None
+
+        def sleep(delay: float) -> Timeout:
+            """A pooled wake row ``delay`` from now (the
+            ``Simulator.sleep`` contract)."""
+            nonlocal cur, free
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            tok = cur
+            if tok is not None:
+                # sticky reuse: the row we were just woken by, still
+                # bound to the calling process
+                cur = None
+                tok.delay = delay
+            else:
+                tok = free
+                if tok is not None:
+                    free = None
+                    tok.delay = delay
+                elif pool:
+                    tok = pool_pop()
+                    tok.delay = delay
+                else:
+                    tok = fresh(sim, delay)
+            stage_delay(delay)
+            stage_obj(tok)
+            return tok
+
+        def sleep_until(time: float) -> Timeout:
+            """A pooled wake row at absolute ``time`` (the
+            ``Simulator.sleep_until`` contract); the descriptor-charging
+            entry point of ``ProcContext.compute_batch``/``charge_batch``.
+
+            The oracle stores the absolute ``time`` verbatim — it must
+            NOT be round-tripped through ``now + (time - now)``, which
+            is not the same float.  Queue times are never negative, so
+            the staged column smuggles the exact absolute time through
+            as ``-time`` (negation is lossless for floats and ints);
+            consolidation undoes the tag.
+            """
+            nonlocal cur, free
+            now = sim.now
+            if time < now:
+                raise SimulationError(
+                    f"cannot sleep until {time} (now={now})")
+            delay = time - now
+            tok = cur
+            if tok is not None:
+                cur = None
+                tok.delay = delay
+            else:
+                tok = free
+                if tok is not None:
+                    free = None
+                    tok.delay = delay
+                elif pool:
+                    tok = pool_pop()
+                    tok.delay = delay
+                else:
+                    tok = fresh(sim, delay)
+            stage_delay(-time if time > 0 else time)
+            stage_obj(tok)
+            return tok
+
+        def enqueue(event: Event, delay: float) -> None:
+            """Schedule a triggered event (``Event.succeed``/``fail``,
+            ``Timeout.__init__``) — the generic row kind."""
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule in the past: {delay}")
+            stage_delay(delay)
+            stage_obj(event)
+
+        def fire(batch):
+            """Fire one same-timestamp batch, in scheduling order.
+
+            Inlines the wake-row hot path (direct generator resume, row
+            recycling through ``free``/``pool``); everything else goes
+            through ``ArrayEngine._fire_generic``.  On an exception the
+            unfired remainder is pushed back to the front of the staged
+            columns, so a caught failure leaves the queue exactly as
+            the oracle's one-pop-at-a-time loop would.
+            """
+            nonlocal cur, free
+            ev = None
+            try:
+                # plain iteration, no enumerate: its tuple-reuse cache
+                # would hold a stale reference to ev and defeat the
+                # refcount probe
+                for ev in batch:
+                    if ev.__class__ is wake_cls:
+                        # None.__class__ is NoneType, so this single
+                        # check also rejects orphan rows
+                        w = ev._waiter
+                        if w.__class__ is proc_cls:
+                            if w._state != PENDING:
+                                # killed while the wake was in flight
+                                ev._waiter = None
+                                ev._state = PROCESSED
+                                continue
+                            if (ev.callbacks is None
+                                    and getrefcount(ev) == 4):
+                                # refcount 4 == batch list + loop var +
+                                # probe arg + w's generator frame (a
+                                # _resume-bound waiter always *yielded*
+                                # this row, so the frame holds the final
+                                # reference — and drops it the moment
+                                # send() resumes past the yield).
+                                # Nothing can observe the row during or
+                                # after the send: skip the
+                                # triggered→processed→triggered state
+                                # round-trip and offer the row, binding
+                                # intact, to the sleep() the process is
+                                # about to make (the sticky hand-off)
+                                cur = ev
+                                try:
+                                    target = w._send(None)
+                                except StopIteration as stop:
+                                    discard(w)
+                                    ev._waiter = None
+                                    if cur is None:
+                                        # consumed by a final sleep()
+                                        # and re-staged: now a waiter-
+                                        # less orphan, fires as a no-op
+                                        pass
+                                    else:
+                                        cur = None
+                                        if free is None:
+                                            free = ev
+                                        elif len(pool) < _POOL_MAX:
+                                            pool_append(ev)
+                                    w.succeed(stop.value)
+                                except ProcessKilled:
+                                    discard(w)
+                                    ev._waiter = None
+                                    if cur is not None:
+                                        cur = None
+                                        if free is None:
+                                            free = ev
+                                        elif len(pool) < _POOL_MAX:
+                                            pool_append(ev)
+                                    w._killed = True
+                                    w.defused = True
+                                    w.fail(ProcessKilled(
+                                        f"{w.name}: propagated kill"))
+                                else:
+                                    if target is ev:
+                                        # sticky hit (the dominant
+                                        # ``yield sim.sleep(dt)``):
+                                        # sleep() handed the row back
+                                        # and the process yielded it —
+                                        # ``_waiter``, ``_waiting_on``
+                                        # and the TRIGGERED state are
+                                        # all still correct from the
+                                        # previous cycle.  Zero work.
+                                        continue
+                                    if cur is None:
+                                        # consumed by sleep() but the
+                                        # process yielded something
+                                        # else: strip the presumptuous
+                                        # binding or the staged row
+                                        # would wake w spuriously (it
+                                        # rebinds if yielded later)
+                                        ev._waiter = None
+                                    else:
+                                        cur = None
+                                        ev._waiter = None
+                                        if free is None:
+                                            free = ev
+                                        elif len(pool) < _POOL_MAX:
+                                            pool_append(ev)
+                                    if (target.__class__ is wake_cls
+                                            and target._waiter is None
+                                            and target._state
+                                            == TRIGGERED):
+                                        target._waiter = w
+                                        w._waiting_on = target
+                                    else:
+                                        _bind_slow(w, target)
+                                continue
+                            # held row: full oracle-shaped fire (state
+                            # stores first — a holder may inspect the
+                            # row from inside the resumed generator)
+                            ev._waiter = None
+                            ev._state = PROCESSED
+                            try:
+                                target = w._send(None)
+                            except StopIteration as stop:
+                                discard(w)
+                                w.succeed(stop.value)
+                            except ProcessKilled:
+                                discard(w)
+                                w._killed = True
+                                w.defused = True
+                                w.fail(ProcessKilled(
+                                    f"{w.name}: propagated kill"))
+                            else:
+                                if (target.__class__ is wake_cls
+                                        and target._waiter is None
+                                        and target._state == TRIGGERED):
+                                    target._waiter = w
+                                    w._waiting_on = target
+                                else:
+                                    _bind_slow(w, target)
+                            if ev.callbacks is None:
+                                # a holder may have dropped its
+                                # reference during the send (e.g.
+                                # `t = sim.sleep(..)` rebinding t):
+                                # refcount 3 proves the row is
+                                # unobservable again
+                                if getrefcount(ev) == 3:
+                                    ev._state = _TRIGGERED
+                                    if free is None:
+                                        free = ev
+                                    elif len(pool) < _POOL_MAX:
+                                        pool_append(ev)
+                            else:
+                                cbs = ev.callbacks
+                                ev.callbacks = None
+                                for cb in cbs:
+                                    cb(ev)
+                            continue
+                        if w is None and ev.callbacks is None:
+                            # orphan row (killed waiter): a pure no-op
+                            # fire, like the oracle's waiterless pooled
+                            # timeout
+                            ev._state = _PROCESSED
+                            if getrefcount(ev) == 3:
+                                ev._state = _TRIGGERED
+                                if free is None:
+                                    free = ev
+                                elif len(pool) < _POOL_MAX:
+                                    pool_append(ev)
+                            continue
+                    self_._fire_generic(ev)
+            except BaseException:
+                # a live sticky offer must not leak into a later
+                # sleep() with a stale binding
+                cur = None
+                # events are unique within a batch (a row is staged
+                # exactly once), so identity locates the raiser
+                rest = (batch[batch.index(ev) + 1:] if ev is not None
+                        else batch)
+                if rest:
+                    # unfired same-time rows go back to the FRONT of
+                    # the staged columns: older than anything staged
+                    # during this batch, delay 0 from now (int zero is
+                    # exact and type-preserving under ``now + d``)
+                    self_._stage_d[:0] = [0] * len(rest)
+                    self_._stage_o[:0] = rest
+                raise
+
+        return sleep, sleep_until, enqueue, fire
+
+    # -- queue inspection ----------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none —
+        staged rows included (they are queued, merely unconsolidated)."""
+        pt = self._pend_t
+        ph = self._pend_head
+        t = pt[ph] if ph < len(pt) else _INF
+        sd = self._stage_d
+        if sd:
+            now = self.sim.now
+            m = min((now + d) if d >= 0 else -d for d in sd)
+            if m < t:
+                return m
+        return t
+
+    # -- consolidation -------------------------------------------------
+    def _consolidate(self) -> None:
+        """Merge staged rows into the pending table: one stable sort by
+        time over (pending remainder ++ staged).  Stability makes ties
+        process in scheduling order — the remainder rows are older than
+        every staged row, and the staged columns are already in append
+        (= schedule) order — which is exactly the oracle's
+        ``(time, seq)`` heap order.
+
+        Staged values are delays relative to the current clock (or
+        ``-time`` for exact ``sleep_until`` rows); conversion happens
+        HERE, in python arithmetic — ``now + delay`` is bit-for-bit the
+        oracle's heap-push expression and keeps integer clocks integral
+        (numpy is used only to *order* rows, never for the stored time
+        values, so trace ``repr(time)`` stays identical)."""
+        now = self.sim.now
+        sd, so = self._stage_d, self._stage_o
+        ph = self._pend_head
+        pt = self._pend_t
+        if len(sd) <= _INSORT_MAX and ph < len(pt):
+            # a handful of staged rows against a live pending table:
+            # C-level binary inserts beat rebuilding both columns (the
+            # dominant consolidation shape in protocol-heavy runs —
+            # point-to-point sends staging one transfer event at a
+            # time).  ``bisect_right`` keeps each inserted row after
+            # every equal-time row already in the table, and inserting
+            # in staging order keeps staged ties in schedule order —
+            # together exactly the oracle's (time, seq) order.
+            po = self._pend_o
+            i = 0
+            for d in sd:
+                t = (now + d) if d >= 0 else -d
+                j = _bisect_right(pt, t, ph)
+                pt.insert(j, t)
+                po.insert(j, so[i])
+                i += 1
+            del sd[:]
+            del so[:]
+            return
+        st = [(now + d) if d >= 0 else -d for d in sd]
+        if ph < len(pt):
+            mt = pt[ph:] + st
+            mo = self._pend_o[ph:] + so
+        else:
+            mt = st
+            mo = so[:]
+        n = len(mt)
+        if n > 1:
+            if n >= _VEC_MIN:
+                order = np.argsort(np.asarray(mt), kind="stable").tolist()
+            else:
+                order = sorted(range(n), key=mt.__getitem__)
+            self._pend_t = [mt[i] for i in order]
+            self._pend_o = [mo[i] for i in order]
+        else:
+            self._pend_t = mt
+            self._pend_o = mo
+        self._pend_head = 0
+        del sd[:]
+        del so[:]
+
+    # -- execution -----------------------------------------------------
+    def step(self) -> None:
+        """Process every event scheduled for the next timestamp (the
+        ``Simulator.step`` contract) — including zero-delay events the
+        batch triggers at that same time, exactly like the oracle."""
+        if self._stage_d:
+            self._consolidate()
+        ph = self._pend_head
+        pt = self._pend_t
+        if ph >= len(pt):
+            raise IndexError("step from an empty schedule")
+        bt = pt[ph]
+        self.sim.now = bt
+        while True:
+            end = ph + 1
+            n = len(pt)
+            while end < n and pt[end] == bt:
+                end += 1
+            po = self._pend_o
+            batch = po[ph:end]
+            po[ph:end] = [None] * (end - ph)
+            self._pend_head = end
+            self._fire(batch)
+            if self._stage_d:
+                self._consolidate()
+            ph = self._pend_head
+            pt = self._pend_t
+            if ph >= len(pt) or pt[ph] != bt:
+                return
+
+    def run(self, until: _t.Optional[float] = None,
+            detect_deadlock: bool = False) -> None:
+        """Run until the queue drains or ``until`` is reached (the
+        ``Simulator.run`` / ``run_batched`` contract)."""
+        sim = self.sim
+        if until is not None and until < sim.now:
+            raise SimulationError(
+                f"until={until} is in the past (now={sim.now})")
+        sd = self._stage_d
+        so = self._stage_o
+        fire = self._fire
+        while True:
+            pt = self._pend_t
+            ph = self._pend_head
+            if sd:
+                d0 = sd[0]
+                if d0 == sd[-1] and sd.count(d0) == len(sd):
+                    # uniform staged batch (all rows share one time):
+                    # if it beats everything pending, the staged
+                    # columns ARE the next batch — no sort, no merge,
+                    # ONE time computation.  This covers the two
+                    # dominant shapes in one test: lockstep processes
+                    # (nothing pending) and a lone process charging
+                    # segment after segment while its peers' events
+                    # park in the pending table (the shape the python
+                    # engine's run_batched defer cell exists for —
+                    # strictly-earlier is required, a tie must fire
+                    # the older pending rows first)
+                    bt = (sim.now + d0) if d0 >= 0 else -d0
+                    if ph >= len(pt) or bt < pt[ph]:
+                        if until is not None and bt > until:
+                            self._consolidate()
+                            sim.now = until
+                            return
+                        batch = so[:]
+                        del sd[:]
+                        del so[:]
+                        sim.now = bt
+                        fire(batch)
+                        continue
+                self._consolidate()
+                continue
+            if ph >= len(pt):
+                break
+            bt = pt[ph]
+            if until is not None and bt > until:
+                sim.now = until
+                return
+            end = ph + 1
+            n = len(pt)
+            while end < n and pt[end] == bt:
+                end += 1
+            po = self._pend_o
+            batch = po[ph:end]
+            if end >= 1024:
+                # compact the consumed prefix so insort-dominated
+                # workloads (which never trigger a rebuilding
+                # consolidation) stay bounded; amortized O(1)/event
+                del pt[:end]
+                del po[:end]
+                end = 0
+            else:
+                po[ph:end] = [None] * (end - ph)
+            self._pend_head = end
+            sim.now = bt
+            fire(batch)
+        if until is not None:
+            sim.now = until
+        if detect_deadlock and sim._active_processes:
+            waiting = ", ".join(sorted(p.name
+                                       for p in sim._active_processes))
+            raise DeadlockError(
+                f"event queue drained but processes still waiting: "
+                f"{waiting}")
+
+    def _fire_generic(self, event: Event) -> None:
+        """Oracle-equivalent firing for everything that is not a plain
+        process wake — mirror of ``Event._process`` plus the run loop's
+        trace/unhandled-failure tail; keep in sync with ``engine.py``."""
+        event._state = _PROCESSED
+        waiter = event._waiter
+        if waiter is not None:
+            event._waiter = None
+            waiter(event)
+        cbs = event.callbacks
+        if cbs is not None:
+            event.callbacks = None
+            for cb in cbs:
+                cb(event)
+        trace = self._trace
+        if trace is not None:
+            trace(self.sim.now, event)
+        if event._exc is not None and not event.defused:
+            raise UnhandledFailure(event._exc)

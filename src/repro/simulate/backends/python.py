@@ -1,0 +1,37 @@
+"""The ``python`` engine backend: the heap-based oracle.
+
+This backend *is* :class:`repro.simulate.Simulator`'s own machinery —
+the ``heapq`` of ``(time, seq, event)`` tuples, ``Event._process``
+callback dispatch, the PR 1 inlined fast loop and the PR 3
+``run_batched`` defer cell.  Installing it is therefore a no-op: the
+class methods are the implementation.
+
+It exists as a named backend for two reasons:
+
+* it is the **bit-exactness oracle** — every array-backend claim
+  (event order, timestamps, traces, results, cache keys) is proven by
+  differential tests against this engine, and ``Simulator(fast=False)``
+  always runs it regardless of the selected backend (the un-inlined
+  baseline loop is the deepest oracle of all);
+* it is the **fallback** — an unknown ``REPRO_ENGINE`` value warns and
+  lands here, so a hostile environment can never change semantics or
+  break an import.
+
+See :mod:`repro.simulate.backends` for selection and
+:mod:`repro.simulate.backends.array` for the vectorized alternative.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import Simulator
+
+#: backend name, as accepted by ``Simulator(backend=...)`` and
+#: ``set_engine_backend``
+NAME = "python"
+
+
+def install(sim: "Simulator") -> None:
+    """No-op: the simulator's class methods are the python backend."""

@@ -113,11 +113,23 @@ class Simulator:
         drive this simulator through :meth:`run_batched`.  ``None``
         means "use :data:`BATCHED_DEFAULT`"; the perf benchmarks flip it
         to compare against the un-coalesced loop.
+    backend:
+        The engine backend executing the event queue: ``"python"``
+        (this class's own heap machinery — the bit-exact oracle) or
+        ``"array"`` (the vectorized core of
+        :mod:`repro.simulate.backends.array`).  ``None`` means "use the
+        process-wide default" (:func:`repro.simulate.set_engine_backend`
+        / the ``REPRO_ENGINE`` env var).  ``fast=False`` always forces
+        the python oracle — the un-inlined baseline loop *is* the
+        reference implementation the backends are proven against.
+        Results are bit-identical either way; see
+        :mod:`repro.simulate.backends`.
     """
 
     def __init__(self, trace: _t.Optional[_t.Callable[[float, Event], None]] = None,
                  fast: _t.Optional[bool] = None,
-                 batched: _t.Optional[bool] = None):
+                 batched: _t.Optional[bool] = None,
+                 backend: _t.Optional[str] = None):
         self.now: float = 0.0
         self._heap: _t.List[_t.Tuple[float, int, Event]] = []
         self._seq = 0
@@ -136,6 +148,18 @@ class Simulator:
         self._defer_armed = False
         #: live (not yet terminated) processes, used for deadlock detection
         self._active_processes: _t.Set["Process"] = set()
+        # -- engine backend seam (see repro.simulate.backends): lazy
+        #    import (backends.array imports this module), resolved per
+        #    instance so the module-level default / REPRO_ENGINE applies
+        from .backends import install_backend, resolve_backend
+        name = resolve_backend(backend)
+        if name != "python" and not self._fast:
+            # fast=False IS the python oracle loop — it cannot be
+            # swapped out from under the benchmarks' baseline legs
+            name = "python"
+        #: the engine backend this simulator executes on
+        self.backend = name
+        install_backend(self, name)
 
     # -- event construction helpers --------------------------------------
     def event(self, label: str = "") -> Event:
@@ -460,7 +484,8 @@ class Process(Event):
     ``GeneratorExit`` is thrown into the body so ``finally`` blocks run.
     """
 
-    __slots__ = ("body", "name", "_waiting_on", "_killed", "_resume_cb")
+    __slots__ = ("body", "name", "_waiting_on", "_killed", "_resume_cb",
+                 "_send")
 
     def __init__(self, sim: Simulator, body: _t.Generator, name: str = ""):
         if not inspect.isgenerator(body):
@@ -468,6 +493,9 @@ class Process(Event):
                 f"process body must be a generator, got {type(body).__name__}")
         super().__init__(sim, label=name or "process")
         self.body = body
+        #: pre-bound ``body.send`` — the array backend resumes through
+        #: this slot, saving an attribute chain per wake on its hot path
+        self._send = body.send
         self.name = name or getattr(body, "__name__", "process")
         self._waiting_on: _t.Optional[Event] = None
         self._killed = False

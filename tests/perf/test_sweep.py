@@ -43,6 +43,24 @@ def test_process_pool_matches_serial():
             == run_sweep(points, _square, workers=1))
 
 
+def _worker_backend(_x):
+    from repro.simulate import get_engine_backend
+    return get_engine_backend()
+
+
+def test_pool_workers_inherit_engine_backend():
+    """A backend selected programmatically in the parent (not via the
+    REPRO_ENGINE env var) must reach pool workers too."""
+    from repro.simulate import set_engine_backend
+    prev = set_engine_backend("array")
+    try:
+        assert (run_sweep([1, 2], _worker_backend, workers=2)
+                == ["array", "array"])
+    finally:
+        set_engine_backend(prev)
+    assert run_sweep([1, 2], _worker_backend, workers=2) == [prev, prev]
+
+
 def test_disk_cache_hit_skips_recompute(tmp_path):
     _record_calls.calls = []
     points = [1, 2, 3]

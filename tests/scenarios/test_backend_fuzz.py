@@ -1,0 +1,194 @@
+"""Property-based backend oracle harness (hypothesis).
+
+Random bounded :class:`~repro.scenarios.Scenario`\\ s — all four
+failure-schedule kinds (none / fixed / Poisson / Weibull) plus the PR 6
+production universes (inhomogeneous-Poisson, maintenance windows,
+cascading) — run under the ``array`` engine backend and the ``python``
+oracle, asserting bit-identical :class:`ModeRun` payloads.  This is the
+standing differential harness ROADMAP open item 5 calls for: every
+generated case is a fresh theorem that the vectorized event core
+preserves event order, virtual timestamps, intra statistics and
+application values.
+
+Alongside the scenario-level fuzz, a kernel-level fuzz drives the raw
+``Simulator`` with random interleavings of the primitives the fire
+loop special-cases (plain sleeps, sticky re-sleeps, abandoned tokens,
+zero delays, kills) — targeting the array backend's pooled-row reuse
+protocol specifically.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.hpccg import HpccgConfig, KernelBenchConfig
+from repro.scenarios import (CascadingFailures, ConstantRate,
+                             FixedFailures, InhomogeneousPoissonFailures,
+                             MaintenanceWindowFailures, PoissonFailures,
+                             RateSpec, Scenario, SinusoidRate,
+                             WeibullFailures)
+from repro.scenarios.run import _run_scenario
+from repro.replication.errors import NoLiveReplicaError
+from repro.simulate import Simulator, set_engine_backend
+
+#: bounded app configs — the fuzz explores *schedules and shapes*, not
+#: problem sizes, so the programs stay tiny
+TINY_KB = KernelBenchConfig(nx=8, ny=8, nz=8, reps=1)
+TINY_HPCCG = HpccgConfig(nx=8, ny=8, nz=8, max_iter=2,
+                         intra_kernels=frozenset({"ddot"}))
+
+HORIZON = 2e-3
+
+
+def _failure_schedules():
+    """One strategy per failure-schedule kind, PR 6 universes included."""
+    seeds = st.integers(0, 2**16)
+    fixed = st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 1),
+                  st.floats(1e-6, HORIZON, allow_nan=False)),
+        min_size=1, max_size=2).map(
+            lambda evs: FixedFailures(tuple(evs)))
+    poisson = seeds.map(
+        lambda s: PoissonFailures(rate=3e4, seed=s, horizon=HORIZON))
+    weibull = seeds.map(
+        lambda s: WeibullFailures(scale=1e-4, shape=0.7, seed=s,
+                                  horizon=HORIZON))
+    ipoisson = seeds.map(
+        lambda s: InhomogeneousPoissonFailures(
+            rates=RateSpec((ConstantRate(2e4),
+                            SinusoidRate(mean=2e4, amplitude=1e4,
+                                         period=1e-3))),
+            seed=s, horizon=HORIZON))
+    maintenance = seeds.map(
+        lambda s: MaintenanceWindowFailures(
+            base_rate=1e4, window_rate=8e4, period=1e-3, window=2e-4,
+            offset=1e-4, seed=s, horizon=HORIZON))
+    cascade = seeds.map(
+        lambda s: CascadingFailures(
+            rate=3e4, multiplier=10.0, window=5e-4, neighbor_distance=1,
+            seed=s, horizon=HORIZON))
+    return st.one_of(st.none(), fixed, poisson, weibull, ipoisson,
+                     maintenance, cascade)
+
+
+def _scenarios():
+    def build(app_cfg, mode, n_logical, failures, fd_delay):
+        app, cfg = app_cfg
+        kw = dict(app=app, config=cfg, n_logical=n_logical, mode=mode,
+                  fd_delay=fd_delay)
+        if failures is not None:
+            if mode == "native":
+                # failure schedules need replicas to kill
+                mode_kw = dict(kw, mode="intra")
+                return Scenario(failures=failures, **{
+                    k: v for k, v in mode_kw.items()})
+            kw["failures"] = failures
+        return Scenario(**kw)
+
+    return st.builds(
+        build,
+        st.sampled_from([("hpccg_kernels", TINY_KB),
+                         ("hpccg", TINY_HPCCG)]),
+        st.sampled_from(["native", "sdr", "intra"]),
+        st.integers(2, 3),
+        _failure_schedules(),
+        st.sampled_from([50e-6, 100e-6]))
+
+
+def _run_on(backend, scenario):
+    """Run fresh (no sweep cache) on ``backend``; a schedule harsh
+    enough to exhaust a logical rank's replicas is itself a valid
+    outcome — both backends must then raise the *same* error."""
+    prev = set_engine_backend(backend)
+    try:
+        return _run_scenario(scenario)
+    except NoLiveReplicaError as err:
+        return ("raised", type(err).__name__, str(err))
+    finally:
+        set_engine_backend(prev)
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenario=_scenarios())
+def test_random_scenarios_bit_identical_across_backends(scenario):
+    oracle = _run_on("python", scenario)
+    array = _run_on("array", scenario)
+    assert array == oracle
+    assert repr(array) == repr(oracle)
+
+
+# -- kernel-level fuzz: the fire loop's special-cased shapes -----------
+
+@st.composite
+def _proc_scripts(draw):
+    """A list of per-process scripts; each step is one primitive the
+    array fire loop treats specially."""
+    n = draw(st.integers(1, 6))
+    steps = st.one_of(
+        st.tuples(st.just("sleep"),
+                  st.floats(0, 3, allow_nan=False)),
+        st.tuples(st.just("sleep_int"), st.integers(0, 3)),
+        st.tuples(st.just("hold_sleep"),
+                  st.floats(0, 3, allow_nan=False)),
+        st.tuples(st.just("abandon"),
+                  st.floats(0.5, 3, allow_nan=False)),
+        st.tuples(st.just("timeout"),
+                  st.floats(0, 3, allow_nan=False)),
+    )
+    return [draw(st.lists(steps, min_size=1, max_size=6))
+            for _ in range(n)]
+
+
+def _drive(backend, scripts, kill_at):
+    sim = Simulator(backend=backend)
+    log = []
+
+    def body(sim, pid, script):
+        for op, arg in script:
+            if op == "sleep":
+                yield sim.sleep(arg)
+            elif op == "sleep_int":
+                yield sim.sleep_until(sim.now + arg)
+            elif op == "hold_sleep":
+                t = sim.sleep(arg)
+                yield t
+                log.append((pid, "held", t.processed, sim.now))
+                continue
+            elif op == "abandon":
+                sim.sleep(arg)          # taken, never yielded
+                yield sim.sleep(arg / 2)
+            elif op == "timeout":
+                got = yield sim.timeout(arg, value=(pid, arg))
+                log.append((pid, "timeout", got, sim.now))
+                continue
+            log.append((pid, op, sim.now))
+        return pid
+
+    procs = [sim.process(body(sim, pid, script), name=f"p{pid}")
+             for pid, script in enumerate(scripts)]
+    if kill_at is not None:
+        victim, when = kill_at
+        victim %= len(procs)
+
+        def killer(sim):
+            yield sim.sleep(when)
+            if not procs[victim].processed:
+                procs[victim].kill()
+
+        sim.process(killer(sim), name="killer")
+    sim.run()
+    values = [p.value if not p.killed else "killed" for p in procs]
+    return log, values, sim.now
+
+
+@settings(max_examples=60, deadline=None)
+@given(scripts=_proc_scripts(),
+       kill=st.one_of(st.none(),
+                      st.tuples(st.integers(0, 5),
+                                st.floats(0.1, 2, allow_nan=False))))
+def test_random_primitive_interleavings_match_oracle(scripts, kill):
+    log_o, values_o, now_o = _drive("python", scripts, kill)
+    log_a, values_a, now_a = _drive("array", scripts, kill)
+    assert log_a == log_o
+    assert repr(values_a) == repr(values_o)
+    assert repr(now_a) == repr(now_o)

@@ -188,6 +188,22 @@ def test_cli_format_json_emits_experiment_table_rows(capsys):
     assert all("kernel" in r for r in rows)
 
 
+def test_cli_format_csv_emits_experiment_table_rows(capsys):
+    """--format csv on a whole experiment (a fig6 figure here) flattens
+    its table rows under a first-appearance-union header."""
+    import csv
+    import io
+
+    rc = main(["fig6d", "--set", "config.nx=8", "--set", "config.ny=8",
+               "--set", "config.nz=4", "--set", "config.steps=2",
+               "--set", "n_logical=4", "--no-cache", "--format", "csv"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    rows = list(csv.DictReader(io.StringIO(out)))
+    assert rows and all(r["experiment"] == "fig6d" for r in rows)
+    assert {r["mode"] for r in rows} == {"Open MPI", "SDR-MPI", "intra"}
+
+
 def test_cli_format_rejects_mixed_currencies(capsys):
     """Experiment rows and scenario ResultSets are different record
     shapes; one machine-readable invocation cannot mix them."""

@@ -1,0 +1,508 @@
+"""Engine-backend seam: selection, semantics parity, and the array
+backend's edge cases.
+
+Selection mirrors the other engine toggles: ``Simulator(backend=...)``
+wins over :func:`set_engine_backend`, which wins over ``REPRO_ENGINE``
+(parsed defensively — a garbage value warns and falls back to the
+python oracle).  The behavioral tests run the same model under both
+backends and assert identical observables; the sticky-wake edge cases
+target the array fire loop's reuse protocol specifically.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.simulate import (DeadlockError, ProcessKilled, Resource,
+                            SimulationError, Simulator, Store,
+                            ENGINE_BACKENDS, get_engine_backend,
+                            set_engine_backend)
+from repro.simulate.backends import _env_engine
+
+BACKENDS = list(ENGINE_BACKENDS)
+
+
+# -- selection ---------------------------------------------------------
+
+def test_backend_names():
+    assert ENGINE_BACKENDS == ("python", "array")
+
+
+def test_explicit_backend_param():
+    assert Simulator(backend="python").backend == "python"
+    sim = Simulator(backend="array")
+    assert sim.backend == "array"
+    # the array backend shadows the queue entry points with instance
+    # attributes (zero-dispatch-cost seam)
+    assert "run" in sim.__dict__ and "sleep" in sim.__dict__
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(ValueError, match="unknown engine backend"):
+        Simulator(backend="simd")
+    with pytest.raises(ValueError, match="unknown engine backend"):
+        set_engine_backend("simd")
+
+
+def test_module_default_toggle_mirrors_set_section_batching():
+    prev = set_engine_backend("array")
+    try:
+        assert get_engine_backend() == "array"
+        assert Simulator().backend == "array"
+        # explicit always wins over the module default
+        assert Simulator(backend="python").backend == "python"
+    finally:
+        set_engine_backend(prev)
+    assert Simulator().backend == prev
+
+
+def test_fast_false_forces_python_oracle():
+    """``fast=False`` is the seed-equivalent baseline loop — the oracle
+    cannot be swapped out from under the benchmarks."""
+    sim = Simulator(fast=False, backend="array")
+    assert sim.backend == "python"
+    assert "run" not in sim.__dict__
+
+
+def test_env_var_selects_backend():
+    code = ("import repro.simulate as s; "
+            "print(s.Simulator().backend)")
+    env = dict(os.environ, REPRO_ENGINE="array",
+               PYTHONPATH="src")
+    out = subprocess.run([sys.executable, "-c", code], env=env,
+                         capture_output=True, text=True, check=True)
+    assert out.stdout.strip() == "array"
+
+
+def test_garbage_env_var_warns_and_falls_back():
+    """A hostile ``REPRO_ENGINE`` must neither raise at import nor
+    change semantics — warn and use the python oracle (the
+    ``REPRO_WORKERS`` defensive-parse contract)."""
+    code = ("import warnings; warnings.simplefilter('error'); "
+            "import repro.simulate as s; "
+            "print(s.Simulator().backend)")
+    env = dict(os.environ, REPRO_ENGINE="turbo9000", PYTHONPATH="src")
+    out = subprocess.run([sys.executable, "-c", code], env=env,
+                         capture_output=True, text=True)
+    # with warnings-as-errors the import itself must still not die
+    # silently wrong — assert the warning fired and named the value
+    assert "turbo9000" in out.stderr
+    assert "RuntimeWarning" in out.stderr
+
+
+def test_env_parse_helper():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        os.environ["_REPRO_ENGINE_TEST"] = "bogus"
+        try:
+            assert _env_engine("_REPRO_ENGINE_TEST") == "python"
+        finally:
+            del os.environ["_REPRO_ENGINE_TEST"]
+    assert any("bogus" in str(w.message) for w in caught)
+    assert _env_engine("_REPRO_ENGINE_UNSET") == "python"
+
+
+# -- behavioral parity -------------------------------------------------
+
+def _collect(backend, body_factory, **sim_kw):
+    sim = Simulator(backend=backend, **sim_kw)
+    out = body_factory(sim)
+    return sim, out
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sleep_chain_clock(backend):
+    sim = Simulator(backend=backend)
+    log = []
+
+    def body(sim):
+        for _ in range(5):
+            yield sim.sleep(1.5)
+            log.append(sim.now)
+
+    sim.process(body(sim))
+    sim.run()
+    assert log == [1.5, 3.0, 4.5, 6.0, 7.5]
+    assert sim.now == 7.5
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_integer_clock_stays_integral(backend):
+    """Consolidation must not launder int times through floats (trace
+    ``repr(time)`` bit-identity depends on it).  ``sleep_until`` with an
+    int target is the oracle's int-time entry point (``sleep`` adds to
+    the float starting clock, so it yields floats under both engines)."""
+    sim = Simulator(backend=backend)
+    times = []
+
+    def body(sim):
+        for t in (2, 5, 9):
+            yield sim.sleep_until(t)
+            times.append(sim.now)
+
+    sim.process(body(sim))
+    sim.run()
+    assert [repr(t) for t in times] == ["2", "5", "9"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sleep_until_exact_time(backend):
+    """``sleep_until(t)`` wakes at exactly ``t`` — not at
+    ``now + (t - now)``, which is a different float."""
+    target = 0.30000000000000004  # 0.1 + 0.2: not reachable via now+delta
+    sim = Simulator(backend=backend)
+    woke = []
+
+    def body(sim):
+        yield sim.sleep(0.1)
+        yield sim.sleep_until(target)
+        woke.append(sim.now)
+
+    sim.process(body(sim))
+    sim.run()
+    assert repr(woke[0]) == repr(target)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_same_time_events_fire_in_schedule_order(backend):
+    sim = Simulator(backend=backend)
+    order = []
+
+    def body(sim, tag, delay):
+        yield sim.sleep(delay)
+        order.append(tag)
+
+    for tag, delay in (("a", 1.0), ("b", 0.5), ("c", 1.0), ("d", 0.5)):
+        sim.process(body(sim, tag, delay))
+    sim.run()
+    # ties break by scheduling order: b before d (0.5), a before c (1.0)
+    assert order == ["b", "d", "a", "c"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_until_stops_clock_between_events(backend):
+    sim = Simulator(backend=backend)
+
+    def body(sim):
+        yield sim.sleep(10.0)
+
+    sim.process(body(sim))
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+    assert sim.peek() == 10.0
+    sim.run()
+    assert sim.now == 10.0
+    with pytest.raises(SimulationError):
+        sim.run(until=5.0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_step_drains_one_timestamp(backend):
+    sim = Simulator(backend=backend)
+    order = []
+
+    def spawner(sim):
+        yield sim.sleep(1.0)
+        order.append("parent")
+        # zero-delay follow-on at the same timestamp must fire in the
+        # same step() call
+        ev = sim.event("follow")
+        ev.succeed("v")
+        got = yield ev
+        order.append(("follow", got, sim.now))
+
+    sim.process(spawner(sim))
+    sim.step()   # start events at t=0
+    sim.step()   # t=1 batch including the zero-delay follow-on
+    assert order == ["parent", ("follow", "v", 1.0)]
+    with pytest.raises(IndexError):
+        sim.step()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_kill_sleeping_process(backend):
+    sim = Simulator(backend=backend)
+    woke = []
+
+    def body(sim):
+        yield sim.sleep(5.0)
+        woke.append(sim.now)
+
+    p = sim.process(body(sim))
+    sim.run(until=1.0)
+    p.kill()
+    sim.run()
+    assert woke == []
+    assert p.killed
+    assert sim.now == 5.0  # the orphan row still advances the clock
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_kill_propagates_to_joiner(backend):
+    sim = Simulator(backend=backend)
+    caught = []
+
+    def victim(sim):
+        yield sim.sleep(5.0)
+
+    def joiner(sim, p):
+        try:
+            yield p
+        except ProcessKilled as exc:
+            caught.append(str(exc))
+
+    p = sim.process(victim(sim), name="victim")
+    sim.process(joiner(sim, p))
+    sim.run(until=1.0)
+    p.kill()
+    sim.run()
+    assert len(caught) == 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_process_failure_propagates(backend):
+    sim = Simulator(backend=backend)
+
+    def boom(sim):
+        yield sim.sleep(1.0)
+        raise ValueError("boom")
+
+    sim.process(boom(sim))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_exception_keeps_same_time_peers_fireable(backend):
+    """An exception mid-batch must leave the unfired same-time rows
+    queued (the oracle pops one event at a time; the array fire loop
+    pushes the remainder back)."""
+    sim = Simulator(backend=backend)
+    ran = []
+
+    def boom(sim):
+        yield sim.sleep(1.0)
+        raise ValueError("boom")
+
+    def peer(sim, tag):
+        yield sim.sleep(1.0)
+        ran.append(tag)
+
+    sim.process(boom(sim))
+    sim.process(peer(sim, "x"))
+    sim.process(peer(sim, "y"))
+    with pytest.raises(ValueError):
+        sim.run()
+    sim.run()
+    assert ran == ["x", "y"]
+    assert sim.now == 1.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_resources_and_store(backend):
+    sim = Simulator(backend=backend)
+    log = []
+
+    res = Resource(sim, capacity=1, name="r")
+    store = Store(sim, name="s")
+
+    def holder(sim):
+        yield from res.hold(2.0)
+        log.append(("released", sim.now))
+
+    def contender(sim):
+        yield res.request()
+        log.append(("acquired", sim.now))
+        res.release()
+        store.put("token")
+
+    def consumer(sim):
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.process(holder(sim))
+    sim.process(contender(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert log == [("released", 2.0), ("acquired", 2.0),
+                   ("got", "token", 2.0)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_conditions(backend):
+    sim = Simulator(backend=backend)
+    got = []
+
+    def body(sim):
+        t1 = sim.timeout(1.0, value="one")
+        t2 = sim.timeout(2.0, value="two")
+        first = yield sim.any_of([t1, t2])
+        got.append((sim.now, first))
+        rest = yield sim.all_of([t2])
+        got.append((sim.now, rest))
+
+    sim.process(body(sim))
+    sim.run()
+    assert got == [(1.0, (0, "one")), (2.0, ["two"])]
+
+
+# -- sticky-wake edge cases (array fire-loop reuse protocol) -----------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sleep_token_held_and_yielded_later(backend):
+    """Holding the token across other work must not confuse the pool:
+    the row is observable, so the array backend takes the cold path."""
+    sim = Simulator(backend=backend)
+    log = []
+
+    def body(sim):
+        t = sim.sleep(1.0)
+        yield t
+        log.append(sim.now)
+        assert t.processed
+        yield sim.sleep(1.0)
+        log.append(sim.now)
+
+    sim.process(body(sim))
+    sim.run()
+    assert log == [1.0, 2.0]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sleep_then_yield_other_event_no_spurious_wake(backend):
+    """A process that takes a sleep token but yields a *different*
+    event must not be woken by the abandoned row (the array backend
+    hands the fired row to sleep() still bound — the binding must be
+    stripped when the process yields something else)."""
+    sim = Simulator(backend=backend)
+    woke = []
+
+    def body(sim, ev):
+        yield sim.sleep(1.0)          # primes the sticky hand-off
+        sim.sleep(2.0)                # taken, abandoned (fires at 3.0)
+        got = yield ev                # real wait: fires at 5.0
+        woke.append((sim.now, got))
+
+    ev = sim.event("gate")
+    sim.process(body(sim, ev))
+
+    def trigger(sim, ev):
+        yield sim.sleep(5.0)
+        ev.succeed("go")
+
+    sim.process(trigger(sim, ev))
+    sim.run()
+    assert woke == [(5.0, "go")]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sleep_abandoned_then_reyielded(backend):
+    """An abandoned-then-reyielded token still works: the stripped row
+    rebinds when finally yielded (before it fires)."""
+    sim = Simulator(backend=backend)
+    woke = []
+
+    def body(sim):
+        yield sim.sleep(1.0)
+        t = sim.sleep(4.0)            # fires at 5.0
+        yield sim.sleep(1.0)          # meanwhile, a nested wait
+        yield t
+        woke.append(sim.now)
+
+    sim.process(body(sim))
+    sim.run()
+    assert woke == [5.0]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_final_sleep_then_return(backend):
+    """sleep() consumed, process returns without yielding: the staged
+    row becomes a waiterless no-op (oracle: an unyielded timeout)."""
+    sim = Simulator(backend=backend)
+
+    def body(sim):
+        yield sim.sleep(1.0)
+        sim.sleep(3.0)
+        return "done"
+
+    p = sim.process(body(sim))
+    sim.run()
+    assert p.value == "done"
+    assert sim.now == 4.0             # the orphan still drains
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_zero_delay_sleep_chain(backend):
+    sim = Simulator(backend=backend)
+    ticks = []
+
+    def body(sim):
+        for i in range(4):
+            yield sim.sleep(0.0)
+            ticks.append((i, sim.now))
+
+    sim.process(body(sim))
+    sim.run()
+    assert ticks == [(0, 0.0), (1, 0.0), (2, 0.0), (3, 0.0)]
+
+
+# -- peek()/DeadlockError parity on pooled-row-only queues -------------
+# (the satellite bugfix: both backends must agree when the queue holds
+# nothing but pooled timeout rows — e.g. after their waiters were
+# killed — including what peek() reports and how deadlock is detected)
+
+def _orphan_queue(backend):
+    sim = Simulator(backend=backend)
+
+    def sleeper(sim):
+        yield sim.sleep(5.0)
+
+    def stuck(sim, ev):
+        yield ev
+
+    p = sim.process(sleeper(sim), name="sleeper")
+    ev = sim.event("never")
+    sim.process(stuck(sim, ev), name="stuck")
+    sim.run(until=1.0)
+    p.kill()
+    return sim
+
+
+def test_peek_agrees_on_orphan_only_queue():
+    peeks = {}
+    for backend in BACKENDS:
+        sim = _orphan_queue(backend)
+        # drain the kill-propagation event; only the orphan wake row
+        # (waiterless pooled timeout) remains queued
+        sim.run(until=2.0)
+        peeks[backend] = sim.peek()
+    assert peeks["python"] == peeks["array"] == 5.0
+
+
+def test_deadlock_reporting_agrees_on_orphan_only_queue():
+    outcomes = {}
+    for backend in BACKENDS:
+        sim = _orphan_queue(backend)
+        with pytest.raises(DeadlockError) as exc:
+            sim.run(detect_deadlock=True)
+        outcomes[backend] = (str(exc.value), sim.now)
+    assert outcomes["python"] == outcomes["array"]
+    msg, now = outcomes["python"]
+    assert "stuck" in msg and "sleeper" not in msg
+    assert now == 5.0                 # orphan rows still advance time
+
+
+def test_peek_sees_unconsolidated_rows():
+    """Rows scheduled but not yet run (staged, for the array backend)
+    are part of the queue and must be visible to peek()."""
+    for backend in BACKENDS:
+        sim = Simulator(backend=backend)
+        sim.timeout(3.0)
+        assert sim.peek() == 3.0, backend
+    sim = Simulator()
+    assert sim.peek() == float("inf")

@@ -223,7 +223,10 @@ def test_peek_sees_parked_wake():
 
 
 def test_timeout_pool_recycles_through_batched_loop():
-    sim = Simulator()
+    # white-box check of the python engine's defer-cell recycling; the
+    # array backend pools wake rows in its own free list, so pin the
+    # backend rather than inherit REPRO_ENGINE
+    sim = Simulator(backend="python")
     sim.process(_sleep_chain(sim, 500, 1.0))
     sim.run_batched()
     # deferred wakes must feed the free list like heap-popped ones

@@ -114,6 +114,27 @@ def test_unbatched_run_still_matches_seed_golden():
     assert repr(values) == golden["values_repr"]
 
 
+def test_array_backend_matches_seed_golden():
+    """The array engine backend replays the seed golden trace
+    bit-for-bit — event count, per-event time/type/label order and
+    final values all survive the backend swap (with a trace hook
+    installed the backend stages real Timeouts and fires every event
+    on the oracle-equivalent generic path)."""
+    from repro.simulate import set_engine_backend
+
+    golden = json.loads(GOLDEN.read_text())
+    prev = set_engine_backend("array")
+    try:
+        trace, values = run_scenario()
+    finally:
+        set_engine_backend(prev)
+    assert len(trace) == golden["n_events"]
+    assert fingerprint(trace) == golden["sha256"]
+    assert trace[:10] == golden["head"]
+    assert trace[-10:] == golden["tail"]
+    assert repr(values) == golden["values_repr"]
+
+
 if __name__ == "__main__":
     import sys
 
