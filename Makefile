@@ -1,11 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-all docs-check api-check profile figures clean
+.PHONY: test fuzz bench bench-all docs-check api-check profile figures clean
 
 ## tier-1 test suite (what CI gates on)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## the standing oracle-matrix differential harness at full budget
+## (>= 200 generated scenarios x every toggle leg x cold/warm cache;
+## tier-1 runs the same tests at the small smoke budget)
+fuzz:
+	REPRO_FUZZ_PROFILE=differential $(PYTHON) -m pytest \
+	    tests/differential tests/scenarios/test_backend_fuzz.py -q
 
 ## regenerate benchmarks/BENCH_sim_core.json (engine events/sec, fig5b
 ## sweep wall-time legs, batched-dispatch legs) and print the tables;

@@ -61,7 +61,7 @@ from __future__ import annotations
 import importlib
 import typing as _t
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: lazily-importable subsystem modules
 _SUBSYSTEMS = ("analysis", "api", "apps", "experiments", "intra",
@@ -74,6 +74,8 @@ _FACADE = ("compare", "iter_sweep", "run", "scenario", "sweep")
 #: result/spec types and engine toggles re-exported at the top level
 _TYPES = {"RunResult": "results", "ResultSet": "results",
           "Scenario": "scenarios", "RestartPolicy": "scenarios",
+          "GridFamily": "scenarios", "register_grid": "scenarios",
+          "grid_names": "scenarios",
           "PointFailure": "perf",
           "get_engine_backend": "simulate",
           "set_engine_backend": "simulate"}
@@ -88,7 +90,8 @@ if _t.TYPE_CHECKING:  # pragma: no cover - static import surface
     from .api import compare, iter_sweep, run, scenario, sweep
     from .perf import PointFailure
     from .results import ResultSet, RunResult
-    from .scenarios import RestartPolicy, Scenario
+    from .scenarios import (GridFamily, RestartPolicy, Scenario,
+                            grid_names, register_grid)
     from .simulate import get_engine_backend, set_engine_backend
 
 

@@ -1,0 +1,37 @@
+"""Defensive boolean environment switches.
+
+The execution-toggle env vars (``REPRO_BATCHED``,
+``REPRO_SECTION_BATCHING``, ``REPRO_TASK_POOLING`` — and, with its own
+value set, ``REPRO_ENGINE``) are parsed at import time by modules that
+*everything* imports, so a garbage value must never break imports or
+silently flip behaviour: unknown values warn (``RuntimeWarning``) and
+fall back to the default, the same discipline ``REPRO_WORKERS`` and
+``REPRO_ENGINE`` established.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+_TRUE = frozenset({"1", "true", "yes", "on"})
+_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+def env_flag(name: str, default: bool) -> bool:
+    """Parse the on/off env var ``name``; unset/empty → ``default``,
+    garbage → ``RuntimeWarning`` + ``default``."""
+    raw = os.environ.get(name, "")
+    value = raw.strip().lower()
+    if not value:
+        return default
+    if value in _TRUE:
+        return True
+    if value in _FALSE:
+        return False
+    warnings.warn(
+        f"ignoring {name}={raw!r}: expected one of "
+        f"{sorted(_TRUE | _FALSE)}; using the default "
+        f"({'on' if default else 'off'})", RuntimeWarning,
+        stacklevel=2)
+    return default

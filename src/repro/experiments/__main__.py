@@ -52,7 +52,8 @@ from ..analysis import format_table
 from ..api import sweep as api_sweep
 from ..perf import configure
 from ..results import ResultSet
-from ..scenarios import (get_entry, parse_override, scenario_entries,
+from ..scenarios import (GRID_PREFIX, Scenario, get_entry, grid_entries,
+                         parse_override, scenario_entries,
                          scenario_names, suggest_names,
                          UnknownScenarioError)
 from . import (ccr_vs_replication, copy_strategy_comparison, degree_sweep,
@@ -187,41 +188,84 @@ class _ListingError(ValueError):
     """A list pattern/tag that matched nothing (exit status 2)."""
 
 
+def _grid_rows(patterns: _t.Sequence[str], tag: _t.Optional[str]
+               ) -> _t.List[_t.Tuple[str, _t.Any, _t.Any]]:
+    """Generated-grid listing rows surviving the filters, each
+    ``("family", family, None)`` or ``("point", name, family)``.
+
+    Families list as one O(1) summary row; a pattern that reaches
+    *into* a family (contains ``/``) expands to the matching point
+    names of that family — the only case that pays O(points), and only
+    for the targeted family.
+    """
+    families = grid_entries()
+    if tag is not None and tag != "grid":
+        return []
+    if not patterns:
+        return [("family", f, None) for f in families]
+    rows: _t.List[_t.Tuple[str, _t.Any, _t.Any]] = []
+    for family in families:
+        label = f"{GRID_PREFIX}{family.name}"
+        summary_hit = any(
+            "/" not in p and fnmatch.fnmatchcase(label, p)
+            for p in patterns)
+        if summary_hit:
+            rows.append(("family", family, None))
+        point_pats = [p for p in patterns
+                      if "/" in p and fnmatch.fnmatchcase(
+                          label, p.split("/", 1)[0])]
+        if point_pats:
+            rows += [("point", name, family)
+                     for name in family.point_names()
+                     if any(fnmatch.fnmatchcase(name, p)
+                            for p in point_pats)]
+    return rows
+
+
 def _select_listing(patterns: _t.Sequence[str], tag: _t.Optional[str]
-                    ) -> _t.Tuple[_t.List[str], _t.List[_t.Any]]:
-    """(experiment names, scenario entries) surviving the filters, in
-    deterministic sorted order; raises :class:`_ListingError` on a
-    pattern or tag matching nothing."""
+                    ) -> _t.Tuple[_t.List[str], _t.List[_t.Any],
+                                  _t.List[_t.Tuple[str, _t.Any, _t.Any]]]:
+    """(experiment names, scenario entries, grid rows) surviving the
+    filters, in deterministic sorted order; raises
+    :class:`_ListingError` on a pattern or tag matching nothing."""
     exp_names = sorted(EXPERIMENTS)
     entries = scenario_entries()   # sorted by name already
+    grid_rows = _grid_rows(patterns, tag)
     if tag is not None:
         exp_names = [n for n in exp_names if n == tag]
         entries = [e for e in entries
                    if e.name.split(":", 1)[0] == tag]
-        if not exp_names and not entries:
+        if not exp_names and not entries and not grid_rows:
             raise _ListingError(
-                f"--tag {tag!r} matches no experiment or scenario "
-                f"namespace (see `list` with no filters)")
+                f"--tag {tag!r} matches no experiment, scenario or "
+                f"grid namespace (see `list` with no filters)")
     for pattern in patterns:
+        grids_hit = any(
+            (kind == "family"
+             and fnmatch.fnmatchcase(f"{GRID_PREFIX}{item.name}",
+                                     pattern))
+            or (kind == "point" and fnmatch.fnmatchcase(item, pattern))
+            for kind, item, _f in grid_rows)
         if not (any(fnmatch.fnmatchcase(n, pattern) for n in exp_names)
                 or any(fnmatch.fnmatchcase(e.name, pattern)
-                       for e in entries)):
+                       for e in entries)
+                or grids_hit):
             raise _ListingError(
-                f"pattern {pattern!r} matches no experiment or "
-                f"scenario name")
+                f"pattern {pattern!r} matches no experiment, scenario "
+                f"or grid name")
     if patterns:
         exp_names = [n for n in exp_names
                      if any(fnmatch.fnmatchcase(n, p) for p in patterns)]
         entries = [e for e in entries
                    if any(fnmatch.fnmatchcase(e.name, p)
                           for p in patterns)]
-    return exp_names, entries
+    return exp_names, entries, grid_rows
 
 
 def _render_listing(patterns: _t.Sequence[str] = (),
                     tag: _t.Optional[str] = None,
                     fmt: str = "table") -> str:
-    exp_names, entries = _select_listing(patterns, tag)
+    exp_names, entries, grid_rows = _select_listing(patterns, tag)
     if fmt == "json":
         payload = (
             [{"kind": "experiment", "name": n,
@@ -229,6 +273,18 @@ def _render_listing(patterns: _t.Sequence[str] = (),
             + [{"kind": "scenario", "name": e.name,
                 "description": e.description or e.scenario.summary(),
                 "scenario": e.scenario.to_dict()} for e in entries])
+        for kind, item, family in grid_rows:
+            if kind == "family":
+                payload.append(
+                    {"kind": "grid", "name": f"{GRID_PREFIX}{item.name}",
+                     "points": item.size,
+                     "axes": {n: list(v) for n, v in item.axes},
+                     "description": item.description})
+            else:
+                payload.append(
+                    {"kind": "scenario", "name": item,
+                     "description": f"{family.description} [generated]",
+                     "scenario": get_entry(item).scenario.to_dict()})
         return json.dumps(payload, sort_keys=True, indent=2)
     lines = []
     if exp_names:
@@ -239,6 +295,23 @@ def _render_listing(patterns: _t.Sequence[str] = (),
     for entry in entries:
         desc = entry.description or entry.scenario.summary()
         lines.append(f"  {entry.name:32s} {desc}")
+    families = [item for kind, item, _f in grid_rows if kind == "family"]
+    points = [(item, family) for kind, item, family in grid_rows
+              if kind == "point"]
+    if families:
+        lines.append("")
+        lines.append(f"generated grids ({len(families)} families, "
+                     f"{sum(f.size for f in families)} points; run "
+                     f"one with `run grid:<family>/<axis>=<value>,...`):")
+        for family in families:
+            lines.append(f"  {family.summary():44s} "
+                         f"{family.size:6d} points  "
+                         f"{family.description}")
+    if points:
+        lines.append("")
+        lines.append(f"generated grid points ({len(points)}):")
+        for name, family in points:
+            lines.append(f"  {name}")
     return "\n".join(lines)
 
 
@@ -385,6 +458,13 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
                              "machine-readable JSON/CSV — experiment "
                              "names render their table rows, scenario "
                              "names a ResultSet ('list' supports json)")
+    parser.add_argument("--scenario-json", metavar="JSON", default=None,
+                        help="run one inline scenario given as the JSON "
+                             "produced by Scenario.to_json()/RunResult "
+                             "provenance, instead of a registered name "
+                             "(--set still applies; this is how the "
+                             "differential harness prints reproducible "
+                             "failures)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="process-pool width for sweep points "
                              "(default: 1, serial)")
@@ -398,6 +478,10 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
         listing = True
         names = names[1:]
     if listing:
+        if args.scenario_json is not None:
+            print("error: --scenario-json does not apply to list",
+                  file=sys.stderr)
+            return 2
         if args.overrides or args.no_cache or args.workers != 1:
             print("error: --set/--workers/--no-cache do not apply to "
                   "list", file=sys.stderr)
@@ -425,15 +509,48 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
 
     if names and names[0] == "run":
         names = names[1:]
-        if not names:
+        if not names and args.scenario_json is None:
             print("error: 'run' needs an experiment or scenario name",
                   file=sys.stderr)
             return 2
+
+    if args.scenario_json is not None:
+        if names:
+            print("error: --scenario-json replaces the scenario name; "
+                  f"drop {', '.join(names)}", file=sys.stderr)
+            return 2
+        try:
+            scenario = Scenario.from_json(
+                args.scenario_json).with_overrides(overrides)
+        except (ValueError, TypeError, KeyError) as exc:
+            print(f"error: invalid --scenario-json: {exc}",
+                  file=sys.stderr)
+            return 2
+        results: ResultSet = api_sweep([scenario])
+        if args.fmt == "json":
+            print(results.to_json(indent=2))
+        elif args.fmt == "csv":
+            print(results.to_csv())
+        else:
+            run, = results
+            rows = [["mode", run.mode],
+                    ["wall time (ms)", run.wall_time * 1e3],
+                    ["crashes", len(run.crashes) or "-"]]
+            rows += [[f"timer:{k} (ms)", v * 1e3]
+                     for k, v in sorted(run.timers.items())]
+            print(format_table(["field", "value"], rows,
+                               title=f"inline — {scenario.summary()}"))
+        return 0
+
     if not names:
         names = list(EXPERIMENTS)
 
-    def unknown(name: str) -> int:
-        hints = suggest_names(name, extra=EXPERIMENTS)
+    def unknown(name: str,
+                exc: _t.Optional[UnknownScenarioError] = None) -> int:
+        # grid points carry exact per-token corrections on the error
+        # itself; fall back to fuzzy matching over flat names
+        hints = (exc.suggestions if exc is not None and exc.suggestions
+                 else suggest_names(name, extra=EXPERIMENTS))
         hint = f"; did you mean: {', '.join(hints)}?" if hints else ""
         print(f"error: unknown experiment or scenario {name!r}{hint}\n"
               f"(see `list` for everything available)", file=sys.stderr)
@@ -458,7 +575,7 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
                 print(_run_scenarios_structured(names, overrides,
                                                 args.fmt))
         except UnknownScenarioError as exc:
-            return unknown(exc.name)
+            return unknown(exc.name, exc)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -475,7 +592,7 @@ def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
             try:
                 print(_run_single_scenario(name, overrides))
             except UnknownScenarioError as exc:
-                return unknown(name)
+                return unknown(name, exc)
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2

@@ -99,10 +99,13 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 #: update-message tag layout: tag = task_index * MAX_ARGS + arg_index
 MAX_ARGS = 64
 
+from .._envflags import env_flag as _env_flag
+
 #: process-wide switch for batched section execution in
 #: :class:`LocalIntraRuntime` (the perf benchmark flips it to time the
-#: task-by-task oracle path; semantics are bit-identical either way)
-BATCH_SECTIONS = True
+#: task-by-task oracle path; semantics are bit-identical either way).
+#: Seeded from ``REPRO_SECTION_BATCHING`` (garbage warns, default on).
+BATCH_SECTIONS = _env_flag("REPRO_SECTION_BATCHING", True)
 
 
 def set_section_batching(enabled: bool) -> bool:
@@ -122,8 +125,9 @@ def section_batching_enabled() -> bool:
 
 #: process-wide switch for section-shape pooling of TaskDef /
 #: LaunchedTask / SectionState objects (the perf benchmark flips it to
-#: time the allocate-per-section oracle path; semantics are identical)
-POOL_TASKS = True
+#: time the allocate-per-section oracle path; semantics are identical).
+#: Seeded from ``REPRO_TASK_POOLING`` (garbage warns, default on).
+POOL_TASKS = _env_flag("REPRO_TASK_POOLING", True)
 
 #: retired LaunchedTask objects kept per runtime — far above any real
 #: section's task count, just a backstop against pathological shapes

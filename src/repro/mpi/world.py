@@ -249,7 +249,11 @@ class MpiWorld:
         self._next_context_id = 0
         #: transfer processes that have not yet injected their message,
         #: keyed by source endpoint id (killed if the sender crashes).
-        self._uninjected: _t.Dict[int, _t.Set[Process]] = {}
+        #: Insertion-ordered on purpose: kill_endpoint iterates these to
+        #: kill them, and a set of Process objects would iterate in
+        #: id()-derived (allocation-address) order — nondeterministic
+        #: run to run, which diverges otherwise identical simulations.
+        self._uninjected: _t.Dict[int, _t.Dict[Process, None]] = {}
 
     # -------------------------------------------------------- membership
     def new_context(self) -> int:
@@ -264,7 +268,7 @@ class MpiWorld:
         self.endpoints.append(ep)
         ctx = ProcContext(self, ep, slot, ep.name)
         self.contexts.append(ctx)
-        self._uninjected[ep.id] = set()
+        self._uninjected[ep.id] = {}
         return ctx
 
     def start(self, ctx: ProcContext, program: _t.Generator) -> Process:
@@ -299,7 +303,7 @@ class MpiWorld:
             self._transfer(src, dst_endpoint, env, injected, cell),
             name=f"xfer:{src.id}->{dst_endpoint}")
         cell["proc"] = proc
-        self._uninjected[src.id].add(proc)
+        self._uninjected[src.id][proc] = None
         return req
 
     def _transfer(self, src: Endpoint, dst_endpoint: int, env: Envelope,
@@ -308,7 +312,7 @@ class MpiWorld:
 
         def on_injected() -> None:
             injected.succeed()
-            self._uninjected[src.id].discard(cell["proc"])
+            self._uninjected[src.id].pop(cell["proc"], None)
 
         # o_send: CPU-side injection overhead, paid before the DMA queue.
         if self.network.spec.o_send:

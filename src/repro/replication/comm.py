@@ -57,8 +57,12 @@ class ReplicatedComm(CollectiveOps):
         self._prefix: _t.Dict[int, int] = {}
         #: per-destination log of (lseq, tag, payload) for replay
         self.send_log: _t.Dict[int, _t.List[_t.Tuple[int, int, _t.Any]]] = {}
-        #: live receive-loop helper processes (cleaned up on crash/end)
-        self.pending_loops: _t.Set[_t.Any] = set()
+        #: live receive-loop helper processes (cleaned up on crash/end).
+        #: Insertion-ordered on purpose: the manager iterates this to
+        #: kill/join loops, and a set of Process objects would iterate
+        #: in id()-derived (allocation-address) order — nondeterministic
+        #: run to run, which diverges otherwise identical simulations.
+        self.pending_loops: _t.Dict[_t.Any, None] = {}
 
     # ------------------------------------------------------------ basics
     @property
@@ -130,8 +134,8 @@ class ReplicatedComm(CollectiveOps):
         proxy = Event(self.sim, label=f"lrecv@{self.ctx.name}")
         proc = self.sim.process(self._recv_loop(source, tag, proxy),
                                 name=f"lrecv:{self.ctx.name}")
-        self.pending_loops.add(proc)
-        proc.add_callback(lambda _ev: self.pending_loops.discard(proc))
+        self.pending_loops[proc] = None
+        proc.add_callback(lambda _ev: self.pending_loops.pop(proc, None))
         return Request(proxy, kind="recv")
 
     def _recv_loop(self, source: int, tag: int, proxy: Event):

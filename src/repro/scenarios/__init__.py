@@ -30,6 +30,9 @@ from .failures import (NO_FAILURES, CascadingFailures, ConstantRate,
                        PiecewiseRate, PoissonFailures, RATE_TERM_KINDS,
                        RateSpec, RateTerm, SCHEDULE_KINDS, SinusoidRate,
                        WeibullFailures, WindowRate)
+from .grids import (GRID_PREFIX, GridFamily, get_grid, grid_entries,
+                    grid_names, is_grid_name, register_grid,
+                    total_grid_points)
 from .policies import RESTART_TRIGGERS, RestartPolicy
 from .registry import (RegisteredScenario, UnknownScenarioError,
                        find_scenario_name, get_entry, get_scenario,
@@ -44,7 +47,8 @@ from . import catalog  # registers the example scenarios  # noqa: F401
 
 __all__ = [
     "AppEntry", "CascadingFailures", "ConstantRate", "CrashEvent",
-    "FailureSchedule", "FixedFailures", "InhomogeneousPoissonFailures",
+    "FailureSchedule", "FixedFailures", "GRID_PREFIX", "GridFamily",
+    "InhomogeneousPoissonFailures",
     "MACHINES", "MaintenanceWindowFailures", "ModeRun", "NETWORKS",
     "NO_FAILURES", "NoFailures", "PiecewiseRate", "PoissonFailures",
     "RATE_TERM_KINDS", "RESTART_TRIGGERS", "RateSpec", "RateTerm",
@@ -53,10 +57,11 @@ __all__ = [
     "UnknownScenarioError", "WeibullFailures", "WindowRate",
     "app_names", "app_ref", "baseline_overrides",
     "decode_value", "encode_value", "find_scenario_name", "get_app",
-    "get_entry", "get_scenario", "machine_name_for", "make_world",
+    "get_entry", "get_grid", "get_scenario", "grid_entries",
+    "grid_names", "is_grid_name", "machine_name_for", "make_world",
     "network_name_for", "nodes_for", "parse_override",
-    "register_app", "register_codec_type", "register_scenario",
-    "resolve_program", "run_scenario", "scenario_cache_key",
-    "scenario_entries", "scenario_names", "suggest_names",
-    "sweep_scenarios",
+    "register_app", "register_codec_type", "register_grid",
+    "register_scenario", "resolve_program", "run_scenario",
+    "scenario_cache_key", "scenario_entries", "scenario_names",
+    "suggest_names", "sweep_scenarios", "total_grid_points",
 ]

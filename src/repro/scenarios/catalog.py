@@ -11,11 +11,16 @@ the figures.
 
 from __future__ import annotations
 
+import dataclasses
+
 from ..apps.gtc import GtcConfig
 from ..apps.hpccg import HpccgConfig, KernelBenchConfig
 from ..apps.steploop import StepSumConfig
-from .failures import (CascadingFailures, FixedFailures,
-                       MaintenanceWindowFailures)
+from .failures import (CascadingFailures, ConstantRate, FixedFailures,
+                       InhomogeneousPoissonFailures,
+                       MaintenanceWindowFailures, PoissonFailures,
+                       RateSpec, SinusoidRate, WeibullFailures)
+from .grids import register_grid
 from .policies import RestartPolicy
 from .registry import register_scenario
 from .spec import Scenario
@@ -143,5 +148,98 @@ def _register_examples() -> None:
         "contrasts no-crash / no-restart / restart)")
 
 
+# ------------------------------------------ generated grids (grid:*)
+#: one tiny problem per generated-grid point: the grids explore
+#: *schedules and toggles*, not problem sizes, so points stay cheap
+GRID_KB = KernelBenchConfig(nx=8, ny=8, nz=8, reps=1)
+
+#: failure-storm horizon of the ``grid:failures`` family (well inside
+#: the tiny kernel-bench run's virtual time)
+GRID_HORIZON = 2e-3
+
+#: ``grid:failures`` schedule builders, one per registered kind —
+#: every :data:`repro.scenarios.SCHEDULE_KINDS` member with events
+def _grid_schedule(kind: str, seed: int):
+    if kind == "fixed":
+        # deterministic "seeded" fixed schedule: one early crash whose
+        # time walks with the seed
+        return FixedFailures(((0, seed % 2,
+                               (seed % 13 + 1) * GRID_HORIZON / 16),))
+    if kind == "poisson":
+        return PoissonFailures(rate=3e4, seed=seed, horizon=GRID_HORIZON)
+    if kind == "weibull":
+        return WeibullFailures(scale=1e-4, shape=0.7, seed=seed,
+                               horizon=GRID_HORIZON)
+    if kind == "ipoisson":
+        return InhomogeneousPoissonFailures(
+            rates=RateSpec((ConstantRate(2e4),
+                            SinusoidRate(mean=2e4, amplitude=1e4,
+                                         period=1e-3))),
+            seed=seed, horizon=GRID_HORIZON)
+    if kind == "maintenance":
+        return MaintenanceWindowFailures(
+            base_rate=1e4, window_rate=8e4, period=1e-3, window=2e-4,
+            offset=1e-4, seed=seed, horizon=GRID_HORIZON)
+    if kind == "cascade":
+        return CascadingFailures(rate=3e4, multiplier=10.0, window=5e-4,
+                                 neighbor_distance=1, seed=seed,
+                                 horizon=GRID_HORIZON)
+    raise KeyError(kind)
+
+
+#: every registered schedule kind with events (all of
+#: :data:`repro.scenarios.SCHEDULE_KINDS` except the vacuous "none")
+_GRID_FAILURE_KINDS = ("fixed", "poisson", "weibull", "ipoisson",
+                       "maintenance", "cascade")
+
+
+def _build_failures_point(kind: str, seed: int, fd: float) -> Scenario:
+    return Scenario(app="hpccg_kernels", config=GRID_KB, n_logical=2,
+                    mode="intra", fd_delay=fd,
+                    failures=_grid_schedule(kind, seed))
+
+
+def _build_hpccg_point(mode: str, n: int, nx: int) -> Scenario:
+    return Scenario(app="hpccg_kernels",
+                    config=dataclasses.replace(GRID_KB, nx=nx),
+                    n_logical=n, mode=mode)
+
+
+def _build_restart_point(storm: str, policy: str, seed: int) -> Scenario:
+    schedule = dataclasses.replace(RESTART_STORMS[storm], seed=seed)
+    return Scenario(app="stepsum", config=StepSumConfig(), n_logical=2,
+                    mode="intra", failures=schedule,
+                    restart=RESTART_POLICIES[policy])
+
+
+def _register_grids() -> None:
+    register_grid(
+        "failures",
+        axes={"kind": _GRID_FAILURE_KINDS,
+              "seed": tuple(range(64)),
+              "fd": (25e-6, 50e-6, 100e-6)},
+        build=_build_failures_point,
+        description="failure-universe sweep: every schedule kind x 64 "
+                    "seeds x 3 detection delays on a tiny intra "
+                    "kernel-bench run")
+    register_grid(
+        "hpccg",
+        axes={"mode": ("native", "sdr", "intra"),
+              "n": (2, 4, 8),
+              "nx": (8, 16)},
+        build=_build_hpccg_point,
+        description="kernel-bench shape sweep: mode x logical ranks x "
+                    "problem width (Fig. 5 methodology, tiny sizes)")
+    register_grid(
+        "restart",
+        axes={"storm": tuple(sorted(RESTART_STORMS)),
+              "policy": tuple(sorted(RESTART_POLICIES)),
+              "seed": tuple(range(8))},
+        build=_build_restart_point,
+        description="restart extension at scale: failure storm x "
+                    "restart policy x storm seed on StepSum")
+
+
 _register_examples()
 _register_restart_grid()
+_register_grids()

@@ -1,0 +1,353 @@
+"""Lazy parametric scenario grids — the registry at catalog scale.
+
+The named registry (:mod:`repro.scenarios.registry`) enumerates every
+hand-registered point eagerly, which is right for ~70 curated figure
+points and wrong for systematic coverage: a failure-universe sweep over
+six schedule kinds, 64 seeds and three detection delays is 1152
+scenarios nobody should hand-register (and ``list`` should not pay
+for).  A :class:`GridFamily` registers a *generator* instead: an
+ordered set of axes (each a small finite value set) plus a ``build``
+function mapping one point of the cross product to a
+:class:`~repro.scenarios.spec.Scenario`.
+
+Registration and listing stay O(1) in the number of points — nothing
+is materialized until a specific point is addressed:
+
+``grid:<family>/<axis>=<value>,<axis>=<value>``
+
+e.g. ``grid:failures/kind=poisson,seed=17,fd=5e-05``.  These names
+resolve everywhere registry names do — ``repro.scenario(...)``,
+``repro.run(...)``, ``python -m repro.experiments run`` — via the
+registry's lookup path, and mistyped families/axes/values raise
+:class:`~repro.scenarios.registry.UnknownScenarioError` with
+did-you-mean suggestions just like plain names.
+
+Point ordering is deterministic (axes in declaration order, the last
+axis varying fastest), so ``point_names()`` is a stable enumeration for
+sampling and differential testing (see ``tests/differential/``), and a
+point's name is a pure function of its axis values — the same
+addressing contract as the registry, so grid points cache under
+scenario hashes exactly like named scenarios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import itertools
+import math
+import typing as _t
+
+from .registry import RegisteredScenario, UnknownScenarioError
+from .spec import Scenario
+
+#: the registry-namespace prefix of every grid point name
+GRID_PREFIX = "grid:"
+
+#: axis values must format to unambiguous name tokens
+AxisValue = _t.Union[bool, int, float, str]
+
+#: characters that would break ``axis=value,axis=value`` parsing
+_FORBIDDEN = set(",=/ \t\n")
+
+
+def format_axis_value(value: AxisValue) -> str:
+    """The name token of one axis value (exact: ``float`` via ``repr``
+    so tokens round-trip bit-exactly; ``bool`` before ``int`` since
+    ``True`` IS-An ``int``)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        if not value or _FORBIDDEN & set(value):
+            raise ValueError(
+                f"string axis value {value!r} cannot appear in a grid "
+                f"point name (empty, or contains one of , = / or "
+                f"whitespace)")
+        return value
+    raise TypeError(f"grid axis values must be bool/int/float/str, got "
+                    f"{type(value).__name__} ({value!r})")
+
+
+@dataclasses.dataclass(frozen=True)
+class GridFamily:
+    """One registered lazy grid: axes × build function.
+
+    Attributes
+    ----------
+    name:
+        Family name (the part between ``grid:`` and ``/``).
+    axes:
+        Ordered ``(axis_name, (value, ...))`` pairs; the point space is
+        their cross product, enumerated with the last axis varying
+        fastest.
+    build:
+        ``build(**{axis: value})`` → :class:`Scenario`; called only
+        when a point is actually addressed (must be pure — the point
+        name is the identity, the scenario hash is the cache key).
+    description:
+        One-liner for ``list`` output.
+    """
+
+    name: str
+    axes: _t.Tuple[_t.Tuple[str, _t.Tuple[AxisValue, ...]], ...]
+    build: _t.Callable[..., Scenario]
+    description: str = ""
+
+    # ------------------------------------------------------ shape (O(1))
+    @property
+    def size(self) -> int:
+        """Number of addressable points (no expansion)."""
+        return math.prod(len(vals) for _n, vals in self.axes)
+
+    @property
+    def axis_names(self) -> _t.Tuple[str, ...]:
+        return tuple(n for n, _v in self.axes)
+
+    def summary(self) -> str:
+        """The ``list`` display form: address shape + point count."""
+        return (f"{GRID_PREFIX}{self.name}/"
+                f"<{','.join(self.axis_names)}>")
+
+    # ------------------------------------------------------- enumeration
+    def point_ids(self) -> _t.Iterator[str]:
+        """Canonical point ids, lazily, in deterministic order."""
+        names = self.axis_names
+        for combo in itertools.product(*(v for _n, v in self.axes)):
+            yield ",".join(f"{n}={format_axis_value(v)}"
+                           for n, v in zip(names, combo))
+
+    def point_names(self) -> _t.Iterator[str]:
+        """Full registry-addressable names, lazily, in order."""
+        for pid in self.point_ids():
+            yield f"{GRID_PREFIX}{self.name}/{pid}"
+
+    def first_point_name(self) -> str:
+        """The first addressable point (cheap — used in suggestions)."""
+        return next(self.point_names())
+
+    # ------------------------------------------------------- addressing
+    def point_name(self, **values: AxisValue) -> str:
+        """The canonical full name of the point at ``values`` (every
+        axis must be given a declared value)."""
+        resolved = self._check_values(values)
+        pid = ",".join(f"{n}={format_axis_value(resolved[n])}"
+                       for n in self.axis_names)
+        return f"{GRID_PREFIX}{self.name}/{pid}"
+
+    def point(self, **values: AxisValue) -> Scenario:
+        """Materialize the point at ``values``."""
+        return self._build(self._check_values(values))
+
+    def materialize(self, point_id: str) -> Scenario:
+        """Materialize the point addressed by ``point_id`` (the part
+        after the ``/``); raises :class:`UnknownScenarioError` with a
+        corrected-candidate suggestion on any unknown axis or value."""
+        return self._build(self._parse_id(point_id))
+
+    # --------------------------------------------------------- internals
+    def _tokens(self) -> _t.Dict[str, _t.Dict[str, AxisValue]]:
+        """Per-axis ``token -> value`` tables (small; rebuilt on use)."""
+        return {n: {format_axis_value(v): v for v in vals}
+                for n, vals in self.axes}
+
+    def _check_values(self, values: _t.Mapping[str, AxisValue]
+                      ) -> _t.Dict[str, AxisValue]:
+        declared = dict(self.axes)
+        unknown = set(values) - set(declared)
+        if unknown:
+            raise UnknownScenarioError(
+                f"{GRID_PREFIX}{self.name}/<{sorted(unknown)}>",
+                [self.first_point_name()])
+        missing = set(declared) - set(values)
+        if missing:
+            raise ValueError(f"grid {self.name!r} point needs every "
+                             f"axis; missing: {sorted(missing)}")
+        out: _t.Dict[str, AxisValue] = {}
+        for axis, value in values.items():
+            token = format_axis_value(value)
+            table = {format_axis_value(v): v for v in declared[axis]}
+            if token not in table:
+                raise ValueError(
+                    f"grid {self.name!r} axis {axis!r} has no value "
+                    f"{value!r}; declared values: "
+                    f"{', '.join(table)}")
+            out[axis] = table[token]
+        return out
+
+    def _parse_id(self, point_id: str) -> _t.Dict[str, AxisValue]:
+        full = f"{GRID_PREFIX}{self.name}/{point_id}"
+        tables = self._tokens()
+        values: _t.Dict[str, AxisValue] = {}
+        for part in point_id.split(","):
+            axis, sep, token = part.partition("=")
+            if not sep:
+                raise UnknownScenarioError(
+                    full, [self.first_point_name()])
+            if axis not in tables:
+                raise UnknownScenarioError(
+                    full, self._suggest_corrected(point_id))
+            if token not in tables[axis]:
+                raise UnknownScenarioError(
+                    full, self._suggest_corrected(point_id))
+            values[axis] = tables[axis][token]
+        if set(values) != set(tables):
+            raise UnknownScenarioError(full, self._suggest_corrected(
+                point_id))
+        return values
+
+    def _suggest_corrected(self, point_id: str) -> _t.List[str]:
+        """A did-you-mean candidate: each token fuzzy-corrected against
+        the declared axes/values, missing axes filled with their first
+        value — always a real, addressable point name."""
+        tables = self._tokens()
+        corrected: _t.Dict[str, str] = {}
+        for part in point_id.split(","):
+            axis, _sep, token = part.partition("=")
+            if axis not in tables:
+                close = difflib.get_close_matches(axis, list(tables),
+                                                  n=1, cutoff=0.4)
+                if not close:
+                    continue
+                axis = close[0]
+            tokens = list(tables[axis])
+            if token in tokens:
+                corrected[axis] = token
+            else:
+                close = difflib.get_close_matches(token, tokens, n=1,
+                                                  cutoff=0.3)
+                corrected[axis] = close[0] if close else tokens[0]
+        pid = ",".join(
+            f"{n}={corrected.get(n, format_axis_value(vals[0]))}"
+            for n, vals in self.axes)
+        return [f"{GRID_PREFIX}{self.name}/{pid}"]
+
+    def _build(self, values: _t.Dict[str, AxisValue]) -> Scenario:
+        scenario = self.build(**values)
+        if not isinstance(scenario, Scenario):
+            raise TypeError(
+                f"grid {self.name!r} build returned "
+                f"{type(scenario).__name__}, expected a Scenario")
+        return scenario
+
+
+_GRIDS: _t.Dict[str, GridFamily] = {}
+
+
+def register_grid(name: str,
+                  axes: _t.Union[_t.Mapping[str, _t.Sequence[AxisValue]],
+                                 _t.Sequence[_t.Tuple[str,
+                                                      _t.Sequence[AxisValue]]]],
+                  build: _t.Callable[..., Scenario],
+                  description: str = "",
+                  overwrite: bool = False) -> GridFamily:
+    """Register a lazy grid family; O(1) — no point is materialized.
+
+    ``axes`` is an ordered mapping (or sequence of pairs) of axis name
+    → finite value sequence; ``build(**values)`` must return a
+    :class:`Scenario` and be pure.  Re-registering an identical family
+    is a no-op (import-time registration safety); a conflicting
+    re-registration requires ``overwrite=True``.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError("grid family name must be a non-empty string")
+    bad = _FORBIDDEN | {":"}
+    if bad & set(name):
+        raise ValueError(f"grid family name {name!r} may not contain "
+                         f"any of , = / : or whitespace")
+    pairs = tuple(axes.items()) if isinstance(axes, _t.Mapping) \
+        else tuple(axes)
+    if not pairs:
+        raise ValueError("a grid family needs at least one axis")
+    norm: _t.List[_t.Tuple[str, _t.Tuple[AxisValue, ...]]] = []
+    for axis, vals in pairs:
+        if not isinstance(axis, str) or not axis or _FORBIDDEN & set(axis):
+            raise ValueError(f"bad axis name {axis!r}")
+        vals = tuple(vals)
+        if not vals:
+            raise ValueError(f"axis {axis!r} has no values")
+        tokens = [format_axis_value(v) for v in vals]
+        if len(set(tokens)) != len(tokens):
+            raise ValueError(f"axis {axis!r} values collide after "
+                             f"formatting: {tokens}")
+        norm.append((axis, vals))
+    if len({a for a, _v in norm}) != len(norm):
+        raise ValueError("duplicate axis names")
+    family = GridFamily(name=name, axes=tuple(norm), build=build,
+                        description=description)
+    old = _GRIDS.get(name)
+    if old is not None and old != family and not overwrite:
+        raise ValueError(f"grid family {name!r} is already registered "
+                         f"with a different spec")
+    _GRIDS[name] = family
+    return family
+
+
+def grid_names() -> _t.List[str]:
+    """All registered family names, sorted (O(families))."""
+    return sorted(_GRIDS)
+
+
+def grid_entries() -> _t.List[GridFamily]:
+    """All registered families, sorted by name."""
+    return [_GRIDS[n] for n in grid_names()]
+
+
+def get_grid(name: str) -> GridFamily:
+    """The family registered under ``name`` (bare, or with the
+    ``grid:`` prefix); raises :class:`UnknownScenarioError` with a
+    did-you-mean suggestion."""
+    bare = name[len(GRID_PREFIX):] if name.startswith(GRID_PREFIX) \
+        else name
+    bare = bare.split("/", 1)[0]
+    family = _GRIDS.get(bare)
+    if family is None:
+        raise UnknownScenarioError(name, _suggest_families(bare))
+    return family
+
+
+def total_grid_points() -> int:
+    """Addressable points across all families (no expansion)."""
+    return sum(f.size for f in _GRIDS.values())
+
+
+def is_grid_name(name: str) -> bool:
+    """Whether ``name`` addresses the grid namespace."""
+    return name.startswith(GRID_PREFIX)
+
+
+def resolve_grid(name: str) -> Scenario:
+    """Materialize the scenario addressed by a full
+    ``grid:family/point`` name."""
+    return grid_entry(name).scenario
+
+
+def grid_entry(name: str) -> RegisteredScenario:
+    """The registry-entry view of one grid point (the registry's
+    lookup path routes ``grid:*`` names here)."""
+    rest = name[len(GRID_PREFIX):]
+    family_name, sep, point_id = rest.partition("/")
+    family = _GRIDS.get(family_name)
+    if family is None:
+        raise UnknownScenarioError(name, _suggest_families(family_name))
+    if not sep or not point_id:
+        # a family without a point: suggest the addressing shape
+        raise UnknownScenarioError(
+            name, [family.first_point_name()])
+    scenario = family.materialize(point_id)
+    desc = family.description or family.summary()
+    return RegisteredScenario(name, scenario, f"{desc} [generated]")
+
+
+def suggestion_candidates() -> _t.List[str]:
+    """One representative addressable name per family — merged into
+    :func:`repro.scenarios.registry.suggest_names` candidates so typos
+    near the grid namespace surface real grid addresses."""
+    return [f.first_point_name() for f in grid_entries()]
+
+
+def _suggest_families(bare: str) -> _t.List[str]:
+    close = difflib.get_close_matches(bare, list(_GRIDS), n=3,
+                                      cutoff=0.4)
+    return [_GRIDS[n].first_point_name() for n in close]

@@ -65,12 +65,18 @@ def register_scenario(name: str, scenario: Scenario,
 
 
 def get_scenario(name: str) -> Scenario:
-    """The scenario registered under ``name``; raises
+    """The scenario registered under ``name`` — or lazily materialized
+    from a generated grid for ``grid:family/point`` names; raises
     :class:`UnknownScenarioError` (with close-match suggestions)."""
     return get_entry(name).scenario
 
 
 def get_entry(name: str) -> RegisteredScenario:
+    if name.startswith("grid:"):
+        # Lazy namespace: grid points materialize on demand and are
+        # never stored here, so the registry stays O(1) in grid size.
+        from . import grids
+        return grids.grid_entry(name)
     entry = _REGISTRY.get(name)
     if entry is None:
         raise UnknownScenarioError(name, suggest_names(name))
@@ -78,7 +84,10 @@ def get_entry(name: str) -> RegisteredScenario:
 
 
 def scenario_names() -> _t.List[str]:
-    """All registered names, sorted."""
+    """All *eagerly* registered names, sorted.  Generated grid points
+    (the ``grid:`` namespace, :mod:`repro.scenarios.grids`) are
+    addressable through :func:`get_scenario` but deliberately not
+    enumerated here — listing stays O(registered), not O(points)."""
     return sorted(_REGISTRY)
 
 
@@ -97,8 +106,11 @@ def find_scenario_name(scenario: Scenario) -> _t.Optional[str]:
 
 def suggest_names(name: str, limit: int = 3,
                   extra: _t.Iterable[str] = ()) -> _t.List[str]:
-    """Close matches for a mistyped name, over the registry plus any
-    ``extra`` candidate names (e.g. experiment names)."""
-    candidates = list(_REGISTRY) + list(extra)
+    """Close matches for a mistyped name, over the registry, any
+    ``extra`` candidate names (e.g. experiment names) and one
+    representative point per generated grid family."""
+    from . import grids
+    candidates = (list(_REGISTRY) + list(extra)
+                  + grids.suggestion_candidates())
     return difflib.get_close_matches(name, candidates, n=limit,
                                      cutoff=0.45)

@@ -15,7 +15,8 @@ Backends are bit-identical by construction and differential tests; see
 
 from .backends import (ENGINE_BACKENDS, get_engine_backend,
                        set_engine_backend)
-from .engine import Process, Simulator
+from .engine import (Process, Simulator, batched_default,
+                     set_batched_default)
 from .errors import (DeadlockError, NotProcessError, ProcessKilled,
                      SimulationError, StaleEventError, UnhandledFailure)
 from .events import AllOf, AnyOf, ConditionError, Event, Timeout
@@ -26,5 +27,6 @@ __all__ = [
     "ENGINE_BACKENDS", "Event", "NotProcessError", "Process",
     "ProcessKilled", "Resource", "SimulationError", "Simulator",
     "StaleEventError", "Store", "Timeout", "UnhandledFailure",
-    "get_engine_backend", "set_engine_backend",
+    "batched_default", "get_engine_backend", "set_batched_default",
+    "set_engine_backend",
 ]

@@ -67,6 +67,7 @@ import heapq
 import inspect
 import typing as _t
 
+from .._envflags import env_flag as _env_flag
 from .errors import (DeadlockError, NotProcessError, ProcessKilled,
                      SimulationError, UnhandledFailure)
 from .events import (_PENDING, _PROCESSED, _TRIGGERED, AllOf, AnyOf, Event,
@@ -87,8 +88,27 @@ FAST_DEFAULT = True
 #: process-wide default for ``Simulator(batched=None)``: whether callers
 #: that dispatch on ``Simulator.batched`` (``MpiWorld.run``) should use
 #: :meth:`Simulator.run_batched` instead of :meth:`Simulator.run`.  The
-#: perf benchmark flips this to time the un-coalesced PR-1 fast path.
-BATCHED_DEFAULT = True
+#: perf benchmark flips this to time the un-coalesced PR-1 fast path,
+#: and the differential oracle matrix (tests/differential/) runs every
+#: scenario both ways.  Seeded from ``REPRO_BATCHED`` (parsed
+#: defensively: garbage warns and keeps the default on).
+BATCHED_DEFAULT = _env_flag("REPRO_BATCHED", True)
+
+
+def set_batched_default(enabled: bool) -> bool:
+    """Set the process-wide :data:`BATCHED_DEFAULT` (what
+    ``Simulator(batched=None)`` resolves to); returns the previous
+    setting.  Semantics are bit-identical either way — batching only
+    coalesces engine wakeups."""
+    global BATCHED_DEFAULT
+    prev = BATCHED_DEFAULT
+    BATCHED_DEFAULT = bool(enabled)
+    return prev
+
+
+def batched_default() -> bool:
+    """The current process-wide batched-dispatch default."""
+    return BATCHED_DEFAULT
 
 _INF = float("inf")
 

@@ -82,12 +82,23 @@ class Resource:
         """Process sub-routine: acquire, hold ``duration``, release.
 
         Use as ``yield from resource.hold(t)``.
+
+        Kill-safe at every suspension point.  The subtle case: the grant
+        event can succeed (slot assigned) in the same timestep in which
+        the holder is killed, *before* the holder resumes — the holder
+        then dies parked on ``yield req`` while owning a slot.  The
+        ``finally`` therefore keys the release on whether the request was
+        ever granted (``req.triggered``), not on how far the body got;
+        a request killed while still queued stays pending and is skipped
+        by :meth:`release`'s dead-waiter sweep instead.
         """
-        yield self.request()
+        req = self.request()
         try:
+            yield req
             yield self.sim.timeout(duration)
         finally:
-            self.release()
+            if req.triggered:
+                self.release()
 
 
 class Store:

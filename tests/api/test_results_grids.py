@@ -1,0 +1,97 @@
+"""ResultSet relational verbs over generated-grid sweeps.
+
+Sweeps whose points come from mixed ``grid:*`` families — including
+rows that fail (sweep-layer :class:`PointFailure` under
+``on_error="return"``) — must filter, group and serialize exactly like
+hand-registered scenarios: the grid namespace is an addressing scheme,
+not a different result currency.
+"""
+
+import csv
+import io
+import json
+
+import pytest
+
+import repro.experiments  # noqa: F401  (registers catalog + grids)
+from repro.api import scenario as api_scenario, sweep
+from repro.results import ResultSet, RunResult
+from repro.scenarios import RestartPolicy, get_scenario
+
+
+@pytest.fixture(autouse=True)
+def _sandbox(sandbox_perf_config):
+    yield
+
+
+MIXED_NAMES = [
+    "grid:hpccg/mode=native,n=2,nx=8",
+    "grid:hpccg/mode=intra,n=2,nx=8",
+    "grid:restart/storm=cascade,policy=eager,seed=0",
+    "grid:failures/kind=fixed,seed=0,fd=2.5e-05",
+]
+
+
+@pytest.fixture(scope="module")
+def mixed_results():
+    # one scenario per family plus a doomed point: a restart policy on
+    # an app with no restartable factory fails at the sweep layer and,
+    # under on_error="return", comes back as a failed row
+    doomed = get_scenario("grid:hpccg/mode=intra,n=2,nx=8").replace(
+        restart=RestartPolicy(delay=1e-4))
+    scenarios = [get_scenario(n) for n in MIXED_NAMES] + [doomed]
+    return sweep(scenarios, cache=False, on_error="return")
+
+
+def test_grid_names_resolve_through_the_facade():
+    for name in MIXED_NAMES:
+        assert api_scenario(name) == get_scenario(name)
+
+
+def test_mixed_family_sweep_preserves_order_and_failures(mixed_results):
+    assert isinstance(mixed_results, ResultSet)
+    assert len(mixed_results) == 5
+    assert [r.ok for r in mixed_results] == [True] * 4 + [False]
+    failed = mixed_results[-1]
+    assert "no registered restartable factory" in failed.error
+    assert failed.wall_time == 0.0 and failed.cache_key
+
+
+def test_filter_by_scenario_fields_spans_families(mixed_results):
+    intra = mixed_results.filter(mode="intra")
+    # hpccg intra, restart point, failures point, doomed
+    assert len(intra) == 4
+    ok_intra = intra.filter(lambda r: r.ok)
+    assert len(ok_intra) == 3
+    stepsum = mixed_results.filter(app="stepsum")
+    assert len(stepsum) == 1
+    assert stepsum[0].scenario.restart is not None
+
+
+def test_group_by_app_and_ok(mixed_results):
+    by_app = mixed_results.group_by("app")
+    assert set(by_app) == {"hpccg_kernels", "stepsum"}
+    assert len(by_app["hpccg_kernels"]) == 4
+    by_ok = mixed_results.group_by(lambda r: r.ok)
+    assert len(by_ok[True]) == 4 and len(by_ok[False]) == 1
+
+
+def test_to_csv_includes_error_column_only_with_failed_rows(
+        mixed_results):
+    rows = list(csv.DictReader(io.StringIO(mixed_results.to_csv())))
+    assert len(rows) == 5
+    assert "error" in rows[0]
+    assert rows[0]["error"] == ""
+    assert "no registered restartable factory" in rows[-1]["error"]
+    ok_only = mixed_results.filter(lambda r: r.ok)
+    header = next(csv.reader(io.StringIO(ok_only.to_csv())))
+    assert "error" not in header
+
+
+def test_to_json_round_trips_grid_rows(mixed_results):
+    payload = json.loads(mixed_results.to_json())
+    assert len(payload) == 5
+    back = [RunResult.from_dict(rec) for rec in payload]
+    assert [r.scenario for r in back] \
+        == [r.scenario for r in mixed_results]
+    assert back[-1].error == mixed_results[-1].error

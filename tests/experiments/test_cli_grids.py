@@ -1,0 +1,150 @@
+"""CLI over the generated-grid namespace: listing, running, inline
+scenarios, and the did-you-mean path for mistyped grid points."""
+
+import json
+
+import pytest
+
+import repro.experiments  # noqa: F401  (registers scenarios + grids)
+from repro.experiments.__main__ import main
+from repro.scenarios import Scenario, get_scenario, grid_entries
+
+
+@pytest.fixture(autouse=True)
+def _sandbox(sandbox_perf_config):
+    yield
+
+
+# ------------------------------------------------------------- listing
+def test_cli_list_shows_grid_family_summaries(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "generated grids (" in out
+    for family in grid_entries():
+        assert family.summary() in out
+        assert f"{family.size:6d} points" in out
+    # families list as one row each — points never materialize
+    assert "kind=poisson" not in out
+
+
+def test_cli_list_tag_grid_selects_only_families(capsys):
+    assert main(["list", "--tag", "grid"]) == 0
+    out = capsys.readouterr().out
+    assert "registered scenarios (0):" in out
+    assert "grid:failures/" in out
+
+
+def test_cli_list_point_pattern_expands_one_family(capsys):
+    assert main(["list", "grid:restart/*policy=none*seed=7"]) == 0
+    out = capsys.readouterr().out
+    assert "generated grid points (2):" in out
+    assert "grid:restart/storm=cascade,policy=none,seed=7" in out
+    assert "grid:restart/storm=maintenance,policy=none,seed=7" in out
+
+
+def test_cli_list_grid_pattern_matching_nothing_exits_2(capsys):
+    assert main(["list", "grid:restart/*policy=nothere*"]) == 2
+    assert "matches no experiment, scenario or grid name" \
+        in capsys.readouterr().err
+
+
+def test_cli_list_format_json_has_grid_entries(capsys):
+    assert main(["list", "grid:*", "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    grids = [r for r in rows if r["kind"] == "grid"]
+    assert {g["name"] for g in grids} == {
+        f"grid:{f.name}" for f in grid_entries()}
+    for g in grids:
+        assert g["points"] >= 1 and g["axes"] and g["description"]
+
+
+def test_cli_list_format_json_point_rows_carry_the_scenario(capsys):
+    name = "grid:hpccg/mode=intra,n=2,nx=8"
+    assert main(["list", "grid:hpccg/*n=2,nx=8", "--format",
+                 "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    points = [r for r in rows if r["kind"] == "scenario"]
+    assert any(r["name"] == name
+               and r["scenario"] == get_scenario(name).to_dict()
+               for r in points)
+
+
+# ------------------------------------------------------------- running
+def test_cli_runs_a_grid_point(capsys):
+    name = "grid:hpccg/mode=native,n=2,nx=8"
+    assert main(["run", name]) == 0
+    out = capsys.readouterr().out
+    assert name in out and "wall time (ms)" in out
+
+
+def test_cli_runs_a_grid_point_with_overrides_as_result_set(capsys):
+    name = "grid:hpccg/mode=intra,n=2,nx=8"
+    assert main(["run", name, "--set", "fd_delay=0.0002",
+                 "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows[0]["scenario"]["fd_delay"] == 2e-4
+
+
+# --------------------------------------------- did-you-mean regression
+def test_cli_unknown_grid_point_exits_2_with_exact_correction(capsys):
+    assert main(["run",
+                 "grid:failures/kind=possion,seed=3,fd=5e-05"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean: grid:failures/kind=poisson,seed=3,fd=5e-05?" \
+        in err
+    # the suggestion is itself addressable
+    get_scenario("grid:failures/kind=poisson,seed=3,fd=5e-05")
+
+
+def test_cli_unknown_grid_family_exits_2_with_candidate_point(capsys):
+    assert main(["run", "grid:restrat/storm=cascade"]) == 2
+    err = capsys.readouterr().err
+    assert "error: unknown experiment or scenario" in err
+    assert "grid:restart/" in err
+
+
+def test_cli_unknown_grid_point_structured_path_also_suggests(capsys):
+    assert main(["run", "grid:hpccg/mode=intra,n=2,nx=12",
+                 "--format", "json"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean: " in err and "grid:hpccg/" in err
+
+
+# ------------------------------------------------------ --scenario-json
+def test_cli_scenario_json_runs_an_inline_scenario(capsys):
+    s = get_scenario("grid:hpccg/mode=intra,n=2,nx=8")
+    assert main(["run", "--scenario-json", s.to_json(),
+                 "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 1
+    assert Scenario.from_dict(rows[0]["scenario"]) == s
+
+
+def test_cli_scenario_json_applies_set_overrides(capsys):
+    s = get_scenario("grid:hpccg/mode=intra,n=2,nx=8")
+    assert main(["run", "--scenario-json", s.to_json(),
+                 "--set", "mode=native", "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows[0]["scenario"]["mode"] == "native"
+
+
+def test_cli_scenario_json_table_output(capsys):
+    s = get_scenario("grid:hpccg/mode=native,n=2,nx=8")
+    assert main(["run", "--scenario-json", s.to_json()]) == 0
+    out = capsys.readouterr().out
+    assert "inline —" in out and "wall time (ms)" in out
+
+
+def test_cli_scenario_json_rejects_invalid_payload(capsys):
+    assert main(["run", "--scenario-json", "{not json"]) == 2
+    assert "invalid --scenario-json" in capsys.readouterr().err
+
+
+def test_cli_scenario_json_rejects_extra_names(capsys):
+    assert main(["run", "fig5a", "--scenario-json", "{}"]) == 2
+    assert "replaces the scenario name" in capsys.readouterr().err
+
+
+def test_cli_scenario_json_rejected_for_list(capsys):
+    assert main(["list", "--scenario-json", "{}"]) == 2
+    assert "does not apply to list" in capsys.readouterr().err

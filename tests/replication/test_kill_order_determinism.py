@@ -1,0 +1,55 @@
+"""Run-to-run determinism of the crash path, in one process.
+
+The crash machinery iterates collections of ``Process`` objects to kill
+receive pumps (``ReplicatedComm.pending_loops``) and retract uninjected
+transfers (``MpiWorld._uninjected``).  Both were plain ``set``s once:
+iteration order of an object set follows id()-derived hashes — memory
+addresses — so kill order, and with it the whole simulation, varied from
+run to run *within one interpreter*.  The differential oracle matrix
+(``tests/differential/``) caught this as a scenario that alternated
+between success and ``DeadlockError`` on consecutive identical runs.
+
+These tests pin the shrunken counterexamples: a cascading failure storm
+on three intra-parallelized logical ranks must produce byte-identical
+``RunResult`` JSON on every repeat — and must *succeed*, since the storm
+leaves each logical rank a live replica (the historical deadlock arm was
+a NIC slot leaked by a kill racing a resource grant; see
+``tests/simulate/test_resources.py``).
+"""
+
+import json
+
+import pytest
+
+from repro.api import run as api_run
+from repro.apps.hpccg import KernelBenchConfig
+from repro.scenarios import CascadingFailures, Scenario
+
+
+def _cascade_scenario(seed):
+    return Scenario(app="hpccg_kernels",
+                    config=KernelBenchConfig(nx=8, ny=8, nz=8, reps=1),
+                    n_logical=3, mode="intra",
+                    failures=CascadingFailures(rate=30000.0, multiplier=10.0,
+                                               window=0.0005,
+                                               neighbor_distance=1,
+                                               seed=seed, horizon=2e-3),
+                    fd_delay=5e-05)
+
+
+def _canonical(result):
+    payload = json.loads(result.to_json())
+    payload.get("cache", {}).pop("hit", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.mark.parametrize("seed", [99, 3939])
+def test_cascade_storm_is_run_to_run_deterministic(seed):
+    scenario = _cascade_scenario(seed)
+    runs = [api_run(scenario, cache=False, on_error="return")
+            for _ in range(3)]
+    assert runs[0].ok, runs[0].error
+    want = _canonical(runs[0])
+    for i, result in enumerate(runs[1:], start=2):
+        assert _canonical(result) == want, (
+            f"run {i} diverged from run 1 for seed {seed}")

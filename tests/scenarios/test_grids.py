@@ -1,0 +1,213 @@
+"""Lazy generated grids: O(1) registration/listing, deterministic
+addressing, round-trips, and the catalog-scale acceptance floor."""
+
+import itertools
+import time
+
+import pytest
+
+import repro.experiments  # noqa: F401  (registers catalog + grids)
+from repro.scenarios import (GRID_PREFIX, GridFamily, Scenario,
+                             UnknownScenarioError, get_grid,
+                             get_scenario, grid_entries, grid_names,
+                             register_grid, scenario_names,
+                             total_grid_points)
+from repro.scenarios.grids import _GRIDS, format_axis_value
+from repro.apps.steploop import StepSumConfig
+
+
+@pytest.fixture
+def scratch_grids():
+    """Snapshot/restore the grid registry so tests can register
+    synthetic families without leaking into the catalog."""
+    before = dict(_GRIDS)
+    try:
+        yield _GRIDS
+    finally:
+        _GRIDS.clear()
+        _GRIDS.update(before)
+
+
+def _stepsum_point(**values):
+    return Scenario(app="stepsum", config=StepSumConfig(n=2_000),
+                    n_logical=2, mode="intra",
+                    fd_delay=values.get("fd", 50e-6))
+
+
+# --------------------------------------------------- acceptance floor
+def test_catalog_ships_at_least_1000_addressable_points():
+    assert total_grid_points() >= 1000
+    # containment, not equality: doc snippets may register demo grids
+    assert {"failures", "hpccg", "restart"} <= set(grid_names())
+
+
+def test_listing_is_o1_in_grid_size(scratch_grids):
+    """A billion-point family must register and list in constant time
+    — the whole point of lazy grids.  The generous wall-clock bound
+    (vs. minutes for any materializing implementation) pins the
+    complexity class without being timing-flaky."""
+    t0 = time.perf_counter()
+    family = register_grid(
+        "huge",
+        [("a", tuple(range(1000))), ("b", tuple(range(1000))),
+         ("c", tuple(range(1000)))],
+        _stepsum_point, "synthetic billion-point family")
+    assert family.size == 1_000_000_000
+    assert "huge" in grid_names()
+    assert total_grid_points() >= 1_000_000_000
+    assert family.summary() == "grid:huge/<a,b,c>"
+    # addressing one point is O(1) too
+    assert family.point_name(a=999, b=0, c=500) \
+        == "grid:huge/a=999,b=0,c=500"
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 1.0, f"lazy-grid ops took {elapsed:.2f}s"
+
+
+def test_scenario_names_stays_eager_only():
+    # grid points are addressable but never enumerated into the
+    # registry listing
+    assert not any(n.startswith(GRID_PREFIX) for n in scenario_names())
+
+
+# -------------------------------------------------- laziness contract
+def test_build_runs_only_when_a_point_is_addressed(scratch_grids):
+    calls = []
+
+    def build(**values):
+        calls.append(values)
+        return _stepsum_point(**values)
+
+    family = register_grid("lazy", {"fd": (25e-6, 50e-6)}, build)
+    assert family.size == 2
+    list(family.point_names())
+    assert calls == []          # enumeration formats names, no builds
+    s = get_scenario("grid:lazy/fd=2.5e-05")
+    assert calls == [{"fd": 2.5e-05}]
+    assert s.fd_delay == 2.5e-05
+
+
+# ------------------------------------------------- ordering + round-trip
+def test_point_order_is_deterministic_last_axis_fastest(scratch_grids):
+    family = register_grid(
+        "order", [("x", ("a", "b")), ("y", (1, 2, 3))], _stepsum_point)
+    assert list(family.point_names()) == [
+        f"grid:order/x={x},y={y}"
+        for x, y in itertools.product("ab", (1, 2, 3))]
+
+
+def test_every_token_round_trips():
+    assert format_axis_value(True) == "true"
+    assert format_axis_value(False) == "false"
+    assert format_axis_value(17) == "17"
+    assert format_axis_value(5e-05) == "5e-05"
+    assert format_axis_value("intra") == "intra"
+    with pytest.raises(ValueError):
+        format_axis_value("a,b")
+    with pytest.raises(ValueError):
+        format_axis_value("")
+    with pytest.raises(TypeError):
+        format_axis_value(object())
+
+
+def test_catalog_points_round_trip_name_to_scenario_to_name():
+    for family in grid_entries():
+        name = family.first_point_name()
+        values = dict(
+            part.split("=", 1)
+            for part in name.split("/", 1)[1].split(","))
+        scenario = get_scenario(name)
+        assert isinstance(scenario, Scenario)
+        rebuilt = family.point_name(**{
+            axis: table[token]
+            for (axis, token), table in zip(
+                values.items(), family._tokens().values())})
+        assert rebuilt == name
+        # same address → equal scenario (pure build)
+        assert get_scenario(name) == scenario
+
+
+def test_point_accessors_agree(scratch_grids):
+    family = register_grid("acc", {"fd": (25e-6,), "mode": ("intra",)},
+                           lambda **v: _stepsum_point(fd=v["fd"]))
+    name = family.point_name(fd=25e-6, mode="intra")
+    assert family.point(fd=25e-6, mode="intra") == get_scenario(name) \
+        == family.materialize(name.split("/", 1)[1])
+
+
+# ------------------------------------------------------- error surface
+def test_unknown_family_suggests_a_real_point():
+    with pytest.raises(UnknownScenarioError) as exc:
+        get_scenario("grid:failurez/kind=poisson,seed=0,fd=2.5e-05")
+    assert exc.value.suggestions
+    get_scenario(exc.value.suggestions[0])   # addressable
+
+
+def test_typoed_value_suggests_the_exact_correction():
+    with pytest.raises(UnknownScenarioError) as exc:
+        get_scenario("grid:failures/kind=weibul,seed=3,fd=2.5e-05")
+    assert exc.value.suggestions == [
+        "grid:failures/kind=weibull,seed=3,fd=2.5e-05"]
+
+
+def test_missing_axes_fill_to_a_canonical_candidate():
+    with pytest.raises(UnknownScenarioError) as exc:
+        get_scenario("grid:failures/kind=poisson")
+    hint, = exc.value.suggestions
+    assert hint.startswith("grid:failures/kind=poisson,seed=")
+    get_scenario(hint)
+
+
+def test_family_without_point_suggests_the_first_point():
+    with pytest.raises(UnknownScenarioError) as exc:
+        get_scenario("grid:failures")
+    assert exc.value.suggestions == [
+        get_grid("failures").first_point_name()]
+
+
+def test_get_grid_accepts_bare_prefixed_and_full_names():
+    family = get_grid("failures")
+    assert get_grid("grid:failures") is family
+    assert get_grid("grid:failures/kind=poisson,seed=0,fd=2.5e-05") \
+        is family
+    with pytest.raises(UnknownScenarioError):
+        get_grid("grid:failurez")
+
+
+# --------------------------------------------------------- registration
+def test_register_grid_validates_its_spec(scratch_grids):
+    with pytest.raises(ValueError, match="non-empty"):
+        register_grid("", {"a": (1,)}, _stepsum_point)
+    with pytest.raises(ValueError, match="may not contain"):
+        register_grid("a/b", {"a": (1,)}, _stepsum_point)
+    with pytest.raises(ValueError, match="at least one axis"):
+        register_grid("empty", {}, _stepsum_point)
+    with pytest.raises(ValueError, match="no values"):
+        register_grid("novals", {"a": ()}, _stepsum_point)
+    with pytest.raises(ValueError, match="collide"):
+        register_grid("collide", {"a": (True, "true")}, _stepsum_point)
+    with pytest.raises(ValueError, match="duplicate axis"):
+        register_grid("dup", [("a", (1,)), ("a", (2,))], _stepsum_point)
+    with pytest.raises(ValueError, match="bad axis name"):
+        register_grid("badaxis", {"a b": (1,)}, _stepsum_point)
+
+
+def test_reregistration_identical_is_noop_conflict_raises(scratch_grids):
+    family = register_grid("re", {"a": (1, 2)}, _stepsum_point)
+    assert register_grid("re", {"a": (1, 2)}, _stepsum_point) == family
+    with pytest.raises(ValueError, match="already registered"):
+        register_grid("re", {"a": (1, 2, 3)}, _stepsum_point)
+    bigger = register_grid("re", {"a": (1, 2, 3)}, _stepsum_point,
+                           overwrite=True)
+    assert bigger.size == 3
+
+
+def test_build_must_return_a_scenario(scratch_grids):
+    register_grid("badbuild", {"a": (1,)}, lambda **v: "nope")
+    with pytest.raises(TypeError, match="expected a Scenario"):
+        get_scenario("grid:badbuild/a=1")
+
+
+def test_grid_family_is_frozen():
+    family = grid_entries()[0]
+    with pytest.raises(Exception):
+        family.name = "other"

@@ -129,9 +129,9 @@ def test_cli_list_tag_filters_namespace(capsys):
 
 def test_cli_list_pattern_matching_nothing_exits_nonzero(capsys):
     assert main(["list", "zz-nothing*"]) == 2
-    assert "matches no experiment or scenario" in capsys.readouterr().err
+    assert "matches no experiment, scenario or grid name" in capsys.readouterr().err
     assert main(["list", "--tag", "zz-nothing"]) == 2
-    assert "matches no experiment or scenario" in capsys.readouterr().err
+    assert "matches no experiment, scenario or grid name" in capsys.readouterr().err
 
 
 def test_cli_list_format_json_is_machine_readable(capsys):

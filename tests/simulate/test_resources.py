@@ -128,3 +128,65 @@ def test_store_getters_served_fifo():
     sim.process(putter(sim))
     sim.run()
     assert got == [("first", 1), ("second", 2)]
+
+
+def test_kill_between_grant_and_resume_releases_slot():
+    """A holder killed in the same timestep its queued grant fired must
+    not leak the slot.
+
+    The race: ``release()`` succeeds the next queued request (slot
+    assigned), then the granted process is killed *before* its resume
+    callback runs — it dies parked on ``yield req`` inside ``hold()``,
+    past the point where the dead-waiter sweep could skip it.  This
+    leaked NIC slots under crash schedules (every later sender queued
+    forever → deadlock)."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1, name="nic")
+    first = res.request()                       # slot taken synchronously
+    assert first.triggered and res.in_use == 1
+
+    def victim(sim):
+        yield from res.hold(1.0)
+
+    p = sim.process(victim(sim))
+    sim.run(until=0.0)                          # victim parks in the queue
+    assert res.queue_length == 1
+
+    res.release()                               # grant fires for victim...
+    p.kill("crashed before resuming")           # ...who dies un-resumed
+    assert res.in_use == 0
+    assert res.queue_length == 0
+
+    done = []
+
+    def successor(sim):
+        yield from res.hold(2.0)
+        done.append(sim.now)
+
+    sim.process(successor(sim))
+    sim.run()
+    assert done == [2.0]
+
+
+def test_kill_while_queued_does_not_release_and_is_skipped():
+    """A waiter killed while still *pending* in the queue must not call
+    ``release()`` (it never owned a slot); the dead request is skipped
+    by the next release and the slot count stays balanced."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1, name="nic")
+    first = res.request()
+    assert first.triggered and res.in_use == 1
+
+    def victim(sim):
+        yield from res.hold(1.0)
+
+    p = sim.process(victim(sim))
+    sim.run(until=0.0)
+    assert res.queue_length == 1
+
+    p.kill("crashed while queued")              # grant never fired
+    assert res.in_use == 1                      # original holder still owns it
+
+    res.release()                               # sweeps the dead waiter
+    assert res.in_use == 0
+    assert res.queue_length == 0
