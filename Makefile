@@ -1,11 +1,27 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test fuzz bench bench-all docs-check api-check profile figures clean
+.PHONY: test lint detcheck fuzz bench bench-all docs-check api-check \
+	profile figures clean
 
 ## tier-1 test suite (what CI gates on)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## static analysis: the repo's determinism/oracle-discipline linter
+## (rule catalog: docs/static-analysis.md), the optional third-party
+## checks (ruff + mypy — skipped with a notice when not installed;
+## `pip install -e .[lint]` enables them), and the hash-seed variance
+## smoke check (one tiny scenario under two PYTHONHASHSEED values must
+## produce byte-identical RunResult JSON)
+lint:
+	$(PYTHON) -m repro.analysis.lint
+	$(PYTHON) tools/run_static_checks.py
+	$(PYTHON) -m repro.analysis.detcheck
+
+## the hash-seed variance smoke check alone (~5 s)
+detcheck:
+	$(PYTHON) -m repro.analysis.detcheck
 
 ## the standing oracle-matrix differential harness at full budget
 ## (>= 200 generated scenarios x every toggle leg x cold/warm cache;

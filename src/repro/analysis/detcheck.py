@@ -1,0 +1,91 @@
+"""Hash-seed variance smoke check: a standing proof that no
+hash-order dependence has crept into the simulation.
+
+Python randomizes ``str``/``bytes`` hashes per process
+(``PYTHONHASHSEED``), so any ``set``/``dict``-order dependence in the
+engine, the runtimes or the aggregation layer shows up as run-to-run
+variance across interpreter invocations.  This check runs one tiny
+registered scenario (cache off) in two subprocesses pinned to
+*different* hash seeds and asserts the :class:`repro.results.RunResult`
+JSON is byte-identical — the dynamic complement to the static ``DET``
+rules of :mod:`repro.analysis.lint`, wired into ``make lint``.
+
+Run it as ``python -m repro.analysis.detcheck``; ~5 seconds, exit 0 on
+byte-identity, 1 on divergence (with a diff-style report).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import typing as _t
+
+__all__ = ["main", "run_scenario_under_seed"]
+
+#: small, fast (~15 ms simulated) and failure-injecting: kills replicas
+#: mid-run, so the kill path — where PR 8's set-iteration bug lived —
+#: is on the probed trace
+_DEFAULT_SCENARIO = "example:failure-injection"
+
+_SNIPPET = """\
+import sys
+from repro import api
+result = api.run({name!r}, cache=False)
+sys.stdout.write(result.to_json(indent=0))
+"""
+
+
+def run_scenario_under_seed(name: str, seed: str, *,
+                            timeout: float = 120.0) -> bytes:
+    """Run scenario ``name`` in a subprocess under
+    ``PYTHONHASHSEED=seed``; returns the RunResult JSON bytes."""
+    # detlint: ignore[ENV001] -- not a config read: the whole parent
+    # environment is forwarded to the child, with only the seed pinned
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    proc = subprocess.run(
+        [sys.executable, "-c", _SNIPPET.format(name=name)],
+        env=env, capture_output=True, timeout=timeout)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"scenario {name!r} failed under PYTHONHASHSEED={seed}:\n"
+            f"{proc.stderr.decode(errors='replace')}")
+    return proc.stdout
+
+
+def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.detcheck",
+        description="hash-seed variance smoke check (RunResult JSON "
+                    "must be byte-identical across PYTHONHASHSEED "
+                    "values)")
+    parser.add_argument(
+        "--scenario", default=_DEFAULT_SCENARIO,
+        help=f"registered scenario name (default: "
+             f"{_DEFAULT_SCENARIO})")
+    parser.add_argument(
+        "--seeds", nargs=2, default=("0", "12345"), metavar="SEED",
+        help="the two PYTHONHASHSEED values (default: 0 12345)")
+    args = parser.parse_args(argv)
+
+    outputs = [run_scenario_under_seed(args.scenario, seed)
+               for seed in args.seeds]
+    if outputs[0] == outputs[1]:
+        print(f"detcheck: ok: {args.scenario!r} is byte-identical "
+              f"under PYTHONHASHSEED={args.seeds[0]} and "
+              f"={args.seeds[1]} ({len(outputs[0])} bytes)")
+        return 0
+    print(f"detcheck: FAIL: {args.scenario!r} diverges across hash "
+          f"seeds — a set/dict-order dependence reached the results:",
+          file=sys.stderr)
+    for seed, out in zip(args.seeds, outputs):
+        text = out.decode(errors="replace")
+        head = text if len(text) < 2000 else text[:2000] + "..."
+        print(f"--- PYTHONHASHSEED={seed} ({len(out)} bytes)\n{head}",
+              file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

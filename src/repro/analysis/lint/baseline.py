@@ -1,0 +1,99 @@
+"""The checked-in finding baseline: accepted debt does not block CI.
+
+A baseline entry is a finding *fingerprint* (file + rule + normalized
+source text — stable across line-number drift) with an occurrence
+count.  ``detlint`` exits non-zero only for findings beyond the
+baseline; ``--update-baseline`` rewrites the file from the current
+findings, and stale entries (fixed findings) are reported so the
+baseline only ever shrinks by deliberate action.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+import typing as _t
+
+from .rules import Finding
+
+__all__ = ["Baseline", "diff_against_baseline", "load_baseline",
+           "write_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass
+class Baseline:
+    """fingerprint -> accepted occurrence count (+ description for
+    humans reading the JSON)."""
+
+    counts: _t.Dict[str, int] = dataclasses.field(default_factory=dict)
+    notes: _t.Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: _t.Iterable[Finding]) -> "Baseline":
+        counts: _t.Dict[str, int] = collections.Counter()
+        notes: _t.Dict[str, str] = {}
+        for f in findings:
+            fp = f.fingerprint()
+            counts[fp] += 1
+            notes.setdefault(fp, f"{f.path}: {f.rule} "
+                                 f"{f.source_line.strip()}")
+        return cls(counts=dict(counts), notes=notes)
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return Baseline()
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a detlint baseline file")
+    counts: _t.Dict[str, int] = {}
+    notes: _t.Dict[str, str] = {}
+    for fp, entry in data["findings"].items():
+        counts[fp] = int(entry.get("count", 1))
+        notes[fp] = str(entry.get("note", ""))
+    return Baseline(counts=counts, notes=notes)
+
+
+def write_baseline(path: str, baseline: Baseline) -> None:
+    """Write the baseline with sorted keys so diffs stay minimal."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "comment": ("accepted detlint findings; regenerate with "
+                    "`python -m repro.analysis.lint --update-baseline`"),
+        "findings": {
+            fp: {"count": baseline.counts[fp],
+                 "note": baseline.notes.get(fp, "")}
+            for fp in sorted(baseline.counts)},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def diff_against_baseline(findings: _t.Sequence[Finding],
+                          baseline: Baseline
+                          ) -> _t.Tuple[_t.List[Finding], _t.List[str]]:
+    """``(new_findings, stale_fingerprints)``.
+
+    Occurrences of a fingerprint up to its baselined count are
+    accepted; every occurrence beyond that — and every fingerprint the
+    baseline has never seen — is new.  Fingerprints in the baseline
+    with no current occurrence are stale (fixed debt to prune).
+    """
+    budget = dict(baseline.counts)
+    new: _t.List[Finding] = []
+    for f in findings:
+        fp = f.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+        else:
+            new.append(f)
+    stale = sorted(fp for fp, count in baseline.counts.items()
+                   if count > 0 and budget.get(fp) == count)
+    return new, stale

@@ -1,0 +1,138 @@
+"""``python -m repro.analysis.lint`` — the detlint command line.
+
+Exit status: 0 when every finding is suppressed or baselined, 1 when
+new findings exist, 2 on usage errors.  ``--update-baseline`` rewrites
+the checked-in baseline from the current findings and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import typing as _t
+
+from .baseline import (Baseline, diff_against_baseline, load_baseline,
+                       write_baseline)
+from .rules import ALL_RULES, Finding, lint_file
+
+__all__ = ["lint_paths", "main"]
+
+#: default lint target and baseline location, relative to the repo root
+_DEFAULT_TARGET = os.path.join("src", "repro")
+_DEFAULT_BASELINE = os.path.join("tools", "detlint_baseline.json")
+
+
+def _find_root(start: str) -> str:
+    """The enclosing repo root (nearest ancestor with pyproject.toml),
+    so detlint runs from any working directory inside the repo."""
+    path = os.path.abspath(start)
+    while True:
+        if os.path.exists(os.path.join(path, "pyproject.toml")):
+            return path
+        parent = os.path.dirname(path)
+        if parent == path:
+            return os.path.abspath(start)
+        path = parent
+
+
+def _python_files(target: str) -> _t.Iterator[str]:
+    if os.path.isfile(target):
+        yield target
+        return
+    for dirpath, dirnames, filenames in os.walk(target):
+        dirnames[:] = sorted(d for d in dirnames
+                             if d != "__pycache__"
+                             and not d.startswith("."))
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def lint_paths(paths: _t.Sequence[str], *, root: _t.Optional[str] = None,
+               rules: _t.Optional[_t.Collection[str]] = None
+               ) -> _t.List[Finding]:
+    """Lint files/directories; finding paths are root-relative (posix)
+    so baselines are stable across checkouts."""
+    root = os.path.abspath(root or _find_root(os.getcwd()))
+    findings: _t.List[Finding] = []
+    for target in paths:
+        for filename in _python_files(target):
+            rel = os.path.relpath(os.path.abspath(filename), root)
+            rel = rel.replace(os.sep, "/")
+            findings.extend(lint_file(filename, relpath=rel,
+                                      rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="determinism & oracle-discipline linter "
+                    "(rule catalog: docs/static-analysis.md)")
+    parser.add_argument(
+        "paths", nargs="*",
+        help=f"files/directories to lint (default: {_DEFAULT_TARGET} "
+             f"under the repo root)")
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE",
+        choices=sorted(ALL_RULES),
+        help="restrict to these rules (repeatable)")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help=f"baseline file (default: {_DEFAULT_BASELINE} under the "
+             f"repo root)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, baseline or not")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="accept the current findings into the baseline and exit 0")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json emits one object per finding)")
+    parser.add_argument(
+        "--root", help="repo root override (path anchoring)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root or _find_root(os.getcwd()))
+    paths = list(args.paths) or [os.path.join(root, _DEFAULT_TARGET)]
+    baseline_path = args.baseline or os.path.join(root,
+                                                  _DEFAULT_BASELINE)
+    findings = lint_paths(paths, root=root, rules=args.rules)
+
+    if args.update_baseline:
+        write_baseline(baseline_path, Baseline.from_findings(findings))
+        print(f"detlint: baseline updated with {len(findings)} "
+              f"finding(s) -> {baseline_path}")
+        return 0
+
+    baseline = (Baseline() if args.no_baseline
+                else load_baseline(baseline_path))
+    new, stale = diff_against_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(json.dumps([{
+            "path": f.path, "rule": f.rule, "line": f.line,
+            "col": f.col, "message": f.message, "fixit": f.fixit,
+            "fingerprint": f.fingerprint(),
+        } for f in new], indent=2))
+    else:
+        for f in new:
+            print(f.render())
+        if stale:
+            print(f"detlint: note: {len(stale)} baselined finding(s) "
+                  f"no longer occur; prune them with --update-baseline")
+        accepted = len(findings) - len(new)
+        status = "ok" if not new else "FAIL"
+        print(f"detlint: {status}: {len(new)} new finding(s), "
+              f"{accepted} baselined, "
+              f"{len(list(_all_lint_targets(paths)))} file(s) checked")
+    return 1 if new else 0
+
+
+def _all_lint_targets(paths: _t.Sequence[str]) -> _t.Iterator[str]:
+    for target in paths:
+        yield from _python_files(target)

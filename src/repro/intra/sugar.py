@@ -93,6 +93,8 @@ def parallel_for(ctx, fn: _t.Callable[..., _t.Any],
         raise ValueError("parallel_for needs at least one array argument")
     if len(lengths) != 1:
         raise ValueError(f"array arguments disagree on length: {lengths}")
+    # detlint: ignore[DET001] -- singleton set: len(lengths) == 1 was
+    # just checked, so there is only one element to pop
     n = lengths.pop()
     sec = section(ctx)
     for sl in split_range(n, n_tasks):

@@ -13,7 +13,12 @@ _enabled = True
 
 
 def set_enabled(flag: bool) -> bool:
-    """Set the kernel-cache switch; returns the previous value."""
+    """Set the kernel-cache switch; returns the previous value.
+
+    ``False`` is the oracle fallback: every kernel call allocates and
+    computes from scratch (the seed behaviour), bit-identical to the
+    cached path — ``tests/kernels`` proves equality and
+    ``benchmarks/test_perf_engine.py`` times both legs."""
     global _enabled
     prev = _enabled
     _enabled = bool(flag)

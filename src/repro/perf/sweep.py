@@ -31,6 +31,8 @@ import typing as _t
 import warnings
 from concurrent.futures.process import BrokenProcessPool
 
+from .. import _envflags
+
 #: bump to invalidate every cached result (e.g. on model changes)
 CACHE_VERSION = 2
 
@@ -46,13 +48,6 @@ class SweepConfig:
     cache_dir: pathlib.Path = _DEFAULT_CACHE_DIR
 
 
-def _env_flag(name: str) -> bool:
-    """Truthiness of an env flag: '', '0', 'false', 'no', 'off' are
-    False (``bool(raw)`` would treat '0' as enabled)."""
-    return os.environ.get(name, "").strip().lower() not in (
-        "", "0", "false", "no", "off")
-
-
 def _env_workers(name: str = "REPRO_WORKERS") -> int:
     """Parse the worker-count env var defensively.
 
@@ -60,31 +55,17 @@ def _env_workers(name: str = "REPRO_WORKERS") -> int:
     (sweeps are imported by every experiment module), and a value the
     :func:`configure` validation would reject (``workers < 1``) must not
     sneak past it just because it arrived via the environment.  Either
-    way we warn and fall back to the serial default of 1.
+    way :func:`repro._envflags.env_int` warns and falls back to the
+    serial default of 1.
     """
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return 1
-    try:
-        workers = int(raw)
-    except ValueError:
-        warnings.warn(f"ignoring {name}={raw!r}: not an integer; "
-                      f"running sweeps with workers=1", RuntimeWarning,
-                      stacklevel=2)
-        return 1
-    if workers < 1:
-        warnings.warn(f"ignoring {name}={workers}: workers must be >= 1; "
-                      f"running sweeps with workers=1", RuntimeWarning,
-                      stacklevel=2)
-        return 1
-    return workers
+    return _envflags.env_int(name, 1, minimum=1)
 
 
 _config = SweepConfig(
     workers=1,
-    cache=_env_flag("REPRO_SWEEP_CACHE"),
-    cache_dir=pathlib.Path(os.environ.get("REPRO_CACHE_DIR", "")
-                           or _DEFAULT_CACHE_DIR),
+    cache=_envflags.env_flag("REPRO_SWEEP_CACHE", False),
+    cache_dir=pathlib.Path(_envflags.env_str("REPRO_CACHE_DIR",
+                                             str(_DEFAULT_CACHE_DIR))),
 )
 
 
@@ -498,8 +479,11 @@ def _pool_rounds(points: _t.List[_t.Any], fn: _t.Callable,
                 if not done:
                     # budget exhausted: every straggler counts a
                     # timeout attempt; its worker is abandoned (a
-                    # running future cannot be killed, only orphaned)
-                    for fut in waiting:
+                    # running future cannot be killed, only orphaned).
+                    # Stragglers are charged in point order so the
+                    # retry round is deterministic (futures are
+                    # identity-hashed; raw set order is not).
+                    for fut in sorted(waiting, key=futures.__getitem__):
                         i = futures[fut]
                         fut.cancel()
                         attempts[i] += 1
@@ -511,7 +495,10 @@ def _pool_rounds(points: _t.List[_t.Any], fn: _t.Callable,
                     abandoned = True
                     break
                 broken = False
-                for fut in done:
+                # completion batches arrive as identity-hashed sets;
+                # iterate them in point order so a serial replay of the
+                # same wave sequence yields results identically
+                for fut in sorted(done, key=futures.__getitem__):
                     i = futures[fut]
                     try:
                         value = fut.result()
@@ -533,8 +520,9 @@ def _pool_rounds(points: _t.List[_t.Any], fn: _t.Callable,
                         yield from finish(i, value)
                 if broken:
                     # the pool is poisoned: in-flight siblings are lost
-                    # with it; charge them one attempt and rebuild
-                    for fut in waiting:
+                    # with it; charge them one attempt and rebuild —
+                    # in point order, for a deterministic retry round
+                    for fut in sorted(waiting, key=futures.__getitem__):
                         i = futures[fut]
                         attempts[i] += 1
                         failures[i] = PointFailure(

@@ -295,7 +295,7 @@ class RunResult:
 
 
 # ------------------------------------------------------------ ResultSet
-class ResultSet(_t.Sequence):
+class ResultSet(_t.Sequence["RunResult"]):
     """An ordered, filterable, groupable collection of
     :class:`RunResult`\\ s — what :func:`repro.sweep` and
     :func:`repro.compare` return, and what the reporting layer
@@ -313,7 +313,7 @@ class ResultSet(_t.Sequence):
         rs.to_csv()                      # deterministic columns
     """
 
-    def __init__(self, results: _t.Iterable[RunResult] = ()):
+    def __init__(self, results: _t.Iterable[RunResult] = ()) -> None:
         self._results: _t.List[RunResult] = list(results)
         for r in self._results:
             if not isinstance(r, RunResult):
@@ -333,7 +333,8 @@ class ResultSet(_t.Sequence):
     @_t.overload
     def __getitem__(self, index: slice) -> "ResultSet": ...
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: _t.Union[int, slice]
+                    ) -> "_t.Union[RunResult, ResultSet]":
         if isinstance(index, slice):
             return ResultSet(self._results[index])
         return self._results[index]

@@ -25,14 +25,17 @@ from ..apps.minighost import MiniGhostConfig, minighost_program
 from ..apps.steploop import StepSumConfig, make_stepsum, stepsum_program
 from .spec import register_codec_type
 
+#: a scenario program: a callable building the process-body generator
+ProgramFn = _t.Callable[..., _t.Generator[_t.Any, _t.Any, _t.Any]]
+
 
 @dataclasses.dataclass(frozen=True)
 class AppEntry:
     """One registered application."""
 
     name: str
-    program: _t.Callable[..., _t.Generator]
-    config_cls: _t.Optional[type]
+    program: ProgramFn
+    config_cls: _t.Optional[_t.Type[_t.Any]]
     description: str = ""
     #: optional factory ``restartable(config) -> Restartable`` — the
     #: step-loop shape the restart coordinator drives; required for
@@ -46,8 +49,8 @@ _APPS: _t.Dict[str, AppEntry] = {}
 _BY_PROGRAM: _t.Dict[_t.Any, str] = {}
 
 
-def register_app(name: str, program: _t.Callable,
-                 config_cls: _t.Optional[type] = None,
+def register_app(name: str, program: ProgramFn,
+                 config_cls: _t.Optional[_t.Type[_t.Any]] = None,
                  description: str = "", overwrite: bool = False,
                  restartable: _t.Optional[_t.Callable[..., _t.Any]] = None
                  ) -> AppEntry:
@@ -74,7 +77,7 @@ def get_app(name: str) -> AppEntry:
     return _APPS[name]
 
 
-def app_ref(program: _t.Callable) -> str:
+def app_ref(program: _t.Callable[..., _t.Any]) -> str:
     """The scenario ``app`` string for ``program``: its registered name
     when it has one, else an importable ``module:qualname`` reference."""
     name = _BY_PROGRAM.get(program)
@@ -89,7 +92,7 @@ def app_ref(program: _t.Callable) -> str:
     return f"{module}:{qualname}"
 
 
-def resolve_program(app: str) -> _t.Callable[..., _t.Generator]:
+def resolve_program(app: str) -> ProgramFn:
     """The program generator behind an ``app`` string (registered name
     or ``module:qualname``)."""
     if app in _APPS:
@@ -102,7 +105,7 @@ def resolve_program(app: str) -> _t.Callable[..., _t.Generator]:
         obj: _t.Any = module
         for part in qualname.split("."):
             obj = getattr(obj, part)
-        return obj
+        return _t.cast(ProgramFn, obj)
     raise KeyError(
         f"unknown app {app!r}; registered apps: {app_names()} "
         f"(or use an importable 'module:qualname' reference)")

@@ -12,12 +12,13 @@ the figures.
 from __future__ import annotations
 
 import dataclasses
+import typing as _t
 
 from ..apps.gtc import GtcConfig
 from ..apps.hpccg import HpccgConfig, KernelBenchConfig
 from ..apps.steploop import StepSumConfig
-from .failures import (CascadingFailures, ConstantRate, FixedFailures,
-                       InhomogeneousPoissonFailures,
+from .failures import (CascadingFailures, ConstantRate, FailureSchedule,
+                       FixedFailures, InhomogeneousPoissonFailures,
                        MaintenanceWindowFailures, PoissonFailures,
                        RateSpec, SinusoidRate, WeibullFailures)
 from .grids import register_grid
@@ -34,7 +35,7 @@ EXAMPLE_GTC_CFG = GtcConfig(particles_per_rank=65536, cells_per_rank=64,
                             steps=3)
 
 
-def tiny_overrides(app: str, mode: str) -> dict:
+def tiny_overrides(app: str, mode: str) -> _t.Dict[str, _t.Any]:
     """``--tiny`` overrides for the ``example:*`` scenarios (shared by
     the example scripts and their smoke tests) — scaled down while
     preserving each figure's resource convention.
@@ -80,7 +81,7 @@ RESTART_POLICIES = {
 }
 
 
-def restart_grid_names() -> list:
+def restart_grid_names() -> _t.List[str]:
     """The registered names of the ``restart:*`` grid, sorted — the
     storm × policy cross the docs snippet and the robustness tests
     sweep."""
@@ -159,7 +160,7 @@ GRID_HORIZON = 2e-3
 
 #: ``grid:failures`` schedule builders, one per registered kind —
 #: every :data:`repro.scenarios.SCHEDULE_KINDS` member with events
-def _grid_schedule(kind: str, seed: int):
+def _grid_schedule(kind: str, seed: int) -> FailureSchedule:
     if kind == "fixed":
         # deterministic "seeded" fixed schedule: one early crash whose
         # time walks with the seed

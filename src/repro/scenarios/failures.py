@@ -62,15 +62,17 @@ class CrashEvent:
 
 
 #: kind tag → schedule class (populated by ``_schedule_kind``)
-SCHEDULE_KINDS: _t.Dict[str, type] = {}
+SCHEDULE_KINDS: _t.Dict[str, _t.Type[_t.Any]] = {}
+
+_C = _t.TypeVar("_C")
 
 
-def _schedule_kind(kind: str):
+def _schedule_kind(kind: str) -> _t.Callable[[_C], _C]:
     """Class decorator registering a schedule under its ``kind`` tag."""
 
-    def wrap(cls):
-        cls.kind = kind
-        SCHEDULE_KINDS[kind] = cls
+    def wrap(cls: _C) -> _C:
+        _t.cast(_t.Any, cls).kind = kind
+        SCHEDULE_KINDS[kind] = _t.cast(_t.Type[_t.Any], cls)
         return cls
 
     return wrap
@@ -118,7 +120,9 @@ class FailureSchedule:
         if unknown:
             raise ValueError(f"unknown fields for {kind!r} schedule: "
                              f"{sorted(unknown)}")
-        return cls(**{k: _decode_field(cls, k, v) for k, v in data.items()})
+        return _t.cast(FailureSchedule,
+                       cls(**{k: _decode_field(cls, k, v)
+                              for k, v in data.items()}))
 
 
 def _encode_field(value: _t.Any) -> _t.Any:
@@ -133,7 +137,8 @@ def _encode_field(value: _t.Any) -> _t.Any:
     return value
 
 
-def _decode_field(cls: type, name: str, value: _t.Any) -> _t.Any:
+def _decode_field(cls: _t.Type[_t.Any], name: str,
+                  value: _t.Any) -> _t.Any:
     if name == "events" and value is not None:
         return tuple(CrashEvent(int(e[0]), int(e[1]), float(e[2]))
                      for e in value)
@@ -320,6 +325,8 @@ class _SeededArrivals(FailureSchedule):
         return sorted(
             p for p in pool & alive
             if not self.spare_last
+            # detlint: ignore[DET001] -- counting: a sum of 1s over a
+            # set is order-free
             or sum(1 for q in alive if q[0] == p[0]) > 1)
 
     def materialize(self, n_logical: int,
@@ -412,15 +419,15 @@ class WeibullFailures(_SeededArrivals):
 # ---------------------------------------------------------------------
 
 #: kind tag → rate-term class (populated by ``_rate_term``)
-RATE_TERM_KINDS: _t.Dict[str, type] = {}
+RATE_TERM_KINDS: _t.Dict[str, _t.Type[_t.Any]] = {}
 
 
-def _rate_term(kind: str):
+def _rate_term(kind: str) -> _t.Callable[[_C], _C]:
     """Class decorator registering a rate term under its ``kind`` tag."""
 
-    def wrap(cls):
-        cls.kind = kind
-        RATE_TERM_KINDS[kind] = cls
+    def wrap(cls: _C) -> _C:
+        _t.cast(_t.Any, cls).kind = kind
+        RATE_TERM_KINDS[kind] = _t.cast(_t.Type[_t.Any], cls)
         return cls
 
     return wrap
@@ -462,8 +469,9 @@ class RateTerm:
         if unknown:
             raise ValueError(f"unknown fields for {kind!r} rate term: "
                              f"{sorted(unknown)}")
-        return cls(**{k: (tuple(v) if isinstance(v, list) else v)
-                      for k, v in data.items()})
+        return _t.cast(RateTerm,
+                       cls(**{k: (tuple(v) if isinstance(v, list) else v)
+                              for k, v in data.items()}))
 
 
 @_rate_term("const")

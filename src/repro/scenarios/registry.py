@@ -38,7 +38,7 @@ class UnknownScenarioError(KeyError):
         super().__init__(msg)
 
     def __str__(self) -> str:  # KeyError quotes its arg; keep it plain
-        return self.args[0]
+        return str(self.args[0])
 
 
 _REGISTRY: _t.Dict[str, RegisteredScenario] = {}

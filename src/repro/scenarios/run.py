@@ -152,12 +152,15 @@ def _run_scenario(scenario: Scenario, *,
 
     if all(hasattr(r, "timers") and hasattr(r, "intra") for r in results):
         wall = max(r.timers.get("solve", r.end_time) for r in results)
+        # sorted(): the aggregated dicts land in the pickled sweep
+        # cache, where insertion order is part of the stored bytes —
+        # set order would make those bytes hash-seed dependent
         timer_keys = set().union(*(r.timers.keys() for r in results))
         timers = {k: mean([r.timers.get(k, 0.0) for r in results])
-                  for k in timer_keys}
+                  for k in sorted(timer_keys)}
         intra_keys = set().union(*(r.intra.keys() for r in results))
         intra = {k: mean([float(r.intra.get(k, 0) or 0) for r in results])
-                 for k in intra_keys}
+                 for k in sorted(intra_keys)}
         value = results[0].value
     else:
         # program did not return an AppResult (e.g. a didactic example

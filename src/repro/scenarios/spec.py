@@ -55,10 +55,10 @@ _REPLICATION_ONLY = frozenset({"mode", "degree", "spread", "scheduler",
 
 # --------------------------------------------------------------- codec
 #: class name → class, for every type the codec may need to rebuild
-_CODEC_TYPES: _t.Dict[str, type] = {}
+_CODEC_TYPES: _t.Dict[str, _t.Type[_t.Any]] = {}
 
 
-def register_codec_type(cls: type) -> type:
+def register_codec_type(cls: _t.Type[_t.Any]) -> _t.Type[_t.Any]:
     """Register a dataclass or enum so scenario (de)serialization can
     rebuild instances of it.  App config classes are registered
     automatically by :func:`repro.scenarios.apps.register_app`."""
@@ -156,7 +156,7 @@ def decode_value(obj: _t.Any, *,
     return {k: rec(v) for k, v in obj.items()}
 
 
-def _codec_type(name: str) -> type:
+def _codec_type(name: str) -> _t.Type[_t.Any]:
     cls = _CODEC_TYPES.get(name)
     if cls is None:
         raise ValueError(f"unknown serialized type {name!r}; register it "
@@ -430,7 +430,7 @@ class Scenario:
 
 
 def _resolve_named(value: _t.Any, table: _t.Mapping[str, _t.Any],
-                   spec_cls: type, what: str) -> _t.Any:
+                   spec_cls: _t.Type[_t.Any], what: str) -> _t.Any:
     if isinstance(value, spec_cls):
         return value
     if isinstance(value, str):

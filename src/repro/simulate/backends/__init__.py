@@ -32,9 +32,9 @@ python-backend results with fresh array-backend runs freely.
 
 from __future__ import annotations
 
-import os
 import typing as _t
-import warnings
+
+from ..._envflags import env_choice as _env_choice
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine import Simulator
@@ -49,20 +49,12 @@ def _env_engine(name: str = _ENV_VAR) -> str:
     """Parse the engine-backend env var defensively.
 
     A garbage value must not make ``import repro.simulate`` raise (the
-    kernel is imported by everything); we warn and fall back to the
-    ``python`` oracle, matching the ``REPRO_WORKERS`` contract in
+    kernel is imported by everything); :func:`repro._envflags
+    .env_choice` warns and falls back to the ``python`` oracle,
+    matching the ``REPRO_WORKERS`` contract in
     :mod:`repro.perf.sweep`.
     """
-    raw = os.environ.get(name, "").strip().lower()
-    if not raw:
-        return "python"
-    if raw not in ENGINE_BACKENDS:
-        warnings.warn(
-            f"ignoring {name}={raw!r}: unknown engine backend (choose "
-            f"from {', '.join(ENGINE_BACKENDS)}); using the 'python' "
-            f"oracle backend", RuntimeWarning, stacklevel=2)
-        return "python"
-    return raw
+    return _env_choice(name, ENGINE_BACKENDS, "python")
 
 
 #: process-wide default for ``Simulator(backend=None)``

@@ -69,6 +69,7 @@ from ..errors import (DeadlockError, ProcessKilled, SimulationError,
                       UnhandledFailure)
 from ..events import (_PENDING, _PROCESSED, _TRIGGERED, Event, Timeout)
 
+_getrefcount: _t.Optional[_t.Callable[[_t.Any], int]]
 try:  # CPython: enables wake-row recycling in the fire loop
     from sys import getrefcount as _getrefcount
 except ImportError:  # pragma: no cover - non-refcounting interpreters
@@ -112,7 +113,9 @@ class _Wake(Timeout):
 
     __slots__ = ()
 
-    def add_callback(self, cb):
+    # ``cb`` stays Any: the shape tests below read ``__func__`` /
+    # ``__self__``, which exist only on the MethodType branch
+    def add_callback(self, cb: _t.Any) -> None:
         if (self._state != _PROCESSED and self._waiter is None
                 and self.callbacks is None and cb.__class__ is MethodType
                 and cb.__func__ is _RESUME):
@@ -120,7 +123,7 @@ class _Wake(Timeout):
             return
         Event.add_callback(self, cb)  # raises StaleEventError when stale
 
-    def remove_callback(self, cb):
+    def remove_callback(self, cb: _t.Any) -> bool:
         # the kill path cancels a pending wake by its resume callback;
         # translate that to the directly-bound process object so a
         # killed sleeper leaves an orphan row, exactly like the oracle
@@ -177,7 +180,7 @@ class ArrayEngine:
     __slots__ = ("sim", "_trace", "_tok_cls", "_stage_d", "_stage_o",
                  "_pend_t", "_pend_o", "_pend_head", "_pool", "_fire")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self._trace = sim._trace
         # with a trace hook installed, stage real Timeouts and fire
@@ -192,9 +195,10 @@ class ArrayEngine:
         self._stage_d: _t.List[float] = []
         self._stage_o: _t.List[Event] = []
         #: consolidated pending table, absolute-time-sorted, already-
-        #: fired prefix cleared to None up to ``_pend_head``
+        #: fired prefix cleared to None up to ``_pend_head`` (hence the
+        #: ``Any`` element type: consumed slots hold ``None`` sentinels)
         self._pend_t: _t.List[float] = []
-        self._pend_o: _t.List[Event] = []
+        self._pend_o: _t.List[_t.Any] = []
         self._pend_head = 0
         #: free list of recycled wake rows
         self._pool: _t.List[_Wake] = []
@@ -207,7 +211,9 @@ class ArrayEngine:
         share a one-row hand-off cell and pre-bound locals, because
         ``sleep`` and the fire loop are the two hottest code paths of a
         simulation and every saved attribute lookup or C call counts."""
-        sim = self.sim
+        # the cast acknowledges the method shadowing: instance
+        # attributes deliberately override Simulator's class methods
+        sim = _t.cast(_t.Any, self.sim)
         sim._engine = self
         sleep, sleep_until, enqueue, fire = self._make_runtime()
         self._fire = fire
@@ -223,7 +229,11 @@ class ArrayEngine:
         sim.run_batched = self.run
 
     # -- the hot closures ----------------------------------------------
-    def _make_runtime(self):
+    def _make_runtime(self) -> _t.Tuple[
+            _t.Callable[[float], Timeout],
+            _t.Callable[[float], Timeout],
+            _t.Callable[[Event, float], None],
+            _t.Callable[[_t.List[_t.Any]], None]]:
         """Build ``sleep`` / ``sleep_until`` / ``_enqueue`` and the
         batch-fire loop as closures over shared cells.
 
@@ -256,7 +266,7 @@ class ArrayEngine:
         PENDING = _PENDING
         TRIGGERED = _TRIGGERED
         PROCESSED = _PROCESSED
-        free = None  # the spill hand-off row
+        free: _t.Any = None  # the spill hand-off row
         # ``cur`` is the *sticky* hand-off: the wake row being fired
         # right now, offered to the sleep() call the resumed process is
         # about to make.  A sticky reuse keeps the row's ``_waiter``
@@ -266,7 +276,7 @@ class ArrayEngine:
         # unbind, no rebind, no recycle bookkeeping.  If the process
         # does anything else, the fire loop repairs the presumptuous
         # binding after the send (see the ``cur is None`` branch).
-        cur = None
+        cur: _t.Any = None
 
         def sleep(delay: float) -> Timeout:
             """A pooled wake row ``delay`` from now (the
@@ -339,7 +349,10 @@ class ArrayEngine:
             stage_delay(delay)
             stage_obj(event)
 
-        def fire(batch):
+        # rows stay Any: the loop duck-types across _Wake rows (whose
+        # ``_waiter`` slot holds a Process, not a callback), orphan rows
+        # and generic events
+        def fire(batch: _t.List[_t.Any]) -> None:
             """Fire one same-timestamp batch, in scheduling order.
 
             Inlines the wake-row hot path (direct generator resume, row

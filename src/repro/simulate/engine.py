@@ -73,6 +73,7 @@ from .errors import (DeadlockError, NotProcessError, ProcessKilled,
 from .events import (_PENDING, _PROCESSED, _TRIGGERED, AllOf, AnyOf, Event,
                      Timeout)
 
+_getrefcount: _t.Optional[_t.Callable[[_t.Any], int]]
 try:  # CPython: enables the timeout free list in the run loop
     from sys import getrefcount as _getrefcount
 except ImportError:  # pragma: no cover - non-refcounting interpreters
@@ -98,8 +99,11 @@ BATCHED_DEFAULT = _env_flag("REPRO_BATCHED", True)
 def set_batched_default(enabled: bool) -> bool:
     """Set the process-wide :data:`BATCHED_DEFAULT` (what
     ``Simulator(batched=None)`` resolves to); returns the previous
-    setting.  Semantics are bit-identical either way — batching only
-    coalesces engine wakeups."""
+    setting.  ``False`` is the oracle fallback — the un-coalesced
+    :meth:`Simulator.run` loop; semantics are bit-identical either way
+    (batching only coalesces engine wakeups, and the golden-trace
+    tests in ``tests/simulate/test_determinism.py`` pin the
+    equivalence)."""
     global BATCHED_DEFAULT
     prev = BATCHED_DEFAULT
     BATCHED_DEFAULT = bool(enabled)
@@ -111,6 +115,11 @@ def batched_default() -> bool:
     return BATCHED_DEFAULT
 
 _INF = float("inf")
+
+#: what :meth:`Simulator.process` accepts: a generator yielding
+#: :class:`Event`\ s; the sent/returned sides stay ``Any`` (an event's
+#: value is model-defined)
+ProcessBody = _t.Generator[Event, _t.Any, _t.Any]
 
 
 class Simulator:
@@ -149,7 +158,7 @@ class Simulator:
     def __init__(self, trace: _t.Optional[_t.Callable[[float, Event], None]] = None,
                  fast: _t.Optional[bool] = None,
                  batched: _t.Optional[bool] = None,
-                 backend: _t.Optional[str] = None):
+                 backend: _t.Optional[str] = None) -> None:
         self.now: float = 0.0
         self._heap: _t.List[_t.Tuple[float, int, Event]] = []
         self._seq = 0
@@ -259,7 +268,7 @@ class Simulator:
         """Fires when the first of ``events`` fires (cf. ``MPI_Waitany``)."""
         return AnyOf(self, events, label=label)
 
-    def process(self, body: _t.Generator, name: str = "") -> "Process":
+    def process(self, body: "ProcessBody", name: str = "") -> "Process":
         """Register a generator as a new simulated process."""
         return Process(self, body, name=name)
 
@@ -299,7 +308,7 @@ class Simulator:
                 raise UnhandledFailure(event._exc)
             if not heap or heap[0][0] != time:
                 return
-            _t, _seq, event = heapq.heappop(heap)
+            _same, _seq, event = heapq.heappop(heap)
 
     def run(self, until: _t.Optional[float] = None,
             detect_deadlock: bool = False) -> None:
@@ -323,6 +332,7 @@ class Simulator:
             heappop = heapq.heappop
             trace = self._trace
             getrefcount = _getrefcount
+            assert getrefcount is not None  # _fast implies CPython
             pool_append = pool.append
             timeout_cls = Timeout
             while heap:
@@ -409,6 +419,7 @@ class Simulator:
         heappush = heapq.heappush
         trace = self._trace
         getrefcount = _getrefcount
+        assert getrefcount is not None  # _fast implies CPython
         pool_append = pool.append
         timeout_cls = Timeout
         self._defer_armed = True
@@ -507,7 +518,8 @@ class Process(Event):
     __slots__ = ("body", "name", "_waiting_on", "_killed", "_resume_cb",
                  "_send")
 
-    def __init__(self, sim: Simulator, body: _t.Generator, name: str = ""):
+    def __init__(self, sim: Simulator, body: "ProcessBody",
+                 name: str = "") -> None:
         if not inspect.isgenerator(body):
             raise NotProcessError(
                 f"process body must be a generator, got {type(body).__name__}")

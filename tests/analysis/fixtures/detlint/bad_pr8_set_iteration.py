@@ -1,0 +1,28 @@
+"""Minimized reconstruction of the PR 8 nondeterminism: the failure
+injector iterated a ``set`` of identity-hashed ``Process`` objects to
+deliver same-timestamp kills, so the *kill order* — and through a
+kill/resource-grant race, a NIC slot leak — depended on the process
+hash seed.  DET001 must flag the iteration (this fixture is what
+``make lint``'s self-test gates on).
+"""
+
+
+class Process:
+    def __init__(self, name):
+        self.name = name
+
+    def kill(self, reason="killed"):
+        pass
+
+
+class FailureInjector:
+    def __init__(self):
+        self.victims = set()
+
+    def register(self, proc):
+        self.victims.add(proc)
+
+    def deliver_kills(self):
+        # BUG: set iteration order is the kill order (DET001)
+        for proc in self.victims:
+            proc.kill("crash injected")

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Run the optional third-party static checks (ruff, mypy) when they
+are installed; skip loudly when they are not.
+
+``make lint`` composes three layers: the repo's own determinism linter
+(``python -m repro.analysis.lint``, always available — stdlib only),
+then ruff (style/correctness lint + format check on the analysis
+package) and mypy (strict on the simulate/scenarios/results/_envflags
+core), both configured in ``pyproject.toml``.  The container that runs
+the tier-1 suite does not always ship ruff/mypy, so this wrapper
+treats "tool not installed" as a skip, never a failure — CI's ``lint``
+job installs the ``lint`` extra and therefore always runs all three.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+
+#: (tool, module probed for availability, argv after the interpreter)
+CHECKS = [
+    ("ruff check", "ruff",
+     ["-m", "ruff", "check", "src/repro", "tools"]),
+    ("ruff format", "ruff",
+     ["-m", "ruff", "format", "--check", "src/repro/analysis/lint",
+      "src/repro/analysis/detcheck.py"]),
+    ("mypy", "mypy",
+     ["-m", "mypy", "-p", "repro.simulate", "-p", "repro.scenarios",
+      "-m", "repro.results", "-m", "repro._envflags"]),
+]
+
+
+def main() -> int:
+    failed = []
+    for label, module, argv in CHECKS:
+        if importlib.util.find_spec(module) is None:
+            print(f"static-checks: skip: {label} ({module} not "
+                  f"installed; `pip install -e .[lint]` enables it)")
+            continue
+        print(f"static-checks: running {label}")
+        proc = subprocess.run([sys.executable] + argv)
+        if proc.returncode != 0:
+            failed.append(label)
+    if failed:
+        print(f"static-checks: FAIL: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
