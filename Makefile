@@ -31,12 +31,13 @@ fuzz:
 	    tests/differential tests/scenarios/test_backend_fuzz.py -q
 
 ## regenerate benchmarks/BENCH_sim_core.json (engine events/sec, fig5b
-## sweep wall-time legs, batched-dispatch legs) and print the tables;
-## test_perf_engine.py rewrites the JSON, test_perf_batch.py merges its
-## batched_dispatch leg in, so the order matters
+## sweep wall-time legs, batched-dispatch legs, fabric service/store
+## legs) and print the tables; test_perf_engine.py rewrites the JSON,
+## the others merge their legs in, so the order matters
 bench:
 	$(PYTHON) -m pytest benchmarks/test_perf_engine.py \
-	    benchmarks/test_perf_batch.py benchmarks/test_perf_backend.py -q -s
+	    benchmarks/test_perf_batch.py benchmarks/test_perf_backend.py \
+	    benchmarks/test_perf_fabric.py -q -s
 
 ## docs: executable snippets in docs/*.md + intra-repo markdown links
 docs-check:

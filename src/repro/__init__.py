@@ -36,6 +36,8 @@ Subsystems (importable lazily as ``repro.<name>``):
 ``repro.scenarios``       declarative scenario layer (S15)
 ``repro.perf``            parallel sweep driver + result cache (S16)
 ``repro.api``             the versioned public facade (S17)
+``repro.fabric``          distributed sweep fabric: stores, queue,
+                          workers, result service (S18)
 ========================  ====================================================
 
 Stability policy (semantic versioning on ``__version__``):
@@ -61,12 +63,12 @@ from __future__ import annotations
 import importlib
 import typing as _t
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: lazily-importable subsystem modules
-_SUBSYSTEMS = ("analysis", "api", "apps", "experiments", "intra",
-               "kernels", "mpi", "netmodel", "perf", "replication",
-               "results", "scenarios", "simulate")
+_SUBSYSTEMS = ("analysis", "api", "apps", "experiments", "fabric",
+               "intra", "kernels", "mpi", "netmodel", "perf",
+               "replication", "results", "scenarios", "simulate")
 
 #: facade callables re-exported from :mod:`repro.api`
 _FACADE = ("compare", "iter_sweep", "run", "scenario", "sweep")
@@ -77,6 +79,7 @@ _TYPES = {"RunResult": "results", "ResultSet": "results",
           "GridFamily": "scenarios", "register_grid": "scenarios",
           "grid_names": "scenarios",
           "PointFailure": "perf",
+          "Fabric": "fabric", "FabricClient": "fabric",
           "get_engine_backend": "simulate",
           "set_engine_backend": "simulate"}
 
@@ -84,10 +87,11 @@ __all__ = sorted(("__version__",) + _SUBSYSTEMS + _FACADE
                  + tuple(_TYPES))
 
 if _t.TYPE_CHECKING:  # pragma: no cover - static import surface
-    from . import (analysis, api, apps, experiments, intra, kernels, mpi,
-                   netmodel, perf, replication, results, scenarios,
-                   simulate)
+    from . import (analysis, api, apps, experiments, fabric, intra,
+                   kernels, mpi, netmodel, perf, replication, results,
+                   scenarios, simulate)
     from .api import compare, iter_sweep, run, scenario, sweep
+    from .fabric import Fabric, FabricClient
     from .perf import PointFailure
     from .results import ResultSet, RunResult
     from .scenarios import (GridFamily, RestartPolicy, Scenario,

@@ -46,7 +46,8 @@ ALL_RULES: _t.Dict[str, Rule] = {r.code: r for r in (
          "unseeded randomness or wall-clock read in simulation code",
          "thread a seeded random.Random(seed) / "
          "numpy.random.default_rng(seed) through the scenario, and "
-         "keep wall-clock reads in repro.perf / benchmarks"),
+         "keep wall-clock reads in repro.perf / repro.fabric / "
+         "benchmarks"),
     Rule("ENV001",
          "raw os.environ read outside repro._envflags",
          "route the variable through a repro._envflags helper "
@@ -63,8 +64,10 @@ ALL_RULES: _t.Dict[str, Rule] = {r.code: r for r in (
 #: rule families that only apply under these path fragments
 _DET002_LAYERS = ("simulate", "replication", "mpi", "intra")
 #: path fragments where DET003 does not apply (timing code measures
-#: real time by definition; benchmarks are not simulation results)
-_DET003_EXEMPT = ("perf", "benchmarks")
+#: real time by definition; benchmarks are not simulation results;
+#: the fabric's queue leases / retry backoff / HTTP polling are
+#: operational wall-clock concerns, not simulated time)
+_DET003_EXEMPT = ("perf", "benchmarks", "fabric")
 #: the one module allowed to touch os.environ
 _ENV001_EXEMPT = ("_envflags.py",)
 

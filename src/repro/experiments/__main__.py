@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments --no-cache        # force recomputation
     python -m repro.experiments list              # everything available
     python -m repro.experiments list 'fig5b*' --tag ext
+    python -m repro.experiments cache stats       # result-cache admin
+    python -m repro.experiments cache migrate --to sqlite
 
 Names are figure experiments (``fig5b``, ``ablations``, ...) or
 registered scenario names (``fig5b:p16:intra``, ``example:gtc:sdr``,
@@ -430,6 +432,13 @@ def _run_scenarios_structured(names: _t.Sequence[str],
 
 
 def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    args_in = list(sys.argv[1:] if argv is None else argv)
+    if args_in and args_in[0] == "cache":
+        # the cache admin verbs take their own flags (--to, --backend),
+        # which this parser would reject — hand off before parsing
+        from ..fabric.admin import main as cache_main
+        return cache_main(args_in[1:],
+                          prog="python -m repro.experiments cache")
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables/figures or run "

@@ -1,0 +1,87 @@
+""":mod:`repro.fabric` — the distributed sweep fabric.
+
+Three layers, all stdlib-only, all sharing one *fabric root*
+directory:
+
+* **stores** (:mod:`repro.fabric.store`): the sweep cache behind a
+  :class:`ResultStore` protocol — the pinned sharded-file layout plus
+  an SQLite-indexed backend, selected by ``REPRO_CACHE_BACKEND`` /
+  :func:`set_cache_backend`, byte-identical payloads either way;
+* **queue + workers** (:mod:`repro.fabric.queue`,
+  ``python -m repro.fabric.worker``): a durable SQLite work queue of
+  scenario hashes with lease/ack/retry semantics, drained by any
+  number of worker daemons;
+* **service** (``python -m repro.fabric.serve``,
+  :class:`FabricClient`): results over HTTP — warm hits stream
+  straight out of the store, cold points queue for the workers.
+
+``repro.sweep(..., fabric=Fabric(root))`` ties them together: warm
+points serve immediately, cold points fan out to whatever workers
+share the root, and a re-run resumes from everything they completed.
+
+The store and queue modules import eagerly (pure stdlib, no repro
+dependencies); :class:`Fabric`, :class:`FabricClient` and the
+daemon/CLI modules load on first attribute access so that importing
+:mod:`repro` stays cheap.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .queue import Lease, QueueItem, QueueStats, WorkQueue
+from .store import (CACHE_BACKENDS, CACHE_BACKEND_DEFAULT, FileStore,
+                    ResultStore, SqliteStore, StoreStats,
+                    get_cache_backend, open_store,
+                    resolve_cache_backend, set_cache_backend)
+
+__all__ = [
+    "CACHE_BACKENDS",
+    "CACHE_BACKEND_DEFAULT",
+    "Fabric",
+    "FabricClient",
+    "FabricServiceError",
+    "FabricTimeout",
+    "FileStore",
+    "Lease",
+    "QueueItem",
+    "QueueStats",
+    "ResultStore",
+    "SqliteStore",
+    "StoreStats",
+    "WorkQueue",
+    "get_cache_backend",
+    "open_store",
+    "resolve_cache_backend",
+    "set_cache_backend",
+]
+
+# lazily-resolved attribute → defining submodule (PEP 562), so that
+# `import repro` never pays for the HTTP/worker layers
+_LAZY = {
+    "Fabric": "core",
+    "FabricClient": "client",
+    "FabricServiceError": "client",
+    "FabricTimeout": "client",
+}
+
+if _t.TYPE_CHECKING:  # pragma: no cover — typing only
+    from .client import (FabricClient, FabricServiceError,  # noqa: F401
+                         FabricTimeout)
+    from .core import Fabric  # noqa: F401
+
+
+def __getattr__(name: str) -> _t.Any:
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    value = getattr(
+        importlib.import_module(f".{module}", __name__), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> _t.List[str]:
+    return sorted(set(globals()) | set(__all__))

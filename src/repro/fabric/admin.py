@@ -1,0 +1,161 @@
+"""The ``cache`` admin CLI: inspect and maintain result stores.
+
+Reached as ``python -m repro.experiments cache <verb>`` (the
+experiments front-door forwards here) or directly as ``python -m
+repro.fabric.admin``:
+
+``cache stats``
+    Entry/byte/quarantine counts for the store.
+``cache prune``
+    Drop quarantine and temp residue (``*.corrupt`` / ``*.tmp*``
+    files, ``corrupt`` table rows), keeping every healthy entry.
+``cache verify``
+    Integrity pass: the SQLite backend re-hashes every stored payload
+    against the sha256 recorded at put time; the file layout records
+    no digest, so its entries are probed by unpickling.  Exit status 1
+    when problems are found.
+``cache migrate --to sqlite|file``
+    Verbatim byte copy of every entry into the other backend at the
+    same cache root — keys and bytes never change, so a migrated store
+    serves identically (the differential tests pin this).
+
+All verbs honour ``--cache-dir`` (default: the configured sweep cache
+directory) and ``--backend`` (default: the ``REPRO_CACHE_BACKEND``
+selection), plus ``--json`` for machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import typing as _t
+
+from .store import (CACHE_BACKENDS, ResultStore, open_store,
+                    resolve_cache_backend)
+
+__all__ = ["main"]
+
+
+def _default_cache_dir() -> pathlib.Path:
+    from ..perf.sweep import get_config
+    return get_config().cache_dir
+
+
+def _open(args: argparse.Namespace) -> ResultStore:
+    root = pathlib.Path(args.cache_dir) if args.cache_dir else \
+        _default_cache_dir()
+    return open_store(root, args.backend)
+
+
+def _emit(args: argparse.Namespace, payload: _t.Dict[str, _t.Any],
+          lines: _t.Sequence[str]) -> None:
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        for line in lines:
+            print(line)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        stats = store.stats()
+    _emit(args, stats.as_dict(), [
+        f"backend:     {stats.backend}",
+        f"location:    {stats.location}",
+        f"entries:     {stats.entries}",
+        f"total bytes: {stats.total_bytes}",
+        f"quarantined: {stats.corrupt}",
+    ])
+    return 0
+
+
+def _cmd_prune(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        removed = store.prune()
+    _emit(args, {"pruned": removed},
+          [f"pruned {removed} quarantined/temp item(s)"])
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        stats = store.stats()
+        problems = store.verify()
+    payload = {"entries": stats.entries,
+               "problems": [{"key": k, "problem": p}
+                            for k, p in problems]}
+    lines = [f"verified {stats.entries} entrie(s): "
+             f"{len(problems)} problem(s)"]
+    lines += [f"  {k[:16]}… {p}" for k, p in problems]
+    _emit(args, payload, lines)
+    return 1 if problems else 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    target = args.to
+    source = "file" if target == "sqlite" else "sqlite"
+    root = pathlib.Path(args.cache_dir) if args.cache_dir else \
+        _default_cache_dir()
+    copied = skipped = 0
+    with open_store(root, source) as src, \
+            open_store(root, target) as dst:
+        for key in src.iter_keys():
+            data = src.get(key)
+            if data is None:
+                continue
+            if not args.force and dst.get(key) == data:
+                skipped += 1  # already there, byte-identical
+                continue
+            dst.put(key, data)
+            copied += 1
+    _emit(args, {"from": source, "to": target, "copied": copied,
+                 "skipped": skipped},
+          [f"migrated {copied} entrie(s) {source} → {target} "
+           f"({skipped} already present byte-identically)"])
+    return 0
+
+
+def main(argv: _t.Optional[_t.Sequence[str]] = None,
+         prog: str = "python -m repro.fabric.admin") -> int:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Inspect and maintain the sweep result cache.")
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache root (default: the configured "
+                             "sweep cache directory)")
+    common.add_argument("--backend", choices=CACHE_BACKENDS,
+                        default=None,
+                        help="store backend (default: the "
+                             "REPRO_CACHE_BACKEND selection)")
+    common.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    sub = parser.add_subparsers(dest="verb", required=True)
+    sub.add_parser("stats", parents=[common],
+                   help="entry/byte/quarantine counts"
+                   ).set_defaults(fn=_cmd_stats)
+    sub.add_parser("prune", parents=[common],
+                   help="drop quarantine and temp residue"
+                   ).set_defaults(fn=_cmd_prune)
+    sub.add_parser("verify", parents=[common],
+                   help="re-hash / probe every stored entry"
+                   ).set_defaults(fn=_cmd_verify)
+    mig = sub.add_parser("migrate", parents=[common],
+                         help="copy every entry into the other "
+                              "backend, bytes verbatim")
+    mig.add_argument("--to", required=True, choices=CACHE_BACKENDS,
+                     help="destination backend")
+    mig.add_argument("--force", action="store_true",
+                     help="rewrite entries the destination already "
+                          "holds byte-identically")
+    mig.set_defaults(fn=_cmd_migrate)
+    args = parser.parse_args(argv)
+    if args.backend is not None:
+        resolve_cache_backend(args.backend)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

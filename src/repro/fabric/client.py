@@ -1,0 +1,147 @@
+""":class:`FabricClient` — talk to a running fabric result service.
+
+Stdlib-only (:mod:`urllib.request`), mirroring the service's routes:
+``healthz``/``stats`` for probes, :meth:`FabricClient.result` for raw
+key lookups, and :meth:`FabricClient.run` /
+:meth:`FabricClient.sweep`, which resolve scenario *names*, wait out
+202-pending responses while the workers compute, and decode the warm
+payloads losslessly via :meth:`repro.results.RunResult.from_json` —
+so a client-side sweep yields the same :class:`~repro.results.RunResult`
+objects a local ``repro.sweep`` would.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import typing as _t
+import urllib.error
+import urllib.parse
+import urllib.request
+
+__all__ = ["FabricClient", "FabricServiceError", "FabricTimeout"]
+
+
+class FabricServiceError(RuntimeError):
+    """The service answered with an error status (404/500/…)."""
+
+    def __init__(self, status: int, payload: _t.Mapping[str, _t.Any]):
+        self.status = status
+        self.payload = dict(payload)
+        detail = payload.get("error") or json.dumps(payload,
+                                                   sort_keys=True)
+        super().__init__(f"fabric service returned {status}: {detail}")
+
+
+class FabricTimeout(TimeoutError):
+    """A pending point did not turn warm within the wait budget."""
+
+
+class FabricClient:
+    """Client for one ``python -m repro.fabric.serve`` endpoint.
+
+    ``base_url`` is the service root (``http://host:port``); ``poll``
+    is the cadence for waiting out 202-pending responses and
+    ``timeout`` the per-request socket timeout."""
+
+    def __init__(self, base_url: str, *, poll: float = 0.1,
+                 timeout: float = 10.0) -> None:
+        if poll <= 0:
+            raise ValueError("poll must be positive")
+        self.base_url = base_url.rstrip("/")
+        self.poll = poll
+        self.timeout = timeout
+
+    def __repr__(self) -> str:
+        return f"FabricClient({self.base_url!r})"
+
+    # ------------------------------------------------------------- wire
+    def _get(self, route: str) -> _t.Tuple[int, str]:
+        """One GET; returns ``(status, body_text)`` — 4xx/5xx included
+        (the 202-pending protocol makes non-200s routine)."""
+        url = f"{self.base_url}{route}"
+        try:
+            with urllib.request.urlopen(url,
+                                        timeout=self.timeout) as resp:
+                return resp.status, resp.read().decode("utf-8")
+        except urllib.error.HTTPError as err:
+            return err.code, err.read().decode("utf-8")
+
+    def _get_json(self, route: str
+                  ) -> _t.Tuple[int, _t.Dict[str, _t.Any]]:
+        status, text = self._get(route)
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = {"error": f"non-JSON body: {text[:200]!r}"}
+        return status, payload
+
+    # ------------------------------------------------------------ probes
+    def healthz(self) -> bool:
+        try:
+            status, _ = self._get("/healthz")
+        except (urllib.error.URLError, OSError):
+            return False
+        return status == 200
+
+    def stats(self) -> _t.Dict[str, _t.Any]:
+        status, payload = self._get_json("/stats")
+        if status != 200:
+            raise FabricServiceError(status, payload)
+        return payload
+
+    # ----------------------------------------------------------- results
+    def result(self, cache_key: str,
+               wait: bool = False,
+               wait_timeout: float = 60.0) -> _t.Optional[_t.Any]:
+        """The :class:`~repro.results.RunResult` for a cache key, or
+        ``None`` while it is pending (``wait=False``).  ``wait=True``
+        polls until warm or ``wait_timeout`` elapses
+        (:class:`FabricTimeout`).  Unknown keys raise
+        :class:`FabricServiceError` (404)."""
+        return self._fetch(f"/result/{cache_key}", wait, wait_timeout)
+
+    def run(self, name: str, wait: bool = True,
+            wait_timeout: float = 60.0) -> _t.Optional[_t.Any]:
+        """Resolve a scenario name through the service; by default
+        waits for the workers to warm a cold point."""
+        quoted = urllib.parse.quote(name, safe="")
+        return self._fetch(f"/scenario/{quoted}", wait, wait_timeout)
+
+    def sweep(self, names: _t.Iterable[str], *,
+              wait_timeout: float = 120.0) -> _t.List[_t.Any]:
+        """Fetch a family of scenarios in input order.  The first pass
+        requests every name (enqueueing all cold points at once so the
+        workers overlap them), then waits each out."""
+        pending = [(name, self.run(name, wait=False))
+                   for name in names]
+        out: _t.List[_t.Any] = []
+        for name, result in pending:
+            if result is None:
+                result = self.run(name, wait=True,
+                                  wait_timeout=wait_timeout)
+            out.append(result)
+        return out
+
+    def _fetch(self, route: str, wait: bool,
+               wait_timeout: float) -> _t.Optional[_t.Any]:
+        from ..results import RunResult
+        deadline = time.monotonic() + wait_timeout
+        while True:
+            status, text = self._get(route)
+            if status == 200:
+                return RunResult.from_json(text)
+            if status == 202:
+                if not wait:
+                    return None
+                if time.monotonic() >= deadline:
+                    raise FabricTimeout(
+                        f"point still pending after {wait_timeout}s "
+                        f"({self.base_url}{route})")
+                time.sleep(self.poll)
+                continue
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError:
+                payload = {"error": f"non-JSON body: {text[:200]!r}"}
+            raise FabricServiceError(status, payload)

@@ -23,7 +23,6 @@ import concurrent.futures
 import dataclasses
 import enum
 import hashlib
-import os
 import pathlib
 import pickle
 import time
@@ -161,45 +160,59 @@ def point_cache_key(fn: _t.Callable, point: _t.Any, tag: str = "") -> str:
 
 
 # ------------------------------------------------------------- disk cache
+# Since PR 10 the cache's bytes live behind the ResultStore protocol of
+# :mod:`repro.fabric.store` (the sharded-file oracle layout by default,
+# SQLite via ``REPRO_CACHE_BACKEND=sqlite``).  Stores are memoized per
+# (backend, root) so a long sweep reuses one handle; pool workers start
+# with a clean slate via :func:`_worker_init`.
+_STORES: _t.Dict[_t.Tuple[str, str], _t.Any] = {}
+
+
+def _result_store(cache_dir: pathlib.Path) -> _t.Any:
+    from ..fabric.store import get_cache_backend, open_store
+    slot = (get_cache_backend(), str(cache_dir))
+    store = _STORES.get(slot)
+    if store is None:
+        store = _STORES[slot] = open_store(cache_dir, slot[0])
+    return store
+
+
 def _cache_path(cache_dir: pathlib.Path, key: str) -> pathlib.Path:
+    """The file-backend shard path — pinned layout
+    (``tests/api/test_cache_compat.py``); the SQLite backend stores the
+    same bytes in its ``results`` table instead."""
     return cache_dir / f"{key[:2]}" / f"{key}.pkl"
 
 
 def _cache_load(cache_dir: pathlib.Path, key: str) -> _t.Tuple[bool, _t.Any]:
-    path = _cache_path(cache_dir, key)
+    store = _result_store(cache_dir)
     try:
-        with open(path, "rb") as fh:
-            return True, pickle.load(fh)
-    except FileNotFoundError:
-        return False, None          # an ordinary miss: nothing stored
+        data = store.get(key)
+        if data is None:
+            return False, None      # an ordinary miss: nothing stored
+        return True, pickle.loads(data)
     except Exception as exc:        # noqa: BLE001 — unpickling corrupt
         # bytes can raise nearly anything; none of it may fail the sweep
         # Quarantine: an unreadable/corrupt entry must neither crash the
         # sweep nor shadow its slot forever.  Move it aside (kept for
-        # post-mortems, ignored by loads), warn, and report a miss — the
-        # point recomputes and _cache_store rewrites the entry.
-        quarantined = path.with_suffix(".corrupt")
-        try:
-            os.replace(path, quarantined)
-            note = f"; entry quarantined to {quarantined.name}"
-        except OSError:
-            note = ""
+        # post-mortems, ignored by loads: ``.corrupt`` file or
+        # ``corrupt`` table row), warn, and report a miss — the point
+        # recomputes and _cache_store rewrites the entry.
+        where = store.quarantine(key, f"{type(exc).__name__}: {exc}")
+        note = f"; entry quarantined to {where}" if where else ""
+        label = f"{key}.pkl" if store.backend == "file" else f"{key[:12]}…"
         warnings.warn(
-            f"ignoring corrupt sweep-cache entry {path.name} "
+            f"ignoring corrupt sweep-cache entry {label} "
             f"({type(exc).__name__}: {exc}){note}; recomputing the "
             f"point", RuntimeWarning, stacklevel=3)
         return False, None
 
 
 def _cache_store(cache_dir: pathlib.Path, key: str, value: _t.Any) -> None:
-    path = _cache_path(cache_dir, key)
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        with open(tmp, "wb") as fh:
-            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)  # atomic under concurrent writers
-    except (OSError, pickle.PickleError):
+        _result_store(cache_dir).put(
+            key, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # noqa: BLE001 — disk-full, locked DB, unpicklable
         pass  # caching is best-effort; never fail the sweep
 
 
@@ -207,37 +220,15 @@ def clear_result_cache(cache_dir: _t.Optional[_t.Union[str, pathlib.Path]]
                        = None) -> int:
     """Delete all cached sweep results; returns the number removed.
 
-    Also sweeps the ``.tmp<pid>`` droppings a :func:`_cache_store`
-    writer that crashed between ``open`` and ``os.replace`` leaves
-    behind, the ``.corrupt`` files :func:`_cache_load` quarantined, and
-    prunes shard directories emptied by the sweep (none of which count
-    toward the return value, which is cached *results* only).
+    Uniform across store backends: the file layout also sweeps the
+    ``.tmp<pid>`` droppings a crashed writer leaves behind, the
+    ``.corrupt`` files :func:`_cache_load` quarantined, and prunes
+    emptied shard directories; the SQLite backend empties its
+    ``results`` *and* ``corrupt`` tables.  Residue never counts toward
+    the return value, which is cached *results* only.
     """
     root = pathlib.Path(cache_dir) if cache_dir else _config.cache_dir
-    removed = 0
-    if root.is_dir():
-        for p in root.rglob("*.pkl"):
-            try:
-                p.unlink()
-                removed += 1
-            except OSError:
-                pass
-        for pattern in ("*.tmp*", "*.corrupt"):
-            for p in root.rglob(pattern):
-                if p.is_file():
-                    try:
-                        p.unlink()
-                    except OSError:
-                        pass
-        # deepest-first so nested shard dirs empty out bottom-up;
-        # rmdir refuses non-empty dirs, which is exactly what we want
-        for d in sorted((d for d in root.rglob("*") if d.is_dir()),
-                        reverse=True):
-            try:
-                d.rmdir()
-            except OSError:
-                pass
-    return removed
+    return _result_store(root).clear()
 
 
 # ------------------------------------------------------------- the driver
@@ -245,18 +236,27 @@ def clear_result_cache(cache_dir: _t.Optional[_t.Union[str, pathlib.Path]]
 _MAX_BACKOFF = 30.0
 
 
-def _worker_init(engine_backend: str) -> None:
-    """Pool-worker initializer: mirror the parent's engine backend.
+def _worker_init(engine_backend: str,
+                 cache_backend: _t.Optional[str] = None) -> None:
+    """Pool-worker initializer: mirror the parent's backend choices.
 
-    Freshly spawned workers re-read ``REPRO_ENGINE`` on import, so
-    env-var users inherit the backend for free — but a backend selected
-    programmatically via :func:`repro.simulate.set_engine_backend`
-    lives only in the parent process.  Pinning it here keeps sweeps
-    backend-faithful either way (results are bit-identical across
-    backends regardless; this preserves the *performance* choice).
+    Freshly spawned workers re-read ``REPRO_ENGINE`` /
+    ``REPRO_CACHE_BACKEND`` on import, so env-var users inherit both
+    backends for free — but a backend selected programmatically via
+    :func:`repro.simulate.set_engine_backend` /
+    :func:`repro.fabric.set_cache_backend` lives only in the parent
+    process.  Pinning them here keeps sweeps backend-faithful either
+    way (results are bit-identical across backends regardless; this
+    preserves the *performance* choice).  Forked workers also drop any
+    memoized store handles — an SQLite connection must never cross a
+    ``fork``.
     """
     from repro.simulate import set_engine_backend
     set_engine_backend(engine_backend)
+    _STORES.clear()
+    if cache_backend is not None:
+        from repro.fabric.store import set_cache_backend
+        set_cache_backend(cache_backend)
 
 
 @dataclasses.dataclass
@@ -454,10 +454,11 @@ def _pool_rounds(points: _t.List[_t.Any], fn: _t.Callable,
                            _MAX_BACKOFF))
         round_no += 1
         width = min(n_workers, len(todo))
+        from repro.fabric.store import get_cache_backend
         from repro.simulate import get_engine_backend
         pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=width, initializer=_worker_init,
-            initargs=(get_engine_backend(),))
+            initargs=(get_engine_backend(), get_cache_backend()))
         retry: _t.List[int] = []
         drained = False
         abandoned = False

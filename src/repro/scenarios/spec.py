@@ -23,6 +23,7 @@ import ast
 import dataclasses
 import enum
 import json
+import sys
 import typing as _t
 
 from ..intra import MODES, SCHEDULERS, CopyStrategy, Scheduler, make_scheduler
@@ -77,6 +78,23 @@ for _cls in (MachineSpec, NetworkSpec, CopyStrategy, RestartPolicy):
 #: payload support on this — one marker vocabulary, one implementation.
 CodecExtension = _t.Callable[[_t.Any, _t.Callable[[_t.Any], _t.Any]],
                              _t.Any]
+
+
+def _intern_if_namelike(value: _t.Any) -> _t.Any:
+    """Intern identifier-like decoded strings (``"intra"``, app names).
+
+    Mirrors the auto-interning registry-literal scenarios get from the
+    compiler, so a scenario decoded from JSON (a fabric worker, a
+    service request) produces *pickle-byte-identical* results: pickle
+    memoizes by object identity, and without interning the decoded
+    ``mode`` string would serialize as a fresh string where the
+    literal-built scenario's shares a memo slot (``repro.fabric``'s
+    differential tests pin this parity).  Non-identifier strings are
+    left alone — the compiler would not have interned those either.
+    """
+    if isinstance(value, str) and value.isidentifier():
+        return sys.intern(value)
+    return value
 
 
 def encode_value(obj: _t.Any, *,
@@ -404,7 +422,8 @@ class Scenario:
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
-        return cls(**{k: decode_value(v) for k, v in data.items()})
+        return cls(**{k: _intern_if_namelike(decode_value(v))
+                      for k, v in data.items()})
 
     def to_json(self, **dumps_kw: _t.Any) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, **dumps_kw)

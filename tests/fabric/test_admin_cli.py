@@ -1,0 +1,152 @@
+"""The ``cache`` admin CLI (``python -m repro.experiments cache`` /
+``python -m repro.fabric.admin``), exercised in-process."""
+
+import json
+import pickle
+
+import pytest
+
+import repro
+from repro.experiments.__main__ import main as experiments_main
+from repro.fabric.admin import main as admin_main
+from repro.fabric.store import (SQLITE_FILENAME, FileStore, SqliteStore,
+                                set_cache_backend)
+
+
+@pytest.fixture(autouse=True)
+def _file_default():
+    """These tests assert the file layout and the CLI's file-backend
+    defaults; pin them even when the suite runs under
+    ``REPRO_CACHE_BACKEND=sqlite`` (the CI fabric leg)."""
+    before = set_cache_backend("file")
+    yield
+    set_cache_backend(before)
+
+
+@pytest.fixture
+def warm_dir(tmp_path):
+    """A file-backend cache root with two real sweep results in it."""
+    root = tmp_path / "cache"
+    repro.sweep(["example:hpccg:intra", "example:hpccg:native"],
+                cache=True, cache_dir=root)
+    return root
+
+
+def _run_json(capsys, argv):
+    rc = admin_main(argv + ["--json"])
+    return rc, json.loads(capsys.readouterr().out)
+
+
+def test_stats_reports_entries(warm_dir, capsys):
+    rc, payload = _run_json(capsys, ["stats", "--cache-dir",
+                                     str(warm_dir)])
+    assert rc == 0
+    assert payload["entries"] == 2
+    assert payload["backend"] == "file"
+    assert payload["corrupt"] == 0
+    assert payload["total_bytes"] > 0
+
+
+def test_stats_human_output(warm_dir, capsys):
+    assert admin_main(["stats", "--cache-dir", str(warm_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "entries:     2" in out
+    assert "backend:     file" in out
+
+
+def test_verify_clean_exits_zero(warm_dir, capsys):
+    rc, payload = _run_json(capsys, ["verify", "--cache-dir",
+                                     str(warm_dir)])
+    assert rc == 0
+    assert payload == {"entries": 2, "problems": []}
+
+
+def test_verify_corruption_exits_one(warm_dir, capsys):
+    victim = next(warm_dir.rglob("*.pkl"))
+    victim.write_bytes(b"\x80garbage")
+    rc, payload = _run_json(capsys, ["verify", "--cache-dir",
+                                     str(warm_dir)])
+    assert rc == 1
+    assert len(payload["problems"]) == 1
+    assert payload["problems"][0]["key"] == victim.stem
+
+
+def test_prune_drops_quarantine_only(warm_dir, capsys):
+    store = FileStore(warm_dir)
+    keys = list(store.iter_keys())
+    store.quarantine(keys[0], "unit test")
+    rc, payload = _run_json(capsys, ["prune", "--cache-dir",
+                                     str(warm_dir)])
+    assert rc == 0
+    assert payload["pruned"] >= 1
+    assert list(FileStore(warm_dir).iter_keys()) == keys[1:]
+
+
+def test_migrate_to_sqlite_is_byte_identical(warm_dir, capsys):
+    rc, payload = _run_json(capsys, ["migrate", "--to", "sqlite",
+                                     "--cache-dir", str(warm_dir)])
+    assert rc == 0
+    assert (payload["from"], payload["to"]) == ("file", "sqlite")
+    assert payload["copied"] == 2
+    src, dst = FileStore(warm_dir), SqliteStore(warm_dir)
+    for key in src.iter_keys():
+        assert dst.get(key) == src.get(key)
+    dst.close()
+
+
+def test_migrate_skips_already_identical(warm_dir, capsys):
+    admin_main(["migrate", "--to", "sqlite", "--cache-dir",
+                str(warm_dir)])
+    capsys.readouterr()
+    rc, payload = _run_json(capsys, ["migrate", "--to", "sqlite",
+                                     "--cache-dir", str(warm_dir)])
+    assert rc == 0
+    assert payload == {"from": "file", "to": "sqlite", "copied": 0,
+                       "skipped": 2}
+
+
+def test_migrate_back_to_file_roundtrips(warm_dir, tmp_path, capsys):
+    admin_main(["migrate", "--to", "sqlite", "--cache-dir",
+                str(warm_dir)])
+    # wipe the file shards, then restore them from the SQLite copy
+    src = FileStore(warm_dir)
+    keys = {k: src.get(k) for k in src.iter_keys()}
+    assert src.clear() == 2
+    admin_main(["migrate", "--to", "file", "--cache-dir",
+                str(warm_dir)])
+    restored = FileStore(warm_dir)
+    assert {k: restored.get(k) for k in restored.iter_keys()} == keys
+    # restored pickles still load
+    for data in keys.values():
+        assert pickle.loads(data) is not None
+
+
+def test_sqlite_backend_verbs_work(tmp_path, capsys):
+    store = SqliteStore(tmp_path)
+    store.put("cc" + "3" * 61, pickle.dumps({"v": 1}))
+    store.close()
+    rc, payload = _run_json(capsys, ["stats", "--cache-dir",
+                                     str(tmp_path), "--backend",
+                                     "sqlite"])
+    assert rc == 0
+    assert payload["entries"] == 1
+    assert (tmp_path / SQLITE_FILENAME).is_file()
+    rc, payload = _run_json(capsys, ["verify", "--cache-dir",
+                                     str(tmp_path), "--backend",
+                                     "sqlite"])
+    assert rc == 0
+
+
+def test_experiments_front_door_forwards(warm_dir, capsys):
+    rc = experiments_main(["cache", "stats", "--cache-dir",
+                           str(warm_dir), "--json"])
+    assert rc == 0
+    assert json.loads(capsys.readouterr().out)["entries"] == 2
+
+
+def test_rejects_unknown_backend(warm_dir):
+    with pytest.raises(SystemExit):
+        admin_main(["stats", "--cache-dir", str(warm_dir),
+                    "--backend", "redis"])
+    with pytest.raises(SystemExit):
+        admin_main(["migrate", "--cache-dir", str(warm_dir)])  # no --to

@@ -1,0 +1,82 @@
+"""The sweep cache on the SQLite backend: satellite regression for
+corrupt-row quarantine and uniform ``clear_result_cache``."""
+
+import sqlite3
+import warnings
+
+import pytest
+
+import repro
+from repro.fabric.store import (SQLITE_FILENAME, SqliteStore,
+                                get_cache_backend, set_cache_backend)
+from repro.perf.sweep import clear_result_cache
+
+NAME = "example:hpccg:intra"
+
+
+@pytest.fixture
+def sqlite_backend():
+    before = set_cache_backend("sqlite")
+    yield
+    set_cache_backend(before)
+
+
+def test_sweep_caches_through_sqlite(sqlite_backend, tmp_path):
+    first = repro.run(NAME, cache=True, cache_dir=tmp_path)
+    second = repro.run(NAME, cache=True, cache_dir=tmp_path)
+    assert first.cache_hit is False and second.cache_hit is True
+    assert second.wall_time == first.wall_time
+    assert (tmp_path / SQLITE_FILENAME).is_file()
+    assert not (tmp_path / first.cache_key[:2]).exists()  # no shards
+
+
+def test_sqlite_results_json_identical_to_file_backend(sqlite_backend,
+                                                       tmp_path):
+    sq = repro.run(NAME, cache=True, cache_dir=tmp_path / "sq")
+    set_cache_backend("file")
+    fi = repro.run(NAME, cache=True, cache_dir=tmp_path / "fi")
+    assert sq.to_json() == fi.to_json()
+    # and the stored payloads are byte-identical across backends
+    key = sq.cache_key
+    file_bytes = (tmp_path / "fi" / key[:2] / f"{key}.pkl").read_bytes()
+    store = SqliteStore(tmp_path / "sq")
+    assert store.get(key) == file_bytes
+    store.close()
+
+
+def test_corrupt_sqlite_row_quarantines_and_recomputes(sqlite_backend,
+                                                       tmp_path):
+    first = repro.run(NAME, cache=True, cache_dir=tmp_path)
+    key = first.cache_key
+    # rot the stored pickle behind the cache's back
+    conn = sqlite3.connect(tmp_path / SQLITE_FILENAME)
+    conn.execute("UPDATE results SET payload = ? WHERE key = ?",
+                 (b"\x80rotten", key))
+    conn.commit()
+    conn.close()
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        second = repro.run(NAME, cache=True, cache_dir=tmp_path)
+    assert second.cache_hit is False          # recomputed, not served
+    assert second.wall_time == first.wall_time
+    # the rotten row moved to the corrupt table for post-mortems...
+    store = SqliteStore(tmp_path)
+    assert [k for k, _ in store.corrupt_rows()] == [key]
+    # ...and the recompute re-populated a healthy row
+    assert store.get(key) is not None
+    store.close()
+
+
+def test_clear_result_cache_is_uniform(sqlite_backend, tmp_path):
+    repro.run(NAME, cache=True, cache_dir=tmp_path)
+    assert clear_result_cache(tmp_path) == 1
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")        # a miss, not a warning
+        rerun = repro.run(NAME, cache=True, cache_dir=tmp_path)
+    assert rerun.cache_hit is False
+
+
+def test_backend_restored(tmp_path):
+    # the fixture must not leak the sqlite selection into other tests:
+    # the process default is back to whatever the environment picked
+    from repro.fabric.store import _env_backend
+    assert get_cache_backend() == _env_backend()

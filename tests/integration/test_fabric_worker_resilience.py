@@ -1,0 +1,98 @@
+"""The fabric's headline resilience scenario, end to end: a *real*
+worker process is SIGKILLed mid-lease, the lease expires, the point is
+re-run exactly once by a second worker, and the final results are
+byte-identical to a clean serial run.
+
+The first worker is a genuine ``python -m repro.fabric.worker``
+subprocess (the production daemon entry point), so the kill exercises
+the whole lease/expiry path — not a mock."""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.apps.hpccg import KernelBenchConfig
+from repro.fabric import Fabric
+from repro.fabric.worker import run_worker
+from repro.scenarios import Scenario
+
+# slow enough (~1.8 s of real simulation) that SIGKILL reliably lands
+# mid-lease
+SLOW = Scenario(app="hpccg_kernels",
+                config=KernelBenchConfig(nx=24, ny=24, nz=24, reps=600),
+                n_logical=2, mode="native")
+
+_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def _spawn_worker(root, lease_s):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.fabric.worker",
+         "--root", str(root), "--backend", "sqlite",
+         "--lease", str(lease_s), "--poll", "0.02", "--quiet"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def _wait_for_state(queue, key, state, timeout=30.0):
+    deadline = time.monotonic() + timeout   # detlint: ignore[DET003] -- test harness wait budget
+    while time.monotonic() < deadline:      # detlint: ignore[DET003] -- test harness wait budget
+        item = queue.get(key)
+        if item is not None and item.state == state:
+            return item
+        time.sleep(0.01)
+    pytest.fail(f"queue item never reached state {state!r}")
+
+
+def test_sigkilled_worker_mid_lease_point_reruns_once(tmp_path):
+    fabric_root = tmp_path / "fabric"
+    with Fabric(fabric_root, backend="sqlite", poll=0.02) as fab:
+        key = fab.enqueue_scenario(SLOW)
+
+        # worker 1 leases the point... and dies mid-simulation
+        proc = _spawn_worker(fabric_root, lease_s=1.0)
+        try:
+            _wait_for_state(fab.queue, key, "leased")
+            time.sleep(0.1)   # well inside the ~1.8 s compute
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert fab.load_result(key) is None        # it never finished
+
+        # worker 2 (in-process): the expired lease is charged one
+        # worker-lost attempt, then the point re-runs to completion
+        assert run_worker(fab, max_points=1) == 1
+        item = fab.queue.get(key)
+        assert item.state == "done"
+        assert item.worker_lost == 1               # exactly one loss
+        assert item.attempts == 2                  # lost + successful
+        assert item.error is None
+
+        # the recovered payload is byte-identical to a clean serial run
+        from repro.fabric.store import set_cache_backend
+        serial_dir = tmp_path / "serial"
+        before = set_cache_backend("file")   # the .pkl oracle layout
+        try:
+            serial = repro.run(SLOW, cache=True, cache_dir=serial_dir)
+            assert key == serial.cache_key
+            serial_bytes = (serial_dir / key[:2]
+                            / f"{key}.pkl").read_bytes()
+            assert fab.store.get(key) == serial_bytes
+
+            # and the warm fabric sweep equals a warm serial sweep,
+            # JSON for JSON
+            warm_serial = repro.sweep([SLOW], cache=True,
+                                      cache_dir=serial_dir)
+        finally:
+            set_cache_backend(before)
+        warm_fabric = repro.sweep([SLOW], fabric=fab, timeout=10)
+        assert warm_fabric.to_json() == warm_serial.to_json()

@@ -1,0 +1,99 @@
+"""CI smoke for the result fabric, end to end with real processes.
+
+Boots the production daemons — ``python -m repro.fabric.worker`` and
+``python -m repro.fabric.serve`` — against a temporary SQLite-backed
+fabric root, sweeps a small scenario grid through :class:`FabricClient`,
+and asserts every served ``RunResult`` is JSON-identical to a warm
+serial sweep of the same points.  Exit 0 on parity, 1 on any mismatch
+or timeout.
+
+Run locally:  ``PYTHONPATH=src python tools/ci_fabric_smoke.py``
+"""
+
+import os
+import pathlib
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+import repro                                      # noqa: E402
+from repro.fabric.client import FabricClient      # noqa: E402
+
+NAMES = ["example:hpccg:native", "example:hpccg:sdr",
+         "example:hpccg:intra", "example:waxpby:native"]
+BOOT_TIMEOUT_S = 30.0
+SWEEP_TIMEOUT_S = 300.0
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _spawn(module: str, *args: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(ROOT / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    return subprocess.Popen([sys.executable, "-m", module, *args],
+                            env=env)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as d:
+        fabric_root = pathlib.Path(d) / "fabric"
+        port = _free_port()
+        serve = _spawn("repro.fabric.serve",
+                       "--root", str(fabric_root), "--backend", "sqlite",
+                       "--host", "127.0.0.1", "--port", str(port))
+        worker = _spawn("repro.fabric.worker",
+                        "--root", str(fabric_root), "--backend", "sqlite",
+                        "--poll", "0.05", "--quiet")
+        client = FabricClient(f"http://127.0.0.1:{port}", poll=0.1)
+        try:
+            deadline = time.monotonic() + BOOT_TIMEOUT_S
+            while not client.healthz():
+                if time.monotonic() >= deadline:
+                    print("FAIL: service never became healthy",
+                          file=sys.stderr)
+                    return 1
+                time.sleep(0.1)
+
+            served = client.sweep(NAMES, wait_timeout=SWEEP_TIMEOUT_S)
+
+            # ground truth: a warm serial sweep (same cache-hit
+            # provenance as fabric-served results)
+            cache_dir = pathlib.Path(d) / "serial"
+            repro.sweep(NAMES, cache=True, cache_dir=cache_dir)
+            warm = repro.sweep(NAMES, cache=True, cache_dir=cache_dir)
+
+            for name, got, want in zip(NAMES, served, warm):
+                if got.to_json() != want.to_json():
+                    print(f"FAIL: {name}: fabric-served RunResult "
+                          f"differs from the serial sweep",
+                          file=sys.stderr)
+                    return 1
+
+            stats = client.stats()
+            print(f"fabric smoke OK: {len(served)} point(s) served "
+                  f"with serial parity "
+                  f"(store entries: {stats['store']['entries']}, "
+                  f"queue done: {stats['queue']['done']})")
+            return 0
+        finally:
+            for proc in (worker, serve):
+                proc.terminate()
+            for proc in (worker, serve):
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
